@@ -1,0 +1,34 @@
+//! # kollaps-baselines
+//!
+//! The comparison systems of the Kollaps evaluation, rebuilt over the same
+//! simulation substrate so that every workload can run unmodified against
+//! any of them (they all implement [`kollaps_core::runtime::Dataplane`]):
+//!
+//! * [`ground_truth`] — the "bare-metal" reference: the *target* topology is
+//!   simulated hop by hop, every link with its own serialization,
+//!   propagation and drop-tail buffer. This plays the role of the real
+//!   network in Figures 5-7 and Table 2.
+//! * [`mininet`] — a Mininet/Mininet-HiFi-like full-state emulator: same
+//!   hop-by-hop dataplane, but single-host, htb shaping capped at 1 Gb/s and
+//!   a per-switch software-forwarding cost that grows with the rate of new
+//!   connections (the short-flow degradation of Figure 6).
+//! * [`maxinet`] — a Maxinet-like distributed emulator: adds an external
+//!   OpenFlow-controller round trip on every new flow and tunnelling delay
+//!   between workers (the large RTT errors of Table 4).
+//! * [`trickle`] — a Trickle-like userspace bandwidth shaper: shaping happens
+//!   above the socket, so a full TCP send buffer escapes unshaped every
+//!   scheduling quantum; with the default buffer this badly overshoots small
+//!   rates (Table 2), with a tuned buffer it is accurate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground_truth;
+pub mod maxinet;
+pub mod mininet;
+pub mod trickle;
+
+pub use ground_truth::GroundTruthDataplane;
+pub use maxinet::MaxinetDataplane;
+pub use mininet::MininetDataplane;
+pub use trickle::{TrickleConfig, TrickleDataplane};

@@ -1,0 +1,178 @@
+//! Maxinet-like distributed emulator model.
+//!
+//! Maxinet distributes Mininet workers over a cluster and relies on an
+//! external OpenFlow controller: the first packet of every flow triggers a
+//! controller round trip before a forwarding rule is installed, and links
+//! that cross workers are tunnelled over the physical network. Table 4 of
+//! the paper attributes Maxinet's large RTT errors to exactly these two
+//! effects, so they are what this model adds on top of the hop-by-hop
+//! simulation.
+
+use std::collections::{HashMap, HashSet};
+
+use kollaps_netmodel::packet::{FlowId, Packet};
+use kollaps_sim::prelude::*;
+
+use kollaps_core::runtime::{Dataplane, SendOutcome};
+use kollaps_topology::model::Topology;
+
+use crate::ground_truth::GroundTruthDataplane;
+
+/// Behavioural parameters of the Maxinet model.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxinetConfig {
+    /// Round trip to the external controller paid by the first packet of
+    /// each flow at each switch (POX forwarding modules in the paper).
+    pub controller_rtt: SimDuration,
+    /// Extra delay for tunnelled (cross-worker) hops.
+    pub tunnel_overhead: SimDuration,
+    /// Number of worker machines the topology is spread over.
+    pub workers: usize,
+}
+
+impl Default for MaxinetConfig {
+    fn default() -> Self {
+        MaxinetConfig {
+            controller_rtt: SimDuration::from_millis(4),
+            tunnel_overhead: SimDuration::from_micros(120),
+            workers: 4,
+        }
+    }
+}
+
+/// Maxinet-like dataplane.
+pub struct MaxinetDataplane {
+    inner: GroundTruthDataplane,
+    config: MaxinetConfig,
+    /// Flows that already have rules installed.
+    installed: HashSet<FlowId>,
+    /// Packets held back while "the controller" installs rules.
+    held: Vec<(SimTime, Packet)>,
+    /// First-packet latency penalties observed (diagnostics).
+    penalties: u64,
+    /// Reusable map for per-flow hold release times.
+    release_at: HashMap<FlowId, SimTime>,
+}
+
+impl MaxinetDataplane {
+    /// Builds the Maxinet model for `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        MaxinetDataplane::with_config(topology, MaxinetConfig::default())
+    }
+
+    /// Builds the Maxinet model with explicit parameters.
+    pub fn with_config(topology: &Topology, config: MaxinetConfig) -> Self {
+        let mut inner = GroundTruthDataplane::new(topology);
+        // Cross-worker tunnelling shows up as a constant per-hop overhead
+        // because workers host adjacent switches with probability
+        // (workers-1)/workers.
+        let expected_tunnel = config
+            .tunnel_overhead
+            .mul_f64((config.workers.max(1) as f64 - 1.0) / config.workers.max(1) as f64);
+        inner.set_per_hop_overhead(expected_tunnel);
+        MaxinetDataplane {
+            inner,
+            config,
+            installed: HashSet::new(),
+            held: Vec::new(),
+            penalties: 0,
+            release_at: HashMap::new(),
+        }
+    }
+
+    /// The shared collapse/address view.
+    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
+        self.inner.collapsed()
+    }
+
+    /// The container address of the `index`-th service.
+    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
+        self.inner.address_of_index(index)
+    }
+
+    /// Number of first-packet controller penalties paid so far.
+    pub fn controller_penalties(&self) -> u64 {
+        self.penalties
+    }
+}
+
+impl Dataplane for MaxinetDataplane {
+    fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
+        if self.installed.contains(&packet.flow) {
+            return self.inner.send(now, packet);
+        }
+        // First packet of a flow: hold it for a controller round trip, then
+        // consider the rule installed for the rest of the flow.
+        let release = *self
+            .release_at
+            .entry(packet.flow)
+            .or_insert(now + self.config.controller_rtt);
+        self.penalties += 1;
+        self.held.push((release, packet));
+        SendOutcome::Sent
+    }
+
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        let held = self.held.iter().map(|(t, _)| *t).min();
+        let inner = self.inner.next_wakeup(now);
+        match (held, inner) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime) -> Vec<Packet> {
+        // Release held packets whose controller round trip completed.
+        let (ready, still): (Vec<_>, Vec<_>) = self.held.drain(..).partition(|(t, _)| *t <= now);
+        self.held = still;
+        for (_, pkt) in ready {
+            self.installed.insert(pkt.flow);
+            self.release_at.remove(&pkt.flow);
+            let _ = self.inner.send(now, pkt);
+        }
+        self.inner.deliver(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::runtime::Runtime;
+    use kollaps_topology::generators;
+
+    #[test]
+    fn first_packet_pays_the_controller_round_trip() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let dp = MaxinetDataplane::new(&topo);
+        let a = dp.address_of_index(0);
+        let b = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        let probe = rt.add_ping(a, b, SimDuration::from_millis(100), 20, SimTime::ZERO);
+        let _ = rt.run_until(SimTime::from_secs(5));
+        let rtts = rt.ping_rtts(probe).unwrap();
+        // All echo requests/replies belong to the same flow, so only the
+        // first sample pays the 2×4 ms controller penalty.
+        assert!(rtts.max() > rtts.min() + 3.0, "max {} min {}", rtts.max(), rtts.min());
+        assert!(rtts.min() >= 10.0);
+        assert!(rt.dataplane.controller_penalties() >= 1);
+    }
+
+    #[test]
+    fn rtt_error_exceeds_kollaps_like_accuracy() {
+        // Even in steady state the tunnelling overhead keeps Maxinet's RTT
+        // above the theoretical topology latency.
+        let (topo, clients, servers) = generators::figure8();
+        let dp = MaxinetDataplane::new(&topo);
+        let c = dp.collapsed().address_of(clients[0]).unwrap();
+        let s = dp.collapsed().address_of(servers[0]).unwrap();
+        let mut rt = Runtime::new(dp);
+        let probe = rt.add_ping(c, s, SimDuration::from_millis(100), 50, SimTime::ZERO);
+        let _ = rt.run_until(SimTime::from_secs(10));
+        let median = rt.ping_rtts(probe).unwrap().median();
+        assert!(median > 70.0, "median {median}");
+    }
+}

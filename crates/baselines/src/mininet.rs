@@ -1,0 +1,192 @@
+//! Mininet-like full-state emulator model.
+//!
+//! Mininet emulates every switch as a software process on a single host.
+//! For the accuracy comparison this matters in three ways (paper §2, §5):
+//!
+//! * bandwidth limits above 1 Gb/s cannot be configured;
+//! * every packet pays a software-forwarding cost at every emulated switch;
+//! * that cost grows when many *new* connections arrive per second, because
+//!   per-connection state is maintained in the emulated switches — this is
+//!   the effect behind Mininet falling behind in the connection-per-request
+//!   workload of Figure 6.
+
+use std::collections::HashMap;
+
+use kollaps_netmodel::packet::{FlowId, Packet};
+use kollaps_sim::prelude::*;
+
+use kollaps_core::runtime::{Dataplane, SendOutcome};
+use kollaps_topology::model::Topology;
+
+use crate::ground_truth::GroundTruthDataplane;
+
+/// Behavioural parameters of the Mininet model.
+#[derive(Debug, Clone, Copy)]
+pub struct MininetConfig {
+    /// Fixed software-forwarding cost per switch hop.
+    pub base_forwarding_cost: SimDuration,
+    /// Additional per-hop cost per concurrently tracked connection.
+    pub per_connection_cost: SimDuration,
+    /// Largest bandwidth Mininet can shape (1 Gb/s in the real tool).
+    pub max_shaped_bandwidth: Bandwidth,
+    /// How long per-connection switch state is retained.
+    pub connection_tracking_window: SimDuration,
+}
+
+impl Default for MininetConfig {
+    fn default() -> Self {
+        MininetConfig {
+            base_forwarding_cost: SimDuration::from_micros(30),
+            per_connection_cost: SimDuration::from_micros(8),
+            max_shaped_bandwidth: Bandwidth::from_gbps(1),
+            connection_tracking_window: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Mininet-like dataplane: the ground-truth hop-by-hop simulation plus the
+/// software-switch overhead model.
+pub struct MininetDataplane {
+    inner: GroundTruthDataplane,
+    config: MininetConfig,
+    /// First-seen time per flow, to detect new connections.
+    seen_flows: HashMap<FlowId, SimTime>,
+    /// Supported: `false` when the topology requests a shaping rate the tool
+    /// cannot configure (Table 2's "N/A" rows above 1 Gb/s).
+    supported: bool,
+}
+
+impl MininetDataplane {
+    /// Builds the Mininet model for `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        MininetDataplane::with_config(topology, MininetConfig::default())
+    }
+
+    /// Builds the Mininet model with explicit parameters.
+    pub fn with_config(topology: &Topology, config: MininetConfig) -> Self {
+        let supported = topology
+            .links()
+            .iter()
+            .all(|l| l.properties.bandwidth <= config.max_shaped_bandwidth);
+        let inner = GroundTruthDataplane::new(topology);
+        MininetDataplane {
+            inner,
+            config,
+            seen_flows: HashMap::new(),
+            supported,
+        }
+    }
+
+    /// `false` when the requested topology cannot be emulated (link rate
+    /// above the shaping maximum) — Table 2 reports these rows as `N/A`.
+    pub fn is_supported(&self) -> bool {
+        self.supported
+    }
+
+    /// The shared collapse/address view.
+    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
+        self.inner.collapsed()
+    }
+
+    /// The container address of the `index`-th service.
+    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
+        self.inner.address_of_index(index)
+    }
+
+    fn refresh_overhead(&mut self, now: SimTime) {
+        // Forget connections older than the tracking window.
+        let window = self.config.connection_tracking_window;
+        self.seen_flows.retain(|_, &mut t| now.saturating_since(t) <= window);
+        let tracked = self.seen_flows.len() as u64;
+        let overhead = self.config.base_forwarding_cost
+            + SimDuration::from_nanos(self.config.per_connection_cost.as_nanos() * tracked);
+        self.inner.set_per_hop_overhead(overhead);
+    }
+}
+
+impl Dataplane for MininetDataplane {
+    fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
+        self.seen_flows.entry(packet.flow).or_insert(now);
+        self.refresh_overhead(now);
+        self.inner.send(now, packet)
+    }
+
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        self.inner.next_wakeup(now)
+    }
+
+    fn deliver(&mut self, now: SimTime) -> Vec<Packet> {
+        self.inner.deliver(now)
+    }
+
+    fn tick(&mut self, now: SimTime) -> Option<SimTime> {
+        self.refresh_overhead(now);
+        Some(now + SimDuration::from_millis(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::runtime::Runtime;
+    use kollaps_topology::generators;
+
+    #[test]
+    fn gigabit_cap_marks_topologies_unsupported() {
+        let (ok_topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(500),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+        );
+        assert!(MininetDataplane::new(&ok_topo).is_supported());
+        let (big_topo, _, _) = generators::point_to_point(
+            Bandwidth::from_gbps(2),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+        );
+        assert!(!MininetDataplane::new(&big_topo).is_supported());
+    }
+
+    #[test]
+    fn ping_rtt_includes_switch_overhead() {
+        let (topo, clients, servers) = generators::figure8();
+        let dp = MininetDataplane::new(&topo);
+        let c1 = dp.collapsed().address_of(clients[0]).unwrap();
+        let s1 = dp.collapsed().address_of(servers[0]).unwrap();
+        let mut rt = Runtime::new(dp);
+        let probe = rt.add_ping(c1, s1, SimDuration::from_millis(50), 20, SimTime::ZERO);
+        let _ = rt.run_until(SimTime::from_secs(5));
+        let mean = rt.ping_rtts(probe).unwrap().mean();
+        // Slightly above the 70 ms topology RTT, but well within 1 ms.
+        assert!(mean > 70.0 && mean < 71.5, "rtt {mean}");
+    }
+
+    #[test]
+    fn many_new_connections_inflate_forwarding_cost() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+        );
+        let mut dp = MininetDataplane::new(&topo);
+        let a = dp.address_of_index(0);
+        let b = dp.address_of_index(1);
+        // Open 200 "connections" (distinct flows) within one tracking window.
+        for i in 0..200u64 {
+            let pkt = Packet::new(
+                i,
+                FlowId(i),
+                a,
+                b,
+                kollaps_netmodel::packet::MTU,
+                kollaps_netmodel::packet::PacketKind::TcpData { seq: 0 },
+                SimTime::from_millis(i),
+            );
+            let _ = dp.send(SimTime::from_millis(i), pkt);
+        }
+        assert_eq!(dp.seen_flows.len(), 200);
+        // After the tracking window the state is forgotten.
+        let _ = dp.tick(SimTime::from_secs(10));
+        assert!(dp.seen_flows.is_empty());
+    }
+}

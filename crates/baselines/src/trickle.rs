@@ -1,0 +1,208 @@
+//! Trickle-like userspace bandwidth shaper model.
+//!
+//! Trickle interposes on the socket API via `LD_PRELOAD` and delays the
+//! application's `send` calls to approximate a target rate. Because shaping
+//! happens *above* the kernel socket buffer, data that already sits in the
+//! send buffer escapes unshaped every scheduling quantum. With iPerf3's
+//! default (large) buffers this overshoots small target rates by a large
+//! factor — Table 2 reports +104 % at 128 Kb/s — while after tuning the
+//! application to use small buffers the shaper is accurate to ≈ ±2 %.
+
+use std::collections::VecDeque;
+
+use kollaps_netmodel::packet::Packet;
+use kollaps_sim::prelude::*;
+
+use kollaps_core::runtime::{Dataplane, SendOutcome};
+use kollaps_topology::model::Topology;
+
+use crate::ground_truth::GroundTruthDataplane;
+
+/// Parameters of the Trickle model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrickleConfig {
+    /// Target rate the user asked Trickle to enforce.
+    pub target: Bandwidth,
+    /// The application's socket send-buffer size; data up to this amount per
+    /// scheduling quantum bypasses the userspace shaper.
+    pub socket_buffer: DataSize,
+    /// Trickle's scheduling quantum (how often it re-evaluates the average).
+    pub quantum: SimDuration,
+}
+
+impl TrickleConfig {
+    /// The default configuration: iPerf3's default (large) send buffer,
+    /// one of which escapes the userspace shaper per averaging period.
+    pub fn default_buffers(target: Bandwidth) -> Self {
+        TrickleConfig {
+            target,
+            socket_buffer: DataSize::from_kib(16),
+            quantum: SimDuration::from_secs(1),
+        }
+    }
+
+    /// The tuned configuration from the paper: small send buffers make the
+    /// userspace average accurate.
+    pub fn tuned(target: Bandwidth) -> Self {
+        TrickleConfig {
+            target,
+            socket_buffer: DataSize::from_bytes(1460),
+            quantum: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Trickle-like dataplane: userspace token bucket in front of an otherwise
+/// unconstrained network.
+pub struct TrickleDataplane {
+    inner: GroundTruthDataplane,
+    config: TrickleConfig,
+    bucket: TokenBucket,
+    /// Bytes that bypassed shaping in the current quantum.
+    bypassed_in_quantum: DataSize,
+    quantum_start: SimTime,
+    delayed: VecDeque<(SimTime, Packet)>,
+}
+
+impl TrickleDataplane {
+    /// Builds the Trickle model over `topology` with the given configuration.
+    pub fn new(topology: &Topology, config: TrickleConfig) -> Self {
+        let inner = GroundTruthDataplane::new(topology);
+        TrickleDataplane {
+            inner,
+            config,
+            bucket: TokenBucket::new(config.target, DataSize::from_bytes(8 * 1460)),
+            bypassed_in_quantum: DataSize::ZERO,
+            quantum_start: SimTime::ZERO,
+            delayed: VecDeque::new(),
+        }
+    }
+
+    /// The shared collapse/address view.
+    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
+        self.inner.collapsed()
+    }
+
+    /// The container address of the `index`-th service.
+    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
+        self.inner.address_of_index(index)
+    }
+
+    fn roll_quantum(&mut self, now: SimTime) {
+        while now.saturating_since(self.quantum_start) >= self.config.quantum {
+            self.quantum_start = self.quantum_start + self.config.quantum;
+            self.bypassed_in_quantum = DataSize::ZERO;
+        }
+    }
+}
+
+impl Dataplane for TrickleDataplane {
+    fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
+        self.roll_quantum(now);
+        // Control packets (ACKs) are not shaped by trickle's send hook in
+        // any meaningful way for this experiment.
+        if packet.is_control() {
+            return self.inner.send(now, packet);
+        }
+        if self.bucket.try_consume(now, packet.size) {
+            return self.inner.send(now, packet);
+        }
+        // The shaper would delay this write — but anything that fits the
+        // kernel socket buffer in this quantum slips through unshaped.
+        if self.bypassed_in_quantum + packet.size <= self.config.socket_buffer {
+            self.bypassed_in_quantum += packet.size;
+            return self.inner.send(now, packet);
+        }
+        // Delay the write until tokens are available.
+        let wait = self.bucket.time_until_available(now, packet.size);
+        if wait == SimDuration::MAX {
+            return SendOutcome::Backpressure;
+        }
+        self.bucket.consume_debt(now, packet.size);
+        self.delayed.push_back((now + wait, packet));
+        SendOutcome::Sent
+    }
+
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        let delayed = self.delayed.iter().map(|(t, _)| *t).min();
+        let inner = self.inner.next_wakeup(now);
+        match (delayed, inner) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut still = VecDeque::new();
+        while let Some((t, pkt)) = self.delayed.pop_front() {
+            if t <= now {
+                let _ = self.inner.send(now, pkt);
+            } else {
+                still.push_back((t, pkt));
+            }
+        }
+        self.delayed = still;
+        self.inner.deliver(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::runtime::Runtime;
+    use kollaps_topology::generators;
+    use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
+
+    fn run_trickle(target: Bandwidth, config: TrickleConfig) -> f64 {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_gbps(10),
+            SimDuration::from_millis(2),
+            SimDuration::ZERO,
+        );
+        let _ = target;
+        let dp = TrickleDataplane::new(&topo, config);
+        let a = dp.address_of_index(0);
+        let b = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        let flow = rt.add_tcp_flow(
+            a,
+            b,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let secs = 20u64;
+        let _ = rt.run_until(SimTime::from_secs(secs));
+        DataSize::from_bytes(rt.tcp_received_bytes(flow))
+            .rate_over(SimDuration::from_secs(secs))
+            .as_kbps()
+    }
+
+    #[test]
+    fn default_buffers_overshoot_small_rates() {
+        let target = Bandwidth::from_kbps(128);
+        let observed = run_trickle(target, TrickleConfig::default_buffers(target));
+        // Table 2: 262 Kb/s observed for a 128 Kb/s target (+104 %). The
+        // model reproduces a large overshoot (at least +50 %).
+        assert!(observed > 190.0, "observed {observed} Kb/s");
+    }
+
+    #[test]
+    fn tuned_buffers_are_accurate() {
+        let target = Bandwidth::from_kbps(512);
+        let observed = run_trickle(target, TrickleConfig::tuned(target));
+        let err = (observed - 512.0) / 512.0;
+        assert!(err.abs() < 0.15, "observed {observed} Kb/s ({err:+.2})");
+    }
+
+    #[test]
+    fn overshoot_shrinks_at_higher_rates() {
+        let low = Bandwidth::from_kbps(128);
+        let high = Bandwidth::from_mbps(128);
+        let low_obs = run_trickle(low, TrickleConfig::default_buffers(low));
+        let high_obs = run_trickle(high, TrickleConfig::default_buffers(high)) / 1_000.0; // Mb/s
+        let low_err = (low_obs - 128.0) / 128.0;
+        let high_err = (high_obs - 128.0) / 128.0;
+        assert!(low_err > high_err, "low {low_err:+.2} high {high_err:+.2}");
+    }
+}

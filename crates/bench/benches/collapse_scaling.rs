@@ -1,0 +1,27 @@
+//! Micro-benchmark: shortest-path collapsing on Table 4's scale-free
+//! topologies (per-source, which is what each Emulation Manager computes).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kollaps_sim::rng::SimRng;
+use kollaps_topology::generators::{barabasi_albert, ScaleFreeParams};
+use kollaps_topology::graph::TopologyGraph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collapse_scaling");
+    group.sample_size(10);
+    for &size in &[200usize, 1000, 2000] {
+        let mut rng = SimRng::new(size as u64);
+        let params = ScaleFreeParams {
+            total_elements: size,
+            ..ScaleFreeParams::default()
+        };
+        let (topo, nodes, _) = barabasi_albert(&params, &mut rng);
+        let graph = TopologyGraph::new(&topo);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| graph.shortest_paths_from(nodes[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

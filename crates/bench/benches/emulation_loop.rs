@@ -1,0 +1,43 @@
+//! Micro-benchmark: one full emulation-loop tick of the Kollaps dataplane
+//! with many active flows (step 1-5 of paper §4.1).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kollaps_core::emulation::KollapsDataplane;
+use kollaps_core::runtime::{Dataplane, Runtime};
+use kollaps_sim::time::{SimDuration, SimTime};
+use kollaps_sim::units::Bandwidth;
+use kollaps_topology::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulation_loop");
+    group.sample_size(10);
+    for &pairs in &[10usize, 40] {
+        let (topo, clients, servers) = generators::dumbbell(
+            pairs,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 4);
+        let collapsed = dp.collapsed().clone();
+        let mut rt = Runtime::new(dp);
+        for i in 0..pairs {
+            let c_addr = collapsed.address_of(clients[i]).unwrap();
+            let s_addr = collapsed.address_of(servers[i]).unwrap();
+            rt.add_udp_flow(c_addr, s_addr, Bandwidth::from_mbps(20), SimTime::ZERO, None);
+        }
+        // Warm the flows up so the loop has usage to work with.
+        let _ = rt.run_until(SimTime::from_millis(500));
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, _| {
+            let mut t = rt.now();
+            b.iter(|| {
+                t = t + SimDuration::from_millis(50);
+                rt.dataplane.tick(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: metadata message encode/decode (paper §4.2 layout).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kollaps_metadata::codec::{FlowUsage, MetadataMessage};
+use kollaps_sim::units::Bandwidth;
+
+fn message(flows: usize) -> MetadataMessage {
+    let mut m = MetadataMessage::new();
+    for i in 0..flows {
+        m.flows.push(FlowUsage::new(
+            Bandwidth::from_mbps(50),
+            vec![i as u16 % 250, (i + 1) as u16 % 250, (i + 2) as u16 % 250],
+        ));
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata_codec");
+    for &flows in &[10usize, 80, 160] {
+        let msg = message(flows);
+        group.bench_with_input(BenchmarkId::new("encode", flows), &flows, |b, _| {
+            b.iter(|| msg.encode())
+        });
+        let bytes = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", flows), &flows, |b, _| {
+            b.iter(|| MetadataMessage::decode(bytes.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

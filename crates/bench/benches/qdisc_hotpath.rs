@@ -1,0 +1,41 @@
+//! Micro-benchmark: the per-packet egress path (u32 classify → netem → htb).
+use criterion::{criterion_group, criterion_main, Criterion};
+use kollaps_netmodel::egress::EgressTree;
+use kollaps_netmodel::netem::NetemConfig;
+use kollaps_netmodel::packet::{Addr, FlowId, Packet, PacketKind, MTU};
+use kollaps_sim::rng::SimRng;
+use kollaps_sim::time::{SimDuration, SimTime};
+use kollaps_sim::units::Bandwidth;
+
+fn bench(c: &mut Criterion) {
+    let mut tree = EgressTree::new(Addr::container(0), SimRng::new(1));
+    for i in 1..64 {
+        tree.install_path(
+            Addr::container(i),
+            NetemConfig::with_delay(SimDuration::from_millis(10)),
+            Bandwidth::from_gbps(1),
+        );
+    }
+    let mut now = SimTime::ZERO;
+    let mut id = 0u64;
+    c.bench_function("egress_enqueue_dequeue", |b| {
+        b.iter(|| {
+            id += 1;
+            now = now + SimDuration::from_micros(10);
+            let pkt = Packet::new(
+                id,
+                FlowId(id % 63),
+                Addr::container(0),
+                Addr::container((id % 63 + 1) as u32),
+                MTU,
+                PacketKind::Udp,
+                now,
+            );
+            let _ = tree.enqueue(now, pkt);
+            let _ = tree.dequeue_ready(now);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

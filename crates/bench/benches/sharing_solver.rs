@@ -1,0 +1,38 @@
+//! Micro-benchmark: the RTT-aware Min-Max allocation (Figure 8 scenario and
+//! larger synthetic instances).
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kollaps_core::sharing::{allocate, FlowDemand};
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+use kollaps_topology::model::LinkId;
+
+fn synthetic(flows: usize, links: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
+    let caps: HashMap<LinkId, Bandwidth> = (0..links)
+        .map(|i| (LinkId(i as u32), Bandwidth::from_mbps(100 + (i as u64 % 9) * 100)))
+        .collect();
+    let flows = (0..flows)
+        .map(|i| FlowDemand {
+            id: i as u64,
+            links: (0..4).map(|j| LinkId(((i * 7 + j * 13) % links) as u32)).collect(),
+            rtt: SimDuration::from_millis(10 + (i as u64 % 20) * 5),
+            demand: Bandwidth::from_mbps(500),
+        })
+        .collect();
+    (flows, caps)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing_solver");
+    for &n in &[6usize, 50, 200, 1000] {
+        let (flows, caps) = synthetic(n, (n / 2).max(8));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| allocate(&flows, &caps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

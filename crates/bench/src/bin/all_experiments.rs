@@ -1,0 +1,16 @@
+//! Runs every table and figure of the evaluation back to back (with reduced
+//! durations so the whole suite completes in minutes).
+fn main() {
+    kollaps_bench::run_table2(3);
+    kollaps_bench::run_table3(500);
+    kollaps_bench::run_table4(&[1_000, 2_000], 100);
+    kollaps_bench::run_fig3(3);
+    kollaps_bench::run_fig4();
+    kollaps_bench::run_fig5(5);
+    kollaps_bench::run_fig6(5);
+    kollaps_bench::run_fig7(5);
+    kollaps_bench::run_fig8();
+    kollaps_bench::run_fig9();
+    kollaps_bench::run_fig10();
+    kollaps_bench::run_fig11();
+}

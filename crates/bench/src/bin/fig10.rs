@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (geo-replicated Cassandra throughput/latency).
+fn main() {
+    kollaps_bench::run_fig10();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (what-if: halved inter-region latency).
+fn main() {
+    kollaps_bench::run_fig11();
+}

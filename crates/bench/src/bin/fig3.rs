@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (metadata traffic vs containers/flows/hosts).
+fn main() {
+    kollaps_bench::run_fig3(5);
+}

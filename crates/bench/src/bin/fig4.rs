@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (memcached throughput and metadata vs hosts).
+fn main() {
+    kollaps_bench::run_fig4();
+}

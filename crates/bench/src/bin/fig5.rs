@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (long-lived flow deviation from bare metal).
+fn main() {
+    kollaps_bench::run_fig5(10);
+}

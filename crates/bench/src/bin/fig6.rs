@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (HTTP throughput vs number of curl clients).
+fn main() {
+    kollaps_bench::run_fig6(10);
+}

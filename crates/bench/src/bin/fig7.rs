@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (mixed long- and short-lived flows).
+fn main() {
+    kollaps_bench::run_fig7(10);
+}

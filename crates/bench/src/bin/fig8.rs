@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (decentralized bandwidth throttling shares).
+fn main() {
+    kollaps_bench::run_fig8();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (BFT-SMaRt / Wheat reproduction).
+fn main() {
+    kollaps_bench::run_fig9();
+}

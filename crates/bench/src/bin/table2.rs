@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (bandwidth shaping accuracy).
+fn main() {
+    kollaps_bench::run_table2(5);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (jitter shaping accuracy).
+fn main() {
+    kollaps_bench::run_table3(2_000);
+}

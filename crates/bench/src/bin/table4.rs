@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (RTT MSE on large scale-free topologies).
+fn main() {
+    kollaps_bench::run_table4(&[1_000, 2_000, 4_000], 200);
+}

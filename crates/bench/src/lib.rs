@@ -1,0 +1,20 @@
+//! # kollaps-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the Kollaps
+//! evaluation (EuroSys'20, §5). Each public `run_*` function prints the
+//! paper-reported values next to the values measured on this reproduction
+//! and returns the measured rows so integration tests can assert on the
+//! *shape* of the results.
+//!
+//! Run an individual experiment with `cargo run -p kollaps-bench --bin
+//! <table2|table3|table4|fig3|...|fig11>` or everything with
+//! `--bin all_experiments`. Durations are scaled down from the paper (60 s
+//! iPerf runs become a few simulated seconds) so the full suite finishes in
+//! minutes; the comparisons are unaffected because the simulation is
+//! deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::*;

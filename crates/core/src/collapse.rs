@@ -1,0 +1,291 @@
+//! Topology collapsing: from the target topology to end-to-end virtual
+//! links.
+//!
+//! Kollaps never materializes switches and routers. Instead, the Emulation
+//! Manager computes the shortest path between every pair of services and
+//! composes the per-link properties into end-to-end properties (paper §3 and
+//! Figure 1): latencies add up, jitters compose as the root of the sum of
+//! squares, losses compose multiplicatively and the available bandwidth is
+//! the minimum along the path. The identity of the traversed links is kept
+//! so that the runtime bandwidth-sharing model can detect flows competing
+//! for the same physical link.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_netmodel::packet::Addr;
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use kollaps_topology::graph::{PathProperties, TopologyGraph};
+use kollaps_topology::model::{LinkId, NodeId, Topology};
+
+/// One collapsed end-to-end path between two services.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollapsedPath {
+    /// Source service.
+    pub src: NodeId,
+    /// Destination service.
+    pub dst: NodeId,
+    /// Sum of link latencies.
+    pub latency: SimDuration,
+    /// Composed jitter.
+    pub jitter: SimDuration,
+    /// Composed loss probability.
+    pub loss: f64,
+    /// Minimum link bandwidth along the path.
+    pub max_bandwidth: Bandwidth,
+    /// The links traversed (in the original topology), used by the
+    /// bandwidth-sharing model.
+    pub links: Vec<LinkId>,
+}
+
+impl CollapsedPath {
+    /// Round-trip time of this path combined with the reverse path latency;
+    /// when the reverse path is unknown the forward latency is doubled.
+    pub fn rtt(&self, reverse_latency: Option<SimDuration>) -> SimDuration {
+        match reverse_latency {
+            Some(rev) => self.latency + rev,
+            None => self.latency * 2,
+        }
+    }
+}
+
+/// The collapsed view of a topology snapshot: every reachable ordered pair
+/// of services mapped to its end-to-end virtual link, plus the addressing
+/// information used by the dataplane.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollapsedTopology {
+    paths: HashMap<(NodeId, NodeId), CollapsedPath>,
+    addresses: HashMap<NodeId, Addr>,
+    nodes_by_addr: HashMap<Addr, NodeId>,
+    link_capacity: HashMap<LinkId, Bandwidth>,
+}
+
+impl CollapsedTopology {
+    /// Collapses `topology`, assigning container addresses in service-id
+    /// order (`10.1.0.0/16`, matching the deployment generator).
+    pub fn build(topology: &Topology) -> Self {
+        let graph = TopologyGraph::new(topology);
+        let mut addresses = HashMap::new();
+        let mut nodes_by_addr = HashMap::new();
+        for (i, service) in topology.service_ids().into_iter().enumerate() {
+            let addr = Addr::container(i as u32);
+            addresses.insert(service, addr);
+            nodes_by_addr.insert(addr, service);
+        }
+        let mut paths = HashMap::new();
+        for ((src, dst), path) in graph.all_pairs_service_paths() {
+            if let Some(props) = PathProperties::compose(topology, &path) {
+                paths.insert(
+                    (src, dst),
+                    CollapsedPath {
+                        src,
+                        dst,
+                        latency: props.latency,
+                        jitter: props.jitter,
+                        loss: props.loss,
+                        max_bandwidth: props.max_bandwidth,
+                        links: path.links.clone(),
+                    },
+                );
+            }
+        }
+        let link_capacity = topology
+            .links()
+            .iter()
+            .map(|l| (l.id, l.properties.bandwidth))
+            .collect();
+        CollapsedTopology {
+            paths,
+            addresses,
+            nodes_by_addr,
+            link_capacity,
+        }
+    }
+
+    /// Re-collapses a modified topology while keeping the original address
+    /// assignment (containers keep their IP across dynamic events).
+    pub fn rebuild_with_addresses(&self, topology: &Topology) -> Self {
+        let graph = TopologyGraph::new(topology);
+        let mut paths = HashMap::new();
+        for ((src, dst), path) in graph.all_pairs_service_paths() {
+            if let Some(props) = PathProperties::compose(topology, &path) {
+                paths.insert(
+                    (src, dst),
+                    CollapsedPath {
+                        src,
+                        dst,
+                        latency: props.latency,
+                        jitter: props.jitter,
+                        loss: props.loss,
+                        max_bandwidth: props.max_bandwidth,
+                        links: path.links.clone(),
+                    },
+                );
+            }
+        }
+        let link_capacity = topology
+            .links()
+            .iter()
+            .map(|l| (l.id, l.properties.bandwidth))
+            .collect();
+        CollapsedTopology {
+            paths,
+            addresses: self.addresses.clone(),
+            nodes_by_addr: self.nodes_by_addr.clone(),
+            link_capacity,
+        }
+    }
+
+    /// The collapsed path from `src` to `dst`, if reachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&CollapsedPath> {
+        self.paths.get(&(src, dst))
+    }
+
+    /// The collapsed path between two container addresses.
+    pub fn path_by_addr(&self, src: Addr, dst: Addr) -> Option<&CollapsedPath> {
+        let s = self.nodes_by_addr.get(&src)?;
+        let d = self.nodes_by_addr.get(&dst)?;
+        self.path(*s, *d)
+    }
+
+    /// Round-trip time between two services (forward + reverse collapsed
+    /// latency).
+    pub fn rtt(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        let fwd = self.path(src, dst)?;
+        let rev = self.path(dst, src).map(|p| p.latency);
+        Some(fwd.rtt(rev))
+    }
+
+    /// All collapsed paths.
+    pub fn paths(&self) -> impl Iterator<Item = &CollapsedPath> {
+        self.paths.values()
+    }
+
+    /// Number of collapsed (ordered) pairs.
+    pub fn pair_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The container address of a service.
+    pub fn address_of(&self, service: NodeId) -> Option<Addr> {
+        self.addresses.get(&service).copied()
+    }
+
+    /// The service owning a container address.
+    pub fn service_at(&self, addr: Addr) -> Option<NodeId> {
+        self.nodes_by_addr.get(&addr).copied()
+    }
+
+    /// Every (service, address) assignment.
+    pub fn addresses(&self) -> impl Iterator<Item = (NodeId, Addr)> + '_ {
+        self.addresses.iter().map(|(&n, &a)| (n, a))
+    }
+
+    /// Capacity of an original link.
+    pub fn link_capacity(&self, link: LinkId) -> Option<Bandwidth> {
+        self.link_capacity.get(&link).copied()
+    }
+
+    /// The full link-capacity table.
+    pub fn link_capacities(&self) -> &HashMap<LinkId, Bandwidth> {
+        &self.link_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_sim::units::Bandwidth;
+    use kollaps_topology::model::LinkProperties;
+
+    fn props(ms: u64, mbps: u64) -> LinkProperties {
+        LinkProperties::new(SimDuration::from_millis(ms), Bandwidth::from_mbps(mbps))
+    }
+
+    /// The Figure 1 topology; returns `(topology, c1, sv1, sv2)`.
+    fn figure1() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c1 = t.add_service("c1", 0, "iperf");
+        let sv1 = t.add_service("sv", 0, "nginx");
+        let sv2 = t.add_service("sv", 1, "nginx");
+        let s1 = t.add_bridge("s1");
+        let s2 = t.add_bridge("s2");
+        t.add_bidirectional_link(c1, s1, props(10, 10), "net");
+        t.add_bidirectional_link(s1, s2, props(20, 100), "net");
+        t.add_bidirectional_link(s2, sv1, props(5, 50), "net");
+        t.add_bidirectional_link(s2, sv2, props(5, 50), "net");
+        (t, c1, sv1, sv2)
+    }
+
+    #[test]
+    fn figure1_collapsed_matches_paper() {
+        let (t, c1, sv1, sv2) = figure1();
+        let c = CollapsedTopology::build(&t);
+        assert_eq!(c.pair_count(), 6);
+        let p = c.path(c1, sv1).unwrap();
+        assert_eq!(p.latency, SimDuration::from_millis(35));
+        assert_eq!(p.max_bandwidth, Bandwidth::from_mbps(10));
+        assert_eq!(p.links.len(), 3);
+        let p2 = c.path(sv1, sv2).unwrap();
+        assert_eq!(p2.latency, SimDuration::from_millis(10));
+        assert_eq!(p2.max_bandwidth, Bandwidth::from_mbps(50));
+        assert_eq!(c.rtt(c1, sv1), Some(SimDuration::from_millis(70)));
+    }
+
+    #[test]
+    fn addresses_are_stable_and_reversible() {
+        let (t, c1, sv1, sv2) = figure1();
+        let c = CollapsedTopology::build(&t);
+        let addrs: Vec<Addr> = [c1, sv1, sv2]
+            .iter()
+            .map(|&n| c.address_of(n).unwrap())
+            .collect();
+        assert_eq!(addrs.len(), 3);
+        for (&node, &addr) in [c1, sv1, sv2].iter().zip(&addrs) {
+            assert_eq!(c.service_at(addr), Some(node));
+        }
+        // Path lookup by address agrees with lookup by node id.
+        assert_eq!(
+            c.path_by_addr(addrs[0], addrs[1]).unwrap().latency,
+            c.path(c1, sv1).unwrap().latency
+        );
+    }
+
+    #[test]
+    fn rebuild_keeps_addresses_after_dynamic_change() {
+        let (mut t, c1, sv1, _) = figure1();
+        let before = CollapsedTopology::build(&t);
+        let addr_before = before.address_of(c1).unwrap();
+        // Dynamic event: the c1-s1 link degrades to 99 ms.
+        let link = t.links()[0].id;
+        let mut p = t.link(link).unwrap().properties;
+        p.latency = SimDuration::from_millis(99);
+        t.set_link_properties(link, p);
+        let after = before.rebuild_with_addresses(&t);
+        assert_eq!(after.address_of(c1), Some(addr_before));
+        assert!(after.path(c1, sv1).unwrap().latency > before.path(c1, sv1).unwrap().latency);
+    }
+
+    #[test]
+    fn unreachable_pairs_have_no_path() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_service("b", 0, "x");
+        let c = CollapsedTopology::build(&t);
+        assert!(c.path(a, b).is_none());
+        assert_eq!(c.pair_count(), 0);
+        assert!(c.rtt(a, b).is_none());
+    }
+
+    #[test]
+    fn link_capacities_are_exposed() {
+        let (t, _, _, _) = figure1();
+        let c = CollapsedTopology::build(&t);
+        assert_eq!(c.link_capacities().len(), t.link_count());
+        let first = t.links()[0].id;
+        assert_eq!(c.link_capacity(first), Some(Bandwidth::from_mbps(10)));
+    }
+}

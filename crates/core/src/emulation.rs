@@ -1,0 +1,670 @@
+//! The Kollaps emulation: collapsed dataplane, Emulation Cores and the
+//! per-host Emulation Manager loop.
+//!
+//! One [`KollapsDataplane`] models the whole deployment:
+//!
+//! * every application container gets an egress qdisc tree
+//!   ([`kollaps_netmodel::egress::EgressTree`], the TCAL state) configured
+//!   with the *collapsed* end-to-end properties towards each reachable
+//!   destination;
+//! * every physical host runs an Emulation Manager; containers are mapped to
+//!   hosts by a placement, and managers exchange per-flow usage through the
+//!   metadata bus (shared memory locally, UDP across hosts);
+//! * the **emulation loop** (paper §4.1) runs every `loop_interval`:
+//!   (1) clear local flow state, (2) read per-destination usage from the
+//!   TCAL, (3) disseminate it, (4) recompute the RTT-aware min-max shares
+//!   over the collapsed links, (5) enforce the new rates (and inject
+//!   congestion loss when a link is oversubscribed);
+//! * dynamic topology events are pre-computed as a sequence of collapsed
+//!   snapshots and swapped in when their time comes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use kollaps_metadata::bus::{DisseminationBus, HostId, TrafficAccounting};
+use kollaps_metadata::codec::{FlowUsage, MetadataMessage};
+use kollaps_netmodel::egress::{EgressTree, EgressVerdict};
+use kollaps_netmodel::netem::NetemConfig;
+use kollaps_netmodel::packet::{Addr, Packet};
+use kollaps_sim::prelude::*;
+use kollaps_topology::events::{apply_action, EventSchedule};
+use kollaps_topology::model::Topology;
+
+use crate::collapse::CollapsedTopology;
+use crate::runtime::{Dataplane, SendOutcome};
+use crate::sharing::{allocate, oversubscription, FlowDemand};
+
+/// Tuning knobs of the emulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulationConfig {
+    /// Period of the emulation loop (metadata exchange + enforcement).
+    pub loop_interval: SimDuration,
+    /// Extra one-way delay when source and destination containers sit on
+    /// different physical hosts (the "small but measurable" physical-hop
+    /// delay the paper observes in Table 4).
+    pub cross_host_delay: SimDuration,
+    /// Extra one-way delay introduced by container networking (Docker
+    /// overlay), applied to every packet.
+    pub container_overhead: SimDuration,
+    /// One-way delay of metadata messages on the physical network.
+    pub metadata_delay: SimDuration,
+    /// Enables the RTT-aware bandwidth sharing model (step 4/5 of the loop).
+    pub bandwidth_sharing: bool,
+    /// Enables congestion loss injection when links are oversubscribed.
+    pub congestion_loss: bool,
+    /// Seed for the per-destination netem jitter streams.
+    pub seed: u64,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        EmulationConfig {
+            loop_interval: SimDuration::from_millis(50),
+            cross_host_delay: SimDuration::from_micros(50),
+            container_overhead: SimDuration::from_micros(30),
+            metadata_delay: SimDuration::from_micros(100),
+            bandwidth_sharing: true,
+            congestion_loss: true,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    arrival: SimTime,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.arrival
+            .cmp(&other.arrival)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The Kollaps collapsed-topology dataplane.
+pub struct KollapsDataplane {
+    config: EmulationConfig,
+    topology: Topology,
+    collapsed: CollapsedTopology,
+    schedule: EventSchedule,
+    applied_events: usize,
+    /// Egress qdisc tree per container (the TCAL of each Emulation Core).
+    egress: HashMap<Addr, EgressTree>,
+    /// Physical host of each container.
+    placement: HashMap<Addr, HostId>,
+    bus: DisseminationBus,
+    pending: BinaryHeap<Reverse<PendingDelivery>>,
+    next_delivery_seq: u64,
+    /// Last measured usage per (src, dst) pair, from the previous loop.
+    last_usage: HashMap<(Addr, Addr), Bandwidth>,
+    /// Last allocation per (src, dst) pair.
+    last_allocation: HashMap<(Addr, Addr), Bandwidth>,
+    next_tick: SimTime,
+    started: bool,
+}
+
+impl KollapsDataplane {
+    /// Builds the emulation for `topology` deployed over `hosts` physical
+    /// machines (containers are placed round-robin, like the deployment
+    /// generator's default strategy).
+    pub fn new(
+        topology: Topology,
+        schedule: EventSchedule,
+        hosts: usize,
+        config: EmulationConfig,
+    ) -> Self {
+        let collapsed = CollapsedTopology::build(&topology);
+        let hosts = hosts.max(1);
+        let host_ids: Vec<HostId> = (0..hosts as u32).map(HostId).collect();
+        let mut placement = HashMap::new();
+        let mut egress = HashMap::new();
+        let rng = SimRng::new(config.seed);
+        // `addresses()` yields (service, addr); sort by address for stable
+        // round-robin placement.
+        let mut addressed: Vec<(kollaps_topology::model::NodeId, Addr)> =
+            collapsed.addresses().collect();
+        addressed.sort_by_key(|&(_, a)| a);
+        for (i, &(_, addr)) in addressed.iter().enumerate() {
+            placement.insert(addr, host_ids[i % hosts]);
+            egress.insert(
+                addr,
+                EgressTree::new(addr, rng.derive(u64::from(addr.as_u32()))),
+            );
+        }
+        let bus = DisseminationBus::new(host_ids, config.metadata_delay);
+        let mut dp = KollapsDataplane {
+            config,
+            topology,
+            collapsed,
+            schedule,
+            applied_events: 0,
+            egress,
+            placement,
+            bus,
+            pending: BinaryHeap::new(),
+            next_delivery_seq: 0,
+            last_usage: HashMap::new(),
+            last_allocation: HashMap::new(),
+            next_tick: SimTime::ZERO,
+            started: false,
+        };
+        dp.install_all_paths();
+        dp
+    }
+
+    /// Convenience constructor with the default configuration.
+    pub fn with_defaults(topology: Topology, hosts: usize) -> Self {
+        KollapsDataplane::new(topology, EventSchedule::new(), hosts, EmulationConfig::default())
+    }
+
+    /// The collapsed topology currently enforced.
+    pub fn collapsed(&self) -> &CollapsedTopology {
+        &self.collapsed
+    }
+
+    /// Metadata traffic accounting (Figures 3 and 4).
+    pub fn metadata_accounting(&self) -> &TrafficAccounting {
+        self.bus.accounting()
+    }
+
+    /// Number of physical hosts in the deployment.
+    pub fn host_count(&self) -> usize {
+        self.bus.hosts().len()
+    }
+
+    /// The bandwidth allocated to the (src, dst) pair in the last emulation
+    /// loop iteration, if the pair was active.
+    pub fn allocation(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
+        self.last_allocation.get(&(src, dst)).copied()
+    }
+
+    /// The usage measured for the (src, dst) pair in the last loop.
+    pub fn measured_usage(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
+        self.last_usage.get(&(src, dst)).copied()
+    }
+
+    /// The address assigned to the `index`-th service (in service-id order).
+    pub fn address_of_index(&self, index: u32) -> Addr {
+        Addr::container(index)
+    }
+
+    fn install_all_paths(&mut self) {
+        let collapsed = self.collapsed.clone();
+        for (src_node, src_addr) in collapsed.addresses() {
+            let Some(tree) = self.egress.get_mut(&src_addr) else {
+                continue;
+            };
+            // Remove chains towards destinations that disappeared.
+            let valid: Vec<Addr> = collapsed
+                .addresses()
+                .filter(|&(dst_node, _)| collapsed.path(src_node, dst_node).is_some())
+                .map(|(_, a)| a)
+                .collect();
+            let stale: Vec<Addr> = tree
+                .destinations()
+                .filter(|d| !valid.contains(d))
+                .collect();
+            for dst in stale {
+                tree.remove_path(dst);
+            }
+            for (dst_node, dst_addr) in collapsed.addresses() {
+                if dst_addr == src_addr {
+                    continue;
+                }
+                let Some(path) = collapsed.path(src_node, dst_node) else {
+                    continue;
+                };
+                let netem = NetemConfig {
+                    delay: path.latency,
+                    jitter: path.jitter,
+                    loss: path.loss,
+                    ..NetemConfig::default()
+                };
+                // The htb class starts at the collapsed maximum bandwidth; the
+                // emulation loop tightens it as soon as competing flows appear.
+                let rate = self
+                    .last_allocation
+                    .get(&(src_addr, dst_addr))
+                    .copied()
+                    .unwrap_or(path.max_bandwidth);
+                tree.install_path(dst_addr, netem, rate);
+            }
+        }
+    }
+
+    fn extra_delay(&self, src: Addr, dst: Addr) -> SimDuration {
+        let mut extra = self.config.container_overhead * 2;
+        if self.placement.get(&src) != self.placement.get(&dst) {
+            extra += self.config.cross_host_delay;
+        }
+        extra
+    }
+
+    /// Runs one iteration of the emulation loop at `now`.
+    fn emulation_loop(&mut self, now: SimTime) {
+        // Steps 1-2: read and clear per-destination usage from every TCAL.
+        let interval = self.config.loop_interval;
+        let mut usages: HashMap<(Addr, Addr), Bandwidth> = HashMap::new();
+        for (&src, tree) in &mut self.egress {
+            for (&dst, &bytes) in tree.usage() {
+                let rate = bytes.rate_over(interval);
+                if rate.as_bps() > 0 {
+                    usages.insert((src, dst), rate);
+                }
+            }
+            tree.clear_usage();
+        }
+
+        // Step 3: disseminate per-host metadata (for traffic accounting the
+        // message layout matters, not its routing — every manager ends up
+        // with the same global view, which is what we compute below).
+        let mut per_host: HashMap<HostId, MetadataMessage> = HashMap::new();
+        for (&(src, dst), &used) in &usages {
+            let Some(host) = self.placement.get(&src) else {
+                continue;
+            };
+            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
+                continue;
+            };
+            let ids: Vec<u16> = path.links.iter().map(|l| l.0 as u16).collect();
+            per_host
+                .entry(*host)
+                .or_default()
+                .flows
+                .push(FlowUsage::new(used, ids));
+        }
+        for (host, message) in &per_host {
+            self.bus.publish(now, *host, message);
+        }
+        for host in self.bus.hosts().to_vec() {
+            let _ = self.bus.drain(now, host);
+        }
+
+        // Step 4: recompute the shares for the active flows.
+        let mut flows = Vec::new();
+        let mut flow_keys = Vec::new();
+        for (&(src, dst), _) in &usages {
+            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
+                continue;
+            };
+            let src_node = self.collapsed.service_at(src).expect("known address");
+            let dst_node = self.collapsed.service_at(dst).expect("known address");
+            let rtt = self
+                .collapsed
+                .rtt(src_node, dst_node)
+                .unwrap_or(SimDuration::from_millis(1));
+            flows.push(FlowDemand {
+                id: flow_keys.len() as u64,
+                links: path.links.clone(),
+                rtt,
+                demand: path.max_bandwidth,
+            });
+            flow_keys.push((src, dst));
+        }
+        let allocation = if self.config.bandwidth_sharing {
+            allocate(&flows, self.collapsed.link_capacities())
+        } else {
+            Default::default()
+        };
+        let usage_by_id: HashMap<u64, Bandwidth> = flow_keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (i as u64, usages.get(key).copied().unwrap_or(Bandwidth::ZERO)))
+            .collect();
+        let over = if self.config.congestion_loss {
+            oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities())
+        } else {
+            HashMap::new()
+        };
+
+        // Step 5: enforce. Active pairs get their computed share (or keep the
+        // path maximum when sharing is disabled); inactive pairs fall back to
+        // the path maximum so new flows are not throttled by stale limits.
+        self.last_allocation.clear();
+        let mut enforced: HashMap<(Addr, Addr), (Bandwidth, f64)> = HashMap::new();
+        for (i, &(src, dst)) in flow_keys.iter().enumerate() {
+            let path = self.collapsed.path_by_addr(src, dst).expect("active path");
+            let rate = if self.config.bandwidth_sharing {
+                allocation.of(i as u64)
+            } else {
+                path.max_bandwidth
+            };
+            // Congestion loss: combine the path's intrinsic loss with the
+            // worst oversubscription along the path.
+            let mut congestion = 0.0f64;
+            for link in &path.links {
+                if let Some(&o) = over.get(link) {
+                    congestion = congestion.max(o);
+                }
+            }
+            let loss = 1.0 - (1.0 - path.loss) * (1.0 - congestion);
+            enforced.insert((src, dst), (rate, loss));
+            self.last_allocation.insert((src, dst), rate);
+        }
+        for (src_node, src_addr) in self.collapsed.addresses().collect::<Vec<_>>() {
+            let Some(tree) = self.egress.get_mut(&src_addr) else {
+                continue;
+            };
+            for (dst_node, dst_addr) in self.collapsed.addresses().collect::<Vec<_>>() {
+                if src_addr == dst_addr {
+                    continue;
+                }
+                let Some(path) = self.collapsed.path(src_node, dst_node) else {
+                    continue;
+                };
+                match enforced.get(&(src_addr, dst_addr)) {
+                    Some(&(rate, loss)) => {
+                        tree.set_bandwidth(now, dst_addr, rate);
+                        tree.set_loss(dst_addr, loss);
+                    }
+                    None => {
+                        tree.set_bandwidth(now, dst_addr, path.max_bandwidth);
+                        tree.set_loss(dst_addr, path.loss);
+                    }
+                }
+            }
+        }
+        self.last_usage = usages;
+    }
+
+    /// Applies every dynamic event whose time has come and re-collapses the
+    /// topology if anything changed.
+    fn apply_dynamic_events(&mut self, now: SimTime) {
+        let due: Vec<_> = self
+            .schedule
+            .events()
+            .iter()
+            .skip(self.applied_events)
+            .take_while(|e| SimTime::ZERO + e.at <= now)
+            .cloned()
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        for event in &due {
+            apply_action(&mut self.topology, &event.action);
+        }
+        self.applied_events += due.len();
+        self.collapsed = self.collapsed.rebuild_with_addresses(&self.topology);
+        self.install_all_paths();
+    }
+}
+
+impl Dataplane for KollapsDataplane {
+    fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
+        let Some(tree) = self.egress.get_mut(&packet.src) else {
+            return SendOutcome::Dropped(kollaps_netmodel::packet::DropReason::Unreachable);
+        };
+        match tree.enqueue(now, packet) {
+            EgressVerdict::Queued => SendOutcome::Sent,
+            EgressVerdict::Backpressure => SendOutcome::Backpressure,
+            EgressVerdict::Dropped(reason) => SendOutcome::Dropped(reason),
+        }
+    }
+
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            earliest = Some(match earliest {
+                Some(e) => e.min(t),
+                None => t,
+            });
+        };
+        for tree in self.egress.values_mut() {
+            if let Some(t) = tree.next_wakeup(now) {
+                if t < SimTime::MAX {
+                    consider(t);
+                }
+            }
+        }
+        if let Some(Reverse(p)) = self.pending.peek() {
+            consider(p.arrival);
+        }
+        earliest
+    }
+
+    fn deliver(&mut self, now: SimTime) -> Vec<Packet> {
+        // Move packets that finished their collapsed-path emulation onto the
+        // (fast) physical network towards the destination host.
+        let mut egress_out = Vec::new();
+        for tree in self.egress.values_mut() {
+            egress_out.extend(tree.dequeue_ready(now));
+        }
+        for pkt in egress_out {
+            let arrival = now + self.extra_delay(pkt.src, pkt.dst);
+            let seq = self.next_delivery_seq;
+            self.next_delivery_seq += 1;
+            self.pending.push(Reverse(PendingDelivery {
+                arrival,
+                seq,
+                packet: pkt,
+            }));
+        }
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.arrival > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            out.push(p.packet);
+        }
+        out
+    }
+
+    fn tick(&mut self, now: SimTime) -> Option<SimTime> {
+        if !self.started {
+            self.started = true;
+            self.next_tick = now + self.config.loop_interval;
+            return Some(self.next_tick);
+        }
+        self.apply_dynamic_events(now);
+        self.emulation_loop(now);
+        self.next_tick = now + self.config.loop_interval;
+        Some(self.next_tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use kollaps_sim::units::Bandwidth;
+    use kollaps_topology::events::{DynamicAction, DynamicEvent, LinkChange};
+    use kollaps_topology::generators;
+    use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
+
+    #[test]
+    fn point_to_point_latency_is_emulated() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(20),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let client = dp.address_of_index(0);
+        let server = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        let probe = rt.add_ping(client, server, SimDuration::from_millis(100), 50, SimTime::ZERO);
+        let _ = rt.run_until(SimTime::from_secs(10));
+        let rtts = rt.ping_rtts(probe).unwrap();
+        assert_eq!(rtts.len(), 50);
+        // RTT ≈ 2 × 20 ms plus the (small) container overhead.
+        assert!((rtts.mean() - 40.0).abs() < 0.5, "mean rtt {}", rtts.mean());
+    }
+
+    #[test]
+    fn single_flow_reaches_the_collapsed_bandwidth() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let client = dp.address_of_index(0);
+        let server = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        let flow = rt.add_tcp_flow(
+            client,
+            server,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let _ = rt.run_until(SimTime::from_secs(10));
+        let bytes = rt.tcp_received_bytes(flow);
+        let mbps = DataSize::from_bytes(bytes)
+            .rate_over(SimDuration::from_secs(10))
+            .as_mbps();
+        // Goodput should sit a few percent below the 50 Mb/s shaped rate
+        // (header overhead + slow start), like Table 2's -5 % column.
+        assert!((42.0..=50.0).contains(&mbps), "goodput {mbps} Mb/s");
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_by_rtt() {
+        // Figure 8, first 120 seconds: C1 and C2 share the 50 Mb/s B1-B2
+        // link 23.08 / 26.92 according to their RTTs.
+        let (topo, clients, servers) = generators::figure8();
+        let collapsed = CollapsedTopology::build(&topo);
+        let c1 = collapsed.address_of(clients[0]).unwrap();
+        let c2 = collapsed.address_of(clients[1]).unwrap();
+        let s1 = collapsed.address_of(servers[0]).unwrap();
+        let s2 = collapsed.address_of(servers[1]).unwrap();
+        let dp = KollapsDataplane::with_defaults(topo, 2);
+        let mut rt = Runtime::new(dp);
+        let f1 = rt.add_tcp_flow(
+            c1,
+            s1,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let f2 = rt.add_tcp_flow(
+            c2,
+            s2,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let _ = rt.run_until(SimTime::from_secs(30));
+        // Measure over the steady-state second half.
+        let half = SimTime::from_secs(15);
+        let m1 = rt.throughput_series(f1).unwrap().mean_between(half, SimTime::from_secs(30));
+        let m2 = rt.throughput_series(f2).unwrap().mean_between(half, SimTime::from_secs(30));
+        assert!((m1 - 23.08).abs() < 3.0, "C1 got {m1} Mb/s");
+        assert!((m2 - 26.92).abs() < 3.0, "C2 got {m2} Mb/s");
+        assert!(m2 > m1, "the lower-RTT flow must get the larger share");
+    }
+
+    #[test]
+    fn dynamic_latency_change_is_applied() {
+        let (topo, client_node, server_node) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+        );
+        let mut schedule = EventSchedule::new();
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(5),
+            action: DynamicAction::SetLinkProperties {
+                orig: "client".into(),
+                dest: "server".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(40)),
+                    ..LinkChange::default()
+                },
+            },
+        });
+        let _ = (client_node, server_node);
+        let dp = KollapsDataplane::new(topo, schedule, 1, EmulationConfig::default());
+        let client = dp.address_of_index(0);
+        let server = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        let probe = rt.add_ping(client, server, SimDuration::from_millis(200), 50, SimTime::ZERO);
+        let _ = rt.run_until(SimTime::from_secs(10));
+        let rtts = rt.ping_rtts(probe).unwrap();
+        let samples = rtts.samples();
+        let early: f64 = samples[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = samples[samples.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!((early - 20.0).abs() < 1.0, "early rtt {early}");
+        assert!((late - 80.0).abs() < 2.0, "late rtt {late}");
+        let _ = probe;
+    }
+
+    #[test]
+    fn metadata_traffic_is_zero_on_a_single_host() {
+        let (topo, _, _) = generators::dumbbell(
+            4,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let collapsed = CollapsedTopology::build(&topo);
+        let pairs: Vec<(Addr, Addr)> = (0..4)
+            .map(|i| {
+                (
+                    collapsed
+                        .address_of(topo.node_by_name(&format!("client-{i}")).unwrap())
+                        .unwrap(),
+                    collapsed
+                        .address_of(topo.node_by_name(&format!("server-{i}")).unwrap())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        for hosts in [1usize, 4] {
+            let dp = KollapsDataplane::with_defaults(topo.clone(), hosts);
+            let mut rt = Runtime::new(dp);
+            for &(c, s) in &pairs {
+                rt.add_udp_flow(c, s, Bandwidth::from_mbps(10), SimTime::ZERO, None);
+            }
+            let _ = rt.run_until(SimTime::from_secs(5));
+            let bytes = rt.dataplane.metadata_accounting().total_network_bytes();
+            if hosts == 1 {
+                assert_eq!(bytes, 0, "single host must not use the network");
+            } else {
+                assert!(bytes > 0, "multi-host deployments exchange metadata");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_exposed_for_inspection() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let client = dp.address_of_index(0);
+        let server = dp.address_of_index(1);
+        let mut rt = Runtime::new(dp);
+        rt.add_tcp_flow(
+            client,
+            server,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let _ = rt.run_until(SimTime::from_secs(5));
+        let alloc = rt.dataplane.allocation(client, server).unwrap();
+        assert!((alloc.as_mbps() - 10.0).abs() < 0.5, "allocation {alloc}");
+        assert!(rt.dataplane.measured_usage(client, server).is_some());
+    }
+}

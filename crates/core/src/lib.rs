@@ -1,0 +1,33 @@
+//! # kollaps-core
+//!
+//! The heart of the Kollaps reproduction: topology collapsing, the
+//! RTT-aware Min-Max bandwidth sharing model, the per-host Emulation
+//! Manager loop, and the experiment runtime that drives transport endpoints
+//! against a dataplane.
+//!
+//! * [`collapse`] — from the target topology to end-to-end virtual links
+//!   (latency, jitter, loss, maximum bandwidth, traversed links).
+//! * [`sharing`] — the RTT-aware Min-Max share with the work-conserving
+//!   maximization step; the analytic values of the paper's Figure 8 are unit
+//!   tests of this module.
+//! * [`emulation`] — [`emulation::KollapsDataplane`], the collapsed
+//!   dataplane: per-container egress qdisc trees (the TCAL state), placement
+//!   over physical hosts, metadata dissemination and the five-step emulation
+//!   loop including congestion loss injection and dynamic topology events.
+//! * [`runtime`] — the [`runtime::Dataplane`] trait and the experiment
+//!   [`runtime::Runtime`] that moves packets between TCP/UDP/ICMP endpoints
+//!   and the network under test; the full-state baselines implement the same
+//!   trait, so every workload runs unmodified on either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collapse;
+pub mod emulation;
+pub mod runtime;
+pub mod sharing;
+
+pub use collapse::{CollapsedPath, CollapsedTopology};
+pub use emulation::{EmulationConfig, KollapsDataplane};
+pub use runtime::{Dataplane, Runtime, RuntimeEvent, SendOutcome};
+pub use sharing::{allocate, oversubscription, Allocation, FlowDemand};

@@ -1,0 +1,451 @@
+//! RTT-aware Min-Max bandwidth sharing with the work-conserving
+//! maximization step (paper §3).
+//!
+//! On every link, each active flow `f` receives a share proportional to the
+//! inverse of its round-trip time:
+//!
+//! ```text
+//! Share(f) = ( RTT(f) · Σ_i 1/RTT(f_i) )⁻¹ · capacity
+//! ```
+//!
+//! which is the allocation TCP Reno converges to. A flow may be unable to
+//! use its share — it is limited by another link of its path, by its own
+//! demand, or by the collapsed path's maximum bandwidth. In that case the
+//! unused capacity is redistributed among the remaining flows of the link
+//! proportionally to their original shares (the *maximization step*),
+//! iterated until a fixed point. The solver below implements this as
+//! weighted progressive filling: repeatedly fix demand-limited flows, then
+//! saturate the most contended link, until every flow is fixed. Kollaps
+//! enforces the result per destination rather than per flow.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use kollaps_topology::model::LinkId;
+
+/// A flow competing for bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowDemand {
+    /// Opaque identifier chosen by the caller (Kollaps uses one entry per
+    /// source/destination container pair).
+    pub id: u64,
+    /// The links of the flow's collapsed path.
+    pub links: Vec<LinkId>,
+    /// The flow's round-trip time (used as the fairness weight).
+    pub rtt: SimDuration,
+    /// Upper bound on what the flow can use: the minimum of the collapsed
+    /// path's maximum bandwidth and the application demand, when known.
+    pub demand: Bandwidth,
+}
+
+impl FlowDemand {
+    /// Fairness weight `1 / RTT(f)` in 1/seconds (clamped to avoid division
+    /// by zero for co-located containers).
+    fn weight(&self) -> f64 {
+        1.0 / self.rtt.as_secs_f64().max(1e-6)
+    }
+}
+
+/// The allocation computed by [`allocate`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Bandwidth allocated to each flow, keyed by [`FlowDemand::id`].
+    pub per_flow: HashMap<u64, Bandwidth>,
+}
+
+impl Allocation {
+    /// Allocated bandwidth of a flow (zero if unknown).
+    pub fn of(&self, id: u64) -> Bandwidth {
+        self.per_flow.get(&id).copied().unwrap_or(Bandwidth::ZERO)
+    }
+}
+
+/// Computes the RTT-aware min-max allocation for `flows` over the links with
+/// the given capacities.
+///
+/// Links missing from `capacities` are treated as unconstrained. The
+/// algorithm terminates after at most `flows.len()` rounds because every
+/// round fixes at least one flow.
+pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -> Allocation {
+    let mut allocation = Allocation::default();
+    if flows.is_empty() {
+        return allocation;
+    }
+
+    // Remaining capacity per constrained link.
+    let mut remaining: HashMap<LinkId, f64> = capacities
+        .iter()
+        .filter(|(_, c)| **c != Bandwidth::MAX)
+        .map(|(&l, &c)| (l, c.as_bps() as f64))
+        .collect();
+
+    let mut unfixed: Vec<usize> = (0..flows.len()).collect();
+
+    while !unfixed.is_empty() {
+        // Sum of weights of unfixed flows per link.
+        let mut weight_on_link: HashMap<LinkId, f64> = HashMap::new();
+        for &i in &unfixed {
+            for link in &flows[i].links {
+                if remaining.contains_key(link) {
+                    *weight_on_link.entry(*link).or_default() += flows[i].weight();
+                }
+            }
+        }
+
+        // Tentative share of each unfixed flow: the minimum over its
+        // constrained links of its weighted share of the remaining capacity.
+        let mut share: HashMap<usize, f64> = HashMap::new();
+        for &i in &unfixed {
+            let mut s = f64::INFINITY;
+            for link in &flows[i].links {
+                if let Some(&cap) = remaining.get(link) {
+                    let w = weight_on_link.get(link).copied().unwrap_or(0.0);
+                    if w > 0.0 {
+                        s = s.min(cap * flows[i].weight() / w);
+                    }
+                }
+            }
+            share.insert(i, s);
+        }
+
+        // 1. Fix every flow whose demand (or path cap) is below its share —
+        //    these are the flows the maximization step takes capacity from.
+        let demand_limited: Vec<usize> = unfixed
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let cap = flows[i].demand.as_bps() as f64;
+                cap <= share[&i] + 1e-9
+            })
+            .collect();
+        if !demand_limited.is_empty() {
+            for i in demand_limited {
+                let granted = flows[i].demand.as_bps() as f64;
+                fix_flow(&flows[i], granted, &mut remaining, &mut allocation);
+                unfixed.retain(|&u| u != i);
+            }
+            continue;
+        }
+
+        // 2. Otherwise saturate the most contended link: the one offering the
+        //    smallest capacity per unit of weight.
+        let bottleneck = weight_on_link
+            .iter()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(&l, &w)| (l, remaining.get(&l).copied().unwrap_or(f64::INFINITY) / w))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        match bottleneck {
+            Some((link, per_weight)) => {
+                let on_link: Vec<usize> = unfixed
+                    .iter()
+                    .copied()
+                    .filter(|&i| flows[i].links.contains(&link))
+                    .collect();
+                for i in on_link {
+                    let granted = (per_weight * flows[i].weight())
+                        .min(flows[i].demand.as_bps() as f64);
+                    fix_flow(&flows[i], granted, &mut remaining, &mut allocation);
+                    unfixed.retain(|&u| u != i);
+                }
+            }
+            None => {
+                // No constrained links left: every remaining flow gets its
+                // demand (or path cap).
+                for &i in &unfixed {
+                    let granted = flows[i].demand.as_bps() as f64;
+                    fix_flow(&flows[i], granted, &mut remaining, &mut allocation);
+                }
+                unfixed.clear();
+            }
+        }
+    }
+
+    allocation
+}
+
+fn fix_flow(
+    flow: &FlowDemand,
+    granted_bps: f64,
+    remaining: &mut HashMap<LinkId, f64>,
+    allocation: &mut Allocation,
+) {
+    let granted = granted_bps.max(0.0);
+    for link in &flow.links {
+        if let Some(cap) = remaining.get_mut(link) {
+            *cap = (*cap - granted).max(0.0);
+        }
+    }
+    allocation
+        .per_flow
+        .insert(flow.id, Bandwidth::from_bps(granted.round() as u64));
+}
+
+/// Per-link oversubscription ratios given the *demanded* (not allocated)
+/// bandwidth of each flow: `max(0, (Σ demand - capacity) / Σ demand)`.
+///
+/// Kollaps uses this to inject packet loss proportional to the excess when
+/// reliable flows push more traffic than a link can carry (paper §3,
+/// "Congestion"), so that TCP's congestion avoidance sees loss even though
+/// the htb qdisc itself only back-pressures.
+pub fn oversubscription(
+    flows: &[FlowDemand],
+    usages: &HashMap<u64, Bandwidth>,
+    capacities: &HashMap<LinkId, Bandwidth>,
+) -> HashMap<LinkId, f64> {
+    let mut demanded: HashMap<LinkId, f64> = HashMap::new();
+    for flow in flows {
+        let used = usages.get(&flow.id).copied().unwrap_or(Bandwidth::ZERO);
+        for link in &flow.links {
+            *demanded.entry(*link).or_default() += used.as_bps() as f64;
+        }
+    }
+    let mut out = HashMap::new();
+    for (link, demand) in demanded {
+        let Some(&cap) = capacities.get(&link) else {
+            continue;
+        };
+        if cap == Bandwidth::MAX || demand <= 0.0 {
+            continue;
+        }
+        let cap = cap.as_bps() as f64;
+        if demand > cap {
+            out.insert(link, (demand - cap) / demand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: f64) -> Bandwidth {
+        Bandwidth::from_mbps_f64(m)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// Builds the Figure 8 scenario: returns `(flows for C1..Cn, capacities)`.
+    ///
+    /// Link ids: 0 = C1-B1 (50), 1 = C2-B1 (50), 2 = C3-B1 (10),
+    /// 3 = C4-B2 (50), 4 = C5-B2 (50), 5 = C6-B2 (10), 6 = B1-B2 (50),
+    /// 7 = B2-B3 (100), 10+i = Si-B3 (50).
+    fn figure8(n_clients: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
+        let mut caps = HashMap::new();
+        for (i, c) in [50u64, 50, 10, 50, 50, 10].iter().enumerate() {
+            caps.insert(LinkId(i as u32), Bandwidth::from_mbps(*c));
+        }
+        caps.insert(LinkId(6), Bandwidth::from_mbps(50));
+        caps.insert(LinkId(7), Bandwidth::from_mbps(100));
+        for i in 0..6u32 {
+            caps.insert(LinkId(10 + i), Bandwidth::from_mbps(50));
+        }
+        // Path links and RTTs (2 × one-way latency) per client.
+        let paths: Vec<(Vec<u32>, u64, f64)> = vec![
+            (vec![0, 6, 7, 10], 70, 50.0), // C1
+            (vec![1, 6, 7, 11], 60, 50.0), // C2
+            (vec![2, 6, 7, 12], 60, 10.0), // C3
+            (vec![3, 7, 13], 50, 50.0),    // C4
+            (vec![4, 7, 14], 40, 50.0),    // C5
+            (vec![5, 7, 15], 40, 10.0),    // C6
+        ];
+        let flows = paths
+            .into_iter()
+            .take(n_clients)
+            .enumerate()
+            .map(|(i, (links, rtt, cap))| FlowDemand {
+                id: i as u64,
+                links: links.into_iter().map(LinkId).collect(),
+                rtt: ms(rtt),
+                demand: mbps(cap),
+            })
+            .collect();
+        (flows, caps)
+    }
+
+    fn assert_close(got: Bandwidth, expected_mbps: f64, tol: f64) {
+        assert!(
+            (got.as_mbps() - expected_mbps).abs() < tol,
+            "expected ≈{expected_mbps} Mb/s, got {:.2} Mb/s",
+            got.as_mbps()
+        );
+    }
+
+    #[test]
+    fn single_flow_gets_the_path_capacity() {
+        let (flows, caps) = figure8(1);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 50.0, 0.01);
+    }
+
+    #[test]
+    fn figure8_two_clients_rtt_weighted_split() {
+        // Paper: C1 = 23.08, C2 = 26.92 Mb/s.
+        let (flows, caps) = figure8(2);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 23.08, 0.05);
+        assert_close(a.of(1), 26.92, 0.05);
+    }
+
+    #[test]
+    fn figure8_three_clients_maximization_step() {
+        // Paper: 18.45, 21.55, 10 Mb/s — C3 is capped by its access link and
+        // its unused share is redistributed proportionally.
+        let (flows, caps) = figure8(3);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 18.45, 0.05);
+        assert_close(a.of(1), 21.55, 0.05);
+        assert_close(a.of(2), 10.0, 0.01);
+    }
+
+    #[test]
+    fn figure8_four_clients_uncontended_branch() {
+        // Paper: C4 reaches 50 Mb/s because the others are capped upstream.
+        let (flows, caps) = figure8(4);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 18.45, 0.05);
+        assert_close(a.of(1), 21.55, 0.05);
+        assert_close(a.of(2), 10.0, 0.01);
+        assert_close(a.of(3), 50.0, 0.05);
+    }
+
+    #[test]
+    fn figure8_five_clients() {
+        // Paper: 16.89, 19.75, 10, 23.74, 29.62 Mb/s.
+        let (flows, caps) = figure8(5);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 16.89, 0.1);
+        assert_close(a.of(1), 19.75, 0.1);
+        assert_close(a.of(2), 10.0, 0.01);
+        assert_close(a.of(3), 23.74, 0.1);
+        assert_close(a.of(4), 29.62, 0.1);
+    }
+
+    #[test]
+    fn figure8_six_clients() {
+        // Paper: 15.04, 17.55, 10, 21.06, 26.33, 10 Mb/s.
+        let (flows, caps) = figure8(6);
+        let a = allocate(&flows, &caps);
+        assert_close(a.of(0), 15.04, 0.06);
+        assert_close(a.of(1), 17.55, 0.06);
+        assert_close(a.of(2), 10.0, 0.01);
+        assert_close(a.of(3), 21.06, 0.06);
+        assert_close(a.of(4), 26.33, 0.06);
+        assert_close(a.of(5), 10.0, 0.01);
+    }
+
+    #[test]
+    fn equal_rtts_split_evenly() {
+        let caps: HashMap<LinkId, Bandwidth> =
+            [(LinkId(0), Bandwidth::from_mbps(90))].into_iter().collect();
+        let flows: Vec<FlowDemand> = (0..3)
+            .map(|i| FlowDemand {
+                id: i,
+                links: vec![LinkId(0)],
+                rtt: ms(20),
+                demand: Bandwidth::MAX,
+            })
+            .collect();
+        let a = allocate(&flows, &caps);
+        for i in 0..3 {
+            assert_close(a.of(i), 30.0, 0.01);
+        }
+    }
+
+    #[test]
+    fn allocations_never_exceed_capacity() {
+        let (flows, caps) = figure8(6);
+        let a = allocate(&flows, &caps);
+        // Per-link sum of allocations must stay within capacity.
+        for (&link, &cap) in &caps {
+            let sum: f64 = flows
+                .iter()
+                .filter(|f| f.links.contains(&link))
+                .map(|f| a.of(f.id).as_mbps())
+                .sum();
+            assert!(
+                sum <= cap.as_mbps() + 0.01,
+                "link {link:?} oversubscribed: {sum} > {}",
+                cap.as_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn work_conservation_on_the_bottleneck() {
+        // With two unconstrained-demand flows the shared link must be fully
+        // used.
+        let (flows, caps) = figure8(2);
+        let a = allocate(&flows, &caps);
+        let total = a.of(0).as_mbps() + a.of(1).as_mbps();
+        assert!((total - 50.0).abs() < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_allocation() {
+        let a = allocate(&[], &HashMap::new());
+        assert!(a.per_flow.is_empty());
+        assert_eq!(a.of(42), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn unconstrained_links_grant_full_demand() {
+        let flows = vec![FlowDemand {
+            id: 7,
+            links: vec![LinkId(1)],
+            rtt: ms(10),
+            demand: mbps(123.0),
+        }];
+        // No capacities at all: the flow gets its demand.
+        let a = allocate(&flows, &HashMap::new());
+        assert_close(a.of(7), 123.0, 0.01);
+    }
+
+    #[test]
+    fn oversubscription_ratios() {
+        let (flows, caps) = figure8(2);
+        // Both flows report using 40 Mb/s → the 50 Mb/s B1-B2 link sees
+        // 80 Mb/s of demand → 37.5 % excess.
+        let usages: HashMap<u64, Bandwidth> =
+            [(0, mbps(40.0)), (1, mbps(40.0))].into_iter().collect();
+        let over = oversubscription(&flows, &usages, &caps);
+        let b1b2 = over.get(&LinkId(6)).copied().unwrap();
+        assert!((b1b2 - 0.375).abs() < 1e-9);
+        // The 100 Mb/s B2-B3 link is not oversubscribed.
+        assert!(!over.contains_key(&LinkId(7)));
+        // With modest usage nothing is oversubscribed.
+        let light: HashMap<u64, Bandwidth> =
+            [(0, mbps(10.0)), (1, mbps(10.0))].into_iter().collect();
+        assert!(oversubscription(&flows, &light, &caps).is_empty());
+    }
+
+    #[test]
+    fn rtt_ordering_is_respected() {
+        // Lower RTT ⇒ larger share, monotonically.
+        let caps: HashMap<LinkId, Bandwidth> =
+            [(LinkId(0), Bandwidth::from_mbps(100))].into_iter().collect();
+        let flows: Vec<FlowDemand> = [10u64, 20, 40, 80]
+            .iter()
+            .enumerate()
+            .map(|(i, &rtt)| FlowDemand {
+                id: i as u64,
+                links: vec![LinkId(0)],
+                rtt: ms(rtt),
+                demand: Bandwidth::MAX,
+            })
+            .collect();
+        let a = allocate(&flows, &caps);
+        for i in 0..3u64 {
+            assert!(a.of(i) > a.of(i + 1), "share({i}) should exceed share({})", i + 1);
+        }
+        let total: f64 = (0..4).map(|i| a.of(i).as_mbps()).sum();
+        assert!((total - 100.0).abs() < 0.01);
+    }
+}

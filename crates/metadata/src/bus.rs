@@ -1,0 +1,223 @@
+//! Dissemination bus: shared memory within a host, UDP across hosts.
+//!
+//! The bus models the Aeron-based transport of the original system at the
+//! level the evaluation cares about: which messages travel over the physical
+//! network (and therefore count as metadata traffic in Figures 3 and 4) and
+//! which stay inside a host via shared memory (and are free).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_sim::time::{SimDuration, SimTime};
+use kollaps_sim::units::{Bandwidth, DataSize};
+
+use crate::codec::MetadataMessage;
+
+/// Identifier of a physical host in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u32);
+
+/// Per-host accounting of metadata traffic that crossed the physical
+/// network.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficAccounting {
+    /// Bytes sent onto the physical network, per source host.
+    pub sent_bytes: HashMap<HostId, u64>,
+    /// Bytes received from the physical network, per destination host.
+    pub received_bytes: HashMap<HostId, u64>,
+    /// Messages that stayed on the same host (shared memory).
+    pub local_messages: u64,
+    /// Messages that crossed the network.
+    pub remote_messages: u64,
+}
+
+impl TrafficAccounting {
+    /// Total bytes that crossed the physical network (each message counted
+    /// once per remote destination host, like Aeron's UDP unicast fan-out).
+    pub fn total_network_bytes(&self) -> u64 {
+        self.sent_bytes.values().sum()
+    }
+
+    /// Average network throughput of metadata over an experiment of the
+    /// given duration, across the whole cluster.
+    pub fn average_throughput(&self, duration: SimDuration) -> Bandwidth {
+        DataSize::from_bytes(self.total_network_bytes()).rate_over(duration)
+    }
+
+    /// Average network throughput per host.
+    pub fn per_host_throughput(&self, duration: SimDuration, hosts: usize) -> Bandwidth {
+        if hosts == 0 {
+            return Bandwidth::ZERO;
+        }
+        Bandwidth::from_bps(self.average_throughput(duration).as_bps() / hosts as u64)
+    }
+}
+
+/// A message in flight towards another host's Emulation Manager.
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: SimTime,
+    to: HostId,
+    message: MetadataMessage,
+}
+
+/// The dissemination bus connecting Emulation Managers.
+///
+/// Same-host publication is delivered instantly (shared memory); cross-host
+/// publication is delivered after a configurable physical-network delay and
+/// accounted as metadata traffic.
+#[derive(Debug)]
+pub struct DisseminationBus {
+    hosts: Vec<HostId>,
+    network_delay: SimDuration,
+    in_flight: VecDeque<InFlight>,
+    /// Messages ready for pick-up, per destination host.
+    mailboxes: HashMap<HostId, Vec<MetadataMessage>>,
+    accounting: TrafficAccounting,
+}
+
+impl DisseminationBus {
+    /// Creates a bus connecting `hosts`, with the given one-way delay on the
+    /// physical network between them.
+    pub fn new(hosts: Vec<HostId>, network_delay: SimDuration) -> Self {
+        let mailboxes = hosts.iter().map(|&h| (h, Vec::new())).collect();
+        DisseminationBus {
+            hosts,
+            network_delay,
+            in_flight: VecDeque::new(),
+            mailboxes,
+            accounting: TrafficAccounting::default(),
+        }
+    }
+
+    /// The participating hosts.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Traffic accounting so far.
+    pub fn accounting(&self) -> &TrafficAccounting {
+        &self.accounting
+    }
+
+    /// Publishes `message` from `from` to every other host (and to local
+    /// subscribers for free).
+    pub fn publish(&mut self, now: SimTime, from: HostId, message: &MetadataMessage) {
+        for &host in &self.hosts {
+            if host == from {
+                self.accounting.local_messages += 1;
+                continue;
+            }
+            let bytes = message.encoded_len() as u64;
+            *self.accounting.sent_bytes.entry(from).or_default() += bytes;
+            *self.accounting.received_bytes.entry(host).or_default() += bytes;
+            self.accounting.remote_messages += 1;
+            self.in_flight.push_back(InFlight {
+                deliver_at: now + self.network_delay,
+                to: host,
+                message: message.clone(),
+            });
+        }
+    }
+
+    /// Moves messages whose delivery time has passed into their mailboxes.
+    pub fn advance(&mut self, now: SimTime) {
+        let mut remaining = VecDeque::new();
+        while let Some(m) = self.in_flight.pop_front() {
+            if m.deliver_at <= now {
+                self.mailboxes.entry(m.to).or_default().push(m.message);
+            } else {
+                remaining.push_back(m);
+            }
+        }
+        self.in_flight = remaining;
+    }
+
+    /// Drains the messages delivered to `host`.
+    pub fn drain(&mut self, now: SimTime, host: HostId) -> Vec<MetadataMessage> {
+        self.advance(now);
+        self.mailboxes.entry(host).or_default().drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FlowUsage;
+    use kollaps_sim::units::Bandwidth;
+
+    fn message(flows: usize) -> MetadataMessage {
+        let mut m = MetadataMessage::new();
+        for i in 0..flows {
+            m.flows.push(FlowUsage::new(
+                Bandwidth::from_mbps(10),
+                vec![i as u16, (i + 1) as u16],
+            ));
+        }
+        m
+    }
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    #[test]
+    fn single_host_generates_no_network_traffic() {
+        let mut bus = DisseminationBus::new(hosts(1), SimDuration::from_micros(50));
+        for _ in 0..100 {
+            bus.publish(SimTime::ZERO, HostId(0), &message(10));
+        }
+        assert_eq!(bus.accounting().total_network_bytes(), 0);
+        assert_eq!(bus.accounting().local_messages, 100);
+        assert_eq!(bus.accounting().remote_messages, 0);
+    }
+
+    #[test]
+    fn traffic_grows_with_host_count_not_flow_origin() {
+        // The same publication fans out to (hosts - 1) destinations.
+        for n in [2u32, 3, 4] {
+            let mut bus = DisseminationBus::new(hosts(n), SimDuration::from_micros(50));
+            bus.publish(SimTime::ZERO, HostId(0), &message(10));
+            let expected = (n as u64 - 1) * message(10).encoded_len() as u64;
+            assert_eq!(bus.accounting().total_network_bytes(), expected);
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_after_the_network_delay() {
+        let mut bus = DisseminationBus::new(hosts(2), SimDuration::from_millis(1));
+        bus.publish(SimTime::ZERO, HostId(0), &message(3));
+        assert!(bus.drain(SimTime::from_micros(500), HostId(1)).is_empty());
+        let delivered = bus.drain(SimTime::from_millis(1), HostId(1));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].flows.len(), 3);
+        // The sender never receives its own message.
+        assert!(bus.drain(SimTime::from_millis(2), HostId(0)).is_empty());
+    }
+
+    #[test]
+    fn accounting_throughput_helpers() {
+        let mut bus = DisseminationBus::new(hosts(4), SimDuration::ZERO);
+        // 10 rounds of publications from every host.
+        for round in 0..10u64 {
+            let now = SimTime::from_millis(round * 50);
+            for h in 0..4 {
+                bus.publish(now, HostId(h), &message(5));
+            }
+        }
+        let acc = bus.accounting();
+        let total = acc.total_network_bytes();
+        assert_eq!(total, 10 * 4 * 3 * message(5).encoded_len() as u64);
+        let tput = acc.average_throughput(SimDuration::from_millis(500));
+        assert!(tput.as_bps() > 0);
+        let per_host = acc.per_host_throughput(SimDuration::from_millis(500), 4);
+        assert_eq!(per_host.as_bps(), tput.as_bps() / 4);
+        assert_eq!(
+            acc.per_host_throughput(SimDuration::from_secs(1), 0),
+            Bandwidth::ZERO
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Wire format of the Kollaps metadata messages (paper §4.2).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use kollaps_sim::units::Bandwidth;
+
+/// Usage report for one active flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowUsage {
+    /// Bandwidth currently used by the flow, rounded to kilobits per second
+    /// so it fits the 4-byte field of the original format.
+    pub used_kbps: u32,
+    /// Identifiers of the links the flow's collapsed path traverses.
+    pub link_ids: Vec<u16>,
+}
+
+impl FlowUsage {
+    /// Builds a usage entry from a bandwidth value and the path's link ids.
+    pub fn new(used: Bandwidth, link_ids: Vec<u16>) -> Self {
+        FlowUsage {
+            used_kbps: (used.as_bps() / 1_000).min(u32::MAX as u64) as u32,
+            link_ids,
+        }
+    }
+
+    /// The reported usage as a [`Bandwidth`].
+    pub fn used(&self) -> Bandwidth {
+        Bandwidth::from_kbps(self.used_kbps as u64)
+    }
+}
+
+/// One metadata message, as emitted by an Emulation Core on every iteration
+/// of the emulation loop.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetadataMessage {
+    /// Per-flow usage reports.
+    pub flows: Vec<FlowUsage>,
+}
+
+/// Errors produced when decoding a metadata message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the advertised content.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "metadata message is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl MetadataMessage {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        MetadataMessage::default()
+    }
+
+    /// `true` if the network is small enough (≤ 256 links) for 1-byte link
+    /// identifiers; decided per message from the largest id it carries, the
+    /// same optimisation described in the paper for ≤ 256-node topologies.
+    pub fn uses_compact_ids(&self) -> bool {
+        self.flows
+            .iter()
+            .flat_map(|f| f.link_ids.iter())
+            .all(|&id| id < 256)
+    }
+
+    /// Serialized size in bytes (without encoding).
+    pub fn encoded_len(&self) -> usize {
+        let id_width = if self.uses_compact_ids() { 1 } else { 2 };
+        // 2 bytes flow count + 1 byte id-width flag.
+        3 + self
+            .flows
+            .iter()
+            .map(|f| 4 + 1 + f.link_ids.len() * id_width)
+            .sum::<usize>()
+    }
+
+    /// Encodes the message into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let compact = self.uses_compact_ids();
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u16(self.flows.len() as u16);
+        buf.put_u8(u8::from(compact));
+        for flow in &self.flows {
+            buf.put_u32(flow.used_kbps);
+            buf.put_u8(flow.link_ids.len().min(255) as u8);
+            for &id in flow.link_ids.iter().take(255) {
+                if compact {
+                    buf.put_u8(id as u8);
+                } else {
+                    buf.put_u16(id);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message previously produced by [`MetadataMessage::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Self, DecodeError> {
+        if buf.remaining() < 3 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_flows = buf.get_u16() as usize;
+        let compact = buf.get_u8() == 1;
+        let mut flows = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            if buf.remaining() < 5 {
+                return Err(DecodeError::Truncated);
+            }
+            let used_kbps = buf.get_u32();
+            let n_links = buf.get_u8() as usize;
+            let width = if compact { 1 } else { 2 };
+            if buf.remaining() < n_links * width {
+                return Err(DecodeError::Truncated);
+            }
+            let mut link_ids = Vec::with_capacity(n_links);
+            for _ in 0..n_links {
+                let id = if compact {
+                    buf.get_u8() as u16
+                } else {
+                    buf.get_u16()
+                };
+                link_ids.push(id);
+            }
+            flows.push(FlowUsage {
+                used_kbps,
+                link_ids,
+            });
+        }
+        Ok(MetadataMessage { flows })
+    }
+
+    /// `true` when the encoded form fits a single UDP datagram (1472 bytes
+    /// of payload after IP/UDP headers on a 1500-byte MTU), the property the
+    /// paper's encoding aims for.
+    pub fn fits_single_datagram(&self) -> bool {
+        self.encoded_len() <= 1472
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n_flows: usize, links_per_flow: usize, max_id: u16) -> MetadataMessage {
+        let mut m = MetadataMessage::new();
+        for i in 0..n_flows {
+            let ids = (0..links_per_flow)
+                .map(|j| max_id.saturating_sub((i * links_per_flow + j) as u16))
+                .collect();
+            m.flows
+                .push(FlowUsage::new(Bandwidth::from_mbps((i + 1) as u64), ids));
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_compact() {
+        let m = msg(10, 4, 200);
+        assert!(m.uses_compact_ids());
+        let encoded = m.encode();
+        assert_eq!(encoded.len(), m.encoded_len());
+        let decoded = MetadataMessage::decode(encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn round_trip_wide_ids() {
+        let m = msg(5, 3, 5_000);
+        assert!(!m.uses_compact_ids());
+        let decoded = MetadataMessage::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn empty_message_is_three_bytes() {
+        let m = MetadataMessage::new();
+        assert_eq!(m.encode().len(), 3);
+        assert_eq!(MetadataMessage::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn compact_ids_save_space() {
+        let small = msg(20, 4, 200);
+        let large = msg(20, 4, 2_000);
+        assert!(small.encoded_len() < large.encoded_len());
+        // 20 flows * (4 + 1 + 4) + 3 = 183 bytes.
+        assert_eq!(small.encoded_len(), 183);
+    }
+
+    #[test]
+    fn typical_messages_fit_one_datagram() {
+        // 160 containers with one active flow each over 4-hop paths —
+        // the largest configuration of Figure 3.
+        let m = msg(160, 4, 250);
+        assert!(m.fits_single_datagram(), "len = {}", m.encoded_len());
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let m = msg(3, 2, 100);
+        let encoded = m.encode();
+        for cut in [0usize, 1, 2, 4, 7] {
+            let partial = encoded.slice(0..cut.min(encoded.len() - 1));
+            assert_eq!(
+                MetadataMessage::decode(partial),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn usage_round_trips_through_kbps() {
+        let f = FlowUsage::new(Bandwidth::from_mbps(50), vec![1, 2, 3]);
+        assert_eq!(f.used(), Bandwidth::from_mbps(50));
+        let tiny = FlowUsage::new(Bandwidth::from_bps(500), vec![]);
+        assert_eq!(tiny.used_kbps, 0);
+    }
+}

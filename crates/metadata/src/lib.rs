@@ -1,0 +1,28 @@
+//! # kollaps-metadata
+//!
+//! The metadata dissemination layer of Kollaps (paper §4.2), substituted
+//! for Aeron.
+//!
+//! Every Emulation Core periodically publishes how much bandwidth each of
+//! its flows is using. Cores on the same physical host exchange this through
+//! shared memory (zero network cost); Emulation Managers on different hosts
+//! exchange aggregated usage over UDP. The wire format packs, per message:
+//!
+//! * the number of flows (2 bytes),
+//! * the bandwidth used by each flow (4 bytes each),
+//! * per flow, the number of links its path crosses and the link
+//!   identifiers — 1 byte per id for emulated networks with ≤ 256 links,
+//!   2 bytes otherwise.
+//!
+//! Figures 3 and 4 of the paper measure exactly the bytes this layer puts on
+//! the physical network, so the codec ([`codec`]) and the dissemination
+//! accounting ([`bus`]) reproduce that layout byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod codec;
+
+pub use bus::{DisseminationBus, HostId, TrafficAccounting};
+pub use codec::{FlowUsage, MetadataMessage};

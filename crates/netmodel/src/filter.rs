@@ -1,0 +1,139 @@
+//! The u32 traffic-control filter, modelled as a two-level hash table.
+//!
+//! The real `u32` classifier does not provide a hashing mechanism, only a
+//! 256-entry index, so Kollaps builds a two-level structure: the first level
+//! is indexed by the third octet of the destination IP and the second level
+//! by the fourth octet, which yields constant-time lookup for the
+//! 10.1.0.0/16 container network without collisions.
+
+use std::collections::HashMap;
+
+use crate::packet::Addr;
+
+/// Identifier of a per-destination qdisc chain (htb class + netem qdisc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Two-level destination classifier.
+///
+/// The outer table is indexed by the destination's third octet and each
+/// inner table by the fourth octet, mirroring the layout the Kollaps TCAL
+/// installs with `tc filter add ... u32`.
+#[derive(Debug, Default)]
+pub struct U32Filter {
+    levels: HashMap<u8, HashMap<u8, ClassId>>,
+    rules: usize,
+}
+
+impl U32Filter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        U32Filter::default()
+    }
+
+    /// Installs (or replaces) the classification rule for `dst`.
+    pub fn insert(&mut self, dst: Addr, class: ClassId) {
+        let inner = self.levels.entry(dst.third_octet()).or_default();
+        if inner.insert(dst.fourth_octet(), class).is_none() {
+            self.rules += 1;
+        }
+    }
+
+    /// Removes the rule for `dst`, returning the class it pointed to.
+    pub fn remove(&mut self, dst: Addr) -> Option<ClassId> {
+        let inner = self.levels.get_mut(&dst.third_octet())?;
+        let removed = inner.remove(&dst.fourth_octet());
+        if removed.is_some() {
+            self.rules -= 1;
+            if inner.is_empty() {
+                self.levels.remove(&dst.third_octet());
+            }
+        }
+        removed
+    }
+
+    /// Looks up the class for a destination address.
+    pub fn classify(&self, dst: Addr) -> Option<ClassId> {
+        self.levels
+            .get(&dst.third_octet())
+            .and_then(|inner| inner.get(&dst.fourth_octet()))
+            .copied()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules
+    }
+
+    /// `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules == 0
+    }
+
+    /// Number of first-level buckets in use (diagnostic; bounded by 256).
+    pub fn first_level_buckets(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_after_insert() {
+        let mut f = U32Filter::new();
+        let a = Addr::new(10, 1, 2, 3);
+        f.insert(a, ClassId(11));
+        assert_eq!(f.classify(a), Some(ClassId(11)));
+        assert_eq!(f.classify(Addr::new(10, 1, 2, 4)), None);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_rule_count() {
+        let mut f = U32Filter::new();
+        let a = Addr::new(10, 1, 0, 1);
+        f.insert(a, ClassId(1));
+        f.insert(a, ClassId(2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.classify(a), Some(ClassId(2)));
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_buckets() {
+        let mut f = U32Filter::new();
+        let a = Addr::new(10, 1, 7, 9);
+        f.insert(a, ClassId(5));
+        assert_eq!(f.remove(a), Some(ClassId(5)));
+        assert_eq!(f.remove(a), None);
+        assert!(f.is_empty());
+        assert_eq!(f.first_level_buckets(), 0);
+    }
+
+    #[test]
+    fn no_collisions_across_a_slash16() {
+        // Every container in a /16 must classify to its own class.
+        let mut f = U32Filter::new();
+        let n = 4_096u32;
+        for i in 0..n {
+            f.insert(Addr::container(i), ClassId(i));
+        }
+        assert_eq!(f.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(f.classify(Addr::container(i)), Some(ClassId(i)));
+        }
+        // First level only uses as many buckets as distinct third octets.
+        assert_eq!(f.first_level_buckets(), (n as usize).div_ceil(256));
+    }
+
+    #[test]
+    fn same_third_octet_different_fourth() {
+        let mut f = U32Filter::new();
+        f.insert(Addr::new(10, 1, 5, 1), ClassId(1));
+        f.insert(Addr::new(10, 1, 5, 2), ClassId(2));
+        assert_eq!(f.classify(Addr::new(10, 1, 5, 1)), Some(ClassId(1)));
+        assert_eq!(f.classify(Addr::new(10, 1, 5, 2)), Some(ClassId(2)));
+        assert_eq!(f.first_level_buckets(), 1);
+    }
+}

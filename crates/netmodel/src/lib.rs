@@ -1,0 +1,47 @@
+//! # kollaps-netmodel
+//!
+//! Packet-level models of the dataplane pieces Kollaps drives on a real
+//! Linux host, plus the switch/link primitives used by the full-state
+//! baselines.
+//!
+//! The original system shapes traffic with Linux Traffic Control:
+//!
+//! * an **HTB qdisc** per destination enforces the bandwidth allocated to
+//!   flows towards that destination ([`htb`]),
+//! * a **netem qdisc** applies latency, jitter and packet loss ([`netem`]),
+//! * a **u32 filter** organised as a two-level hash table on the third and
+//!   fourth octet of the destination IP steers packets to the right chain
+//!   ([`filter`]),
+//! * when the htb queue fills up the kernel *back-pressures* the sender
+//!   (TCP Small Queues) instead of dropping, which is why Kollaps has to
+//!   inject loss explicitly upon congestion.
+//!
+//! This crate reproduces those behaviours in simulation:
+//!
+//! * [`packet`] — addresses, flows and packets.
+//! * [`netem::NetemQdisc`] — delay/jitter/loss stage.
+//! * [`htb::HtbQdisc`] — token-bucket shaping stage with back-pressure.
+//! * [`filter::U32Filter`] — the two-level destination hash.
+//! * [`egress::EgressTree`] — the per-container egress pipeline
+//!   (filter → netem → htb) with per-destination usage accounting, i.e.
+//!   what the TCAL manipulates.
+//! * [`link::LinkPipe`] — a physical link with serialization delay,
+//!   propagation delay and a finite drop-tail queue, used by the
+//!   ground-truth and Mininet-like per-hop emulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod egress;
+pub mod filter;
+pub mod htb;
+pub mod link;
+pub mod netem;
+pub mod packet;
+
+pub use egress::{EgressTree, EgressVerdict};
+pub use filter::U32Filter;
+pub use htb::{HtbConfig, HtbQdisc, HtbVerdict};
+pub use link::{LinkConfig, LinkPipe};
+pub use netem::{NetemConfig, NetemQdisc};
+pub use packet::{Addr, DropReason, FlowId, Packet, PacketKind};

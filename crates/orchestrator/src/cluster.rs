@@ -1,0 +1,101 @@
+//! Physical cluster model.
+//!
+//! The paper's testbed is five Dell PowerEdge R630 machines (64 cores,
+//! 128 GB RAM) behind a 40 GbE switch. The cluster model carries exactly
+//! the attributes the emulation needs: how many hosts there are, how much
+//! capacity each offers, and how fast the physical interconnect is (which
+//! bounds the aggregate bandwidth Kollaps can emulate, §6).
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_metadata::bus::HostId;
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+/// One physical machine in the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalHost {
+    /// Host identifier.
+    pub id: HostId,
+    /// Hostname (used in generated manifests).
+    pub name: String,
+    /// CPU cores available for application containers.
+    pub cores: u32,
+    /// Memory in GiB.
+    pub memory_gib: u32,
+}
+
+/// A cluster of physical hosts behind a single switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The participating hosts.
+    pub hosts: Vec<PhysicalHost>,
+    /// Physical NIC/switch port speed.
+    pub interconnect: Bandwidth,
+    /// One-way latency between any two hosts through the switch.
+    pub interconnect_latency: SimDuration,
+}
+
+impl Cluster {
+    /// The paper's evaluation cluster: `n` PowerEdge R630-like machines on a
+    /// 40 GbE switch.
+    pub fn paper_testbed(n: usize) -> Self {
+        Cluster {
+            hosts: (0..n as u32)
+                .map(|i| PhysicalHost {
+                    id: HostId(i),
+                    name: format!("node-{i}"),
+                    cores: 64,
+                    memory_gib: 128,
+                })
+                .collect(),
+            interconnect: Bandwidth::from_gbps(40),
+            interconnect_latency: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `true` if the cluster has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Checks whether an emulated link capacity can be carried by the
+    /// physical interconnect (paper §6: a 10 Gb/s link cannot be emulated on
+    /// a 1 Gb/s cluster).
+    pub fn can_emulate(&self, link_bandwidth: Bandwidth) -> bool {
+        link_bandwidth <= self.interconnect
+    }
+
+    /// Host ids, in order.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        self.hosts.iter().map(|h| h.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed(5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.hosts[0].cores, 64);
+        assert_eq!(c.interconnect, Bandwidth::from_gbps(40));
+        assert_eq!(c.host_ids().len(), 5);
+    }
+
+    #[test]
+    fn emulation_capacity_check() {
+        let c = Cluster::paper_testbed(2);
+        assert!(c.can_emulate(Bandwidth::from_gbps(10)));
+        assert!(c.can_emulate(Bandwidth::from_gbps(40)));
+        assert!(!c.can_emulate(Bandwidth::from_gbps(100)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Deployment generation: experiment description → container deployment
+//! plan → orchestrator manifests → bootstrapping.
+//!
+//! The Deployment Generator (paper §3/§4) translates the topology
+//! description into a plan: which containers run where, which of them are
+//! network-emulated (tagged so the Emulation Manager attaches an Emulation
+//! Core), and the Compose/Manifest documents handed to Docker Swarm or
+//! Kubernetes. Under Swarm a privileged *bootstrapper* container is started
+//! on every host first, because Swarm cannot grant `CAP_NET_ADMIN` to
+//! service containers; under Kubernetes the Emulation Manager is deployed
+//! directly.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_metadata::bus::HostId;
+use kollaps_netmodel::packet::Addr;
+use kollaps_topology::model::{NodeKind, Topology};
+
+use crate::cluster::Cluster;
+
+/// Target container orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Orchestrator {
+    /// Docker Swarm (needs the privileged bootstrapper).
+    Swarm,
+    /// Kubernetes (the Emulation Manager is deployed directly).
+    Kubernetes,
+}
+
+/// One container in the deployment plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    /// Container name (`service.replica`).
+    pub name: String,
+    /// Image to run.
+    pub image: String,
+    /// Physical host the container is placed on.
+    pub host: HostId,
+    /// Address on the emulated network.
+    pub address: Addr,
+    /// `true` when Kollaps must emulate this container's network (the tag
+    /// the Emulation Manager looks for when spawning Emulation Cores).
+    pub emulated: bool,
+}
+
+/// Phases of the per-host bootstrapping flow under Docker Swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootstrapPhase {
+    /// The unprivileged bootstrapper container has been scheduled by Swarm.
+    BootstrapperScheduled,
+    /// The bootstrapper launched the privileged Emulation Manager outside
+    /// Swarm, sharing the host PID namespace.
+    ManagerLaunched,
+    /// The manager is watching the Docker daemon for tagged containers and
+    /// has spawned one Emulation Core per local application container.
+    CoresAttached,
+}
+
+/// A complete deployment plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    /// Orchestrator the manifests target.
+    pub orchestrator: Orchestrator,
+    /// All application containers.
+    pub containers: Vec<ContainerSpec>,
+    /// Per-host bootstrap phase (Swarm only).
+    pub bootstrap: HashMap<HostId, BootstrapPhase>,
+}
+
+impl DeploymentPlan {
+    /// Containers placed on `host`.
+    pub fn on_host(&self, host: HostId) -> Vec<&ContainerSpec> {
+        self.containers.iter().filter(|c| c.host == host).collect()
+    }
+
+    /// Number of Emulation Cores the manager on `host` will spawn.
+    pub fn cores_on_host(&self, host: HostId) -> usize {
+        self.on_host(host).iter().filter(|c| c.emulated).count()
+    }
+
+    /// Advances every host's bootstrap phase; returns `true` when all hosts
+    /// reached [`BootstrapPhase::CoresAttached`].
+    pub fn advance_bootstrap(&mut self) -> bool {
+        for phase in self.bootstrap.values_mut() {
+            *phase = match phase {
+                BootstrapPhase::BootstrapperScheduled => BootstrapPhase::ManagerLaunched,
+                BootstrapPhase::ManagerLaunched | BootstrapPhase::CoresAttached => {
+                    BootstrapPhase::CoresAttached
+                }
+            };
+        }
+        self.bootstrap
+            .values()
+            .all(|p| *p == BootstrapPhase::CoresAttached)
+    }
+
+    /// Renders a Docker-Compose-like document (Swarm) or a Manifest-like
+    /// document (Kubernetes) for inspection and customisation before
+    /// deployment, as the paper's toolchain allows.
+    pub fn render_manifest(&self) -> String {
+        let mut out = String::new();
+        match self.orchestrator {
+            Orchestrator::Swarm => {
+                out.push_str("version: \"3\"\nservices:\n");
+                for c in &self.containers {
+                    let _ = writeln!(out, "  {}:", c.name.replace('.', "-"));
+                    let _ = writeln!(out, "    image: {}", c.image);
+                    let _ = writeln!(out, "    hostname: {}", c.name);
+                    let _ = writeln!(
+                        out,
+                        "    labels:\n      kollaps.emulated: \"{}\"\n      kollaps.address: \"{}\"",
+                        c.emulated, c.address
+                    );
+                    let _ = writeln!(
+                        out,
+                        "    deploy:\n      placement:\n        constraints: [\"node.hostname == node-{}\"]",
+                        c.host.0
+                    );
+                }
+            }
+            Orchestrator::Kubernetes => {
+                for c in &self.containers {
+                    let _ = writeln!(out, "---\napiVersion: v1\nkind: Pod");
+                    let _ = writeln!(out, "metadata:\n  name: {}", c.name.replace('.', "-"));
+                    let _ = writeln!(
+                        out,
+                        "  annotations:\n    kollaps/emulated: \"{}\"\n    kollaps/address: \"{}\"",
+                        c.emulated, c.address
+                    );
+                    let _ = writeln!(
+                        out,
+                        "spec:\n  nodeName: node-{}\n  containers:\n  - name: app\n    image: {}",
+                        c.host.0, c.image
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generates deployment plans from a topology and a cluster.
+#[derive(Debug, Clone)]
+pub struct DeploymentGenerator {
+    cluster: Cluster,
+    orchestrator: Orchestrator,
+}
+
+impl DeploymentGenerator {
+    /// Creates a generator targeting `orchestrator` on `cluster`.
+    pub fn new(cluster: Cluster, orchestrator: Orchestrator) -> Self {
+        DeploymentGenerator {
+            cluster,
+            orchestrator,
+        }
+    }
+
+    /// Produces the deployment plan for `topology`: containers are assigned
+    /// addresses in service order and placed round-robin over the hosts
+    /// (the default strategy; the paper distributes containers evenly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no hosts.
+    pub fn generate(&self, topology: &Topology) -> DeploymentPlan {
+        assert!(!self.cluster.is_empty(), "cluster has no hosts");
+        let hosts = self.cluster.host_ids();
+        let mut containers = Vec::new();
+        for (i, node) in topology
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.is_service())
+            .enumerate()
+        {
+            let NodeKind::Service { image, .. } = &node.kind else {
+                continue;
+            };
+            containers.push(ContainerSpec {
+                name: node.kind.display_name(),
+                image: image.clone(),
+                host: hosts[i % hosts.len()],
+                address: Addr::container(i as u32),
+                emulated: true,
+            });
+        }
+        let bootstrap = match self.orchestrator {
+            Orchestrator::Swarm => hosts
+                .iter()
+                .map(|&h| (h, BootstrapPhase::BootstrapperScheduled))
+                .collect(),
+            Orchestrator::Kubernetes => hosts
+                .iter()
+                .map(|&h| (h, BootstrapPhase::ManagerLaunched))
+                .collect(),
+        };
+        DeploymentPlan {
+            orchestrator: self.orchestrator,
+            containers,
+            bootstrap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_topology::generators;
+    use kollaps_sim::time::SimDuration;
+    use kollaps_sim::units::Bandwidth;
+
+    fn plan(hosts: usize, orch: Orchestrator) -> DeploymentPlan {
+        let (topo, _, _) = generators::dumbbell(
+            10,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+        );
+        DeploymentGenerator::new(Cluster::paper_testbed(hosts), orch).generate(&topo)
+    }
+
+    #[test]
+    fn containers_are_spread_evenly() {
+        let p = plan(4, Orchestrator::Swarm);
+        assert_eq!(p.containers.len(), 20);
+        for h in 0..4u32 {
+            assert_eq!(p.on_host(HostId(h)).len(), 5);
+            assert_eq!(p.cores_on_host(HostId(h)), 5);
+        }
+        // Addresses are unique.
+        let mut addrs: Vec<_> = p.containers.iter().map(|c| c.address).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 20);
+    }
+
+    #[test]
+    fn swarm_bootstrap_flow_reaches_cores_attached() {
+        let mut p = plan(3, Orchestrator::Swarm);
+        assert!(p
+            .bootstrap
+            .values()
+            .all(|&ph| ph == BootstrapPhase::BootstrapperScheduled));
+        assert!(!p.advance_bootstrap());
+        assert!(p.advance_bootstrap());
+    }
+
+    #[test]
+    fn kubernetes_skips_the_bootstrapper() {
+        let p = plan(2, Orchestrator::Kubernetes);
+        assert!(p
+            .bootstrap
+            .values()
+            .all(|&ph| ph == BootstrapPhase::ManagerLaunched));
+    }
+
+    #[test]
+    fn manifests_mention_every_container() {
+        let p = plan(2, Orchestrator::Swarm);
+        let compose = p.render_manifest();
+        assert!(compose.contains("version: \"3\""));
+        assert!(compose.contains("kollaps.emulated"));
+        assert!(compose.matches("image:").count() >= 20);
+        let k8s = plan(2, Orchestrator::Kubernetes).render_manifest();
+        assert!(k8s.contains("kind: Pod"));
+        assert!(k8s.matches("nodeName").count() == 20);
+    }
+}

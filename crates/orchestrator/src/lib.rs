@@ -1,0 +1,23 @@
+//! # kollaps-orchestrator
+//!
+//! The deployment side of Kollaps (paper §4): the physical cluster model,
+//! the Deployment Generator that turns an experiment description into a
+//! container deployment plan, and the privileged bootstrapping flow used
+//! under Docker Swarm.
+//!
+//! * [`cluster`] — physical hosts and their interconnect.
+//! * [`deployment`] — container placement, address assignment, Swarm
+//!   Compose / Kubernetes Manifest generation and the bootstrapper state
+//!   machine (bootstrapper → Emulation Manager → per-container Emulation
+//!   Core).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod deployment;
+
+pub use cluster::{Cluster, PhysicalHost};
+pub use deployment::{
+    BootstrapPhase, ContainerSpec, DeploymentGenerator, DeploymentPlan, Orchestrator,
+};

@@ -1,0 +1,50 @@
+//! # kollaps-sim
+//!
+//! Deterministic discrete-event simulation substrate used by every other
+//! crate in the Kollaps reproduction.
+//!
+//! The original Kollaps system (EuroSys'20) runs against the real Linux
+//! kernel dataplane on a physical cluster. This repository reproduces the
+//! whole stack in simulation, and this crate provides the common ground:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual clock.
+//! * [`EventQueue`] — a stable, deterministic future-event list.
+//! * [`SimRng`] — seeded random number generation and the jitter
+//!   distributions used by the netem model (normal, uniform, pareto).
+//! * [`units`] — strongly-typed bandwidth ([`Bandwidth`]) and data sizes
+//!   ([`DataSize`]) so that bits, bytes and seconds never get mixed up.
+//! * [`stats`] — histograms with percentiles, time series, rate meters and
+//!   the error metrics (MSE, deviation-from-baseline) used throughout the
+//!   paper's evaluation section.
+//! * [`token_bucket`] — the token-bucket primitive shared by the HTB qdisc
+//!   model and the workload rate limiters.
+//!
+//! Everything is deterministic given a seed: the same experiment run twice
+//! produces byte-identical results, which is the property the paper argues
+//! emulation should give back to systems evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod token_bucket;
+pub mod units;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::{Distribution, SimRng};
+pub use time::{SimDuration, SimTime};
+pub use token_bucket::TokenBucket;
+pub use units::{Bandwidth, DataSize};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::{Distribution, SimRng};
+    pub use crate::stats::{Histogram, RateMeter, Summary, TimeSeries};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::token_bucket::TokenBucket;
+    pub use crate::units::{Bandwidth, DataSize};
+}

@@ -1,0 +1,318 @@
+//! Deterministic random number generation and jitter distributions.
+//!
+//! Kollaps' netem model draws per-packet delay jitter from a configurable
+//! distribution (the paper defaults to a normal distribution with mean equal
+//! to the link latency and standard deviation equal to the jitter attribute).
+//! This module provides a seeded RNG plus the distributions needed by the
+//! netem model and the workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded random number generator with simulation-friendly helpers.
+///
+/// All randomness in an experiment flows through [`SimRng`] instances derived
+/// from the experiment seed, making runs reproducible.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; `stream` distinguishes
+    /// consumers (e.g. one stream per link or per client).
+    pub fn derive(&self, stream: u64) -> SimRng {
+        // Mix with SplitMix64 so neighbouring streams are decorrelated.
+        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z ^ 0xA076_1D64_78BD_642F)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn gen_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range");
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform index into a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot index into an empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// A Bernoulli trial that succeeds with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Draws a sample from `dist`.
+    pub fn sample(&mut self, dist: &Distribution) -> f64 {
+        dist.sample(self)
+    }
+
+    /// Standard normal variate via the Box-Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by keeping u1 strictly positive.
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Exponential variate with the given rate parameter (`lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// A parametric distribution used for jitter and workload inter-arrivals.
+///
+/// The netem model in the original system supports normal (default),
+/// uniform and pareto jitter distributions; all values are in the unit of the
+/// quantity being drawn (milliseconds for jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Always returns the same value.
+    Constant(f64),
+    /// Uniform over `[low, high]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (inclusive).
+        high: f64,
+    },
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation of the distribution.
+        std_dev: f64,
+    },
+    /// Pareto with the given scale (minimum value) and shape.
+    Pareto {
+        /// Scale (minimum value, > 0).
+        scale: f64,
+        /// Shape parameter (> 0); smaller means heavier tail.
+        shape: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution (> 0).
+        mean: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws a sample using `rng`.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Distribution::Constant(v) => v,
+            Distribution::Uniform { low, high } => {
+                if high <= low {
+                    low
+                } else {
+                    low + rng.next_f64() * (high - low)
+                }
+            }
+            Distribution::Normal { mean, std_dev } => mean + std_dev * rng.standard_normal(),
+            Distribution::Pareto { scale, shape } => {
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                scale / u.powf(1.0 / shape.max(f64::MIN_POSITIVE))
+            }
+            Distribution::Exponential { mean } => rng.exponential(1.0 / mean.max(f64::MIN_POSITIVE)),
+        }
+    }
+
+    /// The analytical mean of the distribution (where defined).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Constant(v) => v,
+            Distribution::Uniform { low, high } => (low + high) / 2.0,
+            Distribution::Normal { mean, .. } => mean,
+            Distribution::Pareto { scale, shape } => {
+                if shape > 1.0 {
+                    shape * scale / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Distribution::Exponential { mean } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let root = SimRng::new(7);
+        let mut a = root.derive(1);
+        let mut b = root.derive(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "derived streams should be decorrelated");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(2);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        let p = hits as f64 / 10_000.0;
+        assert!((p - 0.3).abs() < 0.03, "empirical p = {p}");
+    }
+
+    #[test]
+    fn normal_distribution_moments() {
+        let mut rng = SimRng::new(3);
+        let dist = Distribution::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_distribution_bounds() {
+        let mut rng = SimRng::new(4);
+        let dist = Distribution::Uniform {
+            low: 5.0,
+            high: 6.0,
+        };
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((5.0..=6.0).contains(&v));
+        }
+        assert_eq!(dist.mean(), 5.5);
+    }
+
+    #[test]
+    fn pareto_distribution_above_scale() {
+        let mut rng = SimRng::new(5);
+        let dist = Distribution::Pareto {
+            scale: 1.0,
+            shape: 3.0,
+        };
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) >= 1.0);
+        }
+        assert!((dist.mean() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_mean_is_respected() {
+        let mut rng = SimRng::new(6);
+        let dist = Distribution::Exponential { mean: 4.0 };
+        let n = 50_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let mut rng = SimRng::new(9);
+        let dist = Distribution::Constant(2.5);
+        assert_eq!(dist.sample(&mut rng), 2.5);
+        assert_eq!(dist.mean(), 2.5);
+    }
+}

@@ -1,0 +1,524 @@
+//! Measurement and error-metric helpers used by the evaluation harness.
+//!
+//! The paper reports averages, percentiles (Figure 9), mean squared errors
+//! (Table 3, Table 4), deviation-from-baseline percentages (Figures 5 and 7)
+//! and throughput time series (Figures 6 and 8). The types in this module
+//! compute all of those from raw samples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+use crate::units::{Bandwidth, DataSize};
+
+/// A collection of scalar samples with summary statistics.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Population variance, or 0 if empty.
+    pub fn variance(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The `p`-th percentile (0-100) using nearest-rank on sorted samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A fixed-bucket-width histogram for latency-style measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket width and upper bound;
+    /// values above the bound land in the final (overflow) bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `upper_bound` is not strictly positive.
+    pub fn new(bucket_width: f64, upper_bound: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(upper_bound > 0.0, "upper bound must be positive");
+        let n = (upper_bound / bucket_width).ceil() as usize + 1;
+        Histogram {
+            bucket_width,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a value (negative values clamp to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        let idx = ((v / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `p`-th percentile (0-100) from the bucket boundaries.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+/// A point in a throughput/latency time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// A time series of scalar samples (e.g. Mb/s per second of an iPerf run).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample taken at `time`.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        self.points.push(TimePoint { time, value });
+    }
+
+    /// The recorded points in insertion order.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of all values, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Mean of the values whose timestamps fall in `[from, to)`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.time >= from && p.time < to)
+            .map(|p| p.value)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// The value of the sample closest in time to `t`, or 0 if empty.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        self.points
+            .iter()
+            .min_by_key(|p| {
+                let d = if p.time > t { p.time - t } else { t - p.time };
+                d.as_nanos()
+            })
+            .map(|p| p.value)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Measures an average rate over fixed windows from byte-count increments.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    window: SimDuration,
+    window_start: SimTime,
+    bytes_in_window: DataSize,
+    total_bytes: DataSize,
+    series: TimeSeries,
+}
+
+impl RateMeter {
+    /// Creates a meter that reports one averaged rate sample per `window`.
+    pub fn new(window: SimDuration) -> Self {
+        RateMeter {
+            window,
+            window_start: SimTime::ZERO,
+            bytes_in_window: DataSize::ZERO,
+            total_bytes: DataSize::ZERO,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Accounts `bytes` delivered at time `now`, closing windows as needed.
+    pub fn record(&mut self, now: SimTime, bytes: DataSize) {
+        self.roll(now);
+        self.bytes_in_window += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Closes any windows that ended before `now` (recording their averages)
+    /// without adding new bytes.
+    pub fn roll(&mut self, now: SimTime) {
+        while now >= self.window_start + self.window {
+            let rate = self.bytes_in_window.rate_over(self.window);
+            self.series
+                .record(self.window_start + self.window, rate.as_mbps());
+            self.bytes_in_window = DataSize::ZERO;
+            self.window_start += self.window;
+        }
+    }
+
+    /// Total bytes recorded over the meter's lifetime.
+    pub fn total_bytes(&self) -> DataSize {
+        self.total_bytes
+    }
+
+    /// The average rate over `[SimTime::ZERO, now]`.
+    pub fn average_rate(&self, now: SimTime) -> Bandwidth {
+        if now == SimTime::ZERO {
+            return Bandwidth::ZERO;
+        }
+        self.total_bytes.rate_over(now - SimTime::ZERO)
+    }
+
+    /// The per-window rate series in Mb/s.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mean_squared_error(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    if observed.is_empty() {
+        return 0.0;
+    }
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(o, e)| (o - e).powi(2))
+        .sum::<f64>()
+        / observed.len() as f64
+}
+
+/// Relative deviation `|1 - observed/baseline|` expressed as a percentage,
+/// the error metric of Figures 5 and 7. Returns 0 when the baseline is 0.
+pub fn deviation_percent(observed: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (1.0 - observed / baseline).abs() * 100.0
+    }
+}
+
+/// Signed relative error `(observed - expected) / expected` as a percentage,
+/// the format of Table 2 ("122 (-5%)"). Returns 0 when `expected` is 0.
+pub fn relative_error_percent(observed: f64, expected: f64) -> f64 {
+    if expected == 0.0 {
+        0.0
+    } else {
+        (observed - expected) / expected * 100.0
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds a new observation and returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => prev + self.alpha * (sample - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let mut s = Summary::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let p90 = s.percentile(90.0);
+        assert!((89.0..=91.0).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn histogram_counts_and_percentiles() {
+        let mut h = Histogram::new(1.0, 100.0);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        let p50 = h.percentile(50.0);
+        assert!((49.0..=52.0).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(1.0, 10.0);
+        h.record(1000.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000.0);
+        assert!(h.percentile(99.0) >= 10.0);
+    }
+
+    #[test]
+    fn time_series_window_mean() {
+        let mut ts = TimeSeries::new();
+        for sec in 0..10 {
+            ts.record(SimTime::from_secs(sec), sec as f64);
+        }
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.mean(), 4.5);
+        assert_eq!(
+            ts.mean_between(SimTime::from_secs(2), SimTime::from_secs(5)),
+            3.0
+        );
+        assert_eq!(ts.value_at(SimTime::from_millis(3_400)), 3.0);
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1));
+        // 1 MB in the first second, 2 MB in the second.
+        m.record(SimTime::from_millis(500), DataSize::from_megabytes(1));
+        m.record(SimTime::from_millis(1_500), DataSize::from_megabytes(2));
+        m.roll(SimTime::from_secs(3));
+        let pts = m.series().points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].value - 8.0).abs() < 1e-9, "first window 8 Mb/s");
+        assert!((pts[1].value - 16.0).abs() < 1e-9, "second window 16 Mb/s");
+        assert_eq!(pts[2].value, 0.0);
+        assert_eq!(m.total_bytes().as_bytes(), 3_000_000);
+        assert!((m.average_rate(SimTime::from_secs(3)).as_mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_metrics() {
+        assert_eq!(mean_squared_error(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(deviation_percent(95.0, 100.0), 5.000000000000004);
+        assert_eq!(relative_error_percent(122.0, 128.0), -4.6875);
+        assert_eq!(deviation_percent(10.0, 0.0), 0.0);
+        assert_eq!(relative_error_percent(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mse_length_mismatch_panics() {
+        let _ = mean_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(20.0), 15.0);
+        assert_eq!(e.update(20.0), 17.5);
+        assert_eq!(e.value(), Some(17.5));
+    }
+}

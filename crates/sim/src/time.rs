@@ -1,0 +1,372 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! [`SimTime`] is an absolute instant measured in integer nanoseconds since
+//! the start of the experiment; [`SimDuration`] is a length of virtual time.
+//! Integer nanoseconds give us a deterministic, total order on events and
+//! enough resolution to model sub-microsecond serialization delays on
+//! multi-gigabit links.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of nanoseconds in one microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+/// Number of nanoseconds in one millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Number of nanoseconds in one second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute instant of virtual time, in nanoseconds since experiment start.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The instant at which every experiment starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * NANOS_PER_MICRO)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * NANOS_PER_MILLI)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+        SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / NANOS_PER_MICRO
+    }
+
+    /// This instant expressed in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * NANOS_PER_MICRO)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * NANOS_PER_MILLI)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "invalid duration: {millis}"
+        );
+        SimDuration((millis * NANOS_PER_MILLI as f64).round() as u64)
+    }
+
+    /// Raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / NANOS_PER_MICRO
+    }
+
+    /// This duration expressed in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+
+    /// This duration expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+
+    /// This duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// `true` if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the duration by a non-negative factor, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor");
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(scaled.round() as u64)
+        }
+    }
+
+    /// Adds a duration, saturating at [`SimDuration::MAX`].
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Subtracts a duration, saturating at zero.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NANOS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= NANOS_PER_MILLI {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= NANOS_PER_MICRO {
+            write!(f, "{}us", self.as_micros())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        assert_eq!(SimTime::from_millis(5).as_millis(), 5);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        assert_eq!(SimDuration::from_secs(3).as_secs_f64(), 3.0);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1500);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_millis(), 1500);
+        let d = t - SimTime::from_millis(200);
+        assert_eq!(d.as_millis(), 1300);
+        assert_eq!((SimDuration::from_secs(4) / 2).as_secs_f64(), 2.0);
+        assert_eq!((SimDuration::from_secs(2) * 3).as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn saturating_operations() {
+        let earlier = SimTime::from_secs(10);
+        let later = SimTime::from_secs(4);
+        assert_eq!(later.saturating_since(earlier), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        let t = SimTime::from_secs_f64(1.25);
+        assert_eq!(t.as_millis(), 1250);
+        let d = SimDuration::from_secs_f64(0.001);
+        assert_eq!(d.as_millis(), 1);
+    }
+
+    #[test]
+    fn mul_f64_scales_and_saturates() {
+        let d = SimDuration::from_secs(2).mul_f64(1.5);
+        assert_eq!(d.as_millis(), 3000);
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(1).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(9)), "9us");
+        assert_eq!(format!("{}", SimDuration::from_nanos(17)), "17ns");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_panic() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::from_millis(10),
+            SimTime::ZERO,
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2], SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,358 @@
+//! Strongly-typed bandwidth and data-size units.
+//!
+//! The Kollaps evaluation mixes kilobits, megabits and gigabits per second
+//! (Table 2 alone spans 128 Kb/s to 4 Gb/s); keeping bandwidth and data sizes
+//! in dedicated types avoids the classic bits-vs-bytes mistakes when
+//! computing serialization delays and throughput.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, NANOS_PER_SEC};
+
+/// A bandwidth (link capacity or rate), stored as bits per second.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+/// An amount of data, stored in bytes.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DataSize(u64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+    /// The largest representable bandwidth, used as an "unlimited" sentinel.
+    pub const MAX: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Creates a bandwidth from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from kilobits per second (1 Kb/s = 1000 b/s).
+    pub const fn from_kbps(kbps: u64) -> Self {
+        Bandwidth(kbps * 1_000)
+    }
+
+    /// Creates a bandwidth from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps * 1_000_000)
+    }
+
+    /// Creates a bandwidth from fractional megabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative or not finite.
+    pub fn from_mbps_f64(mbps: f64) -> Self {
+        assert!(mbps.is_finite() && mbps >= 0.0, "invalid bandwidth: {mbps}");
+        Bandwidth((mbps * 1_000_000.0).round() as u64)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000_000_000)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Kilobits per second.
+    pub fn as_kbps(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// `true` if this is the zero bandwidth.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Time needed to serialize `size` at this rate.
+    ///
+    /// Returns [`SimDuration::MAX`] for zero bandwidth; returns
+    /// [`SimDuration::ZERO`] when the bandwidth is the unlimited sentinel.
+    pub fn transmission_delay(self, size: DataSize) -> SimDuration {
+        if self.0 == 0 {
+            return SimDuration::MAX;
+        }
+        if self == Bandwidth::MAX {
+            return SimDuration::ZERO;
+        }
+        let bits = size.as_bits() as u128;
+        let nanos = bits * NANOS_PER_SEC as u128 / self.0 as u128;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+
+    /// The amount of data that can be sent in `dur` at this rate.
+    pub fn data_in(self, dur: SimDuration) -> DataSize {
+        if self == Bandwidth::MAX {
+            return DataSize::from_bytes(u64::MAX);
+        }
+        let bits = self.0 as u128 * dur.as_nanos() as u128 / NANOS_PER_SEC as u128;
+        DataSize::from_bytes((bits / 8).min(u64::MAX as u128) as u64)
+    }
+
+    /// Scales this bandwidth by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> Bandwidth {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor");
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            Bandwidth::MAX
+        } else {
+            Bandwidth(scaled.round() as u64)
+        }
+    }
+
+    /// Fraction `self / other` as a float; returns 0 when `other` is zero.
+    pub fn ratio(self, other: Bandwidth) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_add(other.0))
+    }
+}
+
+impl DataSize {
+    /// Zero bytes.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Creates a size from bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DataSize(bytes)
+    }
+
+    /// Creates a size from kilobytes (1 KB = 1000 bytes).
+    pub const fn from_kilobytes(kb: u64) -> Self {
+        DataSize(kb * 1_000)
+    }
+
+    /// Creates a size from kibibytes (1 KiB = 1024 bytes).
+    pub const fn from_kib(kib: u64) -> Self {
+        DataSize(kib * 1_024)
+    }
+
+    /// Creates a size from megabytes (1 MB = 10^6 bytes).
+    pub const fn from_megabytes(mb: u64) -> Self {
+        DataSize(mb * 1_000_000)
+    }
+
+    /// Number of bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits.
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Kilobytes as a float.
+    pub fn as_kilobytes(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `true` if this is zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: DataSize) -> DataSize {
+        DataSize(self.0.saturating_sub(other.0))
+    }
+
+    /// The average rate obtained by transferring this amount over `dur`.
+    pub fn rate_over(self, dur: SimDuration) -> Bandwidth {
+        if dur.is_zero() {
+            return Bandwidth::MAX;
+        }
+        let bps = self.as_bits() as u128 * NANOS_PER_SEC as u128 / dur.as_nanos() as u128;
+        Bandwidth::from_bps(bps.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}Gb/s", self.as_gbps())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Mb/s", self.as_mbps())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}Kb/s", self.as_kbps())
+        } else {
+            write!(f, "{}b/s", self.0)
+        }
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}KB", self.as_kilobytes())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(Bandwidth::from_kbps(128).as_bps(), 128_000);
+        assert_eq!(Bandwidth::from_mbps(100).as_mbps(), 100.0);
+        assert_eq!(Bandwidth::from_gbps(1).as_gbps(), 1.0);
+        assert_eq!(Bandwidth::from_mbps_f64(0.5).as_kbps(), 500.0);
+    }
+
+    #[test]
+    fn data_size_conversions() {
+        assert_eq!(DataSize::from_kilobytes(2).as_bytes(), 2_000);
+        assert_eq!(DataSize::from_kib(2).as_bytes(), 2_048);
+        assert_eq!(DataSize::from_bytes(10).as_bits(), 80);
+    }
+
+    #[test]
+    fn transmission_delay_matches_hand_calculation() {
+        // 1500 bytes at 100 Mb/s = 12000 bits / 1e8 bps = 120 us.
+        let d = Bandwidth::from_mbps(100).transmission_delay(DataSize::from_bytes(1500));
+        assert_eq!(d.as_micros(), 120);
+        // Zero bandwidth never finishes.
+        assert_eq!(
+            Bandwidth::ZERO.transmission_delay(DataSize::from_bytes(1)),
+            SimDuration::MAX
+        );
+        // Unlimited bandwidth is instantaneous.
+        assert_eq!(
+            Bandwidth::MAX.transmission_delay(DataSize::from_megabytes(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn data_in_window() {
+        // 50 Mb/s for 1 second = 6.25 MB.
+        let d = Bandwidth::from_mbps(50).data_in(SimDuration::from_secs(1));
+        assert_eq!(d.as_bytes(), 6_250_000);
+    }
+
+    #[test]
+    fn rate_over_window() {
+        let rate = DataSize::from_megabytes(1).rate_over(SimDuration::from_secs(1));
+        assert_eq!(rate.as_mbps(), 8.0);
+        assert_eq!(
+            DataSize::from_bytes(10).rate_over(SimDuration::ZERO),
+            Bandwidth::MAX
+        );
+    }
+
+    #[test]
+    fn ratio_and_scale() {
+        let a = Bandwidth::from_mbps(25);
+        let b = Bandwidth::from_mbps(100);
+        assert_eq!(a.ratio(b), 0.25);
+        assert_eq!(b.mul_f64(0.5).as_mbps(), 50.0);
+        assert_eq!(a.ratio(Bandwidth::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bandwidth::from_gbps(2)), "2.00Gb/s");
+        assert_eq!(format!("{}", Bandwidth::from_mbps(50)), "50.00Mb/s");
+        assert_eq!(format!("{}", Bandwidth::from_kbps(128)), "128.00Kb/s");
+        assert_eq!(format!("{}", DataSize::from_bytes(64_000)), "64.00KB");
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(
+            Bandwidth::from_mbps(1).saturating_sub(Bandwidth::from_mbps(5)),
+            Bandwidth::ZERO
+        );
+        assert_eq!(
+            Bandwidth::MAX.saturating_add(Bandwidth::from_mbps(5)),
+            Bandwidth::MAX
+        );
+        assert_eq!(
+            DataSize::from_bytes(5).saturating_sub(DataSize::from_bytes(9)),
+            DataSize::ZERO
+        );
+    }
+}

@@ -1,0 +1,590 @@
+//! Parser for the Kollaps experiment description language.
+//!
+//! The paper's Listing 1/2 shows a lean YAML-like syntax with four sections:
+//! `services`, `bridges`, `links` under `experiment:`, plus a top-level
+//! `dynamic:` section. Records inside a section are flat `key: value` lines;
+//! a new record starts when the leading key of the section (`name` for
+//! services and bridges, `orig` for links) repeats, and a dynamic record is
+//! closed by its `time:` line.
+//!
+//! ```text
+//! experiment:
+//!   services:
+//!     name: c1
+//!     image: "iperf"
+//!   bridges:
+//!     name: s1
+//!   links:
+//!     orig: c1
+//!     dest: s1
+//!     latency: 10
+//!     up: 10Mbps
+//!     down: 10Mbps
+//!     jitter: 0.25
+//! dynamic:
+//!   orig: c1
+//!   dest: s1
+//!   jitter: 0.5
+//!   time: 120
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use crate::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use crate::model::{LinkProperties, Topology};
+
+/// A parsed experiment: the initial topology plus the dynamic schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Experiment {
+    /// The static topology (services, bridges, links).
+    pub topology: Topology,
+    /// Scheduled dynamic events.
+    pub schedule: EventSchedule,
+    /// Declared services: name → (image, replicas).
+    pub services: HashMap<String, (String, u32)>,
+}
+
+/// Errors produced while parsing an experiment description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line was not of the form `key: value`.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A numeric or unit-carrying value could not be parsed.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value is bad.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A record is missing a required key.
+    MissingKey {
+        /// The section in which the record appears.
+        section: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A link references a node name that was never declared.
+    UnknownNode {
+        /// The unknown name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MalformedLine { line, text } => {
+                write!(f, "line {line}: expected `key: value`, got `{text}`")
+            }
+            ParseError::BadValue { line, key, value } => {
+                write!(f, "line {line}: cannot parse value `{value}` for key `{key}`")
+            }
+            ParseError::MissingKey { section, key } => {
+                write!(f, "record in section `{section}` is missing key `{key}`")
+            }
+            ParseError::UnknownNode { name } => {
+                write!(f, "link references unknown node `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a bandwidth value with its unit, e.g. `10Mbps`, `128 Kbps`,
+/// `1Gbps`, `500bps`.
+pub fn parse_bandwidth(text: &str) -> Option<Bandwidth> {
+    let cleaned: String = text
+        .trim()
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let split = cleaned
+        .find(|c: char| c.is_ascii_alphabetic())
+        .unwrap_or(cleaned.len());
+    let (num, unit) = cleaned.split_at(split);
+    let value: f64 = num.parse().ok()?;
+    if value < 0.0 {
+        return None;
+    }
+    let multiplier: f64 = match unit {
+        "" | "bps" | "b/s" => 1.0,
+        "kbps" | "kb/s" | "kbit" => 1e3,
+        "mbps" | "mb/s" | "mbit" => 1e6,
+        "gbps" | "gb/s" | "gbit" => 1e9,
+        _ => return None,
+    };
+    Some(Bandwidth::from_bps((value * multiplier).round() as u64))
+}
+
+/// The sections of the description file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Services,
+    Bridges,
+    Links,
+    Dynamic,
+}
+
+/// One flat record: keys in order of appearance with their raw values.
+#[derive(Debug, Default, Clone)]
+struct Record {
+    entries: Vec<(String, String, usize)>,
+}
+
+impl Record {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v.as_str())
+    }
+
+    fn line_of(&self, key: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, _, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parses an experiment description in the Listing 1/2 syntax.
+pub fn parse_experiment(input: &str) -> Result<Experiment, ParseError> {
+    let mut section = Section::None;
+    let mut service_records: Vec<Record> = Vec::new();
+    let mut bridge_records: Vec<Record> = Vec::new();
+    let mut link_records: Vec<Record> = Vec::new();
+    let mut dynamic_records: Vec<Record> = Vec::new();
+    let mut current = Record::default();
+
+    let flush = |section: Section,
+                 current: &mut Record,
+                 services: &mut Vec<Record>,
+                 bridges: &mut Vec<Record>,
+                 links: &mut Vec<Record>,
+                 dynamics: &mut Vec<Record>| {
+        if current.is_empty() {
+            return;
+        }
+        let rec = std::mem::take(current);
+        match section {
+            Section::Services => services.push(rec),
+            Section::Bridges => bridges.push(rec),
+            Section::Links => links.push(rec),
+            Section::Dynamic => dynamics.push(rec),
+            Section::None => {}
+        }
+    };
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments and surrounding whitespace.
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Section headers.
+        let lowered = trimmed.to_ascii_lowercase();
+        let new_section = match lowered.as_str() {
+            "experiment:" => Some(Section::None),
+            "services:" => Some(Section::Services),
+            "bridges:" => Some(Section::Bridges),
+            "links:" => Some(Section::Links),
+            "dynamic:" => Some(Section::Dynamic),
+            _ => None,
+        };
+        if let Some(s) = new_section {
+            flush(
+                section,
+                &mut current,
+                &mut service_records,
+                &mut bridge_records,
+                &mut link_records,
+                &mut dynamic_records,
+            );
+            section = s;
+            continue;
+        }
+        // Key-value line.
+        let Some((key, value)) = trimmed.split_once(':') else {
+            return Err(ParseError::MalformedLine {
+                line: line_no,
+                text: trimmed.to_string(),
+            });
+        };
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim().trim_matches('"').to_string();
+        // Record boundaries.
+        let starts_new = match section {
+            Section::Services | Section::Bridges => key == "name",
+            Section::Links => key == "orig",
+            Section::Dynamic | Section::None => false,
+        };
+        if starts_new && !current.is_empty() {
+            flush(
+                section,
+                &mut current,
+                &mut service_records,
+                &mut bridge_records,
+                &mut link_records,
+                &mut dynamic_records,
+            );
+        }
+        current.entries.push((key.clone(), value, line_no));
+        // A dynamic record is closed by its `time:` line.
+        if section == Section::Dynamic && key == "time" {
+            flush(
+                section,
+                &mut current,
+                &mut service_records,
+                &mut bridge_records,
+                &mut link_records,
+                &mut dynamic_records,
+            );
+        }
+    }
+    flush(
+        section,
+        &mut current,
+        &mut service_records,
+        &mut bridge_records,
+        &mut link_records,
+        &mut dynamic_records,
+    );
+
+    build_experiment(
+        service_records,
+        bridge_records,
+        link_records,
+        dynamic_records,
+    )
+}
+
+fn parse_f64(rec: &Record, key: &str) -> Result<Option<f64>, ParseError> {
+    match rec.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse::<f64>().map(Some).map_err(|_| ParseError::BadValue {
+            line: rec.line_of(key),
+            key: key.to_string(),
+            value: v.to_string(),
+        }),
+    }
+}
+
+fn parse_bw_field(rec: &Record, key: &str) -> Result<Option<Bandwidth>, ParseError> {
+    match rec.get(key) {
+        None => Ok(None),
+        Some(v) => parse_bandwidth(v).map(Some).ok_or(ParseError::BadValue {
+            line: rec.line_of(key),
+            key: key.to_string(),
+            value: v.to_string(),
+        }),
+    }
+}
+
+fn require<'a>(rec: &'a Record, section: &str, key: &str) -> Result<&'a str, ParseError> {
+    rec.get(key).ok_or_else(|| ParseError::MissingKey {
+        section: section.to_string(),
+        key: key.to_string(),
+    })
+}
+
+fn build_experiment(
+    services: Vec<Record>,
+    bridges: Vec<Record>,
+    links: Vec<Record>,
+    dynamics: Vec<Record>,
+) -> Result<Experiment, ParseError> {
+    let mut exp = Experiment::default();
+
+    for rec in &services {
+        let name = require(rec, "services", "name")?;
+        let image = rec.get("image").unwrap_or("").to_string();
+        let replicas = parse_f64(rec, "replicas")?.unwrap_or(1.0).max(1.0) as u32;
+        exp.services
+            .insert(name.to_string(), (image.clone(), replicas));
+        for r in 0..replicas {
+            exp.topology.add_service(name, r, &image);
+        }
+    }
+    for rec in &bridges {
+        let name = require(rec, "bridges", "name")?;
+        exp.topology.add_bridge(name);
+    }
+    for rec in &links {
+        let orig = require(rec, "links", "orig")?;
+        let dest = require(rec, "links", "dest")?;
+        let from = exp
+            .topology
+            .node_by_name(orig)
+            .ok_or_else(|| ParseError::UnknownNode {
+                name: orig.to_string(),
+            })?;
+        let to = exp
+            .topology
+            .node_by_name(dest)
+            .ok_or_else(|| ParseError::UnknownNode {
+                name: dest.to_string(),
+            })?;
+        let latency_ms = parse_f64(rec, "latency")?.unwrap_or(0.0);
+        let jitter_ms = parse_f64(rec, "jitter")?.unwrap_or(0.0);
+        let loss = parse_f64(rec, "loss")?.unwrap_or(0.0).clamp(0.0, 1.0);
+        let up = parse_bw_field(rec, "up")?
+            .or(parse_bw_field(rec, "bandwidth")?)
+            .unwrap_or(Bandwidth::MAX);
+        let down = parse_bw_field(rec, "down")?.unwrap_or(up);
+        let network = rec.get("network").unwrap_or("default").to_string();
+        let base = LinkProperties {
+            latency: SimDuration::from_millis_f64(latency_ms),
+            jitter: SimDuration::from_millis_f64(jitter_ms),
+            bandwidth: up,
+            loss,
+        };
+        exp.topology
+            .add_asymmetric_link(from, to, base, up, down, &network);
+    }
+    for rec in &dynamics {
+        let time_s = parse_f64(rec, "time")?.ok_or(ParseError::MissingKey {
+            section: "dynamic".to_string(),
+            key: "time".to_string(),
+        })?;
+        let at = SimDuration::from_secs_f64(time_s);
+        let change = LinkChange {
+            latency: parse_f64(rec, "latency")?.map(SimDuration::from_millis_f64),
+            jitter: parse_f64(rec, "jitter")?.map(SimDuration::from_millis_f64),
+            up: parse_bw_field(rec, "up")?,
+            down: parse_bw_field(rec, "down")?,
+            loss: parse_f64(rec, "loss")?,
+        };
+        let action = match rec.get("action").map(str::to_ascii_lowercase).as_deref() {
+            None => DynamicAction::SetLinkProperties {
+                orig: require(rec, "dynamic", "orig")?.to_string(),
+                dest: require(rec, "dynamic", "dest")?.to_string(),
+                change,
+            },
+            Some("join") => {
+                if let Some(name) = rec.get("name") {
+                    DynamicAction::NodeJoin {
+                        name: name.to_string(),
+                    }
+                } else {
+                    DynamicAction::LinkJoin {
+                        orig: require(rec, "dynamic", "orig")?.to_string(),
+                        dest: require(rec, "dynamic", "dest")?.to_string(),
+                        change,
+                    }
+                }
+            }
+            Some("leave") => {
+                if let Some(name) = rec.get("name") {
+                    DynamicAction::NodeLeave {
+                        name: name.to_string(),
+                    }
+                } else {
+                    DynamicAction::LinkLeave {
+                        orig: require(rec, "dynamic", "orig")?.to_string(),
+                        dest: require(rec, "dynamic", "dest")?.to_string(),
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(ParseError::BadValue {
+                    line: rec.line_of("action"),
+                    key: "action".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        exp.schedule.push(DynamicEvent { at, action });
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact experiment of Listing 1 + Listing 2 of the paper (with the
+    /// links completed so that every declared node is attached).
+    const LISTING: &str = r#"
+experiment:
+  services:
+    name: c1
+    image: "iperf"
+    name: sv
+    image: "nginx"
+    replicas: 2
+  bridges:
+    name: s1
+    name: s2
+  links:
+    orig: c1
+    dest: s1
+    latency: 10
+    up: 10Mbps
+    down: 10Mbps
+    jitter: 0.25
+    orig: s1
+    dest: s2
+    latency: 20
+    up: 100Mbps
+    down: 100Mbps
+    orig: s2
+    dest: sv
+    latency: 5
+    up: 50Mbps
+    down: 50Mbps
+    orig: s2
+    dest: sv.1
+    latency: 5
+    up: 50Mbps
+    down: 50Mbps
+dynamic:
+  orig: c1
+  dest: s1
+  jitter: 0.5
+  time: 120
+  action: leave
+  name: s1
+  time: 200
+  action: join
+  orig: c1
+  dest: s2
+  up: 100 Mbps
+  down: 100 Mbps
+  latency: 10
+  time: 210
+  action: leave
+  name: sv
+  time: 240
+"#;
+
+    #[test]
+    fn parses_listing_1_and_2() {
+        let exp = parse_experiment(LISTING).expect("parse");
+        // Services: c1 (1 replica) + sv (2 replicas) = 3 service nodes.
+        assert_eq!(exp.topology.service_ids().len(), 3);
+        assert_eq!(exp.topology.bridge_ids().len(), 2);
+        assert_eq!(exp.services["sv"], ("nginx".to_string(), 2));
+        // 4 bidirectional links = 8 unidirectional.
+        assert_eq!(exp.topology.link_count(), 8);
+        // Dynamic: 4 events at 120, 200, 210, 240 seconds.
+        assert_eq!(exp.schedule.len(), 4);
+        let evs = exp.schedule.events();
+        assert_eq!(evs[0].at, SimDuration::from_secs(120));
+        assert!(matches!(
+            evs[0].action,
+            DynamicAction::SetLinkProperties { .. }
+        ));
+        assert!(matches!(&evs[1].action, DynamicAction::NodeLeave { name } if name == "s1"));
+        assert!(matches!(evs[2].action, DynamicAction::LinkJoin { .. }));
+        assert!(matches!(&evs[3].action, DynamicAction::NodeLeave { name } if name == "sv"));
+    }
+
+    #[test]
+    fn link_properties_are_parsed_with_units() {
+        let exp = parse_experiment(LISTING).unwrap();
+        let c1 = exp.topology.node_by_name("c1").unwrap();
+        let s1 = exp.topology.node_by_name("s1").unwrap();
+        let link = exp
+            .topology
+            .links()
+            .iter()
+            .find(|l| l.from == c1 && l.to == s1)
+            .unwrap();
+        assert_eq!(link.properties.bandwidth, Bandwidth::from_mbps(10));
+        assert_eq!(link.properties.latency, SimDuration::from_millis(10));
+        assert_eq!(link.properties.jitter.as_micros(), 250);
+    }
+
+    #[test]
+    fn bandwidth_parsing_units() {
+        assert_eq!(parse_bandwidth("10Mbps"), Some(Bandwidth::from_mbps(10)));
+        assert_eq!(parse_bandwidth("128 Kbps"), Some(Bandwidth::from_kbps(128)));
+        assert_eq!(parse_bandwidth("1Gbps"), Some(Bandwidth::from_gbps(1)));
+        assert_eq!(parse_bandwidth("2.5 Mbps"), Some(Bandwidth::from_kbps(2500)));
+        assert_eq!(parse_bandwidth("500"), Some(Bandwidth::from_bps(500)));
+        assert_eq!(parse_bandwidth("oops"), None);
+        assert_eq!(parse_bandwidth("10 Tbps"), None);
+        assert_eq!(parse_bandwidth("-5Mbps"), None);
+    }
+
+    #[test]
+    fn unknown_node_in_link_is_an_error() {
+        let text = "experiment:\n  services:\n    name: a\n  links:\n    orig: a\n    dest: ghost\n";
+        let err = parse_experiment(text).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownNode { name } if name == "ghost"));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let text = "experiment:\n  services:\n    just some words\n";
+        let err = parse_experiment(text).unwrap_err();
+        assert!(matches!(err, ParseError::MalformedLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let text =
+            "experiment:\n  services:\n    name: a\n    name: b\n  links:\n    orig: a\n    dest: b\n    latency: fast\n";
+        let err = parse_experiment(text).unwrap_err();
+        assert!(matches!(err, ParseError::BadValue { key, .. } if key == "latency"));
+    }
+
+    #[test]
+    fn dynamic_without_time_is_an_error() {
+        let text = "dynamic:\n  orig: a\n  dest: b\n  jitter: 1\n";
+        let err = parse_experiment(text).unwrap_err();
+        assert!(matches!(err, ParseError::MissingKey { key, .. } if key == "time"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\nexperiment:\n\n  services:\n    name: a # trailing comment\n    image: \"img\"\n";
+        let exp = parse_experiment(text).unwrap();
+        assert_eq!(exp.topology.service_ids().len(), 1);
+    }
+
+    #[test]
+    fn bare_bandwidth_key_is_accepted() {
+        let text = "experiment:\n  services:\n    name: a\n    name: b\n  links:\n    orig: a\n    dest: b\n    bandwidth: 5Mbps\n";
+        let exp = parse_experiment(text).unwrap();
+        let a = exp.topology.node_by_name("a").unwrap();
+        let link = exp.topology.links_from(a).next().unwrap();
+        assert_eq!(link.properties.bandwidth, Bandwidth::from_mbps(5));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ParseError::BadValue {
+            line: 7,
+            key: "up".into(),
+            value: "fast".into(),
+        };
+        assert!(format!("{err}").contains("line 7"));
+        let err = ParseError::UnknownNode { name: "x".into() };
+        assert!(format!("{err}").contains('x'));
+    }
+}

@@ -1,0 +1,373 @@
+//! Dynamic topology events.
+//!
+//! Kollaps supports modifying any link property, and adding or removing
+//! links, bridges and services while the experiment runs (paper §3,
+//! Listing 2). Events are applied to the topology graph; the emulation core
+//! pre-computes the resulting sequence of collapsed snapshots offline so
+//! that sub-second dynamics can be enforced accurately at runtime.
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use crate::model::{LinkProperties, Topology};
+
+/// Optional property overrides carried by a link-related event.
+///
+/// Absent fields keep their previous value (for property changes) or take
+/// defaults (for link joins).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkChange {
+    /// New one-way latency.
+    pub latency: Option<SimDuration>,
+    /// New jitter.
+    pub jitter: Option<SimDuration>,
+    /// New upload (orig → dest) bandwidth.
+    pub up: Option<Bandwidth>,
+    /// New download (dest → orig) bandwidth.
+    pub down: Option<Bandwidth>,
+    /// New loss probability.
+    pub loss: Option<f64>,
+}
+
+/// What a dynamic event does to the topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DynamicAction {
+    /// Changes properties of the existing link(s) between two nodes.
+    SetLinkProperties {
+        /// Source node name.
+        orig: String,
+        /// Destination node name.
+        dest: String,
+        /// The property overrides.
+        change: LinkChange,
+    },
+    /// Adds a (bidirectional) link between two existing nodes.
+    LinkJoin {
+        /// Source node name.
+        orig: String,
+        /// Destination node name.
+        dest: String,
+        /// Properties of the new link.
+        change: LinkChange,
+    },
+    /// Removes every link between two nodes.
+    LinkLeave {
+        /// Source node name.
+        orig: String,
+        /// Destination node name.
+        dest: String,
+    },
+    /// Removes a named node (service or bridge) and all its links.
+    NodeLeave {
+        /// Node name.
+        name: String,
+    },
+    /// Re-adds a previously known bridge by name.
+    ///
+    /// Service joins are handled by the orchestrator (new containers); at
+    /// the topology level a join only needs the node to exist again so that
+    /// subsequent `LinkJoin` events can attach to it.
+    NodeJoin {
+        /// Node name.
+        name: String,
+    },
+}
+
+/// A scheduled change to the topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicEvent {
+    /// When the change takes effect, relative to experiment start.
+    pub at: SimDuration,
+    /// The change itself.
+    pub action: DynamicAction,
+}
+
+/// An ordered schedule of dynamic events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventSchedule {
+    events: Vec<DynamicEvent>,
+}
+
+impl EventSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        EventSchedule::default()
+    }
+
+    /// Adds an event, keeping the schedule sorted by time (stable for equal
+    /// timestamps).
+    pub fn push(&mut self, event: DynamicEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The events in chronological order.
+    pub fn events(&self) -> &[DynamicEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The distinct timestamps at which the topology changes.
+    pub fn change_times(&self) -> Vec<SimDuration> {
+        let mut times: Vec<SimDuration> = self.events.iter().map(|e| e.at).collect();
+        times.dedup();
+        times
+    }
+
+    /// Events taking effect exactly at `at`.
+    pub fn events_at(&self, at: SimDuration) -> impl Iterator<Item = &DynamicEvent> {
+        self.events.iter().filter(move |e| e.at == at)
+    }
+}
+
+/// Applies a dynamic action to a topology in place.
+///
+/// Unknown node names are ignored (a warning-free no-op): the paper's
+/// deployment generator validates names up front, and at runtime a stale
+/// event must never crash the emulation.
+pub fn apply_action(topology: &mut Topology, action: &DynamicAction) {
+    match action {
+        DynamicAction::SetLinkProperties { orig, dest, change } => {
+            let (Some(a), Some(b)) = (topology.node_by_name(orig), topology.node_by_name(dest))
+            else {
+                return;
+            };
+            let updates: Vec<_> = topology
+                .links()
+                .iter()
+                .filter(|l| (l.from == a && l.to == b) || (l.from == b && l.to == a))
+                .map(|l| (l.id, l.from == a, l.properties))
+                .collect();
+            for (id, is_forward, old) in updates {
+                let mut props = old;
+                if let Some(lat) = change.latency {
+                    props.latency = lat;
+                }
+                if let Some(j) = change.jitter {
+                    props.jitter = j;
+                }
+                if let Some(loss) = change.loss {
+                    props.loss = loss;
+                }
+                if is_forward {
+                    if let Some(up) = change.up {
+                        props.bandwidth = up;
+                    }
+                } else if let Some(down) = change.down {
+                    props.bandwidth = down;
+                }
+                topology.set_link_properties(id, props);
+            }
+        }
+        DynamicAction::LinkJoin { orig, dest, change } => {
+            let (Some(a), Some(b)) = (topology.node_by_name(orig), topology.node_by_name(dest))
+            else {
+                return;
+            };
+            let base = LinkProperties {
+                latency: change.latency.unwrap_or(SimDuration::ZERO),
+                jitter: change.jitter.unwrap_or(SimDuration::ZERO),
+                bandwidth: Bandwidth::MAX,
+                loss: change.loss.unwrap_or(0.0),
+            };
+            let up = change.up.unwrap_or(Bandwidth::MAX);
+            let down = change.down.unwrap_or(up);
+            topology.add_asymmetric_link(a, b, base, up, down, "default");
+        }
+        DynamicAction::LinkLeave { orig, dest } => {
+            let (Some(a), Some(b)) = (topology.node_by_name(orig), topology.node_by_name(dest))
+            else {
+                return;
+            };
+            topology.remove_links_between(a, b);
+        }
+        DynamicAction::NodeLeave { name } => {
+            // A service name may refer to several replicas; remove them all.
+            let ids: Vec<_> = topology
+                .nodes()
+                .iter()
+                .filter(|n| {
+                    n.kind.display_name() == *name
+                        || matches!(&n.kind, crate::model::NodeKind::Service { service, .. } if service == name)
+                        || matches!(&n.kind, crate::model::NodeKind::Bridge { name: b } if b == name)
+                })
+                .map(|n| n.id)
+                .collect();
+            for id in ids {
+                topology.remove_node(id);
+            }
+        }
+        DynamicAction::NodeJoin { name } => {
+            if topology.node_by_name(name).is_none() {
+                topology.add_bridge(name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_sim::units::Bandwidth;
+
+    fn base_topology() -> Topology {
+        let mut t = Topology::new();
+        let c1 = t.add_service("c1", 0, "iperf");
+        let s1 = t.add_bridge("s1");
+        let s2 = t.add_bridge("s2");
+        let sv = t.add_service("sv", 0, "nginx");
+        t.add_bidirectional_link(
+            c1,
+            s1,
+            LinkProperties::new(SimDuration::from_millis(10), Bandwidth::from_mbps(10)),
+            "net",
+        );
+        t.add_bidirectional_link(
+            s1,
+            s2,
+            LinkProperties::new(SimDuration::from_millis(20), Bandwidth::from_mbps(100)),
+            "net",
+        );
+        t.add_bidirectional_link(
+            s2,
+            sv,
+            LinkProperties::new(SimDuration::from_millis(5), Bandwidth::from_mbps(50)),
+            "net",
+        );
+        t
+    }
+
+    #[test]
+    fn schedule_stays_sorted() {
+        let mut s = EventSchedule::new();
+        s.push(DynamicEvent {
+            at: SimDuration::from_secs(200),
+            action: DynamicAction::NodeLeave { name: "s1".into() },
+        });
+        s.push(DynamicEvent {
+            at: SimDuration::from_secs(120),
+            action: DynamicAction::SetLinkProperties {
+                orig: "c1".into(),
+                dest: "s1".into(),
+                change: LinkChange {
+                    jitter: Some(SimDuration::from_millis_f64(0.5)),
+                    ..LinkChange::default()
+                },
+            },
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].at, SimDuration::from_secs(120));
+        assert_eq!(s.change_times().len(), 2);
+        assert_eq!(s.events_at(SimDuration::from_secs(200)).count(), 1);
+    }
+
+    #[test]
+    fn set_properties_updates_both_directions() {
+        let mut t = base_topology();
+        apply_action(
+            &mut t,
+            &DynamicAction::SetLinkProperties {
+                orig: "c1".into(),
+                dest: "s1".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(99)),
+                    up: Some(Bandwidth::from_mbps(1)),
+                    down: Some(Bandwidth::from_mbps(2)),
+                    ..LinkChange::default()
+                },
+            },
+        );
+        let c1 = t.node_by_name("c1").unwrap();
+        let s1 = t.node_by_name("s1").unwrap();
+        let fwd = t
+            .links()
+            .iter()
+            .find(|l| l.from == c1 && l.to == s1)
+            .unwrap();
+        let back = t
+            .links()
+            .iter()
+            .find(|l| l.from == s1 && l.to == c1)
+            .unwrap();
+        assert_eq!(fwd.properties.latency, SimDuration::from_millis(99));
+        assert_eq!(back.properties.latency, SimDuration::from_millis(99));
+        assert_eq!(fwd.properties.bandwidth, Bandwidth::from_mbps(1));
+        assert_eq!(back.properties.bandwidth, Bandwidth::from_mbps(2));
+    }
+
+    #[test]
+    fn link_join_and_leave() {
+        let mut t = base_topology();
+        let before = t.link_count();
+        apply_action(
+            &mut t,
+            &DynamicAction::LinkJoin {
+                orig: "c1".into(),
+                dest: "s2".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(10)),
+                    up: Some(Bandwidth::from_mbps(100)),
+                    down: Some(Bandwidth::from_mbps(100)),
+                    ..LinkChange::default()
+                },
+            },
+        );
+        assert_eq!(t.link_count(), before + 2);
+        apply_action(
+            &mut t,
+            &DynamicAction::LinkLeave {
+                orig: "c1".into(),
+                dest: "s2".into(),
+            },
+        );
+        assert_eq!(t.link_count(), before);
+    }
+
+    #[test]
+    fn node_leave_removes_links_and_join_restores_bridge() {
+        let mut t = base_topology();
+        apply_action(&mut t, &DynamicAction::NodeLeave { name: "s1".into() });
+        assert!(t.node_by_name("s1").is_none());
+        // Links c1<->s1 and s1<->s2 are gone (4 of the original 6).
+        assert_eq!(t.link_count(), 2);
+        apply_action(&mut t, &DynamicAction::NodeJoin { name: "s1".into() });
+        assert!(t.node_by_name("s1").is_some());
+    }
+
+    #[test]
+    fn service_leave_by_service_name_removes_all_replicas() {
+        let mut t = Topology::new();
+        t.add_service("sv", 0, "img");
+        t.add_service("sv", 1, "img");
+        t.add_service("other", 0, "img");
+        apply_action(&mut t, &DynamicAction::NodeLeave { name: "sv".into() });
+        assert_eq!(t.service_ids().len(), 1);
+        assert!(t.node_by_name("other").is_some());
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let mut t = base_topology();
+        let links = t.link_count();
+        apply_action(
+            &mut t,
+            &DynamicAction::LinkLeave {
+                orig: "ghost".into(),
+                dest: "s1".into(),
+            },
+        );
+        apply_action(&mut t, &DynamicAction::NodeLeave { name: "ghost".into() });
+        assert_eq!(t.link_count(), links);
+    }
+}

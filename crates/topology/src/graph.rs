@@ -1,0 +1,417 @@
+//! Graph structure and shortest-path computation over a topology.
+//!
+//! The Emulation Manager parses the topology into a graph and computes the
+//! shortest path between every pair of reachable containers (paper §3).
+//! Paths are weighted by link latency, matching the intuition that routing
+//! in the target network follows the lowest-latency route; ties are broken
+//! by hop count and then deterministically by link id so that every
+//! Emulation Manager instance computes exactly the same paths.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use crate::model::{LinkId, LinkSpec, NodeId, Topology};
+
+/// A path through the topology, as an ordered list of link ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Path {
+    /// Links traversed, in order from source to destination.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Number of hops (links) in the path.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// An adjacency-list view of a [`Topology`] with shortest-path queries.
+#[derive(Debug, Clone)]
+pub struct TopologyGraph {
+    /// Outgoing links per node.
+    adjacency: HashMap<NodeId, Vec<LinkSpec>>,
+    nodes: Vec<NodeId>,
+    services: Vec<NodeId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    cost_nanos: u64,
+    hops: u32,
+    node: NodeId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (cost, hops, node id) via reversed comparison.
+        other
+            .cost_nanos
+            .cmp(&self.cost_nanos)
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopologyGraph {
+    /// Builds the adjacency view of `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        let mut adjacency: HashMap<NodeId, Vec<LinkSpec>> = HashMap::new();
+        for node in topology.nodes() {
+            adjacency.entry(node.id).or_default();
+        }
+        for link in topology.links() {
+            adjacency.entry(link.from).or_default().push(link.clone());
+        }
+        // Deterministic neighbour order.
+        for links in adjacency.values_mut() {
+            links.sort_by_key(|l| l.id);
+        }
+        TopologyGraph {
+            adjacency,
+            nodes: topology.nodes().iter().map(|n| n.id).collect(),
+            services: topology.service_ids(),
+        }
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// All service node ids.
+    pub fn services(&self) -> &[NodeId] {
+        &self.services
+    }
+
+    /// Outgoing links of `node`.
+    pub fn links_from(&self, node: NodeId) -> &[LinkSpec] {
+        self.adjacency.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Shortest paths (by cumulative latency) from `source` to every
+    /// reachable node. Returns a map `destination → path`.
+    pub fn shortest_paths_from(&self, source: NodeId) -> HashMap<NodeId, Path> {
+        #[derive(Clone, Copy)]
+        struct Best {
+            cost_nanos: u64,
+            hops: u32,
+            via: Option<(NodeId, LinkId)>,
+        }
+
+        let mut best: HashMap<NodeId, Best> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        best.insert(
+            source,
+            Best {
+                cost_nanos: 0,
+                hops: 0,
+                via: None,
+            },
+        );
+        heap.push(QueueEntry {
+            cost_nanos: 0,
+            hops: 0,
+            node: source,
+        });
+
+        while let Some(entry) = heap.pop() {
+            let current = best.get(&entry.node).copied();
+            if let Some(cur) = current {
+                if entry.cost_nanos > cur.cost_nanos
+                    || (entry.cost_nanos == cur.cost_nanos && entry.hops > cur.hops)
+                {
+                    continue;
+                }
+            }
+            for link in self.links_from(entry.node) {
+                let next_cost = entry.cost_nanos + link.properties.latency.as_nanos();
+                let next_hops = entry.hops + 1;
+                let better = match best.get(&link.to) {
+                    None => true,
+                    Some(b) => {
+                        next_cost < b.cost_nanos
+                            || (next_cost == b.cost_nanos && next_hops < b.hops)
+                    }
+                };
+                if better {
+                    best.insert(
+                        link.to,
+                        Best {
+                            cost_nanos: next_cost,
+                            hops: next_hops,
+                            via: Some((entry.node, link.id)),
+                        },
+                    );
+                    heap.push(QueueEntry {
+                        cost_nanos: next_cost,
+                        hops: next_hops,
+                        node: link.to,
+                    });
+                }
+            }
+        }
+
+        // Reconstruct paths.
+        let mut out = HashMap::new();
+        for (&dst, info) in &best {
+            if dst == source {
+                continue;
+            }
+            let mut links = Vec::new();
+            let mut cursor = dst;
+            let mut guard = 0;
+            while cursor != source {
+                let Some(b) = best.get(&cursor) else { break };
+                let Some((prev, link)) = b.via else { break };
+                links.push(link);
+                cursor = prev;
+                guard += 1;
+                if guard > self.nodes.len() {
+                    break;
+                }
+            }
+            if cursor == source {
+                links.reverse();
+                out.insert(dst, Path { links });
+            }
+            let _ = info;
+        }
+        out
+    }
+
+    /// Shortest paths between every ordered pair of *services*, the input of
+    /// the collapsing step. Unreachable pairs are absent from the map.
+    pub fn all_pairs_service_paths(&self) -> HashMap<(NodeId, NodeId), Path> {
+        let mut out = HashMap::new();
+        for &src in &self.services {
+            let paths = self.shortest_paths_from(src);
+            for &dst in &self.services {
+                if src == dst {
+                    continue;
+                }
+                if let Some(p) = paths.get(&dst) {
+                    out.insert((src, dst), p.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if `dst` is reachable from `src`.
+    pub fn is_reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return true;
+        }
+        self.shortest_paths_from(src).contains_key(&dst)
+    }
+}
+
+/// End-to-end properties of a path, composed with the formulas of paper §3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathProperties {
+    /// Sum of the link latencies.
+    pub latency: SimDuration,
+    /// Root of the sum of squared link jitters.
+    pub jitter: SimDuration,
+    /// `1 - Π(1 - loss_i)`.
+    pub loss: f64,
+    /// Minimum link bandwidth along the path.
+    pub max_bandwidth: Bandwidth,
+}
+
+impl PathProperties {
+    /// Composes the end-to-end properties of `path` over `topology`.
+    ///
+    /// Returns `None` if any link of the path no longer exists in the
+    /// topology (e.g. after a dynamic removal).
+    pub fn compose(topology: &Topology, path: &Path) -> Option<PathProperties> {
+        let mut latency = SimDuration::ZERO;
+        let mut jitter_sq = 0.0_f64;
+        let mut success = 1.0_f64;
+        let mut bandwidth = Bandwidth::MAX;
+        for link_id in &path.links {
+            let link = topology.link(*link_id)?;
+            latency += link.properties.latency;
+            jitter_sq += link.properties.jitter.as_millis_f64().powi(2);
+            success *= 1.0 - link.properties.loss;
+            bandwidth = bandwidth.min(link.properties.bandwidth);
+        }
+        Some(PathProperties {
+            latency,
+            jitter: SimDuration::from_millis_f64(jitter_sq.sqrt()),
+            loss: 1.0 - success,
+            max_bandwidth: bandwidth,
+        })
+    }
+
+    /// Round-trip time of a symmetric path (twice the one-way latency).
+    pub fn rtt(&self) -> SimDuration {
+        self.latency * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkProperties;
+
+    fn props(ms: u64, mbps: u64) -> LinkProperties {
+        LinkProperties::new(SimDuration::from_millis(ms), Bandwidth::from_mbps(mbps))
+    }
+
+    /// Builds the Figure 1 topology from the paper and returns
+    /// `(topology, c1, sv1, sv2)`.
+    fn figure1() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c1 = t.add_service("c1", 0, "iperf");
+        let sv1 = t.add_service("sv", 0, "nginx");
+        let sv2 = t.add_service("sv", 1, "nginx");
+        let s1 = t.add_bridge("s1");
+        let s2 = t.add_bridge("s2");
+        t.add_bidirectional_link(c1, s1, props(10, 10), "net");
+        t.add_bidirectional_link(s1, s2, props(20, 100), "net");
+        t.add_bidirectional_link(s2, sv1, props(5, 50), "net");
+        t.add_bidirectional_link(s2, sv2, props(5, 50), "net");
+        (t, c1, sv1, sv2)
+    }
+
+    #[test]
+    fn figure1_collapses_to_paper_values() {
+        let (t, c1, sv1, sv2) = figure1();
+        let g = TopologyGraph::new(&t);
+        let paths = g.all_pairs_service_paths();
+
+        // c1 -> sv1: 10 + 20 + 5 = 35 ms, min bandwidth 10 Mb/s.
+        let p = &paths[&(c1, sv1)];
+        assert_eq!(p.hop_count(), 3);
+        let pp = PathProperties::compose(&t, p).unwrap();
+        assert_eq!(pp.latency, SimDuration::from_millis(35));
+        assert_eq!(pp.max_bandwidth, Bandwidth::from_mbps(10));
+
+        // sv1 -> sv2: 5 + 5 = 10 ms, 50 Mb/s — the right side of Figure 1.
+        let pp2 = PathProperties::compose(&t, &paths[&(sv1, sv2)]).unwrap();
+        assert_eq!(pp2.latency, SimDuration::from_millis(10));
+        assert_eq!(pp2.max_bandwidth, Bandwidth::from_mbps(50));
+
+        // All 6 ordered service pairs are reachable.
+        assert_eq!(paths.len(), 6);
+    }
+
+    #[test]
+    fn jitter_composes_as_root_sum_of_squares() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_bridge("s");
+        let c = t.add_service("c", 0, "x");
+        let p1 = props(10, 100).with_jitter(SimDuration::from_millis(3));
+        let p2 = props(10, 100).with_jitter(SimDuration::from_millis(4));
+        t.add_link(a, b, p1, "net");
+        t.add_link(b, c, p2, "net");
+        let g = TopologyGraph::new(&t);
+        let path = &g.all_pairs_service_paths()[&(a, c)];
+        let pp = PathProperties::compose(&t, path).unwrap();
+        // sqrt(3^2 + 4^2) = 5 ms.
+        assert_eq!(pp.jitter, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn loss_composes_multiplicatively() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_bridge("s");
+        let c = t.add_service("c", 0, "x");
+        t.add_link(a, b, props(1, 10).with_loss(0.1), "net");
+        t.add_link(b, c, props(1, 10).with_loss(0.2), "net");
+        let g = TopologyGraph::new(&t);
+        let path = &g.all_pairs_service_paths()[&(a, c)];
+        let pp = PathProperties::compose(&t, path).unwrap();
+        assert!((pp.loss - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_prefers_lower_latency() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_service("b", 0, "x");
+        let s1 = t.add_bridge("s1");
+        let s2 = t.add_bridge("s2");
+        // Fast route a -> s1 -> b (2 ms), slow direct-ish route a -> s2 -> b (30 ms).
+        t.add_link(a, s1, props(1, 10), "net");
+        t.add_link(s1, b, props(1, 10), "net");
+        t.add_link(a, s2, props(10, 1000), "net");
+        t.add_link(s2, b, props(20, 1000), "net");
+        let g = TopologyGraph::new(&t);
+        let path = &g.all_pairs_service_paths()[&(a, b)];
+        let pp = PathProperties::compose(&t, path).unwrap();
+        assert_eq!(pp.latency, SimDuration::from_millis(2));
+        assert_eq!(pp.max_bandwidth, Bandwidth::from_mbps(10));
+    }
+
+    #[test]
+    fn equal_latency_ties_break_by_hop_count() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_service("b", 0, "x");
+        let s1 = t.add_bridge("s1");
+        let s2 = t.add_bridge("s2");
+        // Two-hop route with 10 ms total vs three-hop route with 10 ms total.
+        t.add_link(a, s1, props(5, 10), "net");
+        t.add_link(s1, b, props(5, 10), "net");
+        t.add_link(a, s2, props(4, 10), "net");
+        t.add_link(s2, s1, props(3, 10), "net");
+        let g = TopologyGraph::new(&t);
+        let path = &g.all_pairs_service_paths()[&(a, b)];
+        assert_eq!(path.hop_count(), 2);
+    }
+
+    #[test]
+    fn unreachable_pairs_are_absent() {
+        let mut t = Topology::new();
+        let a = t.add_service("a", 0, "x");
+        let b = t.add_service("b", 0, "x");
+        // A link exists only from a to b, so b cannot reach a.
+        let s = t.add_bridge("s");
+        t.add_link(a, s, props(1, 1), "net");
+        t.add_link(s, b, props(1, 1), "net");
+        let g = TopologyGraph::new(&t);
+        let paths = g.all_pairs_service_paths();
+        assert!(paths.contains_key(&(a, b)));
+        assert!(!paths.contains_key(&(b, a)));
+        assert!(g.is_reachable(a, b));
+        assert!(!g.is_reachable(b, a));
+        assert!(g.is_reachable(a, a));
+    }
+
+    #[test]
+    fn compose_fails_for_stale_paths() {
+        let (mut t, c1, sv1, _) = figure1();
+        let g = TopologyGraph::new(&t);
+        let path = g.all_pairs_service_paths()[&(c1, sv1)].clone();
+        // Remove one of the links the path uses.
+        t.remove_link(path.links[0]);
+        assert!(PathProperties::compose(&t, &path).is_none());
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way() {
+        let pp = PathProperties {
+            latency: SimDuration::from_millis(17),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            max_bandwidth: Bandwidth::from_mbps(1),
+        };
+        assert_eq!(pp.rtt(), SimDuration::from_millis(34));
+    }
+}

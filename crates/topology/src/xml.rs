@@ -1,0 +1,291 @@
+//! Parser for the ModelNet-like XML topology syntax.
+//!
+//! Kollaps accepts an XML syntax compatible with ModelNet topology files to
+//! ease porting of existing descriptions (paper §3). The format is a flat
+//! list of vertices and edges:
+//!
+//! ```xml
+//! <topology>
+//!   <vertices>
+//!     <vertex int_idx="0" role="gateway" />
+//!     <vertex int_idx="1" role="virtnode" int_vn="1" />
+//!   </vertices>
+//!   <edges>
+//!     <edge int_src="1" int_dst="0" int_delayms="10" dbl_kbps="10000" int_idx="0" />
+//!   </edges>
+//! </topology>
+//! ```
+//!
+//! `role="virtnode"` vertices become services; every other role becomes a
+//! bridge. Edges are interpreted as bidirectional unless a reverse edge with
+//! its own attributes is present, in which case each direction keeps its own
+//! properties.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+
+use crate::model::{LinkProperties, NodeId, Topology};
+
+/// Errors from the XML topology parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// An element is missing a required attribute.
+    MissingAttribute {
+        /// Element name (`vertex` or `edge`).
+        element: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// An attribute value could not be parsed as a number.
+    BadNumber {
+        /// The attribute name.
+        attribute: String,
+        /// The offending value.
+        value: String,
+    },
+    /// An edge references a vertex index that was never declared.
+    UnknownVertex {
+        /// The unknown index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing attribute `{attribute}`")
+            }
+            XmlError::BadNumber { attribute, value } => {
+                write!(f, "attribute `{attribute}` has non-numeric value `{value}`")
+            }
+            XmlError::UnknownVertex { index } => {
+                write!(f, "edge references undeclared vertex {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A start/empty tag with its attributes.
+#[derive(Debug, Clone)]
+struct Tag {
+    name: String,
+    attributes: HashMap<String, String>,
+}
+
+/// Extracts all tags from the document in order (a minimal scanner, not a
+/// general XML parser — enough for the flat ModelNet format).
+fn scan_tags(input: &str) -> Vec<Tag> {
+    let mut tags = Vec::new();
+    let mut rest = input;
+    while let Some(start) = rest.find('<') {
+        let Some(end_rel) = rest[start..].find('>') else {
+            break;
+        };
+        let inner = &rest[start + 1..start + end_rel];
+        rest = &rest[start + end_rel + 1..];
+        let inner = inner.trim().trim_end_matches('/').trim();
+        if inner.starts_with('/') || inner.starts_with('!') || inner.starts_with('?') {
+            continue;
+        }
+        let mut parts = inner.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or("").to_ascii_lowercase();
+        let mut attributes = HashMap::new();
+        if let Some(attr_text) = parts.next() {
+            let mut chars = attr_text.char_indices().peekable();
+            while let Some(&(i, _)) = chars.peek() {
+                // Find `key="value"` pairs.
+                let Some(eq) = attr_text[i..].find('=') else { break };
+                let key = attr_text[i..i + eq].trim().to_ascii_lowercase();
+                let after = i + eq + 1;
+                let Some(q1) = attr_text[after..].find('"') else { break };
+                let vstart = after + q1 + 1;
+                let Some(q2) = attr_text[vstart..].find('"') else { break };
+                let value = attr_text[vstart..vstart + q2].to_string();
+                if !key.is_empty() {
+                    attributes.insert(key, value);
+                }
+                // Advance the iterator past the closing quote.
+                let next_pos = vstart + q2 + 1;
+                while let Some(&(j, _)) = chars.peek() {
+                    if j < next_pos {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if chars.peek().is_none() {
+                    break;
+                }
+            }
+        }
+        tags.push(Tag { name, attributes });
+    }
+    tags
+}
+
+fn parse_attr_u32(tag: &Tag, attr: &str) -> Result<u32, XmlError> {
+    let v = tag
+        .attributes
+        .get(attr)
+        .ok_or_else(|| XmlError::MissingAttribute {
+            element: tag.name.clone(),
+            attribute: attr.to_string(),
+        })?;
+    v.parse().map_err(|_| XmlError::BadNumber {
+        attribute: attr.to_string(),
+        value: v.clone(),
+    })
+}
+
+fn parse_attr_f64(tag: &Tag, attr: &str) -> Result<Option<f64>, XmlError> {
+    match tag.attributes.get(attr) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| XmlError::BadNumber {
+            attribute: attr.to_string(),
+            value: v.clone(),
+        }),
+    }
+}
+
+/// Parses a ModelNet-like XML topology.
+pub fn parse_modelnet_xml(input: &str) -> Result<Topology, XmlError> {
+    let tags = scan_tags(input);
+    let mut topo = Topology::new();
+    let mut by_index: HashMap<u32, NodeId> = HashMap::new();
+
+    for tag in tags.iter().filter(|t| t.name == "vertex") {
+        let idx = parse_attr_u32(tag, "int_idx")?;
+        let role = tag
+            .attributes
+            .get("role")
+            .map(String::as_str)
+            .unwrap_or("gateway");
+        let id = if role.eq_ignore_ascii_case("virtnode") {
+            topo.add_service(&format!("vn-{idx}"), 0, "modelnet-node")
+        } else {
+            topo.add_bridge(&format!("gw-{idx}"))
+        };
+        by_index.insert(idx, id);
+    }
+
+    for tag in tags.iter().filter(|t| t.name == "edge") {
+        let src = parse_attr_u32(tag, "int_src")?;
+        let dst = parse_attr_u32(tag, "int_dst")?;
+        let from = *by_index
+            .get(&src)
+            .ok_or(XmlError::UnknownVertex { index: src })?;
+        let to = *by_index
+            .get(&dst)
+            .ok_or(XmlError::UnknownVertex { index: dst })?;
+        let delay_ms = parse_attr_f64(tag, "int_delayms")?
+            .or(parse_attr_f64(tag, "dbl_delayms")?)
+            .unwrap_or(0.0);
+        let kbps = parse_attr_f64(tag, "dbl_kbps")?
+            .or(parse_attr_f64(tag, "int_kbps")?)
+            .unwrap_or(f64::MAX);
+        let loss = parse_attr_f64(tag, "dbl_plr")?.unwrap_or(0.0).clamp(0.0, 1.0);
+        let bandwidth = if kbps == f64::MAX {
+            Bandwidth::MAX
+        } else {
+            Bandwidth::from_bps((kbps * 1_000.0) as u64)
+        };
+        let props = LinkProperties {
+            latency: SimDuration::from_millis_f64(delay_ms.max(0.0)),
+            jitter: SimDuration::ZERO,
+            bandwidth,
+            loss,
+        };
+        topo.add_link(from, to, props, "modelnet");
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+<topology>
+  <vertices>
+    <vertex int_idx="0" role="gateway" />
+    <vertex int_idx="1" role="virtnode" int_vn="1" />
+    <vertex int_idx="2" role="virtnode" int_vn="2" />
+  </vertices>
+  <edges>
+    <edge int_src="1" int_dst="0" int_delayms="10" dbl_kbps="10000" int_idx="0" />
+    <edge int_src="0" int_dst="1" int_delayms="10" dbl_kbps="10000" int_idx="1" />
+    <edge int_src="2" int_dst="0" int_delayms="5" dbl_kbps="50000" int_idx="2" />
+    <edge int_src="0" int_dst="2" int_delayms="5" dbl_kbps="50000" int_idx="3" />
+  </edges>
+</topology>
+"#;
+
+    #[test]
+    fn parses_vertices_and_edges() {
+        let t = parse_modelnet_xml(SAMPLE).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.service_ids().len(), 2);
+        assert_eq!(t.bridge_ids().len(), 1);
+        assert_eq!(t.link_count(), 4);
+        let vn1 = t.node_by_name("vn-1").unwrap();
+        let link = t.links_from(vn1).next().unwrap();
+        assert_eq!(link.properties.latency, SimDuration::from_millis(10));
+        assert_eq!(link.properties.bandwidth, Bandwidth::from_mbps(10));
+    }
+
+    #[test]
+    fn missing_attribute_is_an_error() {
+        let bad = r#"<topology><vertices><vertex role="gateway"/></vertices></topology>"#;
+        let err = parse_modelnet_xml(bad).unwrap_err();
+        assert!(matches!(err, XmlError::MissingAttribute { attribute, .. } if attribute == "int_idx"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let bad = r#"<vertex int_idx="zero" role="gateway"/>"#;
+        let err = parse_modelnet_xml(bad).unwrap_err();
+        assert!(matches!(err, XmlError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn unknown_vertex_reference_is_an_error() {
+        let bad = r#"
+<vertex int_idx="0" role="gateway"/>
+<edge int_src="0" int_dst="9" int_delayms="1"/>
+"#;
+        let err = parse_modelnet_xml(bad).unwrap_err();
+        assert!(matches!(err, XmlError::UnknownVertex { index: 9 }));
+    }
+
+    #[test]
+    fn loss_attribute_is_applied() {
+        let doc = r#"
+<vertex int_idx="0" role="virtnode"/>
+<vertex int_idx="1" role="virtnode"/>
+<edge int_src="0" int_dst="1" int_delayms="1" dbl_kbps="1000" dbl_plr="0.05"/>
+"#;
+        let t = parse_modelnet_xml(doc).unwrap();
+        assert_eq!(t.links()[0].properties.loss, 0.05);
+    }
+
+    #[test]
+    fn comments_and_closing_tags_are_ignored() {
+        let doc = r#"
+<?xml version="1.0"?>
+<!-- generated -->
+<topology>
+  <vertices>
+    <vertex int_idx="0" role="virtnode"/>
+  </vertices>
+</topology>
+"#;
+        let t = parse_modelnet_xml(doc).unwrap();
+        assert_eq!(t.node_count(), 1);
+    }
+}

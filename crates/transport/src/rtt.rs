@@ -1,0 +1,133 @@
+//! Smoothed round-trip-time estimation and retransmission timeouts.
+//!
+//! Follows the RFC 6298 formulas: `SRTT ← (1-α)·SRTT + α·R`,
+//! `RTTVAR ← (1-β)·RTTVAR + β·|SRTT-R|`, `RTO = SRTT + 4·RTTVAR`, with the
+//! Linux-like 200 ms lower bound (spurious timeouts on short emulated paths
+//! would otherwise collapse the congestion window for no reason).
+
+use kollaps_sim::time::SimDuration;
+
+/// Exponentially-smoothed RTT estimator with RTO computation.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    latest: SimDuration,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new()
+    }
+}
+
+impl RttEstimator {
+    /// Creates an estimator with no samples yet.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            latest: SimDuration::ZERO,
+        }
+    }
+
+    /// Feeds a new RTT measurement.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.latest = sample;
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                self.rttvar = SimDuration::from_nanos(
+                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
+                );
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(SimDuration::from_nanos(
+                    (srtt.as_nanos() * 7 + sample.as_nanos()) / 8,
+                ));
+            }
+        }
+    }
+
+    /// Smoothed RTT, if at least one sample has been recorded.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The most recent raw sample.
+    pub fn latest(&self) -> SimDuration {
+        self.latest
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => SimDuration::from_secs(1),
+            Some(srtt) => {
+                let rto = srtt + self.rttvar * 4;
+                rto.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.record(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges_to_stable_rtt() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.record(SimDuration::from_millis(40));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 40.0).abs() < 0.5);
+        // Variance collapses, so the RTO hits the 200 ms lower clamp.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn spikes_raise_the_rto() {
+        let mut e = RttEstimator::new();
+        for _ in 0..10 {
+            e.record(SimDuration::from_millis(20));
+        }
+        let before = e.rto();
+        e.record(SimDuration::from_millis(200));
+        assert!(e.rto() > before);
+        assert_eq!(e.latest(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_is_clamped() {
+        let mut e = RttEstimator::new();
+        e.record(SimDuration::from_micros(100));
+        assert!(e.rto() >= SimDuration::from_millis(200));
+        e.record(SimDuration::from_secs(120));
+        assert!(e.rto() <= SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,240 @@
+//! HTTP-like request workloads: curl (connection per request) and wrk2
+//! (persistent connections, continuous requests).
+
+use kollaps_core::runtime::{Dataplane, Runtime, RuntimeEvent};
+use kollaps_netmodel::packet::{Addr, FlowId};
+use kollaps_sim::prelude::*;
+use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
+
+use std::collections::HashMap;
+
+/// Result of an HTTP-style workload run.
+#[derive(Debug, Clone, Default)]
+pub struct HttpReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+    /// Average server throughput over the run (Mb/s).
+    pub throughput_mbps: f64,
+    /// Per-request completion latencies in milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Per-second delivered throughput (Mb/s), aggregated over all clients.
+    pub per_second_mbps: Vec<f64>,
+}
+
+fn finalize(report: &mut HttpReport, duration: SimDuration) {
+    report.throughput_mbps = DataSize::from_bytes(report.bytes)
+        .rate_over(duration)
+        .as_mbps();
+}
+
+/// Runs curl-like clients: every client repeatedly downloads `request_size`
+/// bytes from the server, opening a **new connection** for each request
+/// (paper §5.3, Figure 6). Connection setup costs one handshake round trip,
+/// which is modelled by restarting the transfer in slow start.
+pub fn run_curl_clients<D: Dataplane>(
+    rt: &mut Runtime<D>,
+    pairs: &[(Addr, Addr)],
+    request_size: DataSize,
+    duration: SimDuration,
+) -> HttpReport {
+    let start = rt.now();
+    let end = start + duration;
+    let mut report = HttpReport::default();
+    let mut owner: HashMap<FlowId, usize> = HashMap::new();
+    let mut started_at: HashMap<FlowId, SimTime> = HashMap::new();
+    // One outstanding request per client at a time.
+    for (i, &(server, client)) in pairs.iter().enumerate() {
+        let flow = rt.add_tcp_flow(
+            server,
+            client,
+            TransferSize::Bytes(request_size.as_bytes()),
+            TcpSenderConfig::default(),
+            start,
+        );
+        owner.insert(flow, i);
+        started_at.insert(flow, start);
+    }
+    let step = SimDuration::from_millis(100);
+    let mut now = start;
+    let mut per_second: HashMap<u64, u64> = HashMap::new();
+    while now < end {
+        now = (now + step).min(end);
+        for ev in rt.run_until(now) {
+            if let RuntimeEvent::TcpCompleted { flow, at } = ev {
+                let Some(&client_idx) = owner.get(&flow) else {
+                    continue;
+                };
+                report.requests += 1;
+                report.bytes += request_size.as_bytes();
+                *per_second.entry(at.as_secs_f64() as u64).or_default() +=
+                    request_size.as_bytes();
+                if let Some(t0) = started_at.get(&flow) {
+                    report.latencies_ms.push((at - *t0).as_millis_f64());
+                }
+                rt.stop_tcp_flow(flow);
+                if at < end {
+                    // New connection for the next request.
+                    let (server, client) = pairs[client_idx];
+                    let next = rt.add_tcp_flow(
+                        server,
+                        client,
+                        TransferSize::Bytes(request_size.as_bytes()),
+                        TcpSenderConfig::default(),
+                        at,
+                    );
+                    owner.insert(next, client_idx);
+                    started_at.insert(next, at);
+                }
+            }
+        }
+    }
+    let max_sec = duration.as_secs_f64() as u64;
+    report.per_second_mbps = (0..max_sec)
+        .map(|s| {
+            DataSize::from_bytes(per_second.get(&s).copied().unwrap_or(0))
+                .rate_over(SimDuration::from_secs(1))
+                .as_mbps()
+        })
+        .collect();
+    finalize(&mut report, duration);
+    report
+}
+
+/// Runs a wrk2-like workload: `connections` persistent connections to the
+/// server, each with a continuous stream of `request_size` responses (the
+/// default wrk2 configuration keeps 100 connections busy).
+pub fn run_wrk2<D: Dataplane>(
+    rt: &mut Runtime<D>,
+    server: Addr,
+    client: Addr,
+    connections: usize,
+    request_size: DataSize,
+    duration: SimDuration,
+) -> HttpReport {
+    let start = rt.now();
+    let end = start + duration;
+    let mut report = HttpReport::default();
+    let mut flows = Vec::new();
+    for _ in 0..connections {
+        let flow = rt.add_tcp_flow(
+            server,
+            client,
+            TransferSize::Bytes(request_size.as_bytes()),
+            TcpSenderConfig::default(),
+            start,
+        );
+        flows.push(flow);
+    }
+    let step = SimDuration::from_millis(100);
+    let mut now = start;
+    let mut per_second: HashMap<u64, u64> = HashMap::new();
+    while now < end {
+        now = (now + step).min(end);
+        for ev in rt.run_until(now) {
+            if let RuntimeEvent::TcpCompleted { flow, at } = ev {
+                report.requests += 1;
+                report.bytes += request_size.as_bytes();
+                *per_second.entry(at.as_secs_f64() as u64).or_default() +=
+                    request_size.as_bytes();
+                if at < end {
+                    // Keep the connection busy with the next response.
+                    rt.push_tcp_bytes(flow, request_size.as_bytes());
+                }
+            }
+        }
+    }
+    let max_sec = duration.as_secs_f64() as u64;
+    report.per_second_mbps = (0..max_sec)
+        .map(|s| {
+            DataSize::from_bytes(per_second.get(&s).copied().unwrap_or(0))
+                .rate_over(SimDuration::from_secs(1))
+                .as_mbps()
+        })
+        .collect();
+    finalize(&mut report, duration);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::emulation::KollapsDataplane;
+    use kollaps_topology::generators;
+
+    fn p2p(mbps: u64) -> (KollapsDataplane, Addr, Addr) {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(mbps),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let a = dp.address_of_index(0);
+        let b = dp.address_of_index(1);
+        (dp, a, b)
+    }
+
+    #[test]
+    fn curl_clients_complete_requests() {
+        let (dp, server, client) = p2p(100);
+        let mut rt = Runtime::new(dp);
+        let report = run_curl_clients(
+            &mut rt,
+            &[(server, client)],
+            DataSize::from_kib(64),
+            SimDuration::from_secs(10),
+        );
+        assert!(report.requests > 20, "only {} requests", report.requests);
+        assert!(report.throughput_mbps > 1.0);
+        assert_eq!(report.latencies_ms.len(), report.requests as usize);
+        assert_eq!(report.per_second_mbps.len(), 10);
+    }
+
+    #[test]
+    fn more_curl_clients_mean_more_throughput() {
+        let (dp, server, client) = p2p(100);
+        let mut rt = Runtime::new(dp);
+        let one = run_curl_clients(
+            &mut rt,
+            &[(server, client)],
+            DataSize::from_kib(64),
+            SimDuration::from_secs(5),
+        );
+        let (dp, server, client) = p2p(100);
+        let mut rt = Runtime::new(dp);
+        let four = run_curl_clients(
+            &mut rt,
+            &[(server, client); 4],
+            DataSize::from_kib(64),
+            SimDuration::from_secs(5),
+        );
+        assert!(
+            four.throughput_mbps > one.throughput_mbps * 2.0,
+            "1 client {:.1} Mb/s, 4 clients {:.1} Mb/s",
+            one.throughput_mbps,
+            four.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn wrk2_keeps_connections_busy() {
+        let (dp, server, client) = p2p(50);
+        let mut rt = Runtime::new(dp);
+        let report = run_wrk2(
+            &mut rt,
+            server,
+            client,
+            10,
+            DataSize::from_kib(64),
+            SimDuration::from_secs(10),
+        );
+        assert!(report.requests > 50, "requests {}", report.requests);
+        // The aggregate rate approaches the 50 Mb/s link.
+        assert!(
+            report.throughput_mbps > 25.0,
+            "throughput {}",
+            report.throughput_mbps
+        );
+    }
+}

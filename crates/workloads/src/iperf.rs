@@ -1,0 +1,128 @@
+//! iPerf3-like bulk-transfer workload.
+
+use kollaps_core::runtime::{Dataplane, Runtime};
+use kollaps_netmodel::packet::Addr;
+use kollaps_sim::prelude::*;
+use kollaps_transport::tcp::{CongestionAlgorithm, TcpSenderConfig, TransferSize};
+
+/// Result of an iPerf-style run.
+#[derive(Debug, Clone)]
+pub struct IperfReport {
+    /// Average receiver-side goodput over the measurement window.
+    pub average: Bandwidth,
+    /// Per-second receiver-side throughput samples (Mb/s).
+    pub per_second: Vec<f64>,
+    /// Sender retransmissions.
+    pub retransmissions: u64,
+}
+
+/// Runs a single long-lived TCP flow from `src` to `dst` for `duration` and
+/// reports the measured goodput (like `iperf3 -c <dst> -t <duration>`).
+pub fn run_iperf_tcp<D: Dataplane>(
+    rt: &mut Runtime<D>,
+    src: Addr,
+    dst: Addr,
+    algorithm: CongestionAlgorithm,
+    duration: SimDuration,
+) -> IperfReport {
+    let start = rt.now();
+    let flow = rt.add_tcp_flow(
+        src,
+        dst,
+        TransferSize::Unbounded,
+        TcpSenderConfig::with_algorithm(algorithm),
+        start,
+    );
+    let end = start + duration;
+    let _ = rt.run_until(end);
+    let bytes = rt.tcp_received_bytes(flow);
+    let per_second = rt
+        .throughput_series(flow)
+        .map(|s| s.points().iter().map(|p| p.value).collect())
+        .unwrap_or_default();
+    let retransmissions = rt
+        .tcp_sender(flow)
+        .map(|s| s.stats().retransmissions)
+        .unwrap_or(0);
+    rt.stop_tcp_flow(flow);
+    IperfReport {
+        average: DataSize::from_bytes(bytes).rate_over(duration),
+        per_second,
+        retransmissions,
+    }
+}
+
+/// Runs a constant-bit-rate UDP flow (like `iperf3 -u -b <rate>`) and
+/// reports the receiver-side delivered rate.
+pub fn run_iperf_udp<D: Dataplane>(
+    rt: &mut Runtime<D>,
+    src: Addr,
+    dst: Addr,
+    rate: Bandwidth,
+    duration: SimDuration,
+) -> IperfReport {
+    let start = rt.now();
+    let end = start + duration;
+    let flow = rt.add_udp_flow(src, dst, rate, start, Some(end));
+    let _ = rt.run_until(end + SimDuration::from_millis(500));
+    let bytes = rt.udp_delivered_bytes(flow);
+    let per_second = rt
+        .throughput_series(flow)
+        .map(|s| s.points().iter().map(|p| p.value).collect())
+        .unwrap_or_default();
+    IperfReport {
+        average: DataSize::from_bytes(bytes).rate_over(duration),
+        per_second,
+        retransmissions: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::emulation::KollapsDataplane;
+    use kollaps_topology::generators;
+
+    #[test]
+    fn tcp_iperf_measures_the_shaped_rate() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(20),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
+        let mut rt = Runtime::new(dp);
+        let report = run_iperf_tcp(
+            &mut rt,
+            a,
+            b,
+            CongestionAlgorithm::Cubic,
+            SimDuration::from_secs(10),
+        );
+        let mbps = report.average.as_mbps();
+        assert!((16.0..=20.5).contains(&mbps), "measured {mbps}");
+        assert!(!report.per_second.is_empty());
+    }
+
+    #[test]
+    fn udp_iperf_measures_delivery() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(2),
+            SimDuration::ZERO,
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
+        let mut rt = Runtime::new(dp);
+        let report = run_iperf_udp(
+            &mut rt,
+            a,
+            b,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_secs(5),
+        );
+        let mbps = report.average.as_mbps();
+        assert!((9.0..=10.5).contains(&mbps), "measured {mbps}");
+    }
+}

@@ -1,0 +1,74 @@
+//! ICMP echo (ping) probe workload.
+
+use kollaps_core::runtime::{Dataplane, Runtime};
+use kollaps_netmodel::packet::Addr;
+use kollaps_sim::prelude::*;
+
+/// Result of a ping run.
+#[derive(Debug, Clone)]
+pub struct PingReport {
+    /// Mean RTT in milliseconds.
+    pub mean_rtt_ms: f64,
+    /// Jitter, reported like `ping` does: the standard deviation of the RTT
+    /// samples in milliseconds.
+    pub jitter_ms: f64,
+    /// Minimum observed RTT.
+    pub min_rtt_ms: f64,
+    /// Maximum observed RTT.
+    pub max_rtt_ms: f64,
+    /// Number of replies received.
+    pub replies: usize,
+    /// All RTT samples (ms).
+    pub samples: Vec<f64>,
+}
+
+/// Sends `count` echo requests every `interval` and reports RTT statistics
+/// (like `ping -c <count> -i <interval>`).
+pub fn run_ping<D: Dataplane>(
+    rt: &mut Runtime<D>,
+    src: Addr,
+    dst: Addr,
+    count: u64,
+    interval: SimDuration,
+) -> PingReport {
+    let start = rt.now();
+    let probe = rt.add_ping(src, dst, interval, count, start);
+    // Leave generous time for the last reply.
+    let deadline = start + interval * count + SimDuration::from_secs(5);
+    let _ = rt.run_until(deadline);
+    let stats = rt.ping_rtts(probe).cloned().unwrap_or_default();
+    PingReport {
+        mean_rtt_ms: stats.mean(),
+        jitter_ms: stats.std_dev(),
+        min_rtt_ms: stats.min(),
+        max_rtt_ms: stats.max(),
+        replies: stats.len(),
+        samples: stats.samples().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_core::emulation::KollapsDataplane;
+    use kollaps_topology::generators;
+
+    #[test]
+    fn ping_reports_rtt_and_jitter() {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(78),
+            SimDuration::from_millis_f64(1.2),
+        );
+        let dp = KollapsDataplane::with_defaults(topo, 1);
+        let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
+        let mut rt = Runtime::new(dp);
+        let report = run_ping(&mut rt, a, b, 500, SimDuration::from_millis(20));
+        assert_eq!(report.replies, 500);
+        // RTT ≈ 2 × 78 ms; jitter composes as sqrt(2) × 1.2 ms ≈ 1.7 ms.
+        assert!((report.mean_rtt_ms - 156.0).abs() < 2.0, "rtt {}", report.mean_rtt_ms);
+        assert!((report.jitter_ms - 1.7).abs() < 0.5, "jitter {}", report.jitter_ms);
+        assert!(report.min_rtt_ms <= report.mean_rtt_ms);
+        assert!(report.max_rtt_ms >= report.mean_rtt_ms);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: describe a topology in the Kollaps DSL, emulate it, and
+//! measure what an application sees.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kollaps::core::emulation::KollapsDataplane;
+use kollaps::core::runtime::Runtime;
+use kollaps::sim::prelude::*;
+use kollaps::topology::dsl::parse_experiment;
+use kollaps::transport::tcp::CongestionAlgorithm;
+use kollaps::workloads::{run_iperf_tcp, run_ping};
+
+const EXPERIMENT: &str = r#"
+experiment:
+  services:
+    name: client
+    image: "iperf3"
+    name: server
+    image: "nginx"
+  bridges:
+    name: s1
+  links:
+    orig: client
+    dest: s1
+    latency: 10
+    up: 50Mbps
+    down: 50Mbps
+    jitter: 0.5
+    orig: s1
+    dest: server
+    latency: 5
+    up: 100Mbps
+    down: 100Mbps
+"#;
+
+fn main() {
+    // 1. Parse the experiment description (paper Listing 1 syntax).
+    let experiment = parse_experiment(EXPERIMENT).expect("valid experiment");
+    println!(
+        "parsed topology: {} services, {} bridges, {} links",
+        experiment.topology.service_ids().len(),
+        experiment.topology.bridge_ids().len(),
+        experiment.topology.link_count()
+    );
+
+    // 2. Build the Kollaps emulation: the topology is collapsed to
+    //    end-to-end properties and enforced by per-container qdisc trees.
+    let dataplane = KollapsDataplane::with_defaults(experiment.topology, 2);
+    let client = dataplane.address_of_index(0);
+    let server = dataplane.address_of_index(1);
+    let collapsed = dataplane.collapsed().clone();
+    for path in collapsed.paths() {
+        println!(
+            "collapsed path {} -> {}: latency {}, max bandwidth {}",
+            path.src, path.dst, path.latency, path.max_bandwidth
+        );
+    }
+
+    // 3. Run applications against the emulated network.
+    let mut rt = Runtime::new(dataplane);
+    let ping = run_ping(&mut rt, client, server, 50, SimDuration::from_millis(100));
+    println!(
+        "ping: mean RTT {:.2} ms, jitter {:.2} ms over {} replies",
+        ping.mean_rtt_ms, ping.jitter_ms, ping.replies
+    );
+    let iperf = run_iperf_tcp(
+        &mut rt,
+        client,
+        server,
+        CongestionAlgorithm::Cubic,
+        SimDuration::from_secs(10),
+    );
+    println!(
+        "iperf: {:.2} Mb/s average goodput ({} retransmissions)",
+        iperf.average.as_mbps(),
+        iperf.retransmissions
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the full Kollaps reproduction API.
+//!
+//! See the individual crates for details; `kollaps::prelude` pulls in the
+//! most common types for writing experiments.
+
+pub use kollaps_baselines as baselines;
+pub use kollaps_core as core;
+pub use kollaps_metadata as metadata;
+pub use kollaps_netmodel as netmodel;
+pub use kollaps_orchestrator as orchestrator;
+pub use kollaps_sim as sim;
+pub use kollaps_topology as topology;
+pub use kollaps_transport as transport;
+pub use kollaps_workloads as workloads;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: experiment description → collapsed
+//! emulation → transport → workloads, compared against the full-state
+//! ground truth.
+
+use kollaps::baselines::GroundTruthDataplane;
+use kollaps::core::emulation::{EmulationConfig, KollapsDataplane};
+use kollaps::core::runtime::Runtime;
+use kollaps::core::CollapsedTopology;
+use kollaps::orchestrator::{Cluster, DeploymentGenerator, Orchestrator};
+use kollaps::sim::prelude::*;
+use kollaps::topology::dsl::parse_experiment;
+use kollaps::topology::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use kollaps::topology::generators;
+use kollaps::transport::tcp::CongestionAlgorithm;
+use kollaps::workloads::{run_iperf_tcp, run_ping};
+
+const EXPERIMENT: &str = r#"
+experiment:
+  services:
+    name: client
+    image: "iperf3"
+    name: server
+    image: "nginx"
+  bridges:
+    name: s1
+    name: s2
+  links:
+    orig: client
+    dest: s1
+    latency: 10
+    up: 20Mbps
+    down: 20Mbps
+    orig: s1
+    dest: s2
+    latency: 15
+    up: 100Mbps
+    down: 100Mbps
+    orig: s2
+    dest: server
+    latency: 5
+    up: 50Mbps
+    down: 50Mbps
+"#;
+
+#[test]
+fn dsl_to_emulation_round_trip() {
+    let experiment = parse_experiment(EXPERIMENT).expect("parse");
+    let collapsed = CollapsedTopology::build(&experiment.topology);
+    let client = experiment.topology.node_by_name("client").unwrap();
+    let server = experiment.topology.node_by_name("server").unwrap();
+    let path = collapsed.path(client, server).expect("reachable");
+    assert_eq!(path.latency, SimDuration::from_millis(30));
+    assert_eq!(path.max_bandwidth, Bandwidth::from_mbps(20));
+
+    // The emulated RTT and goodput match the collapsed expectations.
+    let dp = KollapsDataplane::with_defaults(experiment.topology.clone(), 2);
+    let c = dp.address_of_index(0);
+    let s = dp.address_of_index(1);
+    let mut rt = Runtime::new(dp);
+    let ping = run_ping(&mut rt, c, s, 30, SimDuration::from_millis(200));
+    assert!((ping.mean_rtt_ms - 60.0).abs() < 1.0, "rtt {}", ping.mean_rtt_ms);
+    let iperf = run_iperf_tcp(
+        &mut rt,
+        c,
+        s,
+        CongestionAlgorithm::Cubic,
+        SimDuration::from_secs(10),
+    );
+    let mbps = iperf.average.as_mbps();
+    assert!((15.0..=20.5).contains(&mbps), "goodput {mbps}");
+}
+
+#[test]
+fn kollaps_tracks_ground_truth_on_the_same_workload() {
+    let (topo, _, _) = generators::point_to_point(
+        Bandwidth::from_mbps(100),
+        SimDuration::from_millis(10),
+        SimDuration::ZERO,
+    );
+    // Ground truth (hop-by-hop).
+    let gt = GroundTruthDataplane::new(&topo);
+    let (a, b) = (gt.address_of_index(0), gt.address_of_index(1));
+    let mut rt = Runtime::new(gt);
+    let bare = run_iperf_tcp(
+        &mut rt,
+        a,
+        b,
+        CongestionAlgorithm::Cubic,
+        SimDuration::from_secs(10),
+    )
+    .average
+    .as_mbps();
+    // Kollaps (collapsed).
+    let dp = KollapsDataplane::with_defaults(topo, 1);
+    let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
+    let mut rt = Runtime::new(dp);
+    let kollaps = run_iperf_tcp(
+        &mut rt,
+        a,
+        b,
+        CongestionAlgorithm::Cubic,
+        SimDuration::from_secs(10),
+    )
+    .average
+    .as_mbps();
+    let deviation = (1.0 - kollaps / bare).abs() * 100.0;
+    assert!(
+        deviation < 10.0,
+        "kollaps {kollaps} vs bare metal {bare}: deviation {deviation:.1}%"
+    );
+}
+
+#[test]
+fn dynamic_events_change_the_emulated_network() {
+    let (topo, _, _) = generators::point_to_point(
+        Bandwidth::from_mbps(100),
+        SimDuration::from_millis(10),
+        SimDuration::ZERO,
+    );
+    let mut schedule = EventSchedule::new();
+    schedule.push(DynamicEvent {
+        at: SimDuration::from_secs(3),
+        action: DynamicAction::SetLinkProperties {
+            orig: "client".into(),
+            dest: "server".into(),
+            change: LinkChange {
+                latency: Some(SimDuration::from_millis(50)),
+                ..LinkChange::default()
+            },
+        },
+    });
+    let dp = KollapsDataplane::new(topo, schedule, 1, EmulationConfig::default());
+    let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
+    let mut rt = Runtime::new(dp);
+    let report = run_ping(&mut rt, a, b, 12, SimDuration::from_millis(500));
+    let early = report.samples[..4].iter().sum::<f64>() / 4.0;
+    let late = report.samples[8..].iter().sum::<f64>() / 4.0;
+    assert!((early - 20.0).abs() < 1.0, "early {early}");
+    assert!((late - 100.0).abs() < 2.0, "late {late}");
+}
+
+#[test]
+fn deployment_generator_covers_the_whole_topology() {
+    let experiment = parse_experiment(EXPERIMENT).expect("parse");
+    let generator = DeploymentGenerator::new(Cluster::paper_testbed(3), Orchestrator::Kubernetes);
+    let plan = generator.generate(&experiment.topology);
+    assert_eq!(plan.containers.len(), 2);
+    let manifest = plan.render_manifest();
+    assert!(manifest.contains("kind: Pod"));
+    assert!(manifest.contains("iperf3"));
+}
+
+#[test]
+fn metadata_traffic_scales_with_hosts_not_containers() {
+    let (topo, clients, servers) = generators::dumbbell(
+        8,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    );
+    let collapsed = CollapsedTopology::build(&topo);
+    let mut totals = Vec::new();
+    for hosts in [2usize, 4] {
+        let dp = KollapsDataplane::with_defaults(topo.clone(), hosts);
+        let mut rt = Runtime::new(dp);
+        for i in 0..8 {
+            let c = collapsed.address_of(clients[i]).unwrap();
+            let s = collapsed.address_of(servers[i]).unwrap();
+            rt.add_udp_flow(c, s, Bandwidth::from_mbps(5), SimTime::ZERO, None);
+        }
+        let _ = rt.run_until(SimTime::from_secs(5));
+        totals.push(rt.dataplane.metadata_accounting().total_network_bytes());
+    }
+    assert!(totals[0] > 0);
+    assert!(totals[1] > totals[0], "more hosts, more metadata: {totals:?}");
+}

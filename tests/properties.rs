@@ -1,0 +1,119 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kollaps::core::sharing::{allocate, FlowDemand};
+use kollaps::metadata::codec::{FlowUsage, MetadataMessage};
+use kollaps::sim::prelude::*;
+use kollaps::topology::dsl::parse_bandwidth;
+use kollaps::topology::graph::{PathProperties, TopologyGraph};
+use kollaps::topology::model::{LinkId, LinkProperties, Topology};
+
+proptest! {
+    /// The share solver never oversubscribes a link and never hands out
+    /// negative bandwidth, whatever the flow set looks like.
+    #[test]
+    fn sharing_never_oversubscribes(
+        n_flows in 1usize..12,
+        n_links in 1usize..8,
+        caps in proptest::collection::vec(1u64..1_000, 1..8),
+        rtts in proptest::collection::vec(1u64..400, 1..12),
+    ) {
+        let capacities: HashMap<LinkId, Bandwidth> = (0..n_links)
+            .map(|i| (LinkId(i as u32), Bandwidth::from_mbps(caps[i % caps.len()])))
+            .collect();
+        let flows: Vec<FlowDemand> = (0..n_flows)
+            .map(|i| FlowDemand {
+                id: i as u64,
+                links: vec![LinkId((i % n_links) as u32), LinkId(((i * 3 + 1) % n_links) as u32)],
+                rtt: SimDuration::from_millis(rtts[i % rtts.len()]),
+                demand: Bandwidth::from_mbps(2_000),
+            })
+            .collect();
+        let allocation = allocate(&flows, &capacities);
+        for (&link, &cap) in &capacities {
+            let used: f64 = flows
+                .iter()
+                .filter(|f| f.links.contains(&link))
+                .map(|f| allocation.of(f.id).as_mbps())
+                .sum();
+            prop_assert!(used <= cap.as_mbps() * 1.001 + 0.001,
+                "link {link:?} oversubscribed: {used} > {}", cap.as_mbps());
+        }
+    }
+
+    /// Metadata messages survive an encode/decode round trip exactly.
+    #[test]
+    fn metadata_round_trip(
+        flows in proptest::collection::vec((0u32..5_000_000, proptest::collection::vec(0u16..4_096, 0..12)), 0..40)
+    ) {
+        let mut msg = MetadataMessage::new();
+        for (kbps, links) in &flows {
+            msg.flows.push(FlowUsage { used_kbps: *kbps, link_ids: links.clone() });
+        }
+        let decoded = MetadataMessage::decode(msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Bandwidth strings parse for every supported unit and magnitude.
+    #[test]
+    fn bandwidth_parsing_round_trips(value in 1u64..100_000, unit in 0usize..3) {
+        let units = ["Kbps", "Mbps", "Gbps"];
+        let text = format!("{value}{}", units[unit]);
+        let parsed = parse_bandwidth(&text).unwrap();
+        let expected = value * 10u64.pow(3 + 3 * unit as u32);
+        prop_assert_eq!(parsed.as_bps(), expected);
+    }
+
+    /// Path composition over a random chain topology follows the paper's
+    /// formulas: latencies add, bandwidth is the minimum, loss composes
+    /// multiplicatively and never exceeds 1.
+    #[test]
+    fn chain_composition_matches_formulas(
+        latencies in proptest::collection::vec(1u64..100, 1..10),
+        bandwidths in proptest::collection::vec(1u64..1_000, 1..10),
+        losses in proptest::collection::vec(0.0f64..0.3, 1..10),
+    ) {
+        let hops = latencies.len().min(bandwidths.len()).min(losses.len());
+        let mut topo = Topology::new();
+        let src = topo.add_service("src", 0, "x");
+        let dst = topo.add_service("dst", 0, "x");
+        let mut prev = src;
+        for i in 0..hops {
+            let next = if i == hops - 1 { dst } else { topo.add_bridge(&format!("b{i}")) };
+            let props = LinkProperties::new(
+                SimDuration::from_millis(latencies[i]),
+                Bandwidth::from_mbps(bandwidths[i]),
+            ).with_loss(losses[i]);
+            topo.add_link(prev, next, props, "net");
+            prev = next;
+        }
+        let graph = TopologyGraph::new(&topo);
+        let paths = graph.all_pairs_service_paths();
+        let path = &paths[&(src, dst)];
+        let composed = PathProperties::compose(&topo, path).unwrap();
+        let expected_latency: u64 = latencies[..hops].iter().sum();
+        prop_assert_eq!(composed.latency, SimDuration::from_millis(expected_latency));
+        let expected_bw = bandwidths[..hops].iter().min().unwrap();
+        prop_assert_eq!(composed.max_bandwidth, Bandwidth::from_mbps(*expected_bw));
+        prop_assert!(composed.loss >= *losses[..hops].iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap() - 1e-9);
+        prop_assert!(composed.loss < 1.0);
+    }
+
+    /// The event queue pops events in non-decreasing time order regardless
+    /// of insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+}
