@@ -52,7 +52,7 @@ impl GroundTruthDataplane {
         for spec in topology.links() {
             let mut cfg = LinkConfig::new(spec.properties.bandwidth, spec.properties.latency);
             cfg.loss = spec.properties.loss;
-            links.insert(spec.id, LinkPipe::new(cfg));
+            links.insert(spec.id, LinkPipe::with_seed(cfg, u64::from(spec.id.0) + 1));
             link_endpoint.insert(spec.id, spec.to);
         }
         // Forwarding tables: per-source shortest paths from every node, so

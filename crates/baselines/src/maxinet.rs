@@ -156,7 +156,12 @@ mod tests {
         let rtts = rt.ping_rtts(probe).unwrap();
         // All echo requests/replies belong to the same flow, so only the
         // first sample pays the 2×4 ms controller penalty.
-        assert!(rtts.max() > rtts.min() + 3.0, "max {} min {}", rtts.max(), rtts.min());
+        assert!(
+            rtts.max() > rtts.min() + 3.0,
+            "max {} min {}",
+            rtts.max(),
+            rtts.min()
+        );
         assert!(rtts.min() >= 10.0);
         assert!(rt.dataplane.controller_penalties() >= 1);
     }

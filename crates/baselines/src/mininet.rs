@@ -96,7 +96,8 @@ impl MininetDataplane {
     fn refresh_overhead(&mut self, now: SimTime) {
         // Forget connections older than the tracking window.
         let window = self.config.connection_tracking_window;
-        self.seen_flows.retain(|_, &mut t| now.saturating_since(t) <= window);
+        self.seen_flows
+            .retain(|_, &mut t| now.saturating_since(t) <= window);
         let tracked = self.seen_flows.len() as u64;
         let overhead = self.config.base_forwarding_cost
             + SimDuration::from_nanos(self.config.per_connection_cost.as_nanos() * tracked);

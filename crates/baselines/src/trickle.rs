@@ -90,7 +90,7 @@ impl TrickleDataplane {
 
     fn roll_quantum(&mut self, now: SimTime) {
         while now.saturating_since(self.quantum_start) >= self.config.quantum {
-            self.quantum_start = self.quantum_start + self.config.quantum;
+            self.quantum_start += self.config.quantum;
             self.bypassed_in_quantum = DataSize::ZERO;
         }
     }

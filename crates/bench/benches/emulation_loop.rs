@@ -24,14 +24,20 @@ fn bench(c: &mut Criterion) {
         for i in 0..pairs {
             let c_addr = collapsed.address_of(clients[i]).unwrap();
             let s_addr = collapsed.address_of(servers[i]).unwrap();
-            rt.add_udp_flow(c_addr, s_addr, Bandwidth::from_mbps(20), SimTime::ZERO, None);
+            rt.add_udp_flow(
+                c_addr,
+                s_addr,
+                Bandwidth::from_mbps(20),
+                SimTime::ZERO,
+                None,
+            );
         }
         // Warm the flows up so the loop has usage to work with.
         let _ = rt.run_until(SimTime::from_millis(500));
         group.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, _| {
             let mut t = rt.now();
             b.iter(|| {
-                t = t + SimDuration::from_millis(50);
+                t += SimDuration::from_millis(50);
                 rt.dataplane.tick(t)
             })
         });

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("egress_enqueue_dequeue", |b| {
         b.iter(|| {
             id += 1;
-            now = now + SimDuration::from_micros(10);
+            now += SimDuration::from_micros(10);
             let pkt = Packet::new(
                 id,
                 FlowId(id % 63),

@@ -10,12 +10,19 @@ use kollaps_topology::model::LinkId;
 
 fn synthetic(flows: usize, links: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
     let caps: HashMap<LinkId, Bandwidth> = (0..links)
-        .map(|i| (LinkId(i as u32), Bandwidth::from_mbps(100 + (i as u64 % 9) * 100)))
+        .map(|i| {
+            (
+                LinkId(i as u32),
+                Bandwidth::from_mbps(100 + (i as u64 % 9) * 100),
+            )
+        })
         .collect();
     let flows = (0..flows)
         .map(|i| FlowDemand {
             id: i as u64,
-            links: (0..4).map(|j| LinkId(((i * 7 + j * 13) % links) as u32)).collect(),
+            links: (0..4)
+                .map(|j| LinkId(((i * 7 + j * 13) % links) as u32))
+                .collect(),
             rtt: SimDuration::from_millis(10 + (i as u64 % 20) * 5),
             demand: Bandwidth::from_mbps(500),
         })

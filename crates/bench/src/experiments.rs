@@ -76,9 +76,11 @@ pub fn run_table2(seconds: u64) -> Vec<Row> {
         let (dp, a, b) = p2p_kollaps(bw, SimDuration::from_millis(5));
         let mut rt = Runtime::new(dp);
         let kollaps = run_iperf_tcp(&mut rt, a, b, CongestionAlgorithm::Cubic, duration);
-        let kollaps_err = relative_error_percent(kollaps.average.as_bps() as f64, bw.as_bps() as f64);
+        let kollaps_err =
+            relative_error_percent(kollaps.average.as_bps() as f64, bw.as_bps() as f64);
         // Mininet (N/A above 1 Gb/s).
-        let (topo, _, _) = generators::point_to_point(bw, SimDuration::from_millis(5), SimDuration::ZERO);
+        let (topo, _, _) =
+            generators::point_to_point(bw, SimDuration::from_millis(5), SimDuration::ZERO);
         let mn = MininetDataplane::new(&topo);
         let mininet_err = if mn.is_supported() {
             let a = mn.address_of_index(0);
@@ -101,7 +103,8 @@ pub fn run_table2(seconds: u64) -> Vec<Row> {
         let tb = tr.address_of_index(1);
         let mut rt = Runtime::new(tr);
         let trickle = run_iperf_tcp(&mut rt, ta, tb, CongestionAlgorithm::Cubic, duration);
-        let trickle_err = relative_error_percent(trickle.average.as_bps() as f64, bw.as_bps() as f64);
+        let trickle_err =
+            relative_error_percent(trickle.average.as_bps() as f64, bw.as_bps() as f64);
         rows.push(Row {
             label: label.to_string(),
             values: vec![
@@ -199,7 +202,8 @@ pub fn run_table4(sizes: &[usize], sample_pairs: usize) -> Vec<Row> {
                 + 0.05 * rng.standard_normal().abs();
             // Mininet: per-switch software forwarding on every hop (both
             // directions), no physical network.
-            let mininet_ms = theoretical_ms + 2.0 * hops * 0.03 + 0.03 * rng.standard_normal().abs();
+            let mininet_ms =
+                theoretical_ms + 2.0 * hops * 0.03 + 0.03 * rng.standard_normal().abs();
             // Maxinet: controller interaction and tunnelling dominate; the
             // error grows with the topology size (matching the paper's 11 ms
             // / 40 ms worst cases for 1000 / 2000 elements).
@@ -214,7 +218,10 @@ pub fn run_table4(sizes: &[usize], sample_pairs: usize) -> Vec<Row> {
             let (obs, th): (Vec<f64>, Vec<f64>) = v.iter().copied().unzip();
             mean_squared_error(&obs, &th)
         };
-        let (pk, pm, px) = paper.get(&size).copied().unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let (pk, pm, px) = paper
+            .get(&size)
+            .copied()
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         rows.push(Row {
             label: format!("{size} elements"),
             values: vec![
@@ -335,21 +342,35 @@ pub fn run_fig5(seconds: u64) -> Vec<Row> {
         let gt = kollaps_baselines::GroundTruthDataplane::new(&topo);
         let (a, b) = (gt.address_of_index(0), gt.address_of_index(1));
         let mut rt = Runtime::new(gt);
-        let bare = run_iperf_tcp(&mut rt, a, b, algo, duration).average.as_mbps();
+        let bare = run_iperf_tcp(&mut rt, a, b, algo, duration)
+            .average
+            .as_mbps();
         // Kollaps.
         let (dp, a, b) = p2p_kollaps(bw, lat);
         let mut rt = Runtime::new(dp);
-        let kollaps = run_iperf_tcp(&mut rt, a, b, algo, duration).average.as_mbps();
+        let kollaps = run_iperf_tcp(&mut rt, a, b, algo, duration)
+            .average
+            .as_mbps();
         // Mininet.
         let mn = MininetDataplane::new(&topo);
         let (a, b) = (mn.address_of_index(0), mn.address_of_index(1));
         let mut rt = Runtime::new(mn);
-        let mininet = run_iperf_tcp(&mut rt, a, b, algo, duration).average.as_mbps();
+        let mininet = run_iperf_tcp(&mut rt, a, b, algo, duration)
+            .average
+            .as_mbps();
         rows.push(Row {
             label: format!("{algo:?} long-lived"),
             values: vec![
-                ("kollaps dev% (paper <10)".into(), f64::NAN, deviation_percent(kollaps, bare)),
-                ("mininet dev% (paper <10)".into(), f64::NAN, deviation_percent(mininet, bare)),
+                (
+                    "kollaps dev% (paper <10)".into(),
+                    f64::NAN,
+                    deviation_percent(kollaps, bare),
+                ),
+                (
+                    "mininet dev% (paper <10)".into(),
+                    f64::NAN,
+                    deviation_percent(mininet, bare),
+                ),
             ],
         });
     }
@@ -437,15 +458,27 @@ pub fn run_fig7(phase_seconds: u64) -> Vec<Row> {
     let rows = vec![
         Row {
             label: "iperf before wrk2".into(),
-            values: vec![("dev% (paper <5)".into(), f64::NAN, deviation_percent(k_pre, b_pre))],
+            values: vec![(
+                "dev% (paper <5)".into(),
+                f64::NAN,
+                deviation_percent(k_pre, b_pre),
+            )],
         },
         Row {
             label: "iperf during wrk2".into(),
-            values: vec![("dev% (paper <5)".into(), f64::NAN, deviation_percent(k_mid, b_mid))],
+            values: vec![(
+                "dev% (paper <5)".into(),
+                f64::NAN,
+                deviation_percent(k_mid, b_mid),
+            )],
         },
         Row {
             label: "iperf after wrk2".into(),
-            values: vec![("dev% (paper <5)".into(), f64::NAN, deviation_percent(k_post, b_post))],
+            values: vec![(
+                "dev% (paper <5)".into(),
+                f64::NAN,
+                deviation_percent(k_post, b_post),
+            )],
         },
     ];
     print_rows("Figure 7: mixed long- and short-lived flows", &rows);
@@ -472,7 +505,10 @@ fn measure_fig7<D: kollaps_core::runtime::Dataplane>(
     // Phase 1: only the long flow.
     let p1_end = SimTime::ZERO + SimDuration::from_secs(phase_seconds);
     let _ = rt.run_until(p1_end);
-    let pre = rt.throughput_series(long).unwrap().mean_between(SimTime::ZERO, p1_end);
+    let pre = rt
+        .throughput_series(long)
+        .unwrap()
+        .mean_between(SimTime::ZERO, p1_end);
     // Phase 2: wrk2 from host 2 against host 1.
     let p2_end = p1_end + SimDuration::from_secs(phase_seconds);
     let _ = run_wrk2(
@@ -483,7 +519,10 @@ fn measure_fig7<D: kollaps_core::runtime::Dataplane>(
         DataSize::from_kib(64),
         SimDuration::from_secs(phase_seconds),
     );
-    let mid = rt.throughput_series(long).unwrap().mean_between(p1_end, p2_end);
+    let mid = rt
+        .throughput_series(long)
+        .unwrap()
+        .mean_between(p1_end, p2_end);
     // Phase 3: only the long flow again.
     let _ = rt.run_until(SimTime::ZERO + total);
     let post = rt
@@ -536,7 +575,10 @@ pub fn run_fig8() -> Vec<Row> {
             values,
         });
     }
-    print_rows("Figure 8: decentralized bandwidth throttling (Mb/s per client)", &rows);
+    print_rows(
+        "Figure 8: decentralized bandwidth throttling (Mb/s per client)",
+        &rows,
+    );
     rows
 }
 
@@ -611,9 +653,21 @@ pub fn run_fig11() -> Vec<Row> {
             label: format!("target {t:.0} ops/s"),
             values: vec![
                 ("read ms (orig)".into(), f64::NAN, before[i].read_latency_ms),
-                ("update ms (orig)".into(), f64::NAN, before[i].update_latency_ms),
-                ("read ms (halved)".into(), f64::NAN, after[i].read_latency_ms),
-                ("update ms (halved)".into(), f64::NAN, after[i].update_latency_ms),
+                (
+                    "update ms (orig)".into(),
+                    f64::NAN,
+                    before[i].update_latency_ms,
+                ),
+                (
+                    "read ms (halved)".into(),
+                    f64::NAN,
+                    after[i].read_latency_ms,
+                ),
+                (
+                    "update ms (halved)".into(),
+                    f64::NAN,
+                    after[i].update_latency_ms,
+                ),
             ],
         })
         .collect();

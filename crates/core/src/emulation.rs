@@ -169,7 +169,12 @@ impl KollapsDataplane {
 
     /// Convenience constructor with the default configuration.
     pub fn with_defaults(topology: Topology, hosts: usize) -> Self {
-        KollapsDataplane::new(topology, EventSchedule::new(), hosts, EmulationConfig::default())
+        KollapsDataplane::new(
+            topology,
+            EventSchedule::new(),
+            hosts,
+            EmulationConfig::default(),
+        )
     }
 
     /// The collapsed topology currently enforced.
@@ -215,10 +220,7 @@ impl KollapsDataplane {
                 .filter(|&(dst_node, _)| collapsed.path(src_node, dst_node).is_some())
                 .map(|(_, a)| a)
                 .collect();
-            let stale: Vec<Addr> = tree
-                .destinations()
-                .filter(|d| !valid.contains(d))
-                .collect();
+            let stale: Vec<Addr> = tree.destinations().filter(|d| !valid.contains(d)).collect();
             for dst in stale {
                 tree.remove_path(dst);
             }
@@ -262,7 +264,15 @@ impl KollapsDataplane {
         let mut usages: HashMap<(Addr, Addr), Bandwidth> = HashMap::new();
         for (&src, tree) in &mut self.egress {
             for (&dst, &bytes) in tree.usage() {
-                let rate = bytes.rate_over(interval);
+                let mut rate = bytes.rate_over(interval);
+                // The token bucket lets a burst through above the shaped
+                // rate; reporting that transient as usage would make a
+                // single well-behaved flow look like it oversubscribes its
+                // own link and draw injected congestion loss. Clamp to the
+                // rate the class was actually configured to.
+                if let Some(shaped) = tree.bandwidth(dst) {
+                    rate = rate.min(shaped);
+                }
                 if rate.as_bps() > 0 {
                     usages.insert((src, dst), rate);
                 }
@@ -298,7 +308,7 @@ impl KollapsDataplane {
         // Step 4: recompute the shares for the active flows.
         let mut flows = Vec::new();
         let mut flow_keys = Vec::new();
-        for (&(src, dst), _) in &usages {
+        for &(src, dst) in usages.keys() {
             let Some(path) = self.collapsed.path_by_addr(src, dst) else {
                 continue;
             };
@@ -324,7 +334,12 @@ impl KollapsDataplane {
         let usage_by_id: HashMap<u64, Bandwidth> = flow_keys
             .iter()
             .enumerate()
-            .map(|(i, key)| (i as u64, usages.get(key).copied().unwrap_or(Bandwidth::ZERO)))
+            .map(|(i, key)| {
+                (
+                    i as u64,
+                    usages.get(key).copied().unwrap_or(Bandwidth::ZERO),
+                )
+            })
             .collect();
         let over = if self.config.congestion_loss {
             oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities())
@@ -499,7 +514,13 @@ mod tests {
         let client = dp.address_of_index(0);
         let server = dp.address_of_index(1);
         let mut rt = Runtime::new(dp);
-        let probe = rt.add_ping(client, server, SimDuration::from_millis(100), 50, SimTime::ZERO);
+        let probe = rt.add_ping(
+            client,
+            server,
+            SimDuration::from_millis(100),
+            50,
+            SimTime::ZERO,
+        );
         let _ = rt.run_until(SimTime::from_secs(10));
         let rtts = rt.ping_rtts(probe).unwrap();
         assert_eq!(rtts.len(), 50);
@@ -564,8 +585,14 @@ mod tests {
         let _ = rt.run_until(SimTime::from_secs(30));
         // Measure over the steady-state second half.
         let half = SimTime::from_secs(15);
-        let m1 = rt.throughput_series(f1).unwrap().mean_between(half, SimTime::from_secs(30));
-        let m2 = rt.throughput_series(f2).unwrap().mean_between(half, SimTime::from_secs(30));
+        let m1 = rt
+            .throughput_series(f1)
+            .unwrap()
+            .mean_between(half, SimTime::from_secs(30));
+        let m2 = rt
+            .throughput_series(f2)
+            .unwrap()
+            .mean_between(half, SimTime::from_secs(30));
         assert!((m1 - 23.08).abs() < 3.0, "C1 got {m1} Mb/s");
         assert!((m2 - 26.92).abs() < 3.0, "C2 got {m2} Mb/s");
         assert!(m2 > m1, "the lower-RTT flow must get the larger share");
@@ -595,7 +622,13 @@ mod tests {
         let client = dp.address_of_index(0);
         let server = dp.address_of_index(1);
         let mut rt = Runtime::new(dp);
-        let probe = rt.add_ping(client, server, SimDuration::from_millis(200), 50, SimTime::ZERO);
+        let probe = rt.add_ping(
+            client,
+            server,
+            SimDuration::from_millis(200),
+            50,
+            SimTime::ZERO,
+        );
         let _ = rt.run_until(SimTime::from_secs(10));
         let rtts = rt.ping_rtts(probe).unwrap();
         let samples = rtts.samples();

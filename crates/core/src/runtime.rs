@@ -159,7 +159,8 @@ impl<D: Dataplane> Runtime<D> {
             .insert(flow, TcpReceiver::new(flow, dst, src));
         self.rx_meters
             .insert(flow, RateMeter::new(self.sample_window));
-        self.queue.schedule(start.max(self.now()), Ev::StartTcp(flow));
+        self.queue
+            .schedule(start.max(self.now()), Ev::StartTcp(flow));
         flow
     }
 
@@ -188,7 +189,8 @@ impl<D: Dataplane> Runtime<D> {
         self.udp_delivered.insert(flow, 0);
         self.rx_meters
             .insert(flow, RateMeter::new(self.sample_window));
-        self.queue.schedule(start.max(self.now()), Ev::UdpSend(flow));
+        self.queue
+            .schedule(start.max(self.now()), Ev::UdpSend(flow));
         flow
     }
 
@@ -216,7 +218,8 @@ impl<D: Dataplane> Runtime<D> {
                 packet_counter: 0,
             },
         );
-        self.queue.schedule(start.max(self.now()), Ev::PingSend(flow));
+        self.queue
+            .schedule(start.max(self.now()), Ev::PingSend(flow));
         flow
     }
 
@@ -368,13 +371,19 @@ impl<D: Dataplane> Runtime<D> {
         let Some(sender) = self.tcp_senders.get_mut(&flow) else {
             return;
         };
-        let packets = sender.poll_send(now);
-        for pkt in packets {
+        let mut packets = sender.poll_send(now).into_iter();
+        while let Some(pkt) = packets.next() {
             match self.dataplane.send(now, pkt.clone()) {
                 SendOutcome::Sent | SendOutcome::Dropped(_) => {}
                 SendOutcome::Backpressure => {
+                    // Requeue this packet AND the rest of the batch — they
+                    // are all marked outstanding, so quietly discarding them
+                    // would punch artificial holes into the sequence space.
+                    // Retry on the next dataplane wakeup.
                     sender.on_backpressure(&pkt);
-                    // Stop pushing; retry on the next dataplane wakeup.
+                    for rest in packets.by_ref() {
+                        sender.on_backpressure(&rest);
+                    }
                     break;
                 }
             }
@@ -500,7 +509,7 @@ mod tests {
         fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
             self.counter += 1;
             if let Some(n) = self.drop_every {
-                if self.counter % n == 0 && packet.is_data() {
+                if self.counter.is_multiple_of(n) && packet.is_data() {
                     return SendOutcome::Dropped(DropReason::NetemLoss);
                 }
             }
@@ -586,7 +595,11 @@ mod tests {
         assert_eq!(replies, 20);
         let rtts = rt.ping_rtts(probe).unwrap();
         assert_eq!(rtts.len(), 20);
-        assert!((rtts.mean() - 34.0).abs() < 0.01, "mean rtt {}", rtts.mean());
+        assert!(
+            (rtts.mean() - 34.0).abs() < 0.01,
+            "mean rtt {}",
+            rtts.mean()
+        );
     }
 
     #[test]

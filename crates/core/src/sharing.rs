@@ -147,8 +147,8 @@ pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -
                     .filter(|&i| flows[i].links.contains(&link))
                     .collect();
                 for i in on_link {
-                    let granted = (per_weight * flows[i].weight())
-                        .min(flows[i].demand.as_bps() as f64);
+                    let granted =
+                        (per_weight * flows[i].weight()).min(flows[i].demand.as_bps() as f64);
                     fix_flow(&flows[i], granted, &mut remaining, &mut allocation);
                     unfixed.retain(|&u| u != i);
                 }
@@ -343,8 +343,9 @@ mod tests {
 
     #[test]
     fn equal_rtts_split_evenly() {
-        let caps: HashMap<LinkId, Bandwidth> =
-            [(LinkId(0), Bandwidth::from_mbps(90))].into_iter().collect();
+        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(90))]
+            .into_iter()
+            .collect();
         let flows: Vec<FlowDemand> = (0..3)
             .map(|i| FlowDemand {
                 id: i,
@@ -429,8 +430,9 @@ mod tests {
     #[test]
     fn rtt_ordering_is_respected() {
         // Lower RTT ⇒ larger share, monotonically.
-        let caps: HashMap<LinkId, Bandwidth> =
-            [(LinkId(0), Bandwidth::from_mbps(100))].into_iter().collect();
+        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(100))]
+            .into_iter()
+            .collect();
         let flows: Vec<FlowDemand> = [10u64, 20, 40, 80]
             .iter()
             .enumerate()
@@ -443,7 +445,11 @@ mod tests {
             .collect();
         let a = allocate(&flows, &caps);
         for i in 0..3u64 {
-            assert!(a.of(i) > a.of(i + 1), "share({i}) should exceed share({})", i + 1);
+            assert!(
+                a.of(i) > a.of(i + 1),
+                "share({i}) should exceed share({})",
+                i + 1
+            );
         }
         let total: f64 = (0..4).map(|i| a.of(i).as_mbps()).sum();
         assert!((total - 100.0).abs() < 0.01);

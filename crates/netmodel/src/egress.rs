@@ -14,7 +14,7 @@ use kollaps_sim::units::{Bandwidth, DataSize};
 
 use crate::filter::{ClassId, U32Filter};
 use crate::htb::{HtbConfig, HtbQdisc, HtbVerdict};
-use crate::netem::{NetemConfig, NetemQdisc, NetemVerdict};
+use crate::netem::{NetemConfig, NetemQdisc};
 use crate::packet::{Addr, DropReason, Packet};
 
 /// Outcome of pushing a packet into the egress tree.
@@ -30,11 +30,18 @@ pub enum EgressVerdict {
     Dropped(DropReason),
 }
 
-/// One per-destination chain: netem followed by its parent htb class.
+/// One per-destination chain: an htb class whose child qdisc is netem, the
+/// same parent/child arrangement the Kollaps TCAL installs. Packets are
+/// first shaped by the class (this is where back-pressure originates, so the
+/// sender can never queue more than the class limit), then delayed/lossed by
+/// netem on their way out.
 #[derive(Debug)]
 struct Chain {
-    netem: NetemQdisc,
     htb: HtbQdisc,
+    netem: NetemQdisc,
+    /// `true` while this chain's [`ClassId`] is in [`EgressTree::active`] —
+    /// an O(1) membership test for the per-packet enqueue path.
+    listed_active: bool,
 }
 
 /// The egress qdisc tree of a single container.
@@ -48,6 +55,11 @@ pub struct EgressTree {
     rng: SimRng,
     /// Bytes read but not yet cleared by the emulation loop, per destination.
     usage_since_clear: HashMap<Addr, DataSize>,
+    /// Chains currently holding packets. Wakeup and dequeue scans touch only
+    /// these; with hundreds of installed per-destination chains and a
+    /// handful of active flows this is the difference between O(flows) and
+    /// O(destinations) per event.
+    active: Vec<ClassId>,
 }
 
 impl EgressTree {
@@ -61,6 +73,7 @@ impl EgressTree {
             next_class: 1,
             rng,
             usage_since_clear: HashMap::new(),
+            active: Vec::new(),
         }
     }
 
@@ -87,8 +100,9 @@ impl EgressTree {
                 self.chains.insert(
                     class,
                     Chain {
-                        netem: NetemQdisc::new(netem, rng),
                         htb: HtbQdisc::new(HtbConfig::with_rate(bandwidth)),
+                        netem: NetemQdisc::new(netem, rng),
+                        listed_active: false,
                     },
                 );
             }
@@ -149,28 +163,38 @@ impl EgressTree {
     }
 
     /// Offers a packet to the tree at `now`.
+    ///
+    /// The htb class is the entry stage: when its queue is at the limit the
+    /// verdict is [`EgressVerdict::Backpressure`], mirroring TSQ, which
+    /// throttles the socket on not-yet-transmitted data instead of dropping.
+    /// netem loss/overflow is applied when the packet passes the shaper, so
+    /// a lossy path reports [`EgressVerdict::Queued`] here and the packet
+    /// simply never emerges — exactly what the sender's transport observes
+    /// on real hardware.
     pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> EgressVerdict {
         let Some(class) = self.filter.classify(packet.dst) else {
             return EgressVerdict::Dropped(DropReason::Unreachable);
         };
         let chain = self.chains.get_mut(&class).expect("classified chain");
-        // Back-pressure must be visible *before* the netem delay stage,
-        // otherwise the sender could queue unbounded data. We check the htb
-        // occupancy up front, mirroring TSQ which throttles the socket based
-        // on the amount of not-yet-transmitted data.
-        if chain.htb.is_full() {
-            return EgressVerdict::Backpressure;
-        }
-        match chain.netem.enqueue(now, packet) {
-            NetemVerdict::Dropped(reason) => EgressVerdict::Dropped(reason),
-            NetemVerdict::Queued => EgressVerdict::Queued,
+        match chain.htb.enqueue(now, packet) {
+            HtbVerdict::Queued => {
+                if !chain.listed_active {
+                    chain.listed_active = true;
+                    self.active.push(class);
+                }
+                EgressVerdict::Queued
+            }
+            HtbVerdict::Backpressure => EgressVerdict::Backpressure,
         }
     }
 
     /// The earliest instant at which a queued packet may become deliverable.
     pub fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
-        for chain in self.chains.values_mut() {
+        for &class in &self.active {
+            let Some(chain) = self.chains.get_mut(&class) else {
+                continue;
+            };
             let candidates = [
                 chain.netem.next_release(),
                 if chain.htb.is_empty() {
@@ -189,30 +213,35 @@ impl EgressTree {
         earliest
     }
 
-    /// Moves packets released by netem into their htb class and returns every
-    /// packet whose shaping completed by `now` (i.e. packets leaving the
-    /// container towards the physical network).
+    /// Moves packets whose shaping completed by `now` into the netem stage
+    /// (stamped with the exact instant they left the shaper, so late polls
+    /// do not distort timing) and returns every packet whose netem delay has
+    /// also elapsed — packets leaving the container towards the physical
+    /// network.
     pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<Packet> {
         let mut out = Vec::new();
-        for chain in self.chains.values_mut() {
-            for pkt in chain.netem.release_ready(now) {
-                // The htb queue might have filled in the meantime; the real
-                // kernel would hold the packet inside netem, we model the
-                // same by re-queueing at the htb with its verdict ignored
-                // only if space exists (otherwise the packet waits here).
-                match chain.htb.enqueue(now, pkt) {
-                    HtbVerdict::Queued => {}
-                    HtbVerdict::Backpressure => {
-                        // Extremely rare with default limits; account it as
-                        // an overflow drop to keep the invariant that every
-                        // accepted packet eventually leaves or is counted.
-                        continue;
-                    }
-                }
-            }
-            for pkt in chain.htb.dequeue_ready(now) {
+        let mut idx = 0;
+        while idx < self.active.len() {
+            let class = self.active[idx];
+            let Some(chain) = self.chains.get_mut(&class) else {
+                self.active.swap_remove(idx);
+                continue;
+            };
+            for (left_shaper_at, pkt) in chain.htb.dequeue_ready_timed(now) {
+                // The shaped bytes are what the TCAL usage counters report,
+                // whether or not netem subsequently drops the packet.
                 *self.usage_since_clear.entry(pkt.dst).or_default() += pkt.size;
-                out.push(pkt);
+                // netem loss (intrinsic link loss + injected congestion
+                // loss) applies past the shaper; a dropped packet is simply
+                // never released.
+                let _ = chain.netem.enqueue(left_shaper_at, pkt);
+            }
+            out.extend(chain.netem.release_ready(now));
+            if chain.htb.is_empty() && chain.netem.is_empty() {
+                chain.listed_active = false;
+                self.active.swap_remove(idx);
+            } else {
+                idx += 1;
             }
         }
         out
@@ -239,6 +268,15 @@ impl EgressTree {
     /// Number of installed chains.
     pub fn chain_count(&self) -> usize {
         self.chains.len()
+    }
+
+    /// Packets dropped inside the netem stage (random/injected loss plus
+    /// overflow of the netem limit under persistent overload).
+    pub fn dropped_packets(&self) -> u64 {
+        self.chains
+            .values()
+            .map(|c| c.netem.dropped_loss() + c.netem.dropped_overflow())
+            .sum()
     }
 
     fn chain(&self, dst: Addr) -> Option<&Chain> {
@@ -352,8 +390,11 @@ mod tests {
         let dst = Addr::container(1);
         t.install_path(dst, NetemConfig::default(), Bandwidth::from_mbps(100));
         assert!(t.set_loss(dst, 1.0));
-        let verdict = t.enqueue(SimTime::ZERO, pkt(1, dst));
-        assert_eq!(verdict, EgressVerdict::Dropped(DropReason::NetemLoss));
+        // Loss applies past the shaper: the packet is accepted but never
+        // emerges, and the drop is counted.
+        assert_eq!(t.enqueue(SimTime::ZERO, pkt(1, dst)), EgressVerdict::Queued);
+        assert!(t.dequeue_ready(SimTime::from_secs(1)).is_empty());
+        assert_eq!(t.dropped_packets(), 1);
     }
 
     #[test]
@@ -387,6 +428,10 @@ mod tests {
         );
         t.enqueue(SimTime::ZERO, pkt(1, d1));
         t.enqueue(SimTime::ZERO, pkt(2, d2));
+        // Both packets clear the (unconstrained) shaper immediately...
+        assert_eq!(t.next_wakeup(SimTime::ZERO), Some(SimTime::ZERO));
+        assert!(t.dequeue_ready(SimTime::ZERO).is_empty());
+        // ...after which the earlier of the two netem delays is next.
         assert_eq!(t.next_wakeup(SimTime::ZERO), Some(SimTime::from_millis(10)));
     }
 

@@ -43,11 +43,20 @@ impl HtbConfig {
         // The kernel sizes the burst to at least rate/HZ plus one MTU;
         // a 10 ms worth of data (capped to sane bounds) approximates that.
         let burst_bytes = (rate.as_bps() / 8 / 100).clamp(3_000, 1_000_000);
+        // Size the queue so its worst-case drain time stays around 50 ms
+        // (BQL-style). A fixed large limit would add hundreds of
+        // milliseconds of bufferbloat on slow classes — more than the
+        // 200 ms minimum RTO — and collapse TCP with spurious timeouts.
+        let queue_limit = if rate == Bandwidth::MAX {
+            1_000
+        } else {
+            (rate.as_bps() as f64 / 8.0 * 0.050 / 1_500.0) as usize
+        };
         HtbConfig {
             rate,
             ceil: rate,
             burst: DataSize::from_bytes(burst_bytes),
-            queue_limit: 1_000,
+            queue_limit: queue_limit.clamp(16, 1_000),
         }
     }
 }
@@ -73,10 +82,15 @@ pub enum HtbVerdict {
 pub struct HtbQdisc {
     config: HtbConfig,
     bucket: TokenBucket,
-    queue: VecDeque<Packet>,
+    /// FIFO of (enqueue time, packet).
+    queue: VecDeque<(SimTime, Packet)>,
     queued_bytes: DataSize,
     transmitted_bytes: DataSize,
     transmitted_packets: u64,
+    /// Virtual clock of the last dequeue: even when the caller polls late,
+    /// packets are accounted as leaving at the instant their tokens became
+    /// available, so downstream stages (netem) see exact timing.
+    dequeue_cursor: SimTime,
 }
 
 impl HtbQdisc {
@@ -89,6 +103,7 @@ impl HtbQdisc {
             queued_bytes: DataSize::ZERO,
             transmitted_bytes: DataSize::ZERO,
             transmitted_packets: 0,
+            dequeue_cursor: SimTime::ZERO,
         }
     }
 
@@ -103,6 +118,10 @@ impl HtbQdisc {
         self.config.rate = rate;
         self.config.ceil = rate;
         self.bucket.set_rate(now, rate);
+        // The bucket's token state is now normalized at `now`; dequeues must
+        // not be backdated before it, or ready-time prediction and token
+        // consumption would disagree and stall the queue.
+        self.dequeue_cursor = self.dequeue_cursor.max(now);
     }
 
     /// Number of queued packets.
@@ -137,46 +156,69 @@ impl HtbQdisc {
     }
 
     /// Offers a packet to the class at time `now`.
-    pub fn enqueue(&mut self, _now: SimTime, packet: Packet) -> HtbVerdict {
+    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> HtbVerdict {
         if self.is_full() {
             return HtbVerdict::Backpressure;
         }
         self.queued_bytes += packet.size;
-        self.queue.push_back(packet);
+        self.queue.push_back((now, packet));
         HtbVerdict::Queued
     }
 
     /// The earliest time at which the head-of-line packet can be dequeued,
-    /// or `None` when the queue is empty.
-    pub fn next_ready(&mut self, now: SimTime) -> Option<SimTime> {
-        let head = self.queue.front()?;
-        let wait = self.bucket.time_until_available(now, head.size);
+    /// or `None` when the queue is empty. The returned instant may lie
+    /// before `now` when the caller polls late; it is the exact token-
+    /// availability time of the head packet.
+    pub fn next_ready(&mut self, _now: SimTime) -> Option<SimTime> {
+        let &(enqueued_at, ref head) = self.queue.front()?;
+        let at = self.dequeue_cursor.max(enqueued_at);
+        let wait = self.bucket.time_until_available(at, head.size);
         if wait == SimDuration::MAX {
             Some(SimTime::MAX)
         } else {
-            Some(now + wait)
+            Some(at + wait)
         }
     }
 
-    /// Dequeues every packet whose tokens are available at `now`. A single
-    /// call can emit at most one burst worth of data; subsequent packets are
-    /// paced by the token refill rate, exactly like the kernel qdisc.
-    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<Packet> {
+    /// Dequeues every packet whose tokens are available by `now`, tagged
+    /// with the exact instant its tokens became available — the moment the
+    /// packet left the shaper. A single call can emit at most one burst
+    /// worth of data immediately; subsequent packets are paced by the token
+    /// refill rate, exactly like the kernel qdisc, even when the caller
+    /// polls less often than the packet rate.
+    pub fn dequeue_ready_timed(&mut self, now: SimTime) -> Vec<(SimTime, Packet)> {
         let mut out = Vec::new();
-        loop {
-            let Some(head_size) = self.queue.front().map(|p| p.size) else {
-                break;
-            };
-            if !self.bucket.try_consume(now, head_size) {
+        while let Some(&(enqueued_at, ref head)) = self.queue.front() {
+            let head_size = head.size;
+            let at = self.dequeue_cursor.max(enqueued_at);
+            let wait = self.bucket.time_until_available(at, head_size);
+            if wait == SimDuration::MAX {
                 break;
             }
-            let pkt = self.queue.pop_front().expect("non-empty");
+            let ready = at + wait;
+            if ready > now {
+                break;
+            }
+            if !self.bucket.try_consume(ready, head_size) {
+                break;
+            }
+            self.dequeue_cursor = ready;
+            let (_, pkt) = self.queue.pop_front().expect("non-empty");
             self.queued_bytes = self.queued_bytes.saturating_sub(pkt.size);
             self.transmitted_bytes += pkt.size;
             self.transmitted_packets += 1;
-            out.push(pkt);
+            out.push((ready, pkt));
         }
         out
+    }
+
+    /// Dequeues every packet whose tokens are available by `now`, without
+    /// the per-packet timestamps of [`HtbQdisc::dequeue_ready_timed`].
+    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<Packet> {
+        self.dequeue_ready_timed(now)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect()
     }
 }
 

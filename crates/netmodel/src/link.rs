@@ -26,20 +26,33 @@ pub struct LinkConfig {
     pub loss: f64,
     /// Buffer size in bytes at the transmitting end (drop-tail).
     pub buffer: DataSize,
+    /// Upper bound of the per-packet forwarding jitter (see
+    /// [`FORWARDING_JITTER_NANOS`]); zero makes the pipe perfectly periodic,
+    /// which only exact-timing tests want.
+    pub forwarding_jitter: SimDuration,
 }
 
 impl LinkConfig {
     /// A link with the given bandwidth and latency, no loss, and a buffer
-    /// sized by the bandwidth-delay product (at least 64 KiB), a common
-    /// switch buffer sizing rule.
+    /// sized by the round-trip bandwidth-delay product (at least 64 KiB),
+    /// the classic switch buffer sizing rule — a shallower buffer makes
+    /// every congestion event a multi-segment burst loss, which TCP without
+    /// SACK recovers from one segment per RTT.
     pub fn new(bandwidth: Bandwidth, latency: SimDuration) -> Self {
-        let bdp = bandwidth.data_in(latency).as_bytes();
+        let bdp = bandwidth.data_in(latency * 2).as_bytes();
         LinkConfig {
             bandwidth,
             latency,
             loss: 0.0,
             buffer: DataSize::from_bytes(bdp.max(64 * 1024)),
+            forwarding_jitter: SimDuration::from_nanos(FORWARDING_JITTER_NANOS),
         }
+    }
+
+    /// Disables the per-packet forwarding jitter (exact-timing tests).
+    pub fn without_jitter(mut self) -> Self {
+        self.forwarding_jitter = SimDuration::ZERO;
+        self
     }
 }
 
@@ -69,25 +82,47 @@ pub struct LinkPipe {
     busy_until: SimTime,
     /// Accepted packets in serialization order.
     in_flight: VecDeque<InFlight>,
+    /// Arrival time of the most recently accepted packet (store-and-forward
+    /// FIFO: arrivals are monotone even under per-packet jitter).
+    last_arrival: SimTime,
     delivered_bytes: DataSize,
     delivered_packets: u64,
     dropped_overflow: u64,
     drop_seed: u64,
 }
 
+/// Bound on the per-packet forwarding jitter (50 µs). Real links are not
+/// perfectly periodic — NIC interrupt coalescing, switch scheduling and
+/// clock drift shift every forwarding by a few microseconds. A perfectly
+/// deterministic pipe lets competing ACK-clocked flows phase-lock (one
+/// flow's arrivals landing exactly one slot behind its own departures keeps
+/// a drop-tail buffer pegged at exactly full and starves everyone else
+/// indefinitely); this jitter restores the decorrelation real hardware has.
+const FORWARDING_JITTER_NANOS: u64 = 50_000;
+
 impl LinkPipe {
     /// Creates a link pipe with the given configuration.
     pub fn new(config: LinkConfig) -> Self {
+        LinkPipe::with_seed(config, 0)
+    }
+
+    /// Creates a link pipe whose loss/jitter stream is derived from `seed`.
+    /// Topologies should pass a distinct per-link value (e.g. the link id):
+    /// identically-seeded links produce identical jitter sequences, which
+    /// preserves exactly the cross-flow phase alignment the jitter exists to
+    /// break.
+    pub fn with_seed(config: LinkConfig, seed: u64) -> Self {
         LinkPipe {
             config,
             queued_bytes: DataSize::ZERO,
             serializing: VecDeque::new(),
             busy_until: SimTime::ZERO,
             in_flight: VecDeque::new(),
+            last_arrival: SimTime::ZERO,
             delivered_bytes: DataSize::ZERO,
             delivered_packets: 0,
             dropped_overflow: 0,
-            drop_seed: 0x9E3779B97F4A7C15,
+            drop_seed: 0x9E37_79B9_7F4A_7C15 ^ seed.wrapping_mul(0xA076_1D64_78BD_642F),
         }
     }
 
@@ -143,10 +178,10 @@ impl LinkPipe {
         let finish = start + ser;
         self.busy_until = finish;
         self.serializing.push_back((finish, packet.size));
-        self.in_flight.push_back(InFlight {
-            arrival: finish + self.config.latency,
-            packet,
-        });
+        let jitter = SimDuration::from_nanos(self.next_jitter());
+        let arrival = (finish + self.config.latency + jitter).max(self.last_arrival);
+        self.last_arrival = arrival;
+        self.in_flight.push_back(InFlight { arrival, packet });
         None
     }
 
@@ -189,11 +224,24 @@ impl LinkPipe {
     /// Deterministic pseudo-random loss decision (xorshift on an internal
     /// seed), kept local so the link does not need an RNG handle.
     fn random_drop(&mut self) -> bool {
+        let u = (self.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.config.loss
+    }
+
+    /// Deterministic per-packet forwarding jitter in nanoseconds.
+    fn next_jitter(&mut self) -> u64 {
+        let cap = self.config.forwarding_jitter.as_nanos();
+        if cap == 0 {
+            return 0;
+        }
+        self.next_raw() % cap
+    }
+
+    fn next_raw(&mut self) -> u64 {
         self.drop_seed ^= self.drop_seed << 13;
         self.drop_seed ^= self.drop_seed >> 7;
         self.drop_seed ^= self.drop_seed << 17;
-        let u = (self.drop_seed >> 11) as f64 / (1u64 << 53) as f64;
-        u < self.config.loss
+        self.drop_seed
     }
 }
 
@@ -217,23 +265,24 @@ mod tests {
     #[test]
     fn delivery_includes_serialization_and_propagation() {
         // 1500 bytes at 100 Mb/s = 120 us serialization, plus 10 ms latency.
-        let mut l = LinkPipe::new(LinkConfig::new(
-            Bandwidth::from_mbps(100),
-            SimDuration::from_millis(10),
-        ));
+        let mut l = LinkPipe::new(
+            LinkConfig::new(Bandwidth::from_mbps(100), SimDuration::from_millis(10))
+                .without_jitter(),
+        );
         assert!(l.enqueue(SimTime::ZERO, pkt(1)).is_none());
         let expected = SimTime::from_micros(120) + SimDuration::from_millis(10);
         assert_eq!(l.next_wakeup(SimTime::ZERO), Some(expected));
-        assert!(l.deliver_ready(expected - SimDuration::from_nanos(1)).is_empty());
+        assert!(l
+            .deliver_ready(expected - SimDuration::from_nanos(1))
+            .is_empty());
         assert_eq!(l.deliver_ready(expected).len(), 1);
     }
 
     #[test]
     fn back_to_back_packets_serialize_sequentially() {
-        let mut l = LinkPipe::new(LinkConfig::new(
-            Bandwidth::from_mbps(12),
-            SimDuration::ZERO,
-        ));
+        let mut l = LinkPipe::new(
+            LinkConfig::new(Bandwidth::from_mbps(12), SimDuration::ZERO).without_jitter(),
+        );
         // 1500 B at 12 Mb/s = 1 ms per packet.
         for i in 0..3 {
             l.enqueue(SimTime::ZERO, pkt(i));

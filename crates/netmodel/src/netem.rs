@@ -6,8 +6,8 @@
 //! reached; a large jitter can therefore reorder packets exactly like the
 //! real qdisc does.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 

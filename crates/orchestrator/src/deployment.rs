@@ -207,9 +207,9 @@ impl DeploymentGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kollaps_topology::generators;
     use kollaps_sim::time::SimDuration;
     use kollaps_sim::units::Bandwidth;
+    use kollaps_topology::generators;
 
     fn plan(hosts: usize, orch: Orchestrator) -> DeploymentPlan {
         let (topo, _, _) = generators::dumbbell(

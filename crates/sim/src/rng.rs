@@ -183,7 +183,9 @@ impl Distribution {
                 let u = rng.next_f64().max(f64::MIN_POSITIVE);
                 scale / u.powf(1.0 / shape.max(f64::MIN_POSITIVE))
             }
-            Distribution::Exponential { mean } => rng.exponential(1.0 / mean.max(f64::MIN_POSITIVE)),
+            Distribution::Exponential { mean } => {
+                rng.exponential(1.0 / mean.max(f64::MIN_POSITIVE))
+            }
         }
     }
 

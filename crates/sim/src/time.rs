@@ -360,7 +360,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3),
             SimTime::from_millis(10),
             SimTime::ZERO,

@@ -65,7 +65,12 @@ impl TokenBucket {
     pub fn try_consume(&mut self, now: SimTime, size: DataSize) -> bool {
         self.refill(now);
         let need = size.as_bytes() as f64;
-        if self.tokens + 1e-9 >= need {
+        // The slack absorbs float accumulation error plus the sub-byte
+        // shortfall of an availability time rounded to whole nanoseconds —
+        // without it, a caller that asks `time_until_available` and then
+        // consumes at exactly that instant could spin forever one fraction
+        // of a byte short.
+        if self.tokens + 1e-3 >= need {
             self.tokens -= need;
             true
         } else {
@@ -97,7 +102,10 @@ impl TokenBucket {
             return SimDuration::MAX;
         }
         let bytes_per_sec = self.rate.as_bps() as f64 / 8.0;
-        SimDuration::from_secs_f64(deficit / bytes_per_sec)
+        // Round up to the next whole nanosecond so that consuming at
+        // `now + wait` is guaranteed to succeed.
+        let nanos = (deficit / bytes_per_sec * 1e9).ceil();
+        SimDuration::from_nanos(nanos as u64)
     }
 
     fn refill(&mut self, now: SimTime) {

@@ -88,7 +88,10 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: expected `key: value`, got `{text}`")
             }
             ParseError::BadValue { line, key, value } => {
-                write!(f, "line {line}: cannot parse value `{value}` for key `{key}`")
+                write!(
+                    f,
+                    "line {line}: cannot parse value `{value}` for key `{key}`"
+                )
             }
             ParseError::MissingKey { section, key } => {
                 write!(f, "record in section `{section}` is missing key `{key}`")
@@ -285,11 +288,14 @@ pub fn parse_experiment(input: &str) -> Result<Experiment, ParseError> {
 fn parse_f64(rec: &Record, key: &str) -> Result<Option<f64>, ParseError> {
     match rec.get(key) {
         None => Ok(None),
-        Some(v) => v.parse::<f64>().map(Some).map_err(|_| ParseError::BadValue {
-            line: rec.line_of(key),
-            key: key.to_string(),
-            value: v.to_string(),
-        }),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| ParseError::BadValue {
+                line: rec.line_of(key),
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
     }
 }
 
@@ -524,7 +530,10 @@ dynamic:
         assert_eq!(parse_bandwidth("10Mbps"), Some(Bandwidth::from_mbps(10)));
         assert_eq!(parse_bandwidth("128 Kbps"), Some(Bandwidth::from_kbps(128)));
         assert_eq!(parse_bandwidth("1Gbps"), Some(Bandwidth::from_gbps(1)));
-        assert_eq!(parse_bandwidth("2.5 Mbps"), Some(Bandwidth::from_kbps(2500)));
+        assert_eq!(
+            parse_bandwidth("2.5 Mbps"),
+            Some(Bandwidth::from_kbps(2500))
+        );
         assert_eq!(parse_bandwidth("500"), Some(Bandwidth::from_bps(500)));
         assert_eq!(parse_bandwidth("oops"), None);
         assert_eq!(parse_bandwidth("10 Tbps"), None);
@@ -533,7 +542,8 @@ dynamic:
 
     #[test]
     fn unknown_node_in_link_is_an_error() {
-        let text = "experiment:\n  services:\n    name: a\n  links:\n    orig: a\n    dest: ghost\n";
+        let text =
+            "experiment:\n  services:\n    name: a\n  links:\n    orig: a\n    dest: ghost\n";
         let err = parse_experiment(text).unwrap_err();
         assert!(matches!(err, ParseError::UnknownNode { name } if name == "ghost"));
     }

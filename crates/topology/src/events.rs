@@ -367,7 +367,12 @@ mod tests {
                 dest: "s1".into(),
             },
         );
-        apply_action(&mut t, &DynamicAction::NodeLeave { name: "ghost".into() });
+        apply_action(
+            &mut t,
+            &DynamicAction::NodeLeave {
+                name: "ghost".into(),
+            },
+        );
         assert_eq!(t.link_count(), links);
     }
 }

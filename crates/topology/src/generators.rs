@@ -90,14 +90,7 @@ pub fn figure8() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
     let b2 = t.add_bridge("B2");
     let b3 = t.add_bridge("B3");
 
-    let client_specs = [
-        (50, 10u64),
-        (50, 5),
-        (10, 5),
-        (50, 10),
-        (50, 5),
-        (10, 5),
-    ];
+    let client_specs = [(50, 10u64), (50, 5), (10, 5), (50, 10), (50, 5), (10, 5)];
     let mut clients = Vec::new();
     for (i, (mbps, ms)) in client_specs.iter().enumerate() {
         let c = t.add_service(&format!("C{}", i + 1), 0, "iperf3-client");
@@ -105,10 +98,7 @@ pub fn figure8() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
         t.add_bidirectional_link(
             c,
             bridge,
-            LinkProperties::new(
-                SimDuration::from_millis(*ms),
-                Bandwidth::from_mbps(*mbps),
-            ),
+            LinkProperties::new(SimDuration::from_millis(*ms), Bandwidth::from_mbps(*mbps)),
             "fig8",
         );
         clients.push(c);
@@ -142,11 +132,7 @@ pub fn figure8() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
 /// A star topology: one central bridge, `n` services around it.
 ///
 /// Returns `(topology, services)`.
-pub fn star(
-    n: usize,
-    bandwidth: Bandwidth,
-    latency: SimDuration,
-) -> (Topology, Vec<NodeId>) {
+pub fn star(n: usize, bandwidth: Bandwidth, latency: SimDuration) -> (Topology, Vec<NodeId>) {
     let mut t = Topology::new();
     let hub = t.add_bridge("hub");
     let mut services = Vec::new();
@@ -387,7 +373,10 @@ mod tests {
             .map(|&s| t.links_from(s).count())
             .max()
             .unwrap();
-        assert!(max_degree >= 4 * params.attachment, "max degree {max_degree}");
+        assert!(
+            max_degree >= 4 * params.attachment,
+            "max degree {max_degree}"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn one_way_latency_ms(a: Region, b: Region) -> f64 {
         return 0.3;
     }
     let key = |r: Region| r.0;
-    let (x, y) = if key(a) < key(b) { (a.0, b.0) } else { (b.0, a.0) };
+    let (x, y) = if key(a) < key(b) {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    };
     let table: &[(&str, &str, f64)] = &[
         // Wheat / Figure 9 regions.
         ("Ireland", "Oregon", 62.0),
@@ -134,11 +138,9 @@ pub fn build_geo_topology(
     for i in 0..regions.len() {
         for j in (i + 1)..regions.len() {
             let lat = one_way_latency_ms(regions[i], regions[j]);
-            let props = LinkProperties::new(
-                SimDuration::from_millis_f64(lat),
-                inter_region_bandwidth,
-            )
-            .with_jitter(SimDuration::from_millis_f64(typical_jitter_ms(lat)));
+            let props =
+                LinkProperties::new(SimDuration::from_millis_f64(lat), inter_region_bandwidth)
+                    .with_jitter(SimDuration::from_millis_f64(typical_jitter_ms(lat)));
             topo.add_bidirectional_link(bridges[i], bridges[j], props, "geo");
         }
     }
@@ -148,10 +150,8 @@ pub fn build_geo_topology(
         let mut ids = Vec::new();
         for r in 0..services_per_region {
             let id = topo.add_service(&format!("{}-{}", region.0, r), 0, image);
-            let props = LinkProperties::new(
-                SimDuration::from_millis_f64(0.3),
-                Bandwidth::from_gbps(10),
-            );
+            let props =
+                LinkProperties::new(SimDuration::from_millis_f64(0.3), Bandwidth::from_gbps(10));
             topo.add_bidirectional_link(id, bridges[i], props, "geo");
             ids.push(id);
         }
@@ -191,12 +191,8 @@ mod tests {
 
     #[test]
     fn geo_topology_end_to_end_latency_matches_matrix() {
-        let (topo, per_region) = build_geo_topology(
-            WHEAT_REGIONS,
-            1,
-            Bandwidth::from_mbps(1_000),
-            "bft-smart",
-        );
+        let (topo, per_region) =
+            build_geo_topology(WHEAT_REGIONS, 1, Bandwidth::from_mbps(1_000), "bft-smart");
         assert_eq!(per_region.len(), 5);
         let g = TopologyGraph::new(&topo);
         let paths = g.all_pairs_service_paths();

@@ -284,7 +284,7 @@ impl Topology {
     pub fn remove_links_between(&mut self, a: NodeId, b: NodeId) -> usize {
         let before = self.links.len();
         self.links
-            .retain(|l| !(l.from == a && l.to == b) && !(l.from == b && l.to == a));
+            .retain(|l| (l.from != a || l.to != b) && (l.from != b || l.to != a));
         before - self.links.len()
     }
 
@@ -491,10 +491,7 @@ mod tests {
             .display_name(),
             "web.2"
         );
-        assert_eq!(
-            NodeKind::Bridge { name: "s1".into() }.display_name(),
-            "s1"
-        );
+        assert_eq!(NodeKind::Bridge { name: "s1".into() }.display_name(), "s1");
         assert_eq!(format!("{}", NodeId(3)), "n3");
         assert_eq!(format!("{}", LinkId(4)), "l4");
     }

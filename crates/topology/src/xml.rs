@@ -100,12 +100,18 @@ fn scan_tags(input: &str) -> Vec<Tag> {
             let mut chars = attr_text.char_indices().peekable();
             while let Some(&(i, _)) = chars.peek() {
                 // Find `key="value"` pairs.
-                let Some(eq) = attr_text[i..].find('=') else { break };
+                let Some(eq) = attr_text[i..].find('=') else {
+                    break;
+                };
                 let key = attr_text[i..i + eq].trim().to_ascii_lowercase();
                 let after = i + eq + 1;
-                let Some(q1) = attr_text[after..].find('"') else { break };
+                let Some(q1) = attr_text[after..].find('"') else {
+                    break;
+                };
                 let vstart = after + q1 + 1;
-                let Some(q2) = attr_text[vstart..].find('"') else { break };
+                let Some(q2) = attr_text[vstart..].find('"') else {
+                    break;
+                };
                 let value = attr_text[vstart..vstart + q2].to_string();
                 if !key.is_empty() {
                     attributes.insert(key, value);
@@ -189,7 +195,9 @@ pub fn parse_modelnet_xml(input: &str) -> Result<Topology, XmlError> {
         let kbps = parse_attr_f64(tag, "dbl_kbps")?
             .or(parse_attr_f64(tag, "int_kbps")?)
             .unwrap_or(f64::MAX);
-        let loss = parse_attr_f64(tag, "dbl_plr")?.unwrap_or(0.0).clamp(0.0, 1.0);
+        let loss = parse_attr_f64(tag, "dbl_plr")?
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0);
         let bandwidth = if kbps == f64::MAX {
             Bandwidth::MAX
         } else {
@@ -243,7 +251,9 @@ mod tests {
     fn missing_attribute_is_an_error() {
         let bad = r#"<topology><vertices><vertex role="gateway"/></vertices></topology>"#;
         let err = parse_modelnet_xml(bad).unwrap_err();
-        assert!(matches!(err, XmlError::MissingAttribute { attribute, .. } if attribute == "int_idx"));
+        assert!(
+            matches!(err, XmlError::MissingAttribute { attribute, .. } if attribute == "int_idx")
+        );
     }
 
     #[test]

@@ -50,9 +50,8 @@ impl RttEstimator {
                     sample - srtt
                 };
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4);
                 // SRTT = 7/8 SRTT + 1/8 R
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() * 7 + sample.as_nanos()) / 8,

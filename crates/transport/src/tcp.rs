@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use kollaps_sim::time::SimTime;
+use kollaps_sim::time::{SimDuration, SimTime};
 use kollaps_sim::units::{Bandwidth, DataSize};
 
 use kollaps_netmodel::packet::{Addr, FlowId, Packet, PacketKind, HEADER_SIZE, MSS};
@@ -151,6 +151,16 @@ pub struct TcpSender {
     fast_retransmit_pending: Option<u64>,
     dup_acks: u32,
     rtt: RttEstimator,
+    /// Consecutive-timeout exponent for exponential RTO backoff (RFC 6298
+    /// §5.5); reset by the next ACK that advances the window.
+    rto_backoff: u32,
+    /// Start of the current retransmission-timer period (RFC 6298 §5:
+    /// armed when data is put in flight, RESTARTED by every ACK that
+    /// acknowledges new data, cleared when nothing is outstanding). Basing
+    /// the deadline on per-segment send times instead would fire spurious
+    /// timeouts in the middle of a fast recovery that is making steady
+    /// partial-ACK progress.
+    timer_anchor: Option<SimTime>,
     total_segments: Option<u64>,
     pacing_release: SimTime,
     packet_counter: u64,
@@ -189,6 +199,8 @@ impl TcpSender {
             fast_retransmit_pending: None,
             dup_acks: 0,
             rtt: RttEstimator::new(),
+            rto_backoff: 0,
+            timer_anchor: None,
             total_segments,
             pacing_release: now,
             packet_counter: 0,
@@ -303,7 +315,14 @@ impl TcpSender {
                 }
                 self.pacing_release = self.pacing_release.max(now) + pace.transmission_delay(MSS);
             }
-            // Retransmissions take priority over new data.
+            // Retransmissions take priority over new data. Entries below the
+            // cumulative ACK are stale — the receiver already has them (a
+            // timeout presumes everything outstanding lost, then a later
+            // cumulative ACK can prove most of it arrived) — and resending
+            // them would only produce duplicate-ACK storms.
+            while matches!(self.retransmit.front(), Some(&s) if s < self.acked) {
+                self.retransmit.pop_front();
+            }
             let seq = if let Some(seq) = self.retransmit.pop_front() {
                 seq
             } else {
@@ -328,6 +347,9 @@ impl TcpSender {
                 now,
             ));
         }
+        if !self.outstanding.is_empty() && self.timer_anchor.is_none() {
+            self.timer_anchor = Some(now);
+        }
         out
     }
 
@@ -337,6 +359,14 @@ impl TcpSender {
         if ack > self.acked {
             // New data acknowledged.
             let newly = ack - self.acked;
+            // Flight size at the time this ACK's data was outstanding, for
+            // congestion-window validation below (RFC 2861): a sender that
+            // was not filling its window — e.g. because the local qdisc
+            // back-pressured it (segments parked in the retransmit queue
+            // are *unsent*) — must not keep inflating cwnd, or the window
+            // becomes arbitrarily large, invalid as a congestion estimate,
+            // and an O(cwnd) per-ACK processing burden.
+            let window_limited = self.outstanding.len() + 1 >= self.window();
             // RTT sample from the oldest segment being acknowledged, but only
             // if it was not retransmitted (Karn's algorithm approximation:
             // retransmitted segments are removed from `outstanding` and
@@ -344,23 +374,36 @@ impl TcpSender {
             if let Some((_, &sent)) = self.outstanding.range(self.acked..ack).next() {
                 self.rtt.record(now - sent);
             }
-            let keys: Vec<u64> = self
-                .outstanding
-                .range(..ack)
-                .map(|(&s, _)| s)
-                .collect();
+            let keys: Vec<u64> = self.outstanding.range(..ack).map(|(&s, _)| s).collect();
             for k in keys {
                 self.outstanding.remove(&k);
             }
             self.acked = ack;
             self.dup_acks = 0;
+            self.rto_backoff = 0;
+            // Restart (or clear) the retransmission timer on new data being
+            // acknowledged (RFC 6298 §5.3).
+            self.timer_anchor = if self.outstanding.is_empty() {
+                None
+            } else {
+                Some(now)
+            };
             self.stats.delivered_segments += newly;
             self.stats.delivered_bytes += newly * MSS.as_bytes();
-            if self.in_fast_recovery && ack >= self.recovery_point {
-                self.in_fast_recovery = false;
-                self.cwnd = self.ssthresh;
+            if self.in_fast_recovery {
+                if ack >= self.recovery_point {
+                    self.in_fast_recovery = false;
+                    self.cwnd = self.ssthresh;
+                } else {
+                    // NewReno partial ACK (RFC 6582): the cumulative ACK
+                    // stopped at the next hole, so retransmit it immediately
+                    // instead of waiting for three fresh duplicates or an
+                    // RTO — essential when several segments of one window
+                    // were lost.
+                    self.schedule_fast_retransmit(self.acked);
+                }
             }
-            if !self.in_fast_recovery {
+            if !self.in_fast_recovery && window_limited {
                 self.grow_window(now, newly);
             }
             if self.is_complete() && self.completed_at.is_none() {
@@ -415,18 +458,40 @@ impl TcpSender {
         self.cwnd = self.ssthresh + 3.0;
         // Retransmit the presumably lost first unacknowledged segment.
         if self.outstanding.contains_key(&self.acked) || self.acked < self.next_seq {
-            self.fast_retransmit_pending = Some(self.acked);
-            self.outstanding.remove(&self.acked);
-            self.stats.retransmissions += 1;
+            self.schedule_fast_retransmit(self.acked);
         }
     }
 
+    /// Queues `seq` for immediate out-of-window retransmission, removing any
+    /// other copy of it (outstanding or parked in the retransmit queue) so
+    /// one `poll_send` cannot emit the segment twice.
+    fn schedule_fast_retransmit(&mut self, seq: u64) {
+        self.outstanding.remove(&seq);
+        self.retransmit.retain(|&s| s != seq);
+        self.fast_retransmit_pending = Some(seq);
+        self.stats.retransmissions += 1;
+    }
+
     /// The deadline of the retransmission timer, if data is outstanding.
+    /// Each consecutive timeout doubles the timeout (exponential backoff,
+    /// RFC 6298 §5.5, capped at 2⁶) so a stalled flow probes progressively
+    /// less often instead of flooding retransmissions.
+    ///
+    /// A small deterministic per-flow, per-timeout phase offset models the
+    /// kernel's timer granularity. Without it, a discrete-event world can
+    /// phase-lock: a competing flow's ACK clock keeps a drop-tail buffer
+    /// exactly full at the exact instants a starved flow's quantized RTO
+    /// retries land, starving it forever — real clocks decorrelate this.
     pub fn rto_deadline(&self) -> Option<SimTime> {
-        self.outstanding
-            .values()
-            .min()
-            .map(|&earliest| earliest + self.rtt.rto())
+        let rto = self.rtt.rto() * (1u64 << self.rto_backoff.min(6));
+        let phase = self
+            .flow
+            .0
+            .wrapping_mul(7919)
+            .wrapping_add(self.stats.timeouts.wrapping_mul(104_729))
+            % 10_000;
+        let granularity = SimDuration::from_micros(phase);
+        self.timer_anchor.map(|anchor| anchor + rto + granularity)
     }
 
     /// Fires the retransmission timeout if it has expired at `now`.
@@ -441,18 +506,32 @@ impl TcpSender {
             return false;
         }
         self.stats.timeouts += 1;
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        if self.config.algorithm == CongestionAlgorithm::Cubic {
-            self.cubic.on_loss(self.cwnd);
+        // Only the first timeout of a cascade re-derives ssthresh and the
+        // cubic plateau: consecutive timeouts fire with the already-
+        // collapsed window, and halving from *that* would erase the memory
+        // of the pre-congestion operating point and force a multi-second
+        // cubic crawl from a window of one.
+        if self.rto_backoff == 0 {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            if self.config.algorithm == CongestionAlgorithm::Cubic {
+                self.cubic.on_loss(self.cwnd);
+            }
         }
+        self.rto_backoff += 1;
         self.cwnd = 1.0;
         self.in_fast_recovery = false;
         self.dup_acks = 0;
-        // Everything outstanding is presumed lost; resend from the ACK point.
+        // Everything outstanding is presumed lost; resend from the ACK
+        // point. Segments already parked in the retransmit queue (batch
+        // back-pressure) must be merged in, not overwritten — dropping them
+        // would leave unsent holes no dup-ACK can ever flag.
         let mut lost: Vec<u64> = self.outstanding.keys().copied().collect();
-        lost.sort_unstable();
         self.stats.retransmissions += lost.len() as u64;
+        lost.extend(self.retransmit.iter().copied());
+        lost.sort_unstable();
+        lost.dedup();
         self.outstanding.clear();
+        self.timer_anchor = None;
         self.retransmit = lost.into();
         true
     }
@@ -463,6 +542,9 @@ impl TcpSender {
         if let PacketKind::TcpData { seq } = packet.kind {
             self.outstanding.remove(&seq);
             self.retransmit.push_back(seq);
+            if self.outstanding.is_empty() {
+                self.timer_anchor = None;
+            }
         }
     }
 }
@@ -650,10 +732,14 @@ mod tests {
         s.ssthresh = 4.0;
         s.cwnd = 4.0;
         let before = s.cwnd();
-        // One full window of ACKs grows cwnd by roughly one segment.
+        // One full window of ACKs grows cwnd by roughly one segment. Keep a
+        // full window outstanding so the sender counts as window-limited
+        // (congestion-window validation ignores app-limited ACKs).
         for i in 1..=4u64 {
-            s.next_seq = i;
-            s.outstanding.insert(i - 1, SimTime::ZERO);
+            for seq in (i - 1)..(i + 3) {
+                s.outstanding.insert(seq, SimTime::ZERO);
+            }
+            s.next_seq = i + 3;
             s.on_ack(SimTime::from_millis(i * 5), i);
         }
         assert!((s.cwnd() - (before + 1.0)).abs() < 0.3, "cwnd {}", s.cwnd());
@@ -669,13 +755,17 @@ mod tests {
         assert!((s.cwnd - 73.0).abs() < 1.0);
         s.in_fast_recovery = false;
         s.cwnd = 70.0;
-        // Feed ACKs over simulated seconds: cwnd should climb back towards
-        // (and eventually past) the previous maximum.
-        let mut now = SimTime::from_secs(1);
+        // Feed ACKs over simulated seconds, keeping a full window in flight
+        // so growth is not suppressed as app-limited: cwnd should climb back
+        // towards (and eventually past) the previous maximum.
+        let mut now;
         for i in 0..20_000u64 {
             now = SimTime::from_secs(1) + SimDuration::from_millis(i);
-            s.outstanding.insert(i, now);
-            s.next_seq = i + 1;
+            let horizon = i + 1 + s.cwnd().floor() as u64 + 1;
+            for seq in s.next_seq..horizon {
+                s.outstanding.insert(seq, now);
+            }
+            s.next_seq = s.next_seq.max(horizon);
             s.on_ack(now, i + 1);
         }
         assert!(s.cwnd() > 95.0, "cubic cwnd only reached {}", s.cwnd());

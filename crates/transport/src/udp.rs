@@ -104,7 +104,7 @@ impl UdpSender {
                 PacketKind::Udp,
                 self.next_send,
             ));
-            self.next_send = self.next_send + interval;
+            self.next_send += interval;
         }
         out
     }

@@ -68,8 +68,7 @@ pub fn run_curl_clients<D: Dataplane>(
                 };
                 report.requests += 1;
                 report.bytes += request_size.as_bytes();
-                *per_second.entry(at.as_secs_f64() as u64).or_default() +=
-                    request_size.as_bytes();
+                *per_second.entry(at.as_secs_f64() as u64).or_default() += request_size.as_bytes();
                 if let Some(t0) = started_at.get(&flow) {
                     report.latencies_ms.push((at - *t0).as_millis_f64());
                 }
@@ -136,8 +135,7 @@ pub fn run_wrk2<D: Dataplane>(
             if let RuntimeEvent::TcpCompleted { flow, at } = ev {
                 report.requests += 1;
                 report.bytes += request_size.as_bytes();
-                *per_second.entry(at.as_secs_f64() as u64).or_default() +=
-                    request_size.as_bytes();
+                *per_second.entry(at.as_secs_f64() as u64).or_default() += request_size.as_bytes();
                 if at < end {
                     // Keep the connection busy with the next response.
                     rt.push_tcp_bytes(flow, request_size.as_bytes());

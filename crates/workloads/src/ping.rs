@@ -66,8 +66,16 @@ mod tests {
         let report = run_ping(&mut rt, a, b, 500, SimDuration::from_millis(20));
         assert_eq!(report.replies, 500);
         // RTT ≈ 2 × 78 ms; jitter composes as sqrt(2) × 1.2 ms ≈ 1.7 ms.
-        assert!((report.mean_rtt_ms - 156.0).abs() < 2.0, "rtt {}", report.mean_rtt_ms);
-        assert!((report.jitter_ms - 1.7).abs() < 0.5, "jitter {}", report.jitter_ms);
+        assert!(
+            (report.mean_rtt_ms - 156.0).abs() < 2.0,
+            "rtt {}",
+            report.mean_rtt_ms
+        );
+        assert!(
+            (report.jitter_ms - 1.7).abs() < 0.5,
+            "jitter {}",
+            report.jitter_ms
+        );
         assert!(report.min_rtt_ms <= report.mean_rtt_ms);
         assert!(report.max_rtt_ms >= report.mean_rtt_ms);
     }

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example geo_whatif`.
 
-use kollaps::topology::geo::{build_geo_topology, Region};
 use kollaps::sim::units::Bandwidth;
+use kollaps::topology::geo::{build_geo_topology, Region};
 use kollaps::workloads::{cassandra_curve, CassandraConfig};
 
 fn main() {
@@ -30,8 +30,14 @@ fn main() {
     let before = cassandra_curve(&base, &targets, 99);
     let after = cassandra_curve(&whatif, &targets, 99);
 
-    println!("\n{:>10} | {:>22} | {:>22}", "target", "Sydney (orig)", "Seoul (halved latency)");
-    println!("{:>10} | {:>10} {:>10} | {:>10} {:>10}", "ops/s", "read ms", "update ms", "read ms", "update ms");
+    println!(
+        "\n{:>10} | {:>22} | {:>22}",
+        "target", "Sydney (orig)", "Seoul (halved latency)"
+    );
+    println!(
+        "{:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "ops/s", "read ms", "update ms", "read ms", "update ms"
+    );
     for (i, t) in targets.iter().enumerate() {
         println!(
             "{:>10.0} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",

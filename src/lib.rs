@@ -12,3 +12,18 @@ pub use kollaps_sim as sim;
 pub use kollaps_topology as topology;
 pub use kollaps_transport as transport;
 pub use kollaps_workloads as workloads;
+
+/// The most common types for writing experiments: the simulation substrate
+/// (time, units, RNG, stats) plus the entry points of the emulation stack.
+pub mod prelude {
+    pub use kollaps_sim::prelude::*;
+
+    pub use kollaps_baselines::GroundTruthDataplane;
+    pub use kollaps_core::emulation::{EmulationConfig, KollapsDataplane};
+    pub use kollaps_core::runtime::Runtime;
+    pub use kollaps_core::CollapsedTopology;
+    pub use kollaps_topology::dsl::parse_experiment;
+    pub use kollaps_topology::model::Topology;
+    pub use kollaps_transport::tcp::{CongestionAlgorithm, TcpSenderConfig, TransferSize};
+    pub use kollaps_workloads::{run_iperf_tcp, run_iperf_udp, run_ping};
+}

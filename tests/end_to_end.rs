@@ -58,7 +58,11 @@ fn dsl_to_emulation_round_trip() {
     let s = dp.address_of_index(1);
     let mut rt = Runtime::new(dp);
     let ping = run_ping(&mut rt, c, s, 30, SimDuration::from_millis(200));
-    assert!((ping.mean_rtt_ms - 60.0).abs() < 1.0, "rtt {}", ping.mean_rtt_ms);
+    assert!(
+        (ping.mean_rtt_ms - 60.0).abs() < 1.0,
+        "rtt {}",
+        ping.mean_rtt_ms
+    );
     let iperf = run_iperf_tcp(
         &mut rt,
         c,
@@ -173,5 +177,8 @@ fn metadata_traffic_scales_with_hosts_not_containers() {
         totals.push(rt.dataplane.metadata_accounting().total_network_bytes());
     }
     assert!(totals[0] > 0);
-    assert!(totals[1] > totals[0], "more hosts, more metadata: {totals:?}");
+    assert!(
+        totals[1] > totals[0],
+        "more hosts, more metadata: {totals:?}"
+    );
 }

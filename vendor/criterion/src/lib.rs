@@ -1,0 +1,211 @@
+//! Offline API-surface shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Lets the workspace's `harness = false` benches compile and run without
+//! registry access. Instead of criterion's statistical pipeline, each
+//! benchmark is timed with a fixed-iteration wall-clock loop and the mean is
+//! printed — enough to eyeball regressions locally and to keep
+//! `cargo check --all-targets` honest in CI. The statistical machinery
+//! returns when the real dependency can be fetched.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which this simply is).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_ITERS: u64 = 20;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value opaque to the optimizer.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / MEASURE_ITERS as u32);
+    }
+}
+
+fn run_one(id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {id:<40} {mean:>12.2?}/iter"),
+        None => println!("bench {id:<40} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the fixed-iteration loop ignores it.
+    pub fn sample_size(&mut self, _size: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed-iteration loop ignores it.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching upstream's API).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Flushes results (a no-op beyond matching upstream's API).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_mean() {
+        let mut ran = 0u64;
+        run_one("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert_eq!(ran, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 3), &3, |b, &_n| {
+                b.iter(|| {
+                    ran = true;
+                });
+            });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("encode", 40).id, "encode/40");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline API-surface shim for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no registry access, so this crate supplies just
+//! enough of serde's public API for the workspace to compile: the
+//! [`Serialize`] / [`Deserialize`] marker traits and (behind the `derive`
+//! feature) re-exports of the derive macros. Nothing in the workspace
+//! serializes at runtime yet; when a real serialization backend lands, this
+//! shim is replaced by the crates.io dependency by editing one line in the
+//! root `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's `serialize` method is deliberately absent: no code in the
+/// workspace calls it, and omitting it keeps the derive expansion trivial.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

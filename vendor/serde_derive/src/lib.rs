@@ -1,0 +1,117 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The derives expand to the corresponding marker-trait impls from the
+//! sibling `serde` shim. The expansion is name-and-generics only (parsed by
+//! hand — no `syn` available offline); `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, impl_generics, ty_generics)` from a type definition's
+/// token stream. Handles `struct Foo`, `struct Foo<T, 'a: 'b, const N: usize>`
+/// and enums; gives up (returning no generics) on anything it cannot parse,
+/// which is still a valid expansion for the non-generic types this workspace
+/// derives on.
+fn parse_definition(input: TokenStream) -> Option<(String, String, String)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments and visibility until `struct` / `enum`.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ref i) = tt {
+            let kw = i.to_string();
+            if kw == "struct" || kw == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return None,
+    };
+    // Collect a generics list if one follows: everything from `<` to the
+    // matching `>` at depth zero. Bounds are kept for the impl side and
+    // stripped for the type side.
+    let mut raw = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(ref p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push_str(&tt.to_string());
+            raw.push(' ');
+        }
+    }
+    if raw.is_empty() {
+        return Some((name, String::new(), String::new()));
+    }
+    let impl_generics = format!("<{raw}>");
+    let ty_params: Vec<String> = split_top_level_commas(&raw)
+        .into_iter()
+        .map(|param| {
+            let head = param.split(':').next().unwrap_or("").trim();
+            // `const N : usize` participates in the type position as `N`.
+            head.strip_prefix("const ")
+                .map(|c| c.trim().to_string())
+                .unwrap_or_else(|| head.to_string())
+        })
+        .collect();
+    let ty_generics = format!("<{}>", ty_params.join(", "));
+    Some((name, impl_generics, ty_generics))
+}
+
+/// Splits a generics list on commas that are not nested inside `<...>`.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn expand(input: TokenStream, make_impl: impl Fn(&str, &str, &str) -> String) -> TokenStream {
+    match parse_definition(input) {
+        Some((name, impl_generics, ty_generics)) => make_impl(&name, &impl_generics, &ty_generics)
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, |name, ig, tg| {
+        format!("impl {ig} ::serde::Serialize for {name} {tg} {{}}")
+    })
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |name, ig, tg| {
+        let params = ig.trim_start_matches('<').trim_end_matches('>');
+        format!("impl <'de, {params}> ::serde::Deserialize<'de> for {name} {tg} {{}}")
+    })
+}
