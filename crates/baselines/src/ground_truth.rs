@@ -11,10 +11,10 @@
 use std::collections::HashMap;
 
 use kollaps_netmodel::link::{LinkConfig, LinkPipe};
-use kollaps_netmodel::packet::{Addr, DropReason, Packet};
+use kollaps_netmodel::packet::{DropReason, Packet};
 use kollaps_sim::prelude::*;
 
-use kollaps_core::collapse::CollapsedTopology;
+use kollaps_core::collapse::{Addressable, CollapsedTopology};
 use kollaps_core::runtime::{Dataplane, SendOutcome};
 use kollaps_topology::graph::TopologyGraph;
 use kollaps_topology::model::{LinkId, NodeId, Topology};
@@ -93,11 +93,6 @@ impl GroundTruthDataplane {
         &self.collapsed
     }
 
-    /// The container address of the `index`-th service.
-    pub fn address_of_index(&self, index: u32) -> Addr {
-        Addr::container(index)
-    }
-
     /// Packets dropped inside the network so far (loss + buffer overflow).
     pub fn dropped_packets(&self) -> u64 {
         self.dropped
@@ -151,6 +146,12 @@ impl GroundTruthDataplane {
     }
 }
 
+impl Addressable for GroundTruthDataplane {
+    fn collapsed(&self) -> &CollapsedTopology {
+        &self.collapsed
+    }
+}
+
 impl Dataplane for GroundTruthDataplane {
     fn send(&mut self, now: SimTime, packet: Packet) -> SendOutcome {
         let Some(src_node) = self.collapsed.service_at(packet.src) else {
@@ -183,6 +184,7 @@ impl Dataplane for GroundTruthDataplane {
 mod tests {
     use super::*;
     use kollaps_core::runtime::Runtime;
+    use kollaps_netmodel::packet::Addr;
     use kollaps_topology::generators;
     use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
 

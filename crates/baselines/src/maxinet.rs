@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet};
 use kollaps_netmodel::packet::{FlowId, Packet};
 use kollaps_sim::prelude::*;
 
+use kollaps_core::collapse::{Addressable, CollapsedTopology};
 use kollaps_core::runtime::{Dataplane, SendOutcome};
 use kollaps_topology::model::Topology;
 
@@ -80,19 +81,15 @@ impl MaxinetDataplane {
         }
     }
 
-    /// The shared collapse/address view.
-    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
-        self.inner.collapsed()
-    }
-
-    /// The container address of the `index`-th service.
-    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
-        self.inner.address_of_index(index)
-    }
-
     /// Number of first-packet controller penalties paid so far.
     pub fn controller_penalties(&self) -> u64 {
         self.penalties
+    }
+}
+
+impl Addressable for MaxinetDataplane {
+    fn collapsed(&self) -> &CollapsedTopology {
+        self.inner.collapsed()
     }
 }
 

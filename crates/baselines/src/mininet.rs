@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use kollaps_netmodel::packet::{FlowId, Packet};
 use kollaps_sim::prelude::*;
 
+use kollaps_core::collapse::{Addressable, CollapsedTopology};
 use kollaps_core::runtime::{Dataplane, SendOutcome};
 use kollaps_topology::model::Topology;
 
@@ -83,16 +84,6 @@ impl MininetDataplane {
         self.supported
     }
 
-    /// The shared collapse/address view.
-    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
-        self.inner.collapsed()
-    }
-
-    /// The container address of the `index`-th service.
-    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
-        self.inner.address_of_index(index)
-    }
-
     fn refresh_overhead(&mut self, now: SimTime) {
         // Forget connections older than the tracking window.
         let window = self.config.connection_tracking_window;
@@ -102,6 +93,12 @@ impl MininetDataplane {
         let overhead = self.config.base_forwarding_cost
             + SimDuration::from_nanos(self.config.per_connection_cost.as_nanos() * tracked);
         self.inner.set_per_hop_overhead(overhead);
+    }
+}
+
+impl Addressable for MininetDataplane {
+    fn collapsed(&self) -> &CollapsedTopology {
+        self.inner.collapsed()
     }
 }
 

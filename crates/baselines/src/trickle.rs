@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use kollaps_netmodel::packet::Packet;
 use kollaps_sim::prelude::*;
 
+use kollaps_core::collapse::{Addressable, CollapsedTopology};
 use kollaps_core::runtime::{Dataplane, SendOutcome};
 use kollaps_topology::model::Topology;
 
@@ -78,21 +79,17 @@ impl TrickleDataplane {
         }
     }
 
-    /// The shared collapse/address view.
-    pub fn collapsed(&self) -> &kollaps_core::collapse::CollapsedTopology {
-        self.inner.collapsed()
-    }
-
-    /// The container address of the `index`-th service.
-    pub fn address_of_index(&self, index: u32) -> kollaps_netmodel::packet::Addr {
-        self.inner.address_of_index(index)
-    }
-
     fn roll_quantum(&mut self, now: SimTime) {
         while now.saturating_since(self.quantum_start) >= self.config.quantum {
             self.quantum_start += self.config.quantum;
             self.bypassed_in_quantum = DataSize::ZERO;
         }
+    }
+}
+
+impl Addressable for TrickleDataplane {
+    fn collapsed(&self) -> &CollapsedTopology {
+        self.inner.collapsed()
     }
 }
 

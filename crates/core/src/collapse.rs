@@ -195,6 +195,32 @@ impl CollapsedTopology {
     }
 }
 
+/// The shared addressing view every dataplane exposes.
+///
+/// All network backends — the Kollaps collapsed emulation and the full-state
+/// baselines alike — are built from the same [`CollapsedTopology`], which
+/// owns the service ↔ container address assignment. This trait hoists that
+/// view (previously duplicated as inherent methods on every backend) so that
+/// generic experiment code can resolve addresses without knowing which
+/// backend it runs against.
+pub trait Addressable {
+    /// The collapsed/address view shared across all backends built from the
+    /// same topology.
+    fn collapsed(&self) -> &CollapsedTopology;
+
+    /// The container address of the `index`-th service (in service-id
+    /// order, matching the deployment generator's `10.1.0.0/16` assignment).
+    fn address_of_index(&self, index: u32) -> Addr {
+        Addr::container(index)
+    }
+
+    /// The container address of a service node, if the node is a service of
+    /// this deployment.
+    fn address_of_node(&self, node: NodeId) -> Option<Addr> {
+        self.collapsed().address_of(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

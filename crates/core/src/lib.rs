@@ -27,7 +27,7 @@ pub mod emulation;
 pub mod runtime;
 pub mod sharing;
 
-pub use collapse::{CollapsedPath, CollapsedTopology};
+pub use collapse::{Addressable, CollapsedPath, CollapsedTopology};
 pub use emulation::{EmulationConfig, KollapsDataplane};
 pub use runtime::{Dataplane, Runtime, RuntimeEvent, SendOutcome};
 pub use sharing::{allocate, oversubscription, Allocation, FlowDemand};

@@ -223,6 +223,16 @@ impl<D: Dataplane> Runtime<D> {
         flow
     }
 
+    /// Stops a ping probe: no further echo requests are sent and in-flight
+    /// replies are ignored on arrival. The collected RTT statistics remain
+    /// readable through [`Runtime::ping_rtts`].
+    pub fn stop_ping(&mut self, flow: FlowId) {
+        if let Some(state) = self.pings.get_mut(&flow) {
+            state.remaining = 0;
+            state.in_flight.clear();
+        }
+    }
+
     /// Appends more application data to an existing TCP flow (request /
     /// response workloads reusing one connection).
     pub fn push_tcp_bytes(&mut self, flow: FlowId, bytes: u64) {
@@ -600,6 +610,24 @@ mod tests {
             "mean rtt {}",
             rtts.mean()
         );
+    }
+
+    #[test]
+    fn stopped_ping_sends_no_further_probes() {
+        let mut rt = Runtime::new(FixedDelayNet::new(SimDuration::from_millis(10)));
+        let probe = rt.add_ping(
+            addr(0),
+            addr(1),
+            SimDuration::from_millis(100),
+            1_000,
+            SimTime::ZERO,
+        );
+        let _ = rt.run_until(SimTime::from_millis(450));
+        rt.stop_ping(probe);
+        let _ = rt.run_until(SimTime::from_secs(5));
+        let rtts = rt.ping_rtts(probe).unwrap();
+        // Probes at 0/100/200/300/400 ms got replies; nothing after the stop.
+        assert_eq!(rtts.len(), 5);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub struct LinkConfig {
     /// Buffer size in bytes at the transmitting end (drop-tail).
     pub buffer: DataSize,
     /// Upper bound of the per-packet forwarding jitter (see
-    /// [`FORWARDING_JITTER_NANOS`]); zero makes the pipe perfectly periodic,
+    /// `FORWARDING_JITTER_NANOS`); zero makes the pipe perfectly periodic,
     /// which only exact-timing tests want.
     pub forwarding_jitter: SimDuration,
 }

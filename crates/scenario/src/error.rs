@@ -1,0 +1,96 @@
+//! Typed errors of the scenario layer.
+//!
+//! Every way a scenario can be invalid is a dedicated variant, so callers
+//! (and tests) can match on the exact failure instead of parsing a panic
+//! message or unwrapping an anonymous `Option`.
+
+use std::fmt;
+
+use kollaps_topology::dsl::ParseError;
+use kollaps_topology::xml::XmlError;
+
+/// Everything that can go wrong between `Scenario::from_*` and the final
+/// [`crate::Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The experiment-DSL text did not parse.
+    Parse(ParseError),
+    /// The ModelNet XML text did not parse.
+    Xml(XmlError),
+    /// A workload references a node name the topology does not declare.
+    UnknownNode {
+        /// The unknown name.
+        name: String,
+    },
+    /// A workload endpoint names a bridge; traffic can only originate at or
+    /// target service (container) nodes.
+    NotAService {
+        /// The bridge name.
+        name: String,
+    },
+    /// The topology declares a link that can never carry traffic.
+    ZeroBandwidthLink {
+        /// Display name of the link's origin node.
+        orig: String,
+        /// Display name of the link's destination node.
+        dest: String,
+    },
+    /// The selected backend cannot emulate this scenario (e.g. Mininet's
+    /// 1 Gb/s shaping ceiling, or dynamic events on a baseline that has no
+    /// emulation manager to apply them).
+    UnsupportedBackend {
+        /// The backend's name.
+        backend: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The scenario has no workloads; running it would measure nothing.
+    EmptyWorkload,
+    /// A workload is self-contradictory (same endpoints, zero rate, zero
+    /// probe count, no clients, ...).
+    InvalidWorkload {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "experiment description: {e}"),
+            ScenarioError::Xml(e) => write!(f, "ModelNet XML: {e}"),
+            ScenarioError::UnknownNode { name } => {
+                write!(f, "workload references unknown node `{name}`")
+            }
+            ScenarioError::NotAService { name } => {
+                write!(f, "workload endpoint `{name}` is a bridge, not a service")
+            }
+            ScenarioError::ZeroBandwidthLink { orig, dest } => {
+                write!(f, "link {orig} -> {dest} has zero bandwidth")
+            }
+            ScenarioError::UnsupportedBackend { backend, reason } => {
+                write!(f, "backend `{backend}` cannot run this scenario: {reason}")
+            }
+            ScenarioError::EmptyWorkload => {
+                write!(f, "scenario declares no workloads")
+            }
+            ScenarioError::InvalidWorkload { reason } => {
+                write!(f, "invalid workload: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
+
+impl From<XmlError> for ScenarioError {
+    fn from(e: XmlError) -> Self {
+        ScenarioError::Xml(e)
+    }
+}

@@ -1,0 +1,646 @@
+//! # kollaps-scenario
+//!
+//! The unified scenario API: **one builder from topology to
+//! machine-readable report**.
+//!
+//! The paper's central usability claim (§3) is that an experimenter writes a
+//! single declarative description — topology + deployment + dynamic events —
+//! and Kollaps does the rest. This crate is that entry point for the
+//! reproduction: a [`Scenario`] composes
+//!
+//! * a **topology source** — experiment-DSL text
+//!   ([`Scenario::from_dsl`]), ModelNet XML ([`Scenario::from_xml`]), or a
+//!   programmatic [`Topology`] from `kollaps_topology::generators`
+//!   ([`Scenario::from_topology`]);
+//! * a **backend** — the Kollaps collapsed emulation or any of the
+//!   full-state baselines, behind one [`Backend`] selection;
+//! * **workloads** — data-driven [`Workload`] specs (iPerf TCP/UDP, ping,
+//!   wrk2, curl, memcached) that reference services *by name* and carry
+//!   their own start/stop times;
+//! * **dynamic events** — an [`EventSchedule`] applied mid-run by the
+//!   emulation manager;
+//!
+//! validates the whole composition into a typed [`ScenarioError`] (unknown
+//! node names, zero-bandwidth links, unsupported backend/topology
+//! combinations, ...) and, on [`Scenario::run`], returns a structured
+//! [`Report`] — per-flow goodput/RTT/request summaries plus per-link
+//! offered load — serializable to JSON via the vendored `serde_json` shim.
+//!
+//! ```
+//! use kollaps_scenario::{Backend, Scenario, Workload};
+//! use kollaps_sim::prelude::*;
+//!
+//! let description = r#"
+//! experiment:
+//!   services:
+//!     name: client
+//!     name: server
+//!   links:
+//!     orig: client
+//!     dest: server
+//!     latency: 10
+//!     up: 20Mbps
+//!     down: 20Mbps
+//! "#;
+//! let report = Scenario::from_dsl(description)
+//!     .backend(Backend::kollaps())
+//!     .workload(Workload::ping("client", "server").count(5))
+//!     .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(2)))
+//!     .run()
+//!     .expect("valid scenario");
+//! assert_eq!(report.flows.len(), 2);
+//! println!("{}", report.to_json_string());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod error;
+mod report;
+mod runner;
+mod workload;
+
+pub use backend::{AnyDataplane, Backend};
+pub use error::ScenarioError;
+pub use report::{FlowReport, HttpStats, LinkReport, Report, RttStats};
+pub use workload::{Workload, DEFAULT_DURATION};
+
+use kollaps_core::collapse::Addressable;
+use kollaps_netmodel::packet::Addr;
+use kollaps_sim::prelude::*;
+use kollaps_topology::dsl::{parse_experiment, Experiment};
+use kollaps_topology::events::{DynamicEvent, EventSchedule};
+use kollaps_topology::model::{NodeId, Topology};
+use kollaps_topology::xml::parse_modelnet_xml;
+
+use runner::{ResolvedKind, ResolvedWorkload};
+use workload::WorkloadKind;
+
+enum TopologySource {
+    Dsl(String),
+    Xml(String),
+    Topology(Box<Topology>),
+}
+
+/// The scenario builder. See the [crate-level documentation](crate) for an
+/// end-to-end example.
+pub struct Scenario {
+    name: String,
+    source: TopologySource,
+    backend: Backend,
+    schedule: EventSchedule,
+    workloads: Vec<Workload>,
+    duration: Option<SimDuration>,
+}
+
+impl Scenario {
+    fn new(source: TopologySource) -> Self {
+        Scenario {
+            name: "scenario".to_string(),
+            source,
+            backend: Backend::kollaps(),
+            schedule: EventSchedule::new(),
+            workloads: Vec::new(),
+            duration: None,
+        }
+    }
+
+    /// A scenario whose topology (and dynamic schedule) come from
+    /// experiment-DSL text (the paper's Listing 1/2 syntax). Parse errors
+    /// surface as [`ScenarioError::Parse`] from [`Scenario::run`].
+    pub fn from_dsl(text: &str) -> Self {
+        Scenario::new(TopologySource::Dsl(text.to_string()))
+    }
+
+    /// A scenario whose topology comes from ModelNet XML. Parse errors
+    /// surface as [`ScenarioError::Xml`] from [`Scenario::run`].
+    pub fn from_xml(text: &str) -> Self {
+        Scenario::new(TopologySource::Xml(text.to_string()))
+    }
+
+    /// A scenario over a programmatic topology (e.g. one of
+    /// `kollaps_topology::generators`).
+    pub fn from_topology(topology: Topology) -> Self {
+        Scenario::new(TopologySource::Topology(Box::new(topology)))
+    }
+
+    /// A scenario over an already-parsed [`Experiment`]; its dynamic
+    /// schedule is adopted.
+    pub fn from_experiment(experiment: Experiment) -> Self {
+        let mut scenario = Scenario::new(TopologySource::Topology(Box::new(experiment.topology)));
+        scenario.schedule = experiment.schedule;
+        scenario
+    }
+
+    /// Names the scenario (appears in the report).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Selects the network under test. Defaults to the Kollaps emulation on
+    /// a single host.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Adds one dynamic event to the schedule.
+    pub fn event(mut self, event: DynamicEvent) -> Self {
+        self.schedule.push(event);
+        self
+    }
+
+    /// Merges a whole event schedule (on top of any events already present,
+    /// e.g. from a `dynamic:` section of the DSL source).
+    pub fn schedule(mut self, schedule: EventSchedule) -> Self {
+        for event in schedule.events() {
+            self.schedule.push(event.clone());
+        }
+        self
+    }
+
+    /// Adds a workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds several workloads.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Caps the total emulated time. Without a cap the scenario runs until
+    /// the last workload window closes; with one, later windows are
+    /// truncated.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Validates the composition, builds the selected backend, runs every
+    /// workload on the shared virtual timeline and returns the structured
+    /// [`Report`].
+    pub fn run(self) -> Result<Report, ScenarioError> {
+        let (topology, mut schedule) = match self.source {
+            TopologySource::Dsl(text) => {
+                let experiment = parse_experiment(&text)?;
+                (experiment.topology, experiment.schedule)
+            }
+            TopologySource::Xml(text) => (parse_modelnet_xml(&text)?, EventSchedule::new()),
+            TopologySource::Topology(topology) => (*topology, EventSchedule::new()),
+        };
+        for event in self.schedule.events() {
+            schedule.push(event.clone());
+        }
+
+        validate_topology(&topology)?;
+        if self.workloads.is_empty() {
+            return Err(ScenarioError::EmptyWorkload);
+        }
+        for workload in &self.workloads {
+            validate_workload(&topology, workload)?;
+        }
+        self.backend.validate(&topology, &schedule)?;
+
+        // Total timeline: the last workload window, unless capped.
+        let natural_end = self
+            .workloads
+            .iter()
+            .map(|w| SimTime::ZERO + w.start + w.effective_duration())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total_end = match self.duration {
+            Some(cap) => SimTime::ZERO + cap,
+            None => natural_end,
+        };
+
+        let backend_name = self.backend.name().to_string();
+        let hosts = self.backend.hosts();
+        let dataplane = self.backend.build(topology.clone(), schedule);
+        let resolved = self
+            .workloads
+            .into_iter()
+            .map(|w| resolve_workload(&topology, &dataplane, w, total_end))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(runner::execute(
+            dataplane,
+            self.name,
+            backend_name,
+            hosts,
+            resolved,
+            total_end,
+        )
+        .report)
+    }
+}
+
+fn validate_topology(topology: &Topology) -> Result<(), ScenarioError> {
+    for link in topology.links() {
+        if link.properties.bandwidth.is_zero() {
+            let name = |id: NodeId| {
+                topology
+                    .node(id)
+                    .map(|n| n.kind.display_name())
+                    .unwrap_or_else(|| format!("#{id}"))
+            };
+            return Err(ScenarioError::ZeroBandwidthLink {
+                orig: name(link.from),
+                dest: name(link.to),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn service_node(topology: &Topology, name: &str) -> Result<NodeId, ScenarioError> {
+    let node = topology
+        .node_by_name(name)
+        .ok_or_else(|| ScenarioError::UnknownNode {
+            name: name.to_string(),
+        })?;
+    let is_service = topology
+        .node(node)
+        .map(|n| n.kind.is_service())
+        .unwrap_or(false);
+    if !is_service {
+        return Err(ScenarioError::NotAService {
+            name: name.to_string(),
+        });
+    }
+    Ok(node)
+}
+
+fn validate_workload(topology: &Topology, workload: &Workload) -> Result<(), ScenarioError> {
+    let invalid = |reason: &str| ScenarioError::InvalidWorkload {
+        reason: reason.to_string(),
+    };
+    if workload.effective_duration().is_zero() {
+        return Err(invalid("workload duration is zero"));
+    }
+    let check_pair = |a: &str, b: &str| -> Result<(), ScenarioError> {
+        service_node(topology, a)?;
+        service_node(topology, b)?;
+        if a == b {
+            return Err(invalid(&format!("both endpoints are `{a}`")));
+        }
+        Ok(())
+    };
+    match &workload.kind {
+        WorkloadKind::IperfTcp { client, server, .. } => check_pair(client, server),
+        WorkloadKind::IperfUdp {
+            client,
+            server,
+            rate,
+        } => {
+            check_pair(client, server)?;
+            if rate.is_zero() {
+                return Err(invalid("UDP rate is zero"));
+            }
+            Ok(())
+        }
+        WorkloadKind::Ping {
+            src, dst, count, ..
+        } => {
+            check_pair(src, dst)?;
+            if *count == 0 {
+                return Err(invalid("ping count is zero"));
+            }
+            Ok(())
+        }
+        WorkloadKind::Wrk2 {
+            server,
+            client,
+            connections,
+            ..
+        } => {
+            check_pair(server, client)?;
+            if *connections == 0 {
+                return Err(invalid("wrk2 needs at least one connection"));
+            }
+            Ok(())
+        }
+        WorkloadKind::Curl {
+            server, clients, ..
+        } => {
+            if clients.is_empty() {
+                return Err(invalid("curl needs at least one client"));
+            }
+            for client in clients {
+                check_pair(server, client)?;
+            }
+            Ok(())
+        }
+        WorkloadKind::Memcached {
+            server,
+            clients,
+            connections,
+        } => {
+            if clients.is_empty() {
+                return Err(invalid("memcached needs at least one client"));
+            }
+            if *connections == 0 {
+                return Err(invalid("memcached needs at least one connection"));
+            }
+            for client in clients {
+                check_pair(server, client)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn resolve_workload(
+    topology: &Topology,
+    dataplane: &AnyDataplane,
+    workload: Workload,
+    total_end: SimTime,
+) -> Result<ResolvedWorkload, ScenarioError> {
+    let addr_of = |name: &str| -> Result<Addr, ScenarioError> {
+        let node = service_node(topology, name)?;
+        dataplane
+            .address_of_node(node)
+            .ok_or_else(|| ScenarioError::UnknownNode {
+                name: name.to_string(),
+            })
+    };
+    let kind = match &workload.kind {
+        WorkloadKind::IperfTcp {
+            client,
+            server,
+            algorithm,
+        } => ResolvedKind::IperfTcp {
+            client: addr_of(client)?,
+            server: addr_of(server)?,
+            algorithm: *algorithm,
+        },
+        WorkloadKind::IperfUdp {
+            client,
+            server,
+            rate,
+        } => ResolvedKind::IperfUdp {
+            client: addr_of(client)?,
+            server: addr_of(server)?,
+            rate: *rate,
+        },
+        WorkloadKind::Ping {
+            src,
+            dst,
+            count,
+            interval,
+        } => ResolvedKind::Ping {
+            src: addr_of(src)?,
+            dst: addr_of(dst)?,
+            count: *count,
+            interval: *interval,
+        },
+        WorkloadKind::Wrk2 {
+            server,
+            client,
+            connections,
+            request,
+        } => ResolvedKind::Wrk2 {
+            server: addr_of(server)?,
+            client: addr_of(client)?,
+            connections: *connections,
+            request: *request,
+        },
+        WorkloadKind::Curl {
+            server,
+            clients,
+            request,
+        } => ResolvedKind::Curl {
+            server: addr_of(server)?,
+            clients: clients
+                .iter()
+                .map(|c| addr_of(c))
+                .collect::<Result<Vec<_>, _>>()?,
+            request: *request,
+        },
+        WorkloadKind::Memcached {
+            server,
+            clients,
+            connections,
+        } => ResolvedKind::Memcached {
+            server: addr_of(server)?,
+            clients: clients
+                .iter()
+                .map(|c| addr_of(c))
+                .collect::<Result<Vec<_>, _>>()?,
+            connections: *connections,
+        },
+    };
+    let start = (SimTime::ZERO + workload.start).min(total_end);
+    let end = (SimTime::ZERO + workload.start + workload.effective_duration()).min(total_end);
+    Ok(ResolvedWorkload {
+        workload,
+        kind,
+        start,
+        end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_topology::generators;
+
+    fn p2p(mbps: u64) -> Topology {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(mbps),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+        );
+        topo
+    }
+
+    #[test]
+    fn iperf_scenario_measures_the_shaped_rate() {
+        let report = Scenario::from_topology(p2p(20))
+            .named("p2p-iperf")
+            .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(10)))
+            .run()
+            .expect("valid scenario");
+        assert_eq!(report.backend, "kollaps");
+        assert_eq!(report.flows.len(), 1);
+        let flow = &report.flows[0];
+        assert_eq!(flow.workload, "iperf-tcp");
+        assert_eq!(
+            (flow.client.as_str(), flow.server.as_str()),
+            ("client", "server")
+        );
+        let mbps = flow.goodput_mbps.unwrap();
+        assert!((16.0..=20.5).contains(&mbps), "goodput {mbps}");
+        assert!(flow.retransmissions.is_some());
+        assert!(!flow.per_second_mbps.is_empty());
+        // The p2p links carry the flow: offered load is reported against
+        // their capacity.
+        assert!(!report.links.is_empty());
+        let max_util = report
+            .links
+            .iter()
+            .map(|l| l.utilization)
+            .fold(0.0, f64::max);
+        assert!((0.5..=1.1).contains(&max_util), "utilization {max_util}");
+    }
+
+    #[test]
+    fn overlapping_workloads_share_one_timeline() {
+        let report = Scenario::from_topology(p2p(50))
+            .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(6)))
+            .workload(
+                Workload::ping("client", "server")
+                    .count(10)
+                    .interval(SimDuration::from_millis(200))
+                    .start(SimDuration::from_secs(1))
+                    .duration(SimDuration::from_secs(4)),
+            )
+            .run()
+            .expect("valid scenario");
+        assert_eq!(report.flows.len(), 2);
+        let ping = report.flows_of("ping").next().unwrap();
+        let rtt = ping.rtt.as_ref().unwrap();
+        // The probes share the saturated link with the bulk flow: some are
+        // lost to egress backpressure, and the survivors see queueing delay
+        // on top of the 20 ms propagation RTT.
+        assert!(rtt.replies >= 3, "replies {}", rtt.replies);
+        assert!(rtt.mean_ms >= 20.0, "rtt {}", rtt.mean_ms);
+        assert!((report.duration_s - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_starts_are_honoured() {
+        let report = Scenario::from_topology(p2p(100))
+            .workload(
+                Workload::ping("client", "server")
+                    .count(3)
+                    .interval(SimDuration::from_millis(100))
+                    .start(SimDuration::from_secs(2))
+                    .duration(SimDuration::from_secs(2)),
+            )
+            .run()
+            .unwrap();
+        let flow = &report.flows[0];
+        assert!((flow.start_s - 2.0).abs() < 1e-9);
+        assert!((flow.end_s - 4.0).abs() < 1e-9);
+        assert_eq!(flow.rtt.as_ref().unwrap().replies, 3);
+    }
+
+    #[test]
+    fn wrk2_and_curl_report_requests() {
+        let report = Scenario::from_topology(p2p(100))
+            .workload(
+                Workload::wrk2("server", "client")
+                    .connections(4)
+                    .duration(SimDuration::from_secs(5)),
+            )
+            .run()
+            .unwrap();
+        let wrk2 = &report.flows[0];
+        let http = wrk2.http.as_ref().unwrap();
+        assert!(http.requests > 10, "requests {}", http.requests);
+        assert!(http.latency_p90_ms >= http.latency_p50_ms);
+        assert!(wrk2.goodput_mbps.unwrap() > 10.0);
+
+        let report = Scenario::from_topology(p2p(100))
+            .workload(Workload::curl("server", &["client"]).duration(SimDuration::from_secs(5)))
+            .run()
+            .unwrap();
+        let curl = &report.flows[0];
+        assert!(curl.http.as_ref().unwrap().requests > 5);
+    }
+
+    #[test]
+    fn memcached_reports_closed_loop_throughput() {
+        let report = Scenario::from_topology(p2p(100))
+            .workload(
+                Workload::memcached("server", &["client"])
+                    .connections(10)
+                    .duration(SimDuration::from_secs(3)),
+            )
+            .run()
+            .unwrap();
+        let ops = report.flows[0].ops_per_second.unwrap();
+        // RTT ≈ 20 ms → ≈ 10 / 0.02 ≈ 500 ops/s.
+        assert!((300.0..=700.0).contains(&ops), "ops {ops}");
+    }
+
+    #[test]
+    fn duration_cap_truncates_windows() {
+        let report = Scenario::from_topology(p2p(100))
+            .duration(SimDuration::from_secs(2))
+            .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(30)))
+            .run()
+            .unwrap();
+        assert!((report.duration_s - 2.0).abs() < 1e-9);
+        assert!((report.flows[0].end_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = Scenario::from_topology(p2p(10))
+            .named("json-smoke")
+            .workload(
+                Workload::ping("client", "server")
+                    .count(2)
+                    .duration(SimDuration::from_secs(1)),
+            )
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert_eq!(
+            json.get("scenario").and_then(|v| v.as_str()),
+            Some("json-smoke")
+        );
+        assert_eq!(
+            json.get("backend").and_then(|v| v.as_str()),
+            Some("kollaps")
+        );
+        let flows = json.get("flows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(flows.len(), 1);
+        let text = report.to_json_string();
+        assert!(text.starts_with('{') && text.ends_with('}'), "{text}");
+        assert!(text.contains("\"rtt\":{\"mean_ms\":"), "{text}");
+    }
+
+    #[test]
+    fn dsl_source_round_trips() {
+        let description = "experiment:\n  services:\n    name: a\n    name: b\n  links:\n    orig: a\n    dest: b\n    latency: 5\n    up: 10Mbps\n    down: 10Mbps\n";
+        let report = Scenario::from_dsl(description)
+            .workload(
+                Workload::ping("a", "b")
+                    .count(4)
+                    .duration(SimDuration::from_secs(2)),
+            )
+            .run()
+            .unwrap();
+        let rtt = report.flows[0].rtt.as_ref().unwrap();
+        assert!((rtt.mean_ms - 10.0).abs() < 1.0, "rtt {}", rtt.mean_ms);
+    }
+
+    #[test]
+    fn backends_are_selectable() {
+        for backend in [
+            Backend::ground_truth(),
+            Backend::mininet(),
+            Backend::maxinet(),
+        ] {
+            let name = backend.name();
+            let report = Scenario::from_topology(p2p(50))
+                .backend(backend)
+                .workload(
+                    Workload::ping("client", "server")
+                        .count(3)
+                        .duration(SimDuration::from_secs(2)),
+                )
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.backend, name);
+            assert!(report.flows[0].rtt.as_ref().unwrap().replies > 0, "{name}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The machine-readable result of a scenario run.
+//!
+//! A [`Report`] is plain data: per-flow goodput/RTT/HTTP summaries and
+//! per-link offered load, all in SI-ish units (`Mb/s`, `ms`, seconds). The
+//! bench tables and `print_rows` views are thin projections over it, and
+//! [`Report::to_json_string`] serializes the whole tree through the
+//! vendored `serde_json` shim for downstream tooling.
+
+use serde_json::Value;
+
+/// RTT statistics of a ping workload (milliseconds).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RttStats {
+    /// Mean RTT.
+    pub mean_ms: f64,
+    /// Jitter, reported like `ping`: standard deviation of the samples.
+    pub jitter_ms: f64,
+    /// Minimum observed RTT.
+    pub min_ms: f64,
+    /// Maximum observed RTT.
+    pub max_ms: f64,
+    /// Number of replies received.
+    pub replies: usize,
+    /// Every RTT sample, in arrival order.
+    pub samples_ms: Vec<f64>,
+}
+
+/// Request statistics of an HTTP-style (wrk2/curl) workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HttpStats {
+    /// Completed requests.
+    pub requests: u64,
+    /// Median per-request completion latency.
+    pub latency_p50_ms: f64,
+    /// 90th-percentile per-request completion latency.
+    pub latency_p90_ms: f64,
+}
+
+/// The measured outcome of one workload.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// Workload label ("iperf-tcp", "iperf-udp", "ping", "wrk2", "curl",
+    /// "memcached").
+    pub workload: String,
+    /// Name of the node that initiated the workload (the traffic sink for
+    /// HTTP-style workloads).
+    pub client: String,
+    /// Name of the serving node.
+    pub server: String,
+    /// Workload start, seconds since scenario start.
+    pub start_s: f64,
+    /// Workload end, seconds since scenario start.
+    pub end_s: f64,
+    /// Average delivered goodput over the activity window, for workloads
+    /// that move bulk data.
+    pub goodput_mbps: Option<f64>,
+    /// Receiver-side throughput per one-second window (Mb/s).
+    pub per_second_mbps: Vec<f64>,
+    /// Sender retransmissions (TCP workloads).
+    pub retransmissions: Option<u64>,
+    /// RTT statistics (ping workloads).
+    pub rtt: Option<RttStats>,
+    /// Request statistics (wrk2/curl workloads).
+    pub http: Option<HttpStats>,
+    /// Aggregate operations per second (memcached workloads).
+    pub ops_per_second: Option<f64>,
+}
+
+/// Offered load on one original-topology link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkReport {
+    /// The link id in the original (pre-collapse) topology.
+    pub link: u32,
+    /// Configured capacity.
+    pub capacity_mbps: f64,
+    /// Sum of the average goodputs of all reported flows whose collapsed
+    /// path crosses this link (each averaged over its own activity window).
+    pub offered_mbps: f64,
+    /// `offered / capacity`; above 1.0 the link was a contended bottleneck
+    /// for at least part of the run.
+    pub utilization: f64,
+}
+
+/// The structured result of [`crate::Scenario::run`].
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Scenario name (see [`crate::Scenario::named`]).
+    pub scenario: String,
+    /// Backend the scenario ran against.
+    pub backend: String,
+    /// Number of physical hosts the backend modelled.
+    pub hosts: usize,
+    /// Total emulated time, seconds.
+    pub duration_s: f64,
+    /// One entry per workload, in declaration order.
+    pub flows: Vec<FlowReport>,
+    /// Offered load per traversed link, sorted by link id.
+    pub links: Vec<LinkReport>,
+    /// Metadata bytes the emulation managers exchanged over the physical
+    /// network (`None` for backends without an emulation manager).
+    pub metadata_bytes: Option<u64>,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl RttStats {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("mean_ms", self.mean_ms.into()),
+            ("jitter_ms", self.jitter_ms.into()),
+            ("min_ms", self.min_ms.into()),
+            ("max_ms", self.max_ms.into()),
+            ("replies", self.replies.into()),
+            ("samples_ms", self.samples_ms.clone().into()),
+        ])
+    }
+}
+
+impl HttpStats {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("requests", self.requests.into()),
+            ("latency_p50_ms", self.latency_p50_ms.into()),
+            ("latency_p90_ms", self.latency_p90_ms.into()),
+        ])
+    }
+}
+
+impl FlowReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("workload", self.workload.as_str().into()),
+            ("client", self.client.as_str().into()),
+            ("server", self.server.as_str().into()),
+            ("start_s", self.start_s.into()),
+            ("end_s", self.end_s.into()),
+            ("goodput_mbps", self.goodput_mbps.into()),
+            ("per_second_mbps", self.per_second_mbps.clone().into()),
+            ("retransmissions", self.retransmissions.into()),
+            (
+                "rtt",
+                self.rtt
+                    .as_ref()
+                    .map(RttStats::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "http",
+                self.http
+                    .as_ref()
+                    .map(HttpStats::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            ("ops_per_second", self.ops_per_second.into()),
+        ])
+    }
+}
+
+impl LinkReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("link", self.link.into()),
+            ("capacity_mbps", self.capacity_mbps.into()),
+            ("offered_mbps", self.offered_mbps.into()),
+            ("utilization", self.utilization.into()),
+        ])
+    }
+}
+
+impl Report {
+    /// The flows produced by workloads with the given label, in order.
+    pub fn flows_of<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a FlowReport> {
+        self.flows.iter().filter(move |f| f.workload == workload)
+    }
+
+    /// The whole report as a JSON value tree.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("scenario", self.scenario.as_str().into()),
+            ("backend", self.backend.as_str().into()),
+            ("hosts", self.hosts.into()),
+            ("duration_s", self.duration_s.into()),
+            (
+                "flows",
+                Value::Array(self.flows.iter().map(FlowReport::to_json).collect()),
+            ),
+            (
+                "links",
+                Value::Array(self.links.iter().map(LinkReport::to_json).collect()),
+            ),
+            ("metadata_bytes", self.metadata_bytes.into()),
+        ])
+    }
+
+    /// The whole report as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}

@@ -1,0 +1,632 @@
+//! The scenario execution engine.
+//!
+//! All workloads of a scenario share one [`Runtime`] and one virtual
+//! timeline: flows are registered up front with their start times, the
+//! engine steps the clock in small slices so request/response workloads can
+//! re-arm on completion events, and every workload is finalized into a
+//! [`FlowReport`] exactly when its activity window closes.
+
+use std::collections::HashMap;
+
+use kollaps_core::collapse::Addressable;
+use kollaps_core::runtime::{Runtime, RuntimeEvent};
+use kollaps_netmodel::packet::{Addr, FlowId};
+use kollaps_sim::prelude::*;
+use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
+use kollaps_workloads::memcached_throughput;
+
+use crate::backend::AnyDataplane;
+use crate::report::{FlowReport, HttpStats, LinkReport, Report, RttStats};
+use crate::workload::Workload;
+
+/// Wall-clock slice between event-dispatch rounds (same granularity the
+/// standalone wrk2/curl drivers used).
+const STEP: SimDuration = SimDuration::from_millis(100);
+
+/// Per-operation memcached server time (µs) and aggregate server capacity
+/// (ops/s) fed to the closed-loop model, matching the Figure 4 harness.
+const MEMCACHED_OP_TIME_US: f64 = 80.0;
+const MEMCACHED_CAPACITY_OPS: f64 = 1.0e9;
+
+/// A workload with its endpoints resolved to container addresses and its
+/// activity window pinned to the scenario timeline.
+pub(crate) struct ResolvedWorkload {
+    pub workload: Workload,
+    pub kind: ResolvedKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// Address-level mirror of [`crate::workload::WorkloadKind`].
+pub(crate) enum ResolvedKind {
+    IperfTcp {
+        client: Addr,
+        server: Addr,
+        algorithm: kollaps_transport::tcp::CongestionAlgorithm,
+    },
+    IperfUdp {
+        client: Addr,
+        server: Addr,
+        rate: Bandwidth,
+    },
+    Ping {
+        src: Addr,
+        dst: Addr,
+        count: u64,
+        interval: SimDuration,
+    },
+    Wrk2 {
+        server: Addr,
+        client: Addr,
+        connections: usize,
+        request: DataSize,
+    },
+    Curl {
+        server: Addr,
+        clients: Vec<Addr>,
+        request: DataSize,
+    },
+    Memcached {
+        server: Addr,
+        clients: Vec<Addr>,
+        connections: usize,
+    },
+}
+
+/// Live state of one workload while the scenario runs.
+enum State {
+    IperfTcp {
+        flow: FlowId,
+    },
+    IperfUdp {
+        flow: FlowId,
+    },
+    Ping {
+        flow: FlowId,
+    },
+    Wrk2 {
+        flows: Vec<FlowId>,
+        request: DataSize,
+        requests: u64,
+        bytes_per_client: Vec<u64>,
+        latencies_ms: Summary,
+        last_start: HashMap<FlowId, SimTime>,
+        per_second: HashMap<u64, u64>,
+    },
+    Curl {
+        server: Addr,
+        clients: Vec<Addr>,
+        request: DataSize,
+        owner_client: HashMap<FlowId, usize>,
+        started_at: HashMap<FlowId, SimTime>,
+        requests: u64,
+        bytes_per_client: Vec<u64>,
+        latencies_ms: Summary,
+        per_second: HashMap<u64, u64>,
+    },
+    Memcached {
+        probes: Vec<FlowId>,
+        connections: usize,
+    },
+    Done,
+}
+
+/// Endpoints a finalized flow moved bulk data between, for link accounting.
+struct LinkDemand {
+    src: Addr,
+    dst: Addr,
+    mbps: f64,
+}
+
+pub(crate) struct RunnerOutput {
+    pub report: Report,
+}
+
+pub(crate) fn execute(
+    dataplane: AnyDataplane,
+    scenario_name: String,
+    backend_name: String,
+    hosts: usize,
+    workloads: Vec<ResolvedWorkload>,
+    total_end: SimTime,
+) -> RunnerOutput {
+    let mut rt = Runtime::new(dataplane);
+    let mut states = Vec::with_capacity(workloads.len());
+    let mut owner: HashMap<FlowId, usize> = HashMap::new();
+
+    // Register every workload up front; the runtime honours future start
+    // times, so nothing moves before its window opens.
+    for (idx, w) in workloads.iter().enumerate() {
+        let state = match &w.kind {
+            ResolvedKind::IperfTcp {
+                client,
+                server,
+                algorithm,
+            } => {
+                let flow = rt.add_tcp_flow(
+                    *client,
+                    *server,
+                    TransferSize::Unbounded,
+                    TcpSenderConfig::with_algorithm(*algorithm),
+                    w.start,
+                );
+                State::IperfTcp { flow }
+            }
+            ResolvedKind::IperfUdp {
+                client,
+                server,
+                rate,
+            } => {
+                let flow = rt.add_udp_flow(*client, *server, *rate, w.start, Some(w.end));
+                State::IperfUdp { flow }
+            }
+            ResolvedKind::Ping {
+                src,
+                dst,
+                count,
+                interval,
+            } => {
+                let flow = rt.add_ping(*src, *dst, *interval, *count, w.start);
+                State::Ping { flow }
+            }
+            ResolvedKind::Wrk2 {
+                server,
+                client,
+                connections,
+                request,
+            } => {
+                let mut flows = Vec::with_capacity(*connections);
+                let mut last_start = HashMap::new();
+                for _ in 0..*connections {
+                    let flow = rt.add_tcp_flow(
+                        *server,
+                        *client,
+                        TransferSize::Bytes(request.as_bytes()),
+                        TcpSenderConfig::default(),
+                        w.start,
+                    );
+                    owner.insert(flow, idx);
+                    last_start.insert(flow, w.start);
+                    flows.push(flow);
+                }
+                State::Wrk2 {
+                    flows,
+                    request: *request,
+                    requests: 0,
+                    bytes_per_client: vec![0],
+                    latencies_ms: Summary::new(),
+                    last_start,
+                    per_second: HashMap::new(),
+                }
+            }
+            ResolvedKind::Curl {
+                server,
+                clients,
+                request,
+            } => {
+                let mut owner_client = HashMap::new();
+                let mut started_at = HashMap::new();
+                for (ci, client) in clients.iter().enumerate() {
+                    let flow = rt.add_tcp_flow(
+                        *server,
+                        *client,
+                        TransferSize::Bytes(request.as_bytes()),
+                        TcpSenderConfig::default(),
+                        w.start,
+                    );
+                    owner.insert(flow, idx);
+                    owner_client.insert(flow, ci);
+                    started_at.insert(flow, w.start);
+                }
+                State::Curl {
+                    server: *server,
+                    clients: clients.clone(),
+                    request: *request,
+                    owner_client,
+                    started_at,
+                    requests: 0,
+                    bytes_per_client: vec![0; clients.len()],
+                    latencies_ms: Summary::new(),
+                    per_second: HashMap::new(),
+                }
+            }
+            ResolvedKind::Memcached {
+                server,
+                clients,
+                connections,
+            } => {
+                let interval = SimDuration::from_millis(100);
+                let window = w.end.saturating_since(w.start);
+                let count = (window.as_secs_f64() / interval.as_secs_f64()).floor() as u64;
+                let probes = clients
+                    .iter()
+                    .map(|c| rt.add_ping(*c, *server, interval, count.max(1), w.start))
+                    .collect();
+                State::Memcached {
+                    probes,
+                    connections: *connections,
+                }
+            }
+        };
+        states.push(state);
+    }
+
+    // Boundaries the clock must land on exactly: workload window edges.
+    let mut boundaries: Vec<SimTime> = workloads
+        .iter()
+        .flat_map(|w| [w.start, w.end])
+        .chain(std::iter::once(total_end))
+        .collect();
+    boundaries.sort();
+    boundaries.dedup();
+
+    let mut reports: Vec<Option<FlowReport>> = (0..workloads.len()).map(|_| None).collect();
+    let mut demands: Vec<LinkDemand> = Vec::new();
+    let mut now = SimTime::ZERO;
+    while now < total_end {
+        let mut next = now + STEP;
+        if let Some(&b) = boundaries.iter().find(|&&b| b > now) {
+            next = next.min(b);
+        }
+        next = next.min(total_end);
+        for event in rt.run_until(next) {
+            if let RuntimeEvent::TcpCompleted { flow, at } = event {
+                let Some(&idx) = owner.get(&flow) else {
+                    continue;
+                };
+                handle_completion(
+                    &mut rt,
+                    &mut owner,
+                    &mut states[idx],
+                    idx,
+                    flow,
+                    at,
+                    &workloads,
+                );
+            }
+        }
+        now = next;
+        for (idx, w) in workloads.iter().enumerate() {
+            if w.end == now && !matches!(states[idx], State::Done) {
+                let state = std::mem::replace(&mut states[idx], State::Done);
+                let (report, flow_demands) = finalize(&mut rt, w, state);
+                demands.extend(flow_demands);
+                reports[idx] = Some(report);
+            }
+        }
+    }
+    // Safety net: windows clipped exactly to `total_end` are finalized by
+    // the last loop iteration; anything left (empty scenario) ends here.
+    for (idx, w) in workloads.iter().enumerate() {
+        if !matches!(states[idx], State::Done) {
+            let state = std::mem::replace(&mut states[idx], State::Done);
+            let (report, flow_demands) = finalize(&mut rt, w, state);
+            demands.extend(flow_demands);
+            reports[idx] = Some(report);
+        }
+    }
+
+    let links = link_reports(&rt, &demands);
+    let metadata_bytes = rt.dataplane.metadata_network_bytes();
+    RunnerOutput {
+        report: Report {
+            scenario: scenario_name,
+            backend: backend_name,
+            hosts,
+            duration_s: total_end.as_secs_f64(),
+            flows: reports.into_iter().flatten().collect(),
+            links,
+            metadata_bytes,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_completion(
+    rt: &mut Runtime<AnyDataplane>,
+    owner: &mut HashMap<FlowId, usize>,
+    state: &mut State,
+    idx: usize,
+    flow: FlowId,
+    at: SimTime,
+    workloads: &[ResolvedWorkload],
+) {
+    let end = workloads[idx].end;
+    match state {
+        State::Wrk2 {
+            request,
+            requests,
+            bytes_per_client,
+            latencies_ms,
+            last_start,
+            per_second,
+            ..
+        } => {
+            *requests += 1;
+            bytes_per_client[0] += request.as_bytes();
+            *per_second.entry(at.as_secs_f64() as u64).or_default() += request.as_bytes();
+            if let Some(t0) = last_start.get(&flow) {
+                latencies_ms.record(at.saturating_since(*t0).as_millis_f64());
+            }
+            if at < end {
+                // Keep the connection busy with the next response.
+                rt.push_tcp_bytes(flow, request.as_bytes());
+                last_start.insert(flow, at);
+            }
+        }
+        State::Curl {
+            server,
+            clients,
+            request,
+            owner_client,
+            started_at,
+            requests,
+            bytes_per_client,
+            latencies_ms,
+            per_second,
+        } => {
+            let Some(ci) = owner_client.remove(&flow) else {
+                return;
+            };
+            *requests += 1;
+            bytes_per_client[ci] += request.as_bytes();
+            *per_second.entry(at.as_secs_f64() as u64).or_default() += request.as_bytes();
+            if let Some(t0) = started_at.remove(&flow) {
+                latencies_ms.record(at.saturating_since(t0).as_millis_f64());
+            }
+            rt.stop_tcp_flow(flow);
+            owner.remove(&flow);
+            if at < end {
+                // A new connection for the next request (connection-per-
+                // request behaviour: the transfer restarts in slow start).
+                let next = rt.add_tcp_flow(
+                    *server,
+                    clients[ci],
+                    TransferSize::Bytes(request.as_bytes()),
+                    TcpSenderConfig::default(),
+                    at,
+                );
+                owner.insert(next, idx);
+                owner_client.insert(next, ci);
+                started_at.insert(next, at);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn window_series(
+    rt: &Runtime<AnyDataplane>,
+    flow: FlowId,
+    start: SimTime,
+    end: SimTime,
+) -> Vec<f64> {
+    rt.throughput_series(flow)
+        .map(|s| {
+            s.points()
+                .iter()
+                .filter(|p| p.time > start && p.time <= end)
+                .map(|p| p.value)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn per_second_vec(per_second: &HashMap<u64, u64>, start: SimTime, end: SimTime) -> Vec<f64> {
+    let first = start.as_secs_f64().floor() as u64;
+    let last = end.as_secs_f64().ceil() as u64;
+    (first..last)
+        .map(|s| {
+            DataSize::from_bytes(per_second.get(&s).copied().unwrap_or(0))
+                .rate_over(SimDuration::from_secs(1))
+                .as_mbps()
+        })
+        .collect()
+}
+
+fn finalize(
+    rt: &mut Runtime<AnyDataplane>,
+    w: &ResolvedWorkload,
+    state: State,
+) -> (FlowReport, Vec<LinkDemand>) {
+    let window = w.end.saturating_since(w.start);
+    // A window truncated to nothing by a duration cap measured nothing.
+    let window = if window.is_zero() {
+        SimDuration::from_nanos(1)
+    } else {
+        window
+    };
+    let secs = window.as_secs_f64().max(f64::EPSILON);
+    let mut report = FlowReport {
+        workload: w.workload.label().to_string(),
+        start_s: w.start.as_secs_f64(),
+        end_s: w.end.as_secs_f64(),
+        ..FlowReport::default()
+    };
+    let (client_name, server_name) = endpoint_names(&w.workload);
+    report.client = client_name;
+    report.server = server_name;
+    let mut demands = Vec::new();
+    match state {
+        State::IperfTcp { flow } => {
+            let bytes = rt.tcp_received_bytes(flow);
+            let mbps = DataSize::from_bytes(bytes).rate_over(window).as_mbps();
+            report.goodput_mbps = Some(mbps);
+            report.per_second_mbps = window_series(rt, flow, w.start, w.end);
+            report.retransmissions = rt.tcp_sender(flow).map(|s| s.stats().retransmissions);
+            rt.stop_tcp_flow(flow);
+            if let ResolvedKind::IperfTcp { client, server, .. } = &w.kind {
+                demands.push(LinkDemand {
+                    src: *client,
+                    dst: *server,
+                    mbps,
+                });
+            }
+        }
+        State::IperfUdp { flow } => {
+            let bytes = rt.udp_delivered_bytes(flow);
+            let mbps = DataSize::from_bytes(bytes).rate_over(window).as_mbps();
+            report.goodput_mbps = Some(mbps);
+            report.per_second_mbps = window_series(rt, flow, w.start, w.end);
+            if let ResolvedKind::IperfUdp { client, server, .. } = &w.kind {
+                demands.push(LinkDemand {
+                    src: *client,
+                    dst: *server,
+                    mbps,
+                });
+            }
+        }
+        State::Ping { flow } => {
+            let stats = rt.ping_rtts(flow).cloned().unwrap_or_default();
+            // The activity window is over: probes past it must not keep
+            // contending with other workloads (or skew their link shares).
+            rt.stop_ping(flow);
+            report.rtt = Some(RttStats {
+                mean_ms: stats.mean(),
+                jitter_ms: stats.std_dev(),
+                min_ms: stats.min(),
+                max_ms: stats.max(),
+                replies: stats.len(),
+                samples_ms: stats.samples().to_vec(),
+            });
+        }
+        State::Wrk2 {
+            flows,
+            requests,
+            bytes_per_client,
+            latencies_ms,
+            per_second,
+            ..
+        } => {
+            for flow in flows {
+                rt.stop_tcp_flow(flow);
+            }
+            let bytes: u64 = bytes_per_client.iter().sum();
+            let mbps = DataSize::from_bytes(bytes).rate_over(window).as_mbps();
+            report.goodput_mbps = Some(mbps);
+            report.per_second_mbps = per_second_vec(&per_second, w.start, w.end);
+            report.http = Some(HttpStats {
+                requests,
+                latency_p50_ms: latencies_ms.percentile(50.0),
+                latency_p90_ms: latencies_ms.percentile(90.0),
+            });
+            if let ResolvedKind::Wrk2 { server, client, .. } = &w.kind {
+                demands.push(LinkDemand {
+                    src: *server,
+                    dst: *client,
+                    mbps,
+                });
+            }
+        }
+        State::Curl {
+            server,
+            clients,
+            owner_client,
+            requests,
+            bytes_per_client,
+            latencies_ms,
+            per_second,
+            ..
+        } => {
+            for flow in owner_client.keys() {
+                rt.stop_tcp_flow(*flow);
+            }
+            let bytes: u64 = bytes_per_client.iter().sum();
+            report.goodput_mbps = Some(DataSize::from_bytes(bytes).rate_over(window).as_mbps());
+            report.per_second_mbps = per_second_vec(&per_second, w.start, w.end);
+            report.http = Some(HttpStats {
+                requests,
+                latency_p50_ms: latencies_ms.percentile(50.0),
+                latency_p90_ms: latencies_ms.percentile(90.0),
+            });
+            for (ci, client) in clients.iter().enumerate() {
+                let mbps = (bytes_per_client[ci] as f64 * 8.0) / secs / 1.0e6;
+                demands.push(LinkDemand {
+                    src: server,
+                    dst: *client,
+                    mbps,
+                });
+            }
+        }
+        State::Memcached {
+            probes,
+            connections,
+        } => {
+            for &probe in &probes {
+                rt.stop_ping(probe);
+            }
+            let rtts: Vec<f64> = probes
+                .iter()
+                .map(|&p| {
+                    rt.ping_rtts(p)
+                        .map(|s| s.mean())
+                        .filter(|m| m.is_finite() && *m > 0.0)
+                        .unwrap_or(1.0)
+                })
+                .collect();
+            report.ops_per_second = Some(memcached_throughput(
+                &rtts,
+                connections,
+                MEMCACHED_OP_TIME_US,
+                MEMCACHED_CAPACITY_OPS,
+            ));
+        }
+        State::Done => {}
+    }
+    (report, demands)
+}
+
+fn endpoint_names(workload: &Workload) -> (String, String) {
+    use crate::workload::WorkloadKind::*;
+    match &workload.kind {
+        IperfTcp { client, server, .. } | IperfUdp { client, server, .. } => {
+            (client.clone(), server.clone())
+        }
+        Ping { src, dst, .. } => (src.clone(), dst.clone()),
+        Wrk2 { server, client, .. } => (client.clone(), server.clone()),
+        Curl {
+            server, clients, ..
+        } => (clients.join(","), server.clone()),
+        Memcached {
+            server, clients, ..
+        } => (clients.join(","), server.clone()),
+    }
+}
+
+fn link_reports(rt: &Runtime<AnyDataplane>, demands: &[LinkDemand]) -> Vec<LinkReport> {
+    let collapsed = rt.dataplane.collapsed();
+    let mut offered: HashMap<u32, f64> = HashMap::new();
+    for demand in demands {
+        if demand.mbps <= 0.0 {
+            continue;
+        }
+        let Some(path) = collapsed.path_by_addr(demand.src, demand.dst) else {
+            continue;
+        };
+        for link in &path.links {
+            *offered.entry(link.0).or_default() += demand.mbps;
+        }
+    }
+    let mut links: Vec<LinkReport> = offered
+        .into_iter()
+        .map(|(link, offered_mbps)| {
+            let capacity_mbps = collapsed
+                .link_capacity(kollaps_topology::model::LinkId(link))
+                .map(|b| b.as_mbps())
+                .unwrap_or(f64::INFINITY);
+            let utilization = if capacity_mbps.is_finite() && capacity_mbps > 0.0 {
+                offered_mbps / capacity_mbps
+            } else {
+                0.0
+            };
+            LinkReport {
+                link,
+                capacity_mbps,
+                offered_mbps,
+                utilization,
+            }
+        })
+        .collect();
+    links.sort_by_key(|l| l.link);
+    links
+}

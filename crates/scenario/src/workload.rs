@@ -1,0 +1,229 @@
+//! Data-driven workload specifications.
+//!
+//! Workloads reference services by *name* (as declared in the experiment
+//! description or by a generator), never by raw container address: the
+//! scenario layer resolves names against the topology and rejects unknown
+//! or non-service endpoints with a typed [`crate::ScenarioError`] before
+//! anything runs.
+
+use kollaps_sim::prelude::*;
+use kollaps_transport::tcp::CongestionAlgorithm;
+
+/// Default measurement window when a workload does not set one.
+pub const DEFAULT_DURATION: SimDuration = SimDuration::from_secs(10);
+
+/// What a single workload does, by service name.
+#[derive(Debug, Clone)]
+pub(crate) enum WorkloadKind {
+    /// Long-lived bulk TCP flow, like `iperf3 -c`.
+    IperfTcp {
+        client: String,
+        server: String,
+        algorithm: CongestionAlgorithm,
+    },
+    /// Constant-bit-rate UDP flow, like `iperf3 -u -b <rate>`.
+    IperfUdp {
+        client: String,
+        server: String,
+        rate: Bandwidth,
+    },
+    /// ICMP echo probes, like `ping -c <count> -i <interval>`.
+    Ping {
+        src: String,
+        dst: String,
+        count: u64,
+        interval: SimDuration,
+    },
+    /// wrk2-like persistent-connection HTTP load: the server streams
+    /// `request` bytes per response over `connections` connections.
+    Wrk2 {
+        server: String,
+        client: String,
+        connections: usize,
+        request: DataSize,
+    },
+    /// curl-like connection-per-request clients, each repeatedly fetching
+    /// `request` bytes over a fresh connection.
+    Curl {
+        server: String,
+        clients: Vec<String>,
+        request: DataSize,
+    },
+    /// Closed-loop memcached/memtier clients: RTTs to the server are
+    /// measured in-band with echo probes and fed to the closed-loop
+    /// throughput model (paper Figure 4).
+    Memcached {
+        server: String,
+        clients: Vec<String>,
+        connections: usize,
+    },
+}
+
+/// One workload of a scenario: a kind plus its activity window.
+///
+/// Construct with the named constructors ([`Workload::iperf_tcp`],
+/// [`Workload::ping`], ...) and refine with the fluent setters. Setters that
+/// do not apply to the constructed kind (e.g. [`Workload::count`] on an
+/// iPerf flow) are ignored.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub(crate) kind: WorkloadKind,
+    pub(crate) start: SimDuration,
+    pub(crate) duration: Option<SimDuration>,
+}
+
+impl Workload {
+    fn new(kind: WorkloadKind) -> Self {
+        Workload {
+            kind,
+            start: SimDuration::ZERO,
+            duration: None,
+        }
+    }
+
+    /// A long-lived bulk TCP flow from `client` to `server` (CUBIC by
+    /// default; see [`Workload::algorithm`]).
+    pub fn iperf_tcp(client: &str, server: &str) -> Self {
+        Workload::new(WorkloadKind::IperfTcp {
+            client: client.to_string(),
+            server: server.to_string(),
+            algorithm: CongestionAlgorithm::Cubic,
+        })
+    }
+
+    /// A constant-bit-rate UDP flow from `client` to `server`.
+    pub fn iperf_udp(client: &str, server: &str, rate: Bandwidth) -> Self {
+        Workload::new(WorkloadKind::IperfUdp {
+            client: client.to_string(),
+            server: server.to_string(),
+            rate,
+        })
+    }
+
+    /// Echo probes from `src` to `dst` (10 probes, 100 ms apart by
+    /// default; see [`Workload::count`] and [`Workload::interval`]).
+    pub fn ping(src: &str, dst: &str) -> Self {
+        Workload::new(WorkloadKind::Ping {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            count: 10,
+            interval: SimDuration::from_millis(100),
+        })
+    }
+
+    /// A wrk2-like constant load of 64 KiB responses streamed from `server`
+    /// to `client` over 20 persistent connections (see
+    /// [`Workload::connections`] and [`Workload::request_size`]).
+    pub fn wrk2(server: &str, client: &str) -> Self {
+        Workload::new(WorkloadKind::Wrk2 {
+            server: server.to_string(),
+            client: client.to_string(),
+            connections: 20,
+            request: DataSize::from_kib(64),
+        })
+    }
+
+    /// curl-like clients, each repeatedly fetching a 64 KiB response from
+    /// `server` over a fresh connection per request.
+    pub fn curl(server: &str, clients: &[&str]) -> Self {
+        Workload::new(WorkloadKind::Curl {
+            server: server.to_string(),
+            clients: clients.iter().map(|c| c.to_string()).collect(),
+            request: DataSize::from_kib(64),
+        })
+    }
+
+    /// Closed-loop memcached clients against `server` (1 connection per
+    /// client by default; see [`Workload::connections`]).
+    pub fn memcached(server: &str, clients: &[&str]) -> Self {
+        Workload::new(WorkloadKind::Memcached {
+            server: server.to_string(),
+            clients: clients.iter().map(|c| c.to_string()).collect(),
+            connections: 1,
+        })
+    }
+
+    /// Congestion-control algorithm for an iPerf TCP flow.
+    pub fn algorithm(mut self, algorithm: CongestionAlgorithm) -> Self {
+        if let WorkloadKind::IperfTcp { algorithm: a, .. } = &mut self.kind {
+            *a = algorithm;
+        }
+        self
+    }
+
+    /// Number of echo probes for a ping workload.
+    pub fn count(mut self, count: u64) -> Self {
+        if let WorkloadKind::Ping { count: c, .. } = &mut self.kind {
+            *c = count;
+        }
+        self
+    }
+
+    /// Interval between echo probes for a ping workload.
+    pub fn interval(mut self, interval: SimDuration) -> Self {
+        if let WorkloadKind::Ping { interval: i, .. } = &mut self.kind {
+            *i = interval;
+        }
+        self
+    }
+
+    /// Number of connections for wrk2 / memcached workloads.
+    pub fn connections(mut self, connections: usize) -> Self {
+        match &mut self.kind {
+            WorkloadKind::Wrk2 { connections: c, .. }
+            | WorkloadKind::Memcached { connections: c, .. } => *c = connections,
+            _ => {}
+        }
+        self
+    }
+
+    /// Response size for wrk2 / curl workloads.
+    pub fn request_size(mut self, request: DataSize) -> Self {
+        match &mut self.kind {
+            WorkloadKind::Wrk2 { request: r, .. } | WorkloadKind::Curl { request: r, .. } => {
+                *r = request
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// When the workload starts, relative to the scenario start.
+    pub fn start(mut self, start: SimDuration) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// How long the workload runs. Defaults to [`DEFAULT_DURATION`], except
+    /// for pings, which default to `count × interval` plus a grace period
+    /// for the last replies.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Stable label used in reports ("iperf-tcp", "ping", ...).
+    pub fn label(&self) -> &'static str {
+        match &self.kind {
+            WorkloadKind::IperfTcp { .. } => "iperf-tcp",
+            WorkloadKind::IperfUdp { .. } => "iperf-udp",
+            WorkloadKind::Ping { .. } => "ping",
+            WorkloadKind::Wrk2 { .. } => "wrk2",
+            WorkloadKind::Curl { .. } => "curl",
+            WorkloadKind::Memcached { .. } => "memcached",
+        }
+    }
+
+    /// The effective measurement window of this workload.
+    pub(crate) fn effective_duration(&self) -> SimDuration {
+        if let Some(d) = self.duration {
+            return d;
+        }
+        match &self.kind {
+            WorkloadKind::Ping {
+                count, interval, ..
+            } => interval.mul_f64(*count as f64) + SimDuration::from_secs(5),
+            _ => DEFAULT_DURATION,
+        }
+    }
+}

@@ -79,6 +79,16 @@ pub enum ParseError {
         /// The unknown name.
         name: String,
     },
+    /// A bandwidth literal could not be parsed. Produced by the standalone
+    /// [`parse_bandwidth`] entry point; inside an experiment file the error
+    /// is reported as [`ParseError::BadValue`] with the line number instead.
+    BadBandwidth {
+        /// 1-based column (character offset) of the first offending
+        /// character within the input text.
+        column: usize,
+        /// The full offending text.
+        value: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -99,6 +109,9 @@ impl fmt::Display for ParseError {
             ParseError::UnknownNode { name } => {
                 write!(f, "link references unknown node `{name}`")
             }
+            ParseError::BadBandwidth { column, value } => {
+                write!(f, "column {column}: cannot parse bandwidth `{value}`")
+            }
         }
     }
 }
@@ -107,7 +120,27 @@ impl std::error::Error for ParseError {}
 
 /// Parses a bandwidth value with its unit, e.g. `10Mbps`, `128 Kbps`,
 /// `1Gbps`, `500bps`.
-pub fn parse_bandwidth(text: &str) -> Option<Bandwidth> {
+///
+/// Errors are reported as [`ParseError::BadBandwidth`] carrying the 1-based
+/// column of the offending token within `text` (the number if it does not
+/// parse, the unit if it is unknown).
+pub fn parse_bandwidth(text: &str) -> Result<Bandwidth, ParseError> {
+    let bad = |column: usize| ParseError::BadBandwidth {
+        column,
+        value: text.to_string(),
+    };
+    // Column of the first non-whitespace character (where the number should
+    // start) and of the first alphabetic character (where the unit starts),
+    // both 1-based within the original text.
+    let number_column = text
+        .chars()
+        .position(|c| !c.is_whitespace())
+        .map(|i| i + 1)
+        .unwrap_or(1);
+    let unit_column = text
+        .chars()
+        .position(|c| c.is_ascii_alphabetic())
+        .map(|i| i + 1);
     let cleaned: String = text
         .trim()
         .chars()
@@ -118,18 +151,18 @@ pub fn parse_bandwidth(text: &str) -> Option<Bandwidth> {
         .find(|c: char| c.is_ascii_alphabetic())
         .unwrap_or(cleaned.len());
     let (num, unit) = cleaned.split_at(split);
-    let value: f64 = num.parse().ok()?;
+    let value: f64 = num.parse().map_err(|_| bad(number_column))?;
     if value < 0.0 {
-        return None;
+        return Err(bad(number_column));
     }
     let multiplier: f64 = match unit {
         "" | "bps" | "b/s" => 1.0,
         "kbps" | "kb/s" | "kbit" => 1e3,
         "mbps" | "mb/s" | "mbit" => 1e6,
         "gbps" | "gb/s" | "gbit" => 1e9,
-        _ => return None,
+        _ => return Err(bad(unit_column.unwrap_or(number_column))),
     };
-    Some(Bandwidth::from_bps((value * multiplier).round() as u64))
+    Ok(Bandwidth::from_bps((value * multiplier).round() as u64))
 }
 
 /// The sections of the description file.
@@ -302,11 +335,13 @@ fn parse_f64(rec: &Record, key: &str) -> Result<Option<f64>, ParseError> {
 fn parse_bw_field(rec: &Record, key: &str) -> Result<Option<Bandwidth>, ParseError> {
     match rec.get(key) {
         None => Ok(None),
-        Some(v) => parse_bandwidth(v).map(Some).ok_or(ParseError::BadValue {
-            line: rec.line_of(key),
-            key: key.to_string(),
-            value: v.to_string(),
-        }),
+        Some(v) => parse_bandwidth(v)
+            .map(Some)
+            .map_err(|_| ParseError::BadValue {
+                line: rec.line_of(key),
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
     }
 }
 
@@ -527,17 +562,49 @@ dynamic:
 
     #[test]
     fn bandwidth_parsing_units() {
-        assert_eq!(parse_bandwidth("10Mbps"), Some(Bandwidth::from_mbps(10)));
-        assert_eq!(parse_bandwidth("128 Kbps"), Some(Bandwidth::from_kbps(128)));
-        assert_eq!(parse_bandwidth("1Gbps"), Some(Bandwidth::from_gbps(1)));
+        assert_eq!(parse_bandwidth("10Mbps"), Ok(Bandwidth::from_mbps(10)));
+        assert_eq!(parse_bandwidth("128 Kbps"), Ok(Bandwidth::from_kbps(128)));
+        assert_eq!(parse_bandwidth("1Gbps"), Ok(Bandwidth::from_gbps(1)));
+        assert_eq!(parse_bandwidth("2.5 Mbps"), Ok(Bandwidth::from_kbps(2500)));
+        assert_eq!(parse_bandwidth("500"), Ok(Bandwidth::from_bps(500)));
+    }
+
+    #[test]
+    fn bandwidth_parse_errors_carry_the_column() {
+        // A word that is not a number: the error points at the number slot.
         assert_eq!(
-            parse_bandwidth("2.5 Mbps"),
-            Some(Bandwidth::from_kbps(2500))
+            parse_bandwidth("oops"),
+            Err(ParseError::BadBandwidth {
+                column: 1,
+                value: "oops".into()
+            })
         );
-        assert_eq!(parse_bandwidth("500"), Some(Bandwidth::from_bps(500)));
-        assert_eq!(parse_bandwidth("oops"), None);
-        assert_eq!(parse_bandwidth("10 Tbps"), None);
-        assert_eq!(parse_bandwidth("-5Mbps"), None);
+        // Unknown unit: the error points at the unit token.
+        assert_eq!(
+            parse_bandwidth("10 Tbps"),
+            Err(ParseError::BadBandwidth {
+                column: 4,
+                value: "10 Tbps".into()
+            })
+        );
+        // Negative rate: the error points at the number.
+        assert_eq!(
+            parse_bandwidth("-5Mbps"),
+            Err(ParseError::BadBandwidth {
+                column: 1,
+                value: "-5Mbps".into()
+            })
+        );
+        // Leading whitespace shifts the reported column.
+        assert_eq!(
+            parse_bandwidth("  nope"),
+            Err(ParseError::BadBandwidth {
+                column: 3,
+                value: "  nope".into()
+            })
+        );
+        let msg = format!("{}", parse_bandwidth("10 Tbps").unwrap_err());
+        assert!(msg.contains("column 4"), "{msg}");
     }
 
     #[test]

@@ -288,6 +288,12 @@ impl TcpSender {
         if self.is_complete() {
             return Vec::new();
         }
+        // Not yet started: the runtime pumps every sender whenever the
+        // dataplane makes progress, so a flow scheduled for the future must
+        // not leak segments early.
+        if now < self.started_at {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let window = self.window();
         // The fast-retransmitted segment is sent immediately, without regard
@@ -662,6 +668,23 @@ mod tests {
         assert_eq!(pkts.len(), 10, "initial cwnd packets");
         // Without ACKs nothing more can be sent.
         assert!(s.poll_send(SimTime::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn nothing_is_sent_before_the_start_time() {
+        // The runtime pumps every sender whenever the dataplane progresses;
+        // a flow scheduled for the future must stay silent until then.
+        let mut s = TcpSender::new(
+            FlowId(1),
+            Addr::container(0),
+            Addr::container(1),
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::from_secs(5),
+        );
+        assert!(s.poll_send(SimTime::ZERO).is_empty());
+        assert!(s.poll_send(SimTime::from_millis(4_999)).is_empty());
+        assert!(!s.poll_send(SimTime::from_secs(5)).is_empty());
     }
 
     #[test]

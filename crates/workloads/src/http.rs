@@ -158,6 +158,7 @@ pub fn run_wrk2<D: Dataplane>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kollaps_core::collapse::Addressable;
     use kollaps_core::emulation::KollapsDataplane;
     use kollaps_topology::generators;
 

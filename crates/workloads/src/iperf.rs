@@ -80,6 +80,7 @@ pub fn run_iperf_udp<D: Dataplane>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kollaps_core::collapse::Addressable;
     use kollaps_core::emulation::KollapsDataplane;
     use kollaps_topology::generators;
 

@@ -50,6 +50,7 @@ pub fn run_ping<D: Dataplane>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kollaps_core::collapse::Addressable;
     use kollaps_core::emulation::KollapsDataplane;
     use kollaps_topology::generators;
 

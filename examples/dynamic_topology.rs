@@ -1,15 +1,12 @@
 //! Dynamic topologies: degrade a link mid-experiment (a "flapping link"
 //! scenario from the paper's motivation) and watch the application-visible
-//! RTT follow the schedule.
+//! RTT follow the schedule — the event schedule is part of the scenario.
 //!
 //! Run with `cargo run --example dynamic_topology`.
 
-use kollaps::core::emulation::{EmulationConfig, KollapsDataplane};
-use kollaps::core::runtime::Runtime;
-use kollaps::sim::prelude::*;
-use kollaps::topology::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use kollaps::prelude::*;
+use kollaps::topology::events::{DynamicAction, DynamicEvent, LinkChange};
 use kollaps::topology::generators;
-use kollaps::workloads::run_ping;
 
 fn main() {
     // A simple client -- server pair over a 20 ms / 100 Mb/s link.
@@ -19,49 +16,43 @@ fn main() {
         SimDuration::ZERO,
     );
 
+    let set_latency = |at_secs: u64, ms: u64| DynamicEvent {
+        at: SimDuration::from_secs(at_secs),
+        action: DynamicAction::SetLinkProperties {
+            orig: "client".into(),
+            dest: "server".into(),
+            change: LinkChange {
+                latency: Some(SimDuration::from_millis(ms)),
+                ..LinkChange::default()
+            },
+        },
+    };
+
     // Schedule: at t=10 s the latency jumps to 80 ms (e.g. a reroute), at
-    // t=20 s the link recovers.
-    let mut schedule = EventSchedule::new();
-    schedule.push(DynamicEvent {
-        at: SimDuration::from_secs(10),
-        action: DynamicAction::SetLinkProperties {
-            orig: "client".into(),
-            dest: "server".into(),
-            change: LinkChange {
-                latency: Some(SimDuration::from_millis(80)),
-                ..LinkChange::default()
-            },
-        },
-    });
-    schedule.push(DynamicEvent {
-        at: SimDuration::from_secs(20),
-        action: DynamicAction::SetLinkProperties {
-            orig: "client".into(),
-            dest: "server".into(),
-            change: LinkChange {
-                latency: Some(SimDuration::from_millis(20)),
-                ..LinkChange::default()
-            },
-        },
-    });
+    // t=20 s the link recovers. One ping per second watches it happen.
+    let report = Scenario::from_topology(topology)
+        .named("flapping-link")
+        .event(set_latency(10, 80))
+        .event(set_latency(20, 20))
+        .workload(
+            Workload::ping("client", "server")
+                .count(30)
+                .interval(SimDuration::from_secs(1)),
+        )
+        .run()
+        .expect("valid scenario");
 
-    let dataplane = KollapsDataplane::new(topology, schedule, 1, EmulationConfig::default());
-    let client = dataplane.address_of_index(0);
-    let server = dataplane.address_of_index(1);
-    let mut rt = Runtime::new(dataplane);
-
-    // One ping per second for 30 seconds; print the RTT per phase.
-    let report = run_ping(&mut rt, client, server, 30, SimDuration::from_secs(1));
-    for (i, rtt) in report.samples.iter().enumerate() {
+    let rtt = report.flows[0].rtt.as_ref().expect("rtt stats");
+    for (i, sample) in rtt.samples_ms.iter().enumerate() {
         let phase = match i {
             0..=9 => "baseline ",
             10..=19 => "degraded ",
             _ => "recovered",
         };
-        println!("t={i:>2}s  {phase}  rtt = {rtt:6.2} ms");
+        println!("t={i:>2}s  {phase}  rtt = {sample:6.2} ms");
     }
     println!(
         "mean RTT {:.1} ms (expected: 40 ms baseline, 160 ms degraded)",
-        report.mean_rtt_ms
+        rtt.mean_ms
     );
 }

@@ -3,14 +3,19 @@
 //! region? Kollaps answers this with a topology-file change instead of a
 //! costly real deployment.
 //!
+//! The inter-region network is emulated with a `Scenario` (ping probes
+//! measure what the deployed containers would see); the Cassandra/YCSB
+//! curves come from the application-level model driven by those latencies.
+//!
 //! Run with `cargo run --example geo_whatif`.
 
-use kollaps::sim::units::Bandwidth;
+use kollaps::prelude::*;
 use kollaps::topology::geo::{build_geo_topology, Region};
 use kollaps::workloads::{cassandra_curve, CassandraConfig};
 
 fn main() {
-    // Show the emulated inter-region topology Kollaps would deploy.
+    // Show the emulated inter-region topology Kollaps would deploy, and
+    // measure the cross-region RTT the containers actually experience.
     let (topology, per_region) = build_geo_topology(
         &[Region("Frankfurt"), Region("Sydney")],
         4,
@@ -22,6 +27,21 @@ fn main() {
         topology.service_ids().len(),
         topology.link_count(),
         per_region[0].len()
+    );
+
+    let report = Scenario::from_topology(topology)
+        .named("frankfurt-sydney")
+        .workload(
+            Workload::ping("Frankfurt-0", "Sydney-0")
+                .count(20)
+                .interval(SimDuration::from_millis(200)),
+        )
+        .run()
+        .expect("valid scenario");
+    let rtt = report.flows[0].rtt.as_ref().expect("rtt stats");
+    println!(
+        "emulated Frankfurt <-> Sydney RTT: {:.1} ms over {} probes",
+        rtt.mean_ms, rtt.replies
     );
 
     let base = CassandraConfig::frankfurt_sydney();

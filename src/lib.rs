@@ -8,17 +8,22 @@ pub use kollaps_core as core;
 pub use kollaps_metadata as metadata;
 pub use kollaps_netmodel as netmodel;
 pub use kollaps_orchestrator as orchestrator;
+pub use kollaps_scenario as scenario;
 pub use kollaps_sim as sim;
 pub use kollaps_topology as topology;
 pub use kollaps_transport as transport;
 pub use kollaps_workloads as workloads;
 
 /// The most common types for writing experiments: the simulation substrate
-/// (time, units, RNG, stats) plus the entry points of the emulation stack.
+/// (time, units, RNG, stats), the scenario builder, and the entry points of
+/// the emulation stack for code that needs to drive a dataplane by hand.
 pub mod prelude {
     pub use kollaps_sim::prelude::*;
 
+    pub use kollaps_scenario::{Backend, Report, Scenario, ScenarioError, Workload};
+
     pub use kollaps_baselines::GroundTruthDataplane;
+    pub use kollaps_core::collapse::Addressable;
     pub use kollaps_core::emulation::{EmulationConfig, KollapsDataplane};
     pub use kollaps_core::runtime::Runtime;
     pub use kollaps_core::CollapsedTopology;

@@ -1,18 +1,12 @@
-//! Cross-crate integration tests: experiment description → collapsed
-//! emulation → transport → workloads, compared against the full-state
-//! ground truth.
+//! Cross-crate integration tests: experiment description → scenario
+//! builder → collapsed emulation → transport → workloads, compared against
+//! the full-state ground truth.
 
-use kollaps::baselines::GroundTruthDataplane;
-use kollaps::core::emulation::{EmulationConfig, KollapsDataplane};
-use kollaps::core::runtime::Runtime;
-use kollaps::core::CollapsedTopology;
 use kollaps::orchestrator::{Cluster, DeploymentGenerator, Orchestrator};
-use kollaps::sim::prelude::*;
+use kollaps::prelude::*;
 use kollaps::topology::dsl::parse_experiment;
-use kollaps::topology::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use kollaps::topology::events::{DynamicAction, DynamicEvent, LinkChange};
 use kollaps::topology::generators;
-use kollaps::transport::tcp::CongestionAlgorithm;
-use kollaps::workloads::{run_iperf_tcp, run_ping};
 
 const EXPERIMENT: &str = r#"
 experiment:
@@ -44,6 +38,7 @@ experiment:
 
 #[test]
 fn dsl_to_emulation_round_trip() {
+    // The collapsed view matches the hand-computed end-to-end properties.
     let experiment = parse_experiment(EXPERIMENT).expect("parse");
     let collapsed = CollapsedTopology::build(&experiment.topology);
     let client = experiment.topology.node_by_name("client").unwrap();
@@ -52,61 +47,55 @@ fn dsl_to_emulation_round_trip() {
     assert_eq!(path.latency, SimDuration::from_millis(30));
     assert_eq!(path.max_bandwidth, Bandwidth::from_mbps(20));
 
-    // The emulated RTT and goodput match the collapsed expectations.
-    let dp = KollapsDataplane::with_defaults(experiment.topology.clone(), 2);
-    let c = dp.address_of_index(0);
-    let s = dp.address_of_index(1);
-    let mut rt = Runtime::new(dp);
-    let ping = run_ping(&mut rt, c, s, 30, SimDuration::from_millis(200));
-    assert!(
-        (ping.mean_rtt_ms - 60.0).abs() < 1.0,
-        "rtt {}",
-        ping.mean_rtt_ms
-    );
-    let iperf = run_iperf_tcp(
-        &mut rt,
-        c,
-        s,
-        CongestionAlgorithm::Cubic,
-        SimDuration::from_secs(10),
-    );
-    let mbps = iperf.average.as_mbps();
+    // One scenario measures both what ping and iPerf see on that topology.
+    let report = Scenario::from_dsl(EXPERIMENT)
+        .named("e2e-round-trip")
+        .backend(Backend::kollaps_on(2))
+        .workload(
+            Workload::ping("client", "server")
+                .count(30)
+                .interval(SimDuration::from_millis(200)),
+        )
+        .workload(
+            Workload::iperf_tcp("client", "server")
+                .start(SimDuration::from_secs(7))
+                .duration(SimDuration::from_secs(10)),
+        )
+        .run()
+        .expect("valid scenario");
+    let ping = report.flows_of("ping").next().unwrap();
+    let rtt = ping.rtt.as_ref().unwrap();
+    assert!((rtt.mean_ms - 60.0).abs() < 1.0, "rtt {}", rtt.mean_ms);
+    let iperf = report.flows_of("iperf-tcp").next().unwrap();
+    let mbps = iperf.goodput_mbps.unwrap();
     assert!((15.0..=20.5).contains(&mbps), "goodput {mbps}");
+    // The report exposes the bottleneck: the client access link is the most
+    // utilized link of the path.
+    let max_util = report
+        .links
+        .iter()
+        .map(|l| l.utilization)
+        .fold(0.0, f64::max);
+    assert!((0.5..=1.1).contains(&max_util), "utilization {max_util}");
 }
 
 #[test]
 fn kollaps_tracks_ground_truth_on_the_same_workload() {
-    let (topo, _, _) = generators::point_to_point(
-        Bandwidth::from_mbps(100),
-        SimDuration::from_millis(10),
-        SimDuration::ZERO,
-    );
-    // Ground truth (hop-by-hop).
-    let gt = GroundTruthDataplane::new(&topo);
-    let (a, b) = (gt.address_of_index(0), gt.address_of_index(1));
-    let mut rt = Runtime::new(gt);
-    let bare = run_iperf_tcp(
-        &mut rt,
-        a,
-        b,
-        CongestionAlgorithm::Cubic,
-        SimDuration::from_secs(10),
-    )
-    .average
-    .as_mbps();
-    // Kollaps (collapsed).
-    let dp = KollapsDataplane::with_defaults(topo, 1);
-    let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
-    let mut rt = Runtime::new(dp);
-    let kollaps = run_iperf_tcp(
-        &mut rt,
-        a,
-        b,
-        CongestionAlgorithm::Cubic,
-        SimDuration::from_secs(10),
-    )
-    .average
-    .as_mbps();
+    let measure = |backend: Backend| -> f64 {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+        );
+        let report = Scenario::from_topology(topo)
+            .backend(backend)
+            .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(10)))
+            .run()
+            .expect("valid scenario");
+        report.flows[0].goodput_mbps.unwrap()
+    };
+    let bare = measure(Backend::ground_truth());
+    let kollaps = measure(Backend::kollaps());
     let deviation = (1.0 - kollaps / bare).abs() * 100.0;
     assert!(
         deviation < 10.0,
@@ -121,24 +110,28 @@ fn dynamic_events_change_the_emulated_network() {
         SimDuration::from_millis(10),
         SimDuration::ZERO,
     );
-    let mut schedule = EventSchedule::new();
-    schedule.push(DynamicEvent {
-        at: SimDuration::from_secs(3),
-        action: DynamicAction::SetLinkProperties {
-            orig: "client".into(),
-            dest: "server".into(),
-            change: LinkChange {
-                latency: Some(SimDuration::from_millis(50)),
-                ..LinkChange::default()
+    let report = Scenario::from_topology(topo)
+        .event(DynamicEvent {
+            at: SimDuration::from_secs(3),
+            action: DynamicAction::SetLinkProperties {
+                orig: "client".into(),
+                dest: "server".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(50)),
+                    ..LinkChange::default()
+                },
             },
-        },
-    });
-    let dp = KollapsDataplane::new(topo, schedule, 1, EmulationConfig::default());
-    let (a, b) = (dp.address_of_index(0), dp.address_of_index(1));
-    let mut rt = Runtime::new(dp);
-    let report = run_ping(&mut rt, a, b, 12, SimDuration::from_millis(500));
-    let early = report.samples[..4].iter().sum::<f64>() / 4.0;
-    let late = report.samples[8..].iter().sum::<f64>() / 4.0;
+        })
+        .workload(
+            Workload::ping("client", "server")
+                .count(12)
+                .interval(SimDuration::from_millis(500)),
+        )
+        .run()
+        .expect("valid scenario");
+    let samples = &report.flows[0].rtt.as_ref().unwrap().samples_ms;
+    let early = samples[..4].iter().sum::<f64>() / 4.0;
+    let late = samples[8..].iter().sum::<f64>() / 4.0;
     assert!((early - 20.0).abs() < 1.0, "early {early}");
     assert!((late - 100.0).abs() < 2.0, "late {late}");
 }
@@ -156,29 +149,62 @@ fn deployment_generator_covers_the_whole_topology() {
 
 #[test]
 fn metadata_traffic_scales_with_hosts_not_containers() {
-    let (topo, clients, servers) = generators::dumbbell(
+    let (topo, _, _) = generators::dumbbell(
         8,
         Bandwidth::from_mbps(100),
         Bandwidth::from_mbps(50),
         SimDuration::from_millis(1),
         SimDuration::from_millis(10),
     );
-    let collapsed = CollapsedTopology::build(&topo);
     let mut totals = Vec::new();
     for hosts in [2usize, 4] {
-        let dp = KollapsDataplane::with_defaults(topo.clone(), hosts);
-        let mut rt = Runtime::new(dp);
-        for i in 0..8 {
-            let c = collapsed.address_of(clients[i]).unwrap();
-            let s = collapsed.address_of(servers[i]).unwrap();
-            rt.add_udp_flow(c, s, Bandwidth::from_mbps(5), SimTime::ZERO, None);
-        }
-        let _ = rt.run_until(SimTime::from_secs(5));
-        totals.push(rt.dataplane.metadata_accounting().total_network_bytes());
+        let workloads = (0..8).map(|i| {
+            Workload::iperf_udp(
+                &format!("client-{i}"),
+                &format!("server-{i}"),
+                Bandwidth::from_mbps(5),
+            )
+            .duration(SimDuration::from_secs(5))
+        });
+        let report = Scenario::from_topology(topo.clone())
+            .backend(Backend::kollaps_on(hosts))
+            .workloads(workloads)
+            .run()
+            .expect("valid scenario");
+        totals.push(report.metadata_bytes.expect("kollaps reports metadata"));
     }
     assert!(totals[0] > 0);
     assert!(
         totals[1] > totals[0],
         "more hosts, more metadata: {totals:?}"
     );
+}
+
+#[test]
+fn every_backend_runs_the_same_scenario() {
+    // The unified backend abstraction: identical scenario, five networks.
+    let backends = [
+        Backend::kollaps(),
+        Backend::ground_truth(),
+        Backend::mininet(),
+        Backend::maxinet(),
+        Backend::trickle(kollaps::baselines::TrickleConfig::tuned(
+            Bandwidth::from_mbps(50),
+        )),
+    ];
+    for backend in backends {
+        let name = backend.name();
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        let report = Scenario::from_topology(topo)
+            .backend(backend)
+            .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(5)))
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mbps = report.flows[0].goodput_mbps.unwrap();
+        assert!((30.0..=55.0).contains(&mbps), "{name}: goodput {mbps} Mb/s");
+    }
 }

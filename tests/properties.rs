@@ -6,8 +6,10 @@ use proptest::prelude::*;
 
 use kollaps::core::sharing::{allocate, FlowDemand};
 use kollaps::metadata::codec::{FlowUsage, MetadataMessage};
+use kollaps::scenario::{Scenario, ScenarioError, Workload};
 use kollaps::sim::prelude::*;
 use kollaps::topology::dsl::parse_bandwidth;
+use kollaps::topology::generators;
 use kollaps::topology::graph::{PathProperties, TopologyGraph};
 use kollaps::topology::model::{LinkId, LinkProperties, Topology};
 
@@ -100,6 +102,33 @@ proptest! {
         prop_assert_eq!(composed.max_bandwidth, Bandwidth::from_mbps(*expected_bw));
         prop_assert!(composed.loss >= *losses[..hops].iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap() - 1e-9);
         prop_assert!(composed.loss < 1.0);
+    }
+
+    /// The scenario builder rejects every workload that references a name
+    /// outside the declared topology with the typed `UnknownNode` error —
+    /// nothing ever runs, whatever the name looks like.
+    #[test]
+    fn scenario_rejects_arbitrary_unknown_names(seed in 0u64..1_000_000, pick in 0usize..3) {
+        // Any name outside {client, server} must be rejected before the
+        // scenario runs, whichever endpoint slot it appears in.
+        let name = match pick {
+            0 => format!("ghost-{seed}"),
+            1 => format!("node_{seed}"),
+            _ => format!("C{seed}"),
+        };
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+        );
+        let err = Scenario::from_topology(topo)
+            .workload(Workload::iperf_tcp("client", &name))
+            .run()
+            .unwrap_err();
+        prop_assert!(
+            matches!(err, ScenarioError::UnknownNode { name: ref n } if *n == name),
+            "{err}"
+        );
     }
 
     /// The event queue pops events in non-decreasing time order regardless

@@ -1,0 +1,178 @@
+//! Scenario-builder validation: every malformed composition is rejected
+//! with the right typed [`ScenarioError`] before anything runs.
+
+use kollaps::prelude::*;
+use kollaps::topology::events::{DynamicAction, DynamicEvent, LinkChange};
+use kollaps::topology::generators;
+use kollaps::topology::model::LinkProperties;
+
+fn p2p() -> Topology {
+    let (topo, _, _) = generators::point_to_point(
+        Bandwidth::from_mbps(100),
+        SimDuration::from_millis(5),
+        SimDuration::ZERO,
+    );
+    topo
+}
+
+#[test]
+fn unknown_node_name_is_rejected() {
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::iperf_tcp("client", "ghost"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::UnknownNode { ref name } if name == "ghost"),
+        "{err}"
+    );
+}
+
+#[test]
+fn workloads_on_bridges_are_rejected() {
+    // `s1` exists in the DSL topology but is a bridge, not a service.
+    let description = "experiment:\n  services:\n    name: a\n    name: b\n  bridges:\n    name: s1\n  links:\n    orig: a\n    dest: s1\n    up: 10Mbps\n    orig: s1\n    dest: b\n    up: 10Mbps\n";
+    let err = Scenario::from_dsl(description)
+        .workload(Workload::ping("a", "s1"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::NotAService { ref name } if name == "s1"),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_bandwidth_links_are_rejected() {
+    let mut topo = Topology::new();
+    let a = topo.add_service("a", 0, "x");
+    let b = topo.add_service("b", 0, "x");
+    topo.add_bidirectional_link(
+        a,
+        b,
+        LinkProperties::new(SimDuration::from_millis(1), Bandwidth::ZERO),
+        "net",
+    );
+    let err = Scenario::from_topology(topo)
+        .workload(Workload::ping("a", "b"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::ZeroBandwidthLink { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn empty_workloads_are_rejected() {
+    let err = Scenario::from_topology(p2p()).run().unwrap_err();
+    assert!(matches!(err, ScenarioError::EmptyWorkload), "{err}");
+}
+
+#[test]
+fn self_flows_and_zero_rates_are_rejected() {
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::iperf_tcp("client", "client"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidWorkload { .. }),
+        "{err}"
+    );
+
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::iperf_udp("client", "server", Bandwidth::ZERO))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidWorkload { .. }),
+        "{err}"
+    );
+
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::ping("client", "server").count(0))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidWorkload { .. }),
+        "{err}"
+    );
+
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::curl("server", &[]))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidWorkload { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn mininet_rejects_rates_above_its_ceiling() {
+    let (topo, _, _) = generators::point_to_point(
+        Bandwidth::from_gbps(2),
+        SimDuration::from_millis(5),
+        SimDuration::ZERO,
+    );
+    let err = Scenario::from_topology(topo)
+        .backend(Backend::mininet())
+        .workload(Workload::iperf_tcp("client", "server"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::UnsupportedBackend { ref backend, .. } if backend == "mininet"),
+        "{err}"
+    );
+}
+
+#[test]
+fn baselines_reject_dynamic_events() {
+    let err = Scenario::from_topology(p2p())
+        .backend(Backend::ground_truth())
+        .event(DynamicEvent {
+            at: SimDuration::from_secs(1),
+            action: DynamicAction::SetLinkProperties {
+                orig: "client".into(),
+                dest: "server".into(),
+                change: LinkChange::default(),
+            },
+        })
+        .workload(Workload::ping("client", "server"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::UnsupportedBackend { ref backend, .. } if backend == "ground-truth"),
+        "{err}"
+    );
+}
+
+#[test]
+fn parse_errors_surface_typed() {
+    let err = Scenario::from_dsl("experiment:\n  services:\n    just words\n")
+        .workload(Workload::ping("a", "b"))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::Parse(_)), "{err}");
+
+    let err = Scenario::from_xml("<not-modelnet/>")
+        .workload(Workload::ping("a", "b"))
+        .run();
+    // Whether the XML parser reports an error or an empty topology, the
+    // scenario must not run a workload against nodes that do not exist.
+    match err {
+        Err(ScenarioError::Xml(_)) | Err(ScenarioError::UnknownNode { .. }) => {}
+        other => panic!("expected typed failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_display_helpfully() {
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::iperf_tcp("client", "ghost"))
+        .run()
+        .unwrap_err();
+    let text = format!("{err}");
+    assert!(text.contains("ghost"), "{text}");
+    let err = Scenario::from_topology(p2p()).run().unwrap_err();
+    assert!(format!("{err}").contains("no workloads"));
+}

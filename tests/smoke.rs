@@ -61,3 +61,42 @@ fn umbrella_modules_alias_the_member_crates() {
     let parsed = parse_experiment("experiment:\n  services:\n    name: solo\n    image: \"x\"\n");
     assert!(parsed.is_ok());
 }
+
+#[test]
+fn prelude_scenario_builder_is_usable() {
+    // The scenario layer is reachable from the prelude alone, end to end.
+    let (topo, _, _) = kollaps::topology::generators::point_to_point(
+        Bandwidth::from_mbps(10),
+        SimDuration::from_millis(5),
+        SimDuration::ZERO,
+    );
+    let report: Report = Scenario::from_topology(topo)
+        .named("smoke")
+        .backend(Backend::kollaps())
+        .workload(
+            Workload::ping("client", "server")
+                .count(3)
+                .duration(SimDuration::from_secs(1)),
+        )
+        .run()
+        .expect("valid scenario");
+    assert_eq!(report.scenario, "smoke");
+    assert_eq!(report.flows[0].rtt.as_ref().unwrap().replies, 3);
+    assert!(report.to_json_string().contains("\"backend\":\"kollaps\""));
+    // The typed error surface is part of the prelude too.
+    let err: ScenarioError = Scenario::from_topology(kollaps::topology::model::Topology::new())
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::EmptyWorkload));
+    // The shared addressing trait resolves for every backend.
+    let (topo, _, _) = kollaps::topology::generators::point_to_point(
+        Bandwidth::from_mbps(10),
+        SimDuration::from_millis(5),
+        SimDuration::ZERO,
+    );
+    let gt = GroundTruthDataplane::new(&topo);
+    assert_eq!(
+        gt.address_of_index(0),
+        gt.collapsed().addresses().map(|(_, a)| a).min().unwrap()
+    );
+}

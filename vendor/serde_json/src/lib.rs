@@ -1,0 +1,273 @@
+//! Offline shim for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! The build environment has no registry access, so this crate supplies the
+//! small slice of `serde_json` the workspace needs: the dynamically-typed
+//! [`Value`] tree and a compact writer. Reports are built as `Value` trees
+//! by hand (the vendored `serde` shim's `Serialize` is a marker trait with
+//! no data model), which keeps the emitted JSON byte-compatible with what
+//! the real crate would produce for the same tree. When a real serde
+//! backend lands, this shim is replaced by the crates.io dependency by
+//! editing one line in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A dynamically-typed JSON value.
+///
+/// Objects preserve insertion order (like `serde_json`'s `preserve_order`
+/// feature) so that reports serialize deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point JSON number. Non-finite values (NaN, ±∞) have no
+    /// JSON representation and are emitted as `null`, matching what
+    /// `serde_json::Number::from_f64` would force callers to do.
+    Number(f64),
+    /// An unsigned-integer JSON number, preserved exactly. Kept separate
+    /// from [`Value::Number`] because routing counters through `f64` would
+    /// silently corrupt values above 2^53 (real `serde_json` keeps full
+    /// `u64` precision).
+    Uint(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key`, when `self` is an object that contains it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The `f64` payload, when `self` is a finite number (lossy above 2^53
+    /// for [`Value::Uint`], like upstream's `as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) if n.is_finite() => Some(*n),
+            Value::Uint(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The `u64` payload, when `self` is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, when `self` is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` when `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Uint(n)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Uint(u64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Uint(n as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Self {
+        match opt {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_number(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        return f.write_str("null");
+    }
+    // Integral values print without a fractional part, like serde_json's
+    // integer numbers; everything else uses the shortest f64 form.
+    if n == n.trunc() && n.abs() < 9.0e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write_number(f, *n),
+            Value::Uint(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serializes a [`Value`] tree to its compact JSON text.
+pub fn to_string(value: &Value) -> String {
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_matches_json() {
+        let v = Value::Object(vec![
+            ("name".into(), "iperf".into()),
+            ("rate_mbps".into(), 12.5.into()),
+            ("replies".into(), 3u64.into()),
+            ("ok".into(), true.into()),
+            ("missing".into(), Value::Null),
+            ("samples".into(), vec![1.0, 2.0].into()),
+        ]);
+        assert_eq!(
+            to_string(&v),
+            r#"{"name":"iperf","rate_mbps":12.5,"replies":3,"ok":true,"missing":null,"samples":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd\u{1}".into());
+        assert_eq!(to_string(&v), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn large_unsigned_integers_are_exact() {
+        // 2^53 + 1 is not representable as f64; the Uint path must keep it.
+        let n = (1u64 << 53) + 1;
+        assert_eq!(to_string(&Value::from(n)), format!("{n}"));
+        assert_eq!(to_string(&Value::from(u64::MAX)), format!("{}", u64::MAX));
+        assert_eq!(Value::from(n).as_u64(), Some(n));
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let v = Value::Object(vec![("x".into(), vec![10.0].into())]);
+        let arr = v.get("x").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(10.0));
+        assert!(v.get("y").is_none());
+        assert!(Value::from(Option::<f64>::None).is_null());
+    }
+}
