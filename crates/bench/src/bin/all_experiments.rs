@@ -13,4 +13,5 @@ fn main() {
     kollaps_bench::run_fig9();
     kollaps_bench::run_fig10();
     kollaps_bench::run_fig11();
+    kollaps_bench::run_staleness(4);
 }

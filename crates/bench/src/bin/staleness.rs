@@ -1,0 +1,4 @@
+//! The accuracy-vs-staleness sweep: `loop_interval` x `metadata_delay`.
+fn main() {
+    kollaps_bench::run_staleness(6);
+}

@@ -689,6 +689,79 @@ pub fn run_fig11() -> Vec<Row> {
     rows
 }
 
+/// **Accuracy vs staleness** — the trade-off Figures 3/4 are about, made
+/// measurable: how far the decentralized per-host enforcement drifts from
+/// the omniscient allocation as the emulation loop slows down and the
+/// metadata delay grows.
+///
+/// Four client/server pairs on a dumbbell are split across two physical
+/// hosts so that every flow competes with flows managed by the *other*
+/// Emulation Manager; the flows join staggered, so each join forces the
+/// remote manager to re-share the bottleneck from received metadata, and
+/// the report's convergence metric records the worst relative gap.
+pub fn run_staleness(seconds: u64) -> Vec<Row> {
+    let (topo, _, _) = generators::dumbbell(
+        4,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    );
+    let mut rows = Vec::new();
+    for loop_ms in [10u64, 50, 100] {
+        let mut values = Vec::new();
+        for delay_ms in [0u64, 10, 50] {
+            let config = kollaps_core::emulation::EmulationConfig {
+                loop_interval: SimDuration::from_millis(loop_ms),
+                metadata_delay: SimDuration::from_millis(delay_ms),
+                ..Default::default()
+            };
+            let workloads = (0..4).map(|i| {
+                Workload::iperf_udp(
+                    &format!("client-{i}"),
+                    &format!("server-{i}"),
+                    Bandwidth::from_mbps(30),
+                )
+                .start(SimDuration::from_millis(i * 700))
+                .duration(SimDuration::from_secs(seconds))
+            });
+            let mut scenario = Scenario::from_topology(topo.clone())
+                .named("accuracy-vs-staleness")
+                .backend(Backend::kollaps_with(2, config));
+            // Alternate whole pairs between the two hosts (client-i and
+            // server-i stay together): flows 0/2 live on host 0 and 1/3 on
+            // host 1, so on the shared trunk every flow competes with two
+            // remote flows whose usage arrives only via the (delayed) bus,
+            // plus one local one.
+            for i in 0..4u32 {
+                scenario = scenario
+                    .place(&format!("client-{i}"), i % 2)
+                    .place(&format!("server-{i}"), i % 2);
+            }
+            let report = scenario
+                .workloads(workloads)
+                .run()
+                .expect("staleness scenario");
+            let convergence = report.convergence.expect("kollaps convergence");
+            values.push((
+                format!("delay={delay_ms}ms mean-gap%"),
+                f64::NAN,
+                convergence.mean_gap * 100.0,
+            ));
+        }
+        rows.push(Row {
+            label: format!("loop={loop_ms}ms"),
+            values,
+        });
+    }
+    print_rows(
+        "Accuracy vs staleness: mean relative gap (%) to the omniscient \
+         allocation (grows with the metadata delay, shrinks with a faster loop)",
+        &rows,
+    );
+    rows
+}
+
 /// Size in bytes of the metadata message for a given flow count — used by
 /// the metadata-codec micro-benchmark and the Figure 3 discussion.
 pub fn metadata_message_size(flows: usize, links_per_flow: usize) -> usize {

@@ -21,6 +21,8 @@ use kollaps_sim::units::Bandwidth;
 use kollaps_topology::graph::{PathProperties, TopologyGraph};
 use kollaps_topology::model::{LinkId, NodeId, Topology};
 
+use crate::sharing::FlowDemand;
+
 /// One collapsed end-to-end path between two services.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CollapsedPath {
@@ -61,6 +63,7 @@ pub struct CollapsedTopology {
     addresses: HashMap<NodeId, Addr>,
     nodes_by_addr: HashMap<Addr, NodeId>,
     link_capacity: HashMap<LinkId, Bandwidth>,
+    link_latency: HashMap<LinkId, SimDuration>,
 }
 
 impl CollapsedTopology {
@@ -97,11 +100,17 @@ impl CollapsedTopology {
             .iter()
             .map(|l| (l.id, l.properties.bandwidth))
             .collect();
+        let link_latency = topology
+            .links()
+            .iter()
+            .map(|l| (l.id, l.properties.latency))
+            .collect();
         CollapsedTopology {
             paths,
             addresses,
             nodes_by_addr,
             link_capacity,
+            link_latency,
         }
     }
 
@@ -131,11 +140,17 @@ impl CollapsedTopology {
             .iter()
             .map(|l| (l.id, l.properties.bandwidth))
             .collect();
+        let link_latency = topology
+            .links()
+            .iter()
+            .map(|l| (l.id, l.properties.latency))
+            .collect();
         CollapsedTopology {
             paths,
             addresses: self.addresses.clone(),
             nodes_by_addr: self.nodes_by_addr.clone(),
             link_capacity,
+            link_latency,
         }
     }
 
@@ -192,6 +207,39 @@ impl CollapsedTopology {
     /// The full link-capacity table.
     pub fn link_capacities(&self) -> &HashMap<LinkId, Bandwidth> {
         &self.link_capacity
+    }
+
+    /// Builds the sharing-solver input for one active (src, dst) pair: the
+    /// collapsed path's links, the pair's RTT as the fairness weight (1 ms
+    /// fallback when unknown) and the path maximum bandwidth as the demand
+    /// cap.
+    ///
+    /// Both the per-host Emulation Manager (for its local flows) and the
+    /// omniscient convergence reference build their solver inputs through
+    /// this one helper — they must stay in lockstep for the convergence gap
+    /// to measure metadata staleness rather than implementation drift.
+    pub fn flow_demand(&self, id: u64, src: Addr, dst: Addr) -> Option<FlowDemand> {
+        let path = self.path_by_addr(src, dst)?;
+        let (src_node, dst_node) = (self.service_at(src)?, self.service_at(dst)?);
+        let rtt = self
+            .rtt(src_node, dst_node)
+            .unwrap_or(SimDuration::from_millis(1));
+        Some(FlowDemand {
+            id,
+            links: path.links.clone(),
+            rtt,
+            demand: path.max_bandwidth,
+        })
+    }
+
+    /// One-way latency of an original link.
+    ///
+    /// An Emulation Manager uses this to reconstruct the RTT weight of a
+    /// *remote* flow it only knows through metadata: the advertised link ids
+    /// identify the flow's path, and the latencies along it sum to the
+    /// one-way delay (doubled for the round trip).
+    pub fn link_latency(&self, link: LinkId) -> Option<SimDuration> {
+        self.link_latency.get(&link).copied()
     }
 }
 

@@ -1,38 +1,43 @@
-//! The Kollaps emulation: collapsed dataplane, Emulation Cores and the
-//! per-host Emulation Manager loop.
+//! The Kollaps emulation: the collapsed dataplane as a thin composition of
+//! per-host Emulation Managers.
 //!
 //! One [`KollapsDataplane`] models the whole deployment:
 //!
-//! * every application container gets an egress qdisc tree
-//!   ([`kollaps_netmodel::egress::EgressTree`], the TCAL state) configured
-//!   with the *collapsed* end-to-end properties towards each reachable
-//!   destination;
-//! * every physical host runs an Emulation Manager; containers are mapped to
-//!   hosts by a placement, and managers exchange per-flow usage through the
-//!   metadata bus (shared memory locally, UDP across hosts);
-//! * the **emulation loop** (paper §4.1) runs every `loop_interval`:
-//!   (1) clear local flow state, (2) read per-destination usage from the
-//!   TCAL, (3) disseminate it, (4) recompute the RTT-aware min-max shares
-//!   over the collapsed links, (5) enforce the new rates (and inject
-//!   congestion loss when a link is oversubscribed);
-//! * dynamic topology events are pre-computed as a sequence of collapsed
-//!   snapshots and swapped in when their time comes.
+//! * containers are mapped to physical hosts by a placement (round-robin by
+//!   default, explicit via [`KollapsDataplane::with_placement`]);
+//! * every physical host runs an [`EmulationManager`] that owns the egress
+//!   qdisc trees ([`kollaps_netmodel::egress::EgressTree`], the TCAL state)
+//!   of *its* containers and exchanges per-flow usage through the metadata
+//!   bus (shared memory locally, UDP across hosts);
+//! * the **emulation loop** (paper §4.1) runs every `loop_interval`: each
+//!   manager (1) clears local flow state, (2) reads per-destination usage
+//!   from its TCALs, (3) publishes it and absorbs what the network has
+//!   delivered, (4) recomputes the RTT-aware min-max shares **from that
+//!   received, possibly stale view only**, (5) enforces the new rates (and
+//!   injects congestion loss when a link stays oversubscribed);
+//! * dynamic topology events re-collapse the topology and hand every
+//!   manager the new snapshot (schedules are part of the experiment
+//!   description, so all managers know them in advance);
+//! * the dataplane itself only routes packets to the owning manager, runs
+//!   the physical-network delivery queue, and — because it can see every
+//!   manager at once — scores how far the decentralized decisions are from
+//!   the omniscient allocation ([`KollapsDataplane::convergence`]).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use kollaps_metadata::bus::{DisseminationBus, HostId, TrafficAccounting};
-use kollaps_metadata::codec::{FlowUsage, MetadataMessage};
-use kollaps_netmodel::egress::{EgressTree, EgressVerdict};
-use kollaps_netmodel::netem::NetemConfig;
+use kollaps_netmodel::egress::EgressVerdict;
 use kollaps_netmodel::packet::{Addr, Packet};
 use kollaps_sim::prelude::*;
 use kollaps_topology::events::{apply_action, EventSchedule};
-use kollaps_topology::model::Topology;
+use kollaps_topology::model::{NodeId, Topology};
 
 use crate::collapse::{Addressable, CollapsedTopology};
+use crate::manager::EmulationManager;
 use crate::runtime::{Dataplane, SendOutcome};
-use crate::sharing::{allocate, oversubscription, FlowDemand};
+use crate::sharing::{allocate, FlowDemand};
 
 /// Tuning knobs of the emulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +51,9 @@ pub struct EmulationConfig {
     /// Extra one-way delay introduced by container networking (Docker
     /// overlay), applied to every packet.
     pub container_overhead: SimDuration,
-    /// One-way delay of metadata messages on the physical network.
+    /// One-way delay of metadata messages on the physical network. Managers
+    /// enforce from what they have *received*, so raising this delays every
+    /// host's reaction to remote flows by up to a full loop iteration.
     pub metadata_delay: SimDuration,
     /// Enables the RTT-aware bandwidth sharing model (step 4/5 of the loop).
     pub bandwidth_sharing: bool,
@@ -66,6 +73,37 @@ impl Default for EmulationConfig {
             bandwidth_sharing: true,
             congestion_loss: true,
             seed: 42,
+        }
+    }
+}
+
+/// How close the decentralized, per-host enforcement tracks the omniscient
+/// allocation (the one a centralized solver with instantaneous knowledge
+/// would compute). The gap is the maximum relative difference between any
+/// manager's enforced rate and the omniscient rate for the same flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConvergenceStats {
+    /// Gap measured in the most recent loop iteration.
+    pub last_gap: f64,
+    /// Worst gap seen over the whole run.
+    pub max_gap: f64,
+    /// Sum of the per-iteration gaps (for the mean).
+    pub sum_gap: f64,
+    /// Loop iterations that contributed a measurement (at least one active
+    /// flow).
+    pub samples: u64,
+}
+
+impl ConvergenceStats {
+    /// Mean gap over all measured loop iterations: the time-averaged
+    /// inaccuracy the staleness of the metadata view costs. The max spikes
+    /// whenever any flow starts; the mean is what distinguishes a fast loop
+    /// with fresh metadata from a slow loop enforcing on old news.
+    pub fn mean_gap(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_gap / self.samples as f64
         }
     }
 }
@@ -96,24 +134,27 @@ impl Ord for PendingDelivery {
     }
 }
 
-/// The Kollaps collapsed-topology dataplane.
+/// The Kollaps collapsed-topology dataplane: N per-host Emulation Managers,
+/// the dissemination bus between them, and the physical-network delivery
+/// queue.
 pub struct KollapsDataplane {
     config: EmulationConfig,
     topology: Topology,
-    collapsed: CollapsedTopology,
+    /// The omniscient collapsed view — used for addressing, for routing
+    /// packets, and as the reference the convergence metric compares the
+    /// managers' local decisions against. Enforcement never reads it; the
+    /// managers hold read-only `Arc` clones of the same snapshot.
+    collapsed: Arc<CollapsedTopology>,
     schedule: EventSchedule,
     applied_events: usize,
-    /// Egress qdisc tree per container (the TCAL of each Emulation Core).
-    egress: HashMap<Addr, EgressTree>,
+    /// One Emulation Manager per physical host, in host-id order.
+    managers: Vec<EmulationManager>,
     /// Physical host of each container.
     placement: HashMap<Addr, HostId>,
     bus: DisseminationBus,
     pending: BinaryHeap<Reverse<PendingDelivery>>,
     next_delivery_seq: u64,
-    /// Last measured usage per (src, dst) pair, from the previous loop.
-    last_usage: HashMap<(Addr, Addr), Bandwidth>,
-    /// Last allocation per (src, dst) pair.
-    last_allocation: HashMap<(Addr, Addr), Bandwidth>,
+    convergence: ConvergenceStats,
     next_tick: SimTime,
     started: bool,
 }
@@ -128,43 +169,60 @@ impl KollapsDataplane {
         hosts: usize,
         config: EmulationConfig,
     ) -> Self {
-        let collapsed = CollapsedTopology::build(&topology);
+        KollapsDataplane::with_placement(topology, schedule, hosts, &HashMap::new(), config)
+    }
+
+    /// Builds the emulation with an explicit container placement: `pinned`
+    /// maps service nodes to host indices (`0..hosts`); services it does not
+    /// mention fall back to round-robin. Host indices are clamped into
+    /// range — the scenario layer validates them properly and reports a
+    /// typed error instead.
+    pub fn with_placement(
+        topology: Topology,
+        schedule: EventSchedule,
+        hosts: usize,
+        pinned: &HashMap<NodeId, u32>,
+        config: EmulationConfig,
+    ) -> Self {
+        let collapsed = Arc::new(CollapsedTopology::build(&topology));
         let hosts = hosts.max(1);
         let host_ids: Vec<HostId> = (0..hosts as u32).map(HostId).collect();
-        let mut placement = HashMap::new();
-        let mut egress = HashMap::new();
         let rng = SimRng::new(config.seed);
         // `addresses()` yields (service, addr); sort by address for stable
         // round-robin placement.
-        let mut addressed: Vec<(kollaps_topology::model::NodeId, Addr)> =
-            collapsed.addresses().collect();
+        let mut addressed: Vec<(NodeId, Addr)> = collapsed.addresses().collect();
         addressed.sort_by_key(|&(_, a)| a);
-        for (i, &(_, addr)) in addressed.iter().enumerate() {
-            placement.insert(addr, host_ids[i % hosts]);
-            egress.insert(
-                addr,
-                EgressTree::new(addr, rng.derive(u64::from(addr.as_u32()))),
-            );
+        let mut placement = HashMap::new();
+        let mut by_host: HashMap<HostId, Vec<Addr>> =
+            host_ids.iter().map(|&h| (h, Vec::new())).collect();
+        for (i, &(node, addr)) in addressed.iter().enumerate() {
+            let host = match pinned.get(&node) {
+                Some(&h) => HostId(h.min(hosts as u32 - 1)),
+                None => host_ids[i % hosts],
+            };
+            placement.insert(addr, host);
+            by_host.entry(host).or_default().push(addr);
         }
+        let managers: Vec<EmulationManager> = host_ids
+            .iter()
+            .map(|&h| EmulationManager::new(h, config, Arc::clone(&collapsed), &by_host[&h], &rng))
+            .collect();
         let bus = DisseminationBus::new(host_ids, config.metadata_delay);
-        let mut dp = KollapsDataplane {
+        KollapsDataplane {
             config,
             topology,
             collapsed,
             schedule,
             applied_events: 0,
-            egress,
+            managers,
             placement,
             bus,
             pending: BinaryHeap::new(),
             next_delivery_seq: 0,
-            last_usage: HashMap::new(),
-            last_allocation: HashMap::new(),
+            convergence: ConvergenceStats::default(),
             next_tick: SimTime::ZERO,
             started: false,
-        };
-        dp.install_all_paths();
-        dp
+        }
     }
 
     /// Convenience constructor with the default configuration.
@@ -189,59 +247,40 @@ impl KollapsDataplane {
 
     /// Number of physical hosts in the deployment.
     pub fn host_count(&self) -> usize {
-        self.bus.hosts().len()
+        self.managers.len()
     }
 
-    /// The bandwidth allocated to the (src, dst) pair in the last emulation
-    /// loop iteration, if the pair was active.
+    /// The per-host Emulation Managers, in host-id order.
+    pub fn managers(&self) -> &[EmulationManager] {
+        &self.managers
+    }
+
+    /// The physical host a container is placed on.
+    pub fn placement_of(&self, addr: Addr) -> Option<HostId> {
+        self.placement.get(&addr).copied()
+    }
+
+    /// How close the decentralized enforcement tracked the omniscient
+    /// allocation so far.
+    pub fn convergence(&self) -> ConvergenceStats {
+        self.convergence
+    }
+
+    /// The bandwidth the owning manager enforced for the (src, dst) pair in
+    /// the last emulation loop iteration, if the pair was active.
     pub fn allocation(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
-        self.last_allocation.get(&(src, dst)).copied()
+        self.manager_of(src)?.allocation(src, dst)
     }
 
-    /// The usage measured for the (src, dst) pair in the last loop.
+    /// The usage the owning manager measured for the (src, dst) pair in the
+    /// last loop.
     pub fn measured_usage(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
-        self.last_usage.get(&(src, dst)).copied()
+        self.manager_of(src)?.measured_usage(src, dst)
     }
 
-    fn install_all_paths(&mut self) {
-        let collapsed = self.collapsed.clone();
-        for (src_node, src_addr) in collapsed.addresses() {
-            let Some(tree) = self.egress.get_mut(&src_addr) else {
-                continue;
-            };
-            // Remove chains towards destinations that disappeared.
-            let valid: Vec<Addr> = collapsed
-                .addresses()
-                .filter(|&(dst_node, _)| collapsed.path(src_node, dst_node).is_some())
-                .map(|(_, a)| a)
-                .collect();
-            let stale: Vec<Addr> = tree.destinations().filter(|d| !valid.contains(d)).collect();
-            for dst in stale {
-                tree.remove_path(dst);
-            }
-            for (dst_node, dst_addr) in collapsed.addresses() {
-                if dst_addr == src_addr {
-                    continue;
-                }
-                let Some(path) = collapsed.path(src_node, dst_node) else {
-                    continue;
-                };
-                let netem = NetemConfig {
-                    delay: path.latency,
-                    jitter: path.jitter,
-                    loss: path.loss,
-                    ..NetemConfig::default()
-                };
-                // The htb class starts at the collapsed maximum bandwidth; the
-                // emulation loop tightens it as soon as competing flows appear.
-                let rate = self
-                    .last_allocation
-                    .get(&(src_addr, dst_addr))
-                    .copied()
-                    .unwrap_or(path.max_bandwidth);
-                tree.install_path(dst_addr, netem, rate);
-            }
-        }
+    fn manager_of(&self, addr: Addr) -> Option<&EmulationManager> {
+        let host = self.placement.get(&addr)?;
+        self.managers.get(host.0 as usize)
     }
 
     fn extra_delay(&self, src: Addr, dst: Addr) -> SimDuration {
@@ -252,157 +291,78 @@ impl KollapsDataplane {
         extra
     }
 
-    /// Runs one iteration of the emulation loop at `now`.
+    /// Runs one iteration of the emulation loop at `now`: every manager
+    /// measures locally, publishes, absorbs what the network delivered, and
+    /// enforces from its own (possibly stale) view.
     fn emulation_loop(&mut self, now: SimTime) {
-        // Steps 1-2: read and clear per-destination usage from every TCAL.
-        let interval = self.config.loop_interval;
-        let mut usages: HashMap<(Addr, Addr), Bandwidth> = HashMap::new();
-        for (&src, tree) in &mut self.egress {
-            for (&dst, &bytes) in tree.usage() {
-                let mut rate = bytes.rate_over(interval);
-                // The token bucket lets a burst through above the shaped
-                // rate; reporting that transient as usage would make a
-                // single well-behaved flow look like it oversubscribes its
-                // own link and draw injected congestion loss. Clamp to the
-                // rate the class was actually configured to.
-                if let Some(shaped) = tree.bandwidth(dst) {
-                    rate = rate.min(shaped);
-                }
-                if rate.as_bps() > 0 {
-                    usages.insert((src, dst), rate);
-                }
-            }
-            tree.clear_usage();
+        // Steps 1-2: each manager reads and clears its local TCAL usage.
+        for manager in &mut self.managers {
+            manager.collect_usage();
         }
-
-        // Step 3: disseminate per-host metadata (for traffic accounting the
-        // message layout matters, not its routing — every manager ends up
-        // with the same global view, which is what we compute below).
-        let mut per_host: HashMap<HostId, MetadataMessage> = HashMap::new();
-        for (&(src, dst), &used) in &usages {
-            let Some(host) = self.placement.get(&src) else {
-                continue;
-            };
-            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
-                continue;
-            };
-            let ids: Vec<u16> = path.links.iter().map(|l| l.0 as u16).collect();
-            per_host
-                .entry(*host)
-                .or_default()
-                .flows
-                .push(FlowUsage::new(used, ids));
+        // Step 3: publish local usage, then drain. With a zero metadata
+        // delay this iteration's publications arrive immediately (shared
+        // memory semantics); with a nonzero delay managers enforce on last
+        // iteration's news — the staleness the paper trades for
+        // decentralization.
+        for manager in &self.managers {
+            manager.publish(now, &mut self.bus);
         }
-        for (host, message) in &per_host {
-            self.bus.publish(now, *host, message);
+        for manager in &mut self.managers {
+            let deliveries = self.bus.drain(now, manager.host());
+            manager.absorb(deliveries);
         }
-        for host in self.bus.hosts().to_vec() {
-            let _ = self.bus.drain(now, host);
+        // Steps 4-5: each manager recomputes and enforces from what it has.
+        for manager in &mut self.managers {
+            manager.enforce(now);
         }
-
-        // Step 4: recompute the shares for the active flows. Pairs whose
-        // path or address assignment vanished under a dynamic event are
-        // skipped gracefully: their packets are already being dropped by the
-        // egress trees, so they must not panic the emulation loop.
-        let mut flows = Vec::new();
-        let mut flow_keys = Vec::new();
-        for &(src, dst) in usages.keys() {
-            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
-                continue;
-            };
-            let (Some(src_node), Some(dst_node)) = (
-                self.collapsed.service_at(src),
-                self.collapsed.service_at(dst),
-            ) else {
-                continue;
-            };
-            let rtt = self
-                .collapsed
-                .rtt(src_node, dst_node)
-                .unwrap_or(SimDuration::from_millis(1));
-            flows.push(FlowDemand {
-                id: flow_keys.len() as u64,
-                links: path.links.clone(),
-                rtt,
-                demand: path.max_bandwidth,
-            });
-            flow_keys.push((src, dst));
-        }
-        let allocation = if self.config.bandwidth_sharing {
-            allocate(&flows, self.collapsed.link_capacities())
-        } else {
-            Default::default()
-        };
-        let usage_by_id: HashMap<u64, Bandwidth> = flow_keys
-            .iter()
-            .enumerate()
-            .map(|(i, key)| {
-                (
-                    i as u64,
-                    usages.get(key).copied().unwrap_or(Bandwidth::ZERO),
-                )
-            })
-            .collect();
-        let over = if self.config.congestion_loss {
-            oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities())
-        } else {
-            HashMap::new()
-        };
-
-        // Step 5: enforce. Active pairs get their computed share (or keep the
-        // path maximum when sharing is disabled); inactive pairs fall back to
-        // the path maximum so new flows are not throttled by stale limits.
-        self.last_allocation.clear();
-        let mut enforced: HashMap<(Addr, Addr), (Bandwidth, f64)> = HashMap::new();
-        for (i, &(src, dst)) in flow_keys.iter().enumerate() {
-            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
-                continue;
-            };
-            let rate = if self.config.bandwidth_sharing {
-                allocation.of(i as u64)
-            } else {
-                path.max_bandwidth
-            };
-            // Congestion loss: combine the path's intrinsic loss with the
-            // worst oversubscription along the path.
-            let mut congestion = 0.0f64;
-            for link in &path.links {
-                if let Some(&o) = over.get(link) {
-                    congestion = congestion.max(o);
-                }
-            }
-            let loss = 1.0 - (1.0 - path.loss) * (1.0 - congestion);
-            enforced.insert((src, dst), (rate, loss));
-            self.last_allocation.insert((src, dst), rate);
-        }
-        for (src_node, src_addr) in self.collapsed.addresses().collect::<Vec<_>>() {
-            let Some(tree) = self.egress.get_mut(&src_addr) else {
-                continue;
-            };
-            for (dst_node, dst_addr) in self.collapsed.addresses().collect::<Vec<_>>() {
-                if src_addr == dst_addr {
-                    continue;
-                }
-                let Some(path) = self.collapsed.path(src_node, dst_node) else {
-                    continue;
-                };
-                match enforced.get(&(src_addr, dst_addr)) {
-                    Some(&(rate, loss)) => {
-                        tree.set_bandwidth(now, dst_addr, rate);
-                        tree.set_loss(dst_addr, loss);
-                    }
-                    None => {
-                        tree.set_bandwidth(now, dst_addr, path.max_bandwidth);
-                        tree.set_loss(dst_addr, path.loss);
-                    }
-                }
-            }
-        }
-        self.last_usage = usages;
+        self.update_convergence();
     }
 
-    /// Applies every dynamic event whose time has come and re-collapses the
-    /// topology if anything changed.
+    /// Scores the decentralized decisions against the omniscient allocation
+    /// (global instantaneous knowledge — exactly what the old centralized
+    /// loop enforced).
+    fn update_convergence(&mut self) {
+        if !self.config.bandwidth_sharing {
+            self.convergence.last_gap = 0.0;
+            return;
+        }
+        let mut flows: Vec<FlowDemand> = Vec::new();
+        let mut keys: Vec<(usize, Addr, Addr)> = Vec::new();
+        for (mi, manager) in self.managers.iter().enumerate() {
+            let mut local: Vec<(Addr, Addr)> = manager.local_usages().keys().copied().collect();
+            local.sort();
+            for (src, dst) in local {
+                let Some(demand) = self.collapsed.flow_demand(keys.len() as u64, src, dst) else {
+                    continue;
+                };
+                flows.push(demand);
+                keys.push((mi, src, dst));
+            }
+        }
+        if flows.is_empty() {
+            self.convergence.last_gap = 0.0;
+            return;
+        }
+        let omniscient = allocate(&flows, self.collapsed.link_capacities());
+        let mut gap = 0.0f64;
+        for (i, &(mi, src, dst)) in keys.iter().enumerate() {
+            let target = omniscient.of(i as u64).as_bps() as f64;
+            if target <= 0.0 {
+                continue;
+            }
+            let Some(enforced) = self.managers[mi].allocation(src, dst) else {
+                continue;
+            };
+            gap = gap.max((enforced.as_bps() as f64 - target).abs() / target);
+        }
+        self.convergence.last_gap = gap;
+        self.convergence.max_gap = self.convergence.max_gap.max(gap);
+        self.convergence.sum_gap += gap;
+        self.convergence.samples += 1;
+    }
+
+    /// Applies every dynamic event whose time has come, re-collapses the
+    /// topology and distributes the new snapshot to every manager.
     fn apply_dynamic_events(&mut self, now: SimTime) {
         let due: Vec<_> = self
             .schedule
@@ -419,8 +379,10 @@ impl KollapsDataplane {
             apply_action(&mut self.topology, &event.action);
         }
         self.applied_events += due.len();
-        self.collapsed = self.collapsed.rebuild_with_addresses(&self.topology);
-        self.install_all_paths();
+        self.collapsed = Arc::new(self.collapsed.rebuild_with_addresses(&self.topology));
+        for manager in &mut self.managers {
+            manager.apply_snapshot(Arc::clone(&self.collapsed));
+        }
     }
 }
 
@@ -439,13 +401,17 @@ impl Dataplane for KollapsDataplane {
         if self.collapsed.service_at(packet.dst).is_none() {
             return SendOutcome::Dropped(kollaps_netmodel::packet::DropReason::Unreachable);
         }
-        let Some(tree) = self.egress.get_mut(&packet.src) else {
-            return SendOutcome::Dropped(kollaps_netmodel::packet::DropReason::Unreachable);
-        };
-        match tree.enqueue(now, packet) {
-            EgressVerdict::Queued => SendOutcome::Sent,
-            EgressVerdict::Backpressure => SendOutcome::Backpressure,
-            EgressVerdict::Dropped(reason) => SendOutcome::Dropped(reason),
+        let verdict = self
+            .placement
+            .get(&packet.src)
+            .map(|h| h.0 as usize)
+            .and_then(|i| self.managers.get_mut(i))
+            .and_then(|manager| manager.enqueue(now, packet));
+        match verdict {
+            Some(EgressVerdict::Queued) => SendOutcome::Sent,
+            Some(EgressVerdict::Backpressure) => SendOutcome::Backpressure,
+            Some(EgressVerdict::Dropped(reason)) => SendOutcome::Dropped(reason),
+            None => SendOutcome::Dropped(kollaps_netmodel::packet::DropReason::Unreachable),
         }
     }
 
@@ -457,11 +423,9 @@ impl Dataplane for KollapsDataplane {
                 None => t,
             });
         };
-        for tree in self.egress.values_mut() {
-            if let Some(t) = tree.next_wakeup(now) {
-                if t < SimTime::MAX {
-                    consider(t);
-                }
+        for manager in &mut self.managers {
+            if let Some(t) = manager.next_wakeup(now) {
+                consider(t);
             }
         }
         if let Some(Reverse(p)) = self.pending.peek() {
@@ -474,8 +438,8 @@ impl Dataplane for KollapsDataplane {
         // Move packets that finished their collapsed-path emulation onto the
         // (fast) physical network towards the destination host.
         let mut egress_out = Vec::new();
-        for tree in self.egress.values_mut() {
-            egress_out.extend(tree.dequeue_ready(now));
+        for manager in &mut self.managers {
+            egress_out.extend(manager.dequeue_ready(now));
         }
         for pkt in egress_out {
             let arrival = now + self.extra_delay(pkt.src, pkt.dst);
@@ -762,6 +726,154 @@ mod tests {
             stalled < 1.0,
             "flow must stall after the node left: {stalled}"
         );
+    }
+
+    /// Builds a 2-pair dumbbell with each client/server pair pinned to its
+    /// own physical host, so the two competing flows are managed by two
+    /// different Emulation Managers that only know each other via metadata.
+    fn split_dumbbell(config: EmulationConfig) -> (KollapsDataplane, (Addr, Addr), (Addr, Addr)) {
+        let (topo, clients, servers) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let pinned: HashMap<kollaps_topology::model::NodeId, u32> = [
+            (clients[0], 0),
+            (servers[0], 0),
+            (clients[1], 1),
+            (servers[1], 1),
+        ]
+        .into_iter()
+        .collect();
+        let collapsed = CollapsedTopology::build(&topo);
+        let c0 = collapsed.address_of(clients[0]).unwrap();
+        let s0 = collapsed.address_of(servers[0]).unwrap();
+        let c1 = collapsed.address_of(clients[1]).unwrap();
+        let s1 = collapsed.address_of(servers[1]).unwrap();
+        let dp = KollapsDataplane::with_placement(topo, EventSchedule::new(), 2, &pinned, config);
+        assert_eq!(dp.placement_of(c0), Some(kollaps_metadata::bus::HostId(0)));
+        assert_eq!(dp.placement_of(c1), Some(kollaps_metadata::bus::HostId(1)));
+        (dp, (c0, s0), (c1, s1))
+    }
+
+    /// The acceptance test of the decentralization refactor: with a nonzero
+    /// metadata delay, a manager reacts to a remote flow exactly one loop
+    /// iteration later than with instantaneous metadata, because it enforces
+    /// only from what the bus has *delivered*.
+    #[test]
+    fn reaction_to_a_remote_flow_lags_by_one_loop_with_delayed_metadata() {
+        let bottleneck = Bandwidth::from_mbps(50);
+        for (delay_us, lagged) in [(0u64, false), (10_000, true)] {
+            let config = EmulationConfig {
+                metadata_delay: SimDuration::from_micros(delay_us),
+                ..EmulationConfig::default()
+            };
+            let (dp, (c0, s0), (c1, s1)) = split_dumbbell(config);
+            let mut rt = Runtime::new(dp);
+            // Flow A (host 0) starts immediately; flow B (host 1) joins
+            // mid-interval, so its usage is first measured — and published —
+            // at the 150 ms loop boundary.
+            rt.add_udp_flow(c0, s0, Bandwidth::from_mbps(40), SimTime::ZERO, None);
+            rt.add_udp_flow(
+                c1,
+                s1,
+                Bandwidth::from_mbps(40),
+                SimTime::from_millis(125),
+                None,
+            );
+            // Just after the 150 ms loop: with instantaneous metadata the
+            // host-0 manager already shares the bottleneck; with a 10 ms
+            // delay B's publication is still in flight, so A keeps the full
+            // 50 Mb/s.
+            let _ = rt.run_until(SimTime::from_millis(155));
+            let at_150 = rt.dataplane.allocation(c0, s0).expect("A active");
+            if lagged {
+                assert_eq!(at_150, bottleneck, "stale view must keep the old rate");
+                // The convergence metric sees exactly this disagreement: the
+                // omniscient allocation already splits the link 25/25.
+                let gap = rt.dataplane.convergence().last_gap;
+                assert!(gap > 0.5, "expected a large convergence gap, got {gap}");
+            } else {
+                assert!(
+                    (at_150.as_mbps() - 25.0).abs() < 1.0,
+                    "instant metadata must share immediately: {at_150}"
+                );
+            }
+            // One loop later the delayed publication has been absorbed and
+            // both managers agree with the omniscient split again.
+            let _ = rt.run_until(SimTime::from_millis(205));
+            let at_200 = rt.dataplane.allocation(c0, s0).expect("A active");
+            assert!(
+                (at_200.as_mbps() - 25.0).abs() < 1.0,
+                "after one loop the share must converge: {at_200}"
+            );
+            assert!(rt.dataplane.convergence().last_gap < 0.05);
+            if lagged {
+                assert!(rt.dataplane.convergence().max_gap > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_gap_is_zero_on_a_single_host() {
+        let (topo, _, _) = generators::figure8();
+        let config = EmulationConfig {
+            metadata_delay: SimDuration::ZERO,
+            ..EmulationConfig::default()
+        };
+        let dp = KollapsDataplane::new(topo, EventSchedule::new(), 1, config);
+        let c1 = dp.address_of_index(0);
+        let s1 = dp.address_of_index(6);
+        let c2 = dp.address_of_index(1);
+        let s2 = dp.address_of_index(7);
+        let mut rt = Runtime::new(dp);
+        rt.add_udp_flow(c1, s1, Bandwidth::from_mbps(40), SimTime::ZERO, None);
+        rt.add_udp_flow(c2, s2, Bandwidth::from_mbps(40), SimTime::ZERO, None);
+        let _ = rt.run_until(SimTime::from_secs(2));
+        let stats = rt.dataplane.convergence();
+        assert!(stats.samples > 0, "loop iterations must be scored");
+        assert!(
+            stats.max_gap < 1e-9,
+            "one host sees everything locally: gap {}",
+            stats.max_gap
+        );
+    }
+
+    #[test]
+    fn explicit_placement_pins_containers_to_hosts() {
+        let (topo, clients, servers) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        // Pin everything onto host 1 of 3 (round-robin would spread them).
+        let pinned: HashMap<kollaps_topology::model::NodeId, u32> = clients
+            .iter()
+            .chain(servers.iter())
+            .map(|&n| (n, 1u32))
+            .collect();
+        let collapsed = CollapsedTopology::build(&topo);
+        let dp = KollapsDataplane::with_placement(
+            topo,
+            EventSchedule::new(),
+            3,
+            &pinned,
+            EmulationConfig::default(),
+        );
+        assert_eq!(dp.host_count(), 3);
+        for (_, addr) in collapsed.addresses() {
+            assert_eq!(
+                dp.placement_of(addr),
+                Some(kollaps_metadata::bus::HostId(1))
+            );
+        }
+        assert_eq!(dp.managers()[1].container_count(), 4);
+        assert_eq!(dp.managers()[0].container_count(), 0);
+        assert_eq!(dp.managers()[2].container_count(), 0);
     }
 
     #[test]

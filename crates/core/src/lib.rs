@@ -24,10 +24,12 @@
 
 pub mod collapse;
 pub mod emulation;
+pub mod manager;
 pub mod runtime;
 pub mod sharing;
 
 pub use collapse::{Addressable, CollapsedPath, CollapsedTopology};
-pub use emulation::{EmulationConfig, KollapsDataplane};
+pub use emulation::{ConvergenceStats, EmulationConfig, KollapsDataplane};
+pub use manager::EmulationManager;
 pub use runtime::{Dataplane, Runtime, RuntimeEvent, SendOutcome};
 pub use sharing::{allocate, oversubscription, Allocation, FlowDemand};

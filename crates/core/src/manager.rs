@@ -1,0 +1,446 @@
+//! The per-host **Emulation Manager** (paper §4.1–4.2): the decentralized
+//! unit of the emulation.
+//!
+//! Each physical host of a deployment runs one [`EmulationManager`]. The
+//! manager owns the egress qdisc trees (TCALs) of exactly the containers
+//! placed on its host and, on every iteration of the emulation loop,
+//!
+//! 1. reads and clears the per-destination usage of its **local** TCALs,
+//! 2. publishes that usage on the dissemination bus,
+//! 3. absorbs whatever remote metadata the physical network has *actually
+//!    delivered* by now — with a nonzero metadata delay this is last
+//!    iteration's news, and that staleness is the paper's model, not a bug —
+//! 4. recomputes the RTT-aware min-max shares from **local usage plus the
+//!    received remote view only** (never from global state), and
+//! 5. enforces the resulting rates and congestion loss on its local TCALs.
+//!
+//! Remote flows are known only through their advertised `(used, link ids)`
+//! entries. The manager reconstructs their fairness weight from its own
+//! collapsed snapshot: the advertised links identify the path, so the RTT is
+//! twice the sum of those links' latencies and the demand cap is the minimum
+//! capacity along them. Managers on different hosts may therefore transiently
+//! disagree about the allocation — the convergence of those local decisions
+//! is exactly what the accuracy-vs-staleness experiment measures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kollaps_metadata::bus::{Delivery, DisseminationBus, HostId};
+use kollaps_metadata::codec::{FlowUsage, MetadataMessage};
+use kollaps_netmodel::egress::{EgressTree, EgressVerdict};
+use kollaps_netmodel::netem::NetemConfig;
+use kollaps_netmodel::packet::{Addr, Packet};
+use kollaps_sim::prelude::*;
+use kollaps_topology::model::LinkId;
+
+use crate::collapse::CollapsedTopology;
+use crate::emulation::EmulationConfig;
+use crate::sharing::{allocate, oversubscription, FlowDemand};
+
+/// Congestion loss is injected only once a link has stayed oversubscribed
+/// for this many consecutive loop iterations. A one-iteration spike is the
+/// normal signature of a flow joining (its competitors' htb rates are cut in
+/// the same iteration, so the overload clears by itself); injecting loss on
+/// top of the rate cut used to crash the established flows' congestion
+/// windows far below their new fair share (the staggered-join inaccuracy).
+/// Persistent oversubscription — unresponsive senders, or managers enforcing
+/// on stale metadata — still draws loss from the second iteration on.
+const CONGESTION_GRACE_LOOPS: u32 = 2;
+
+/// A remote host's usage as last received: the advertised flows plus the
+/// publish time of the message they came from (for staleness accounting).
+#[derive(Debug, Clone, Default)]
+pub struct RemoteUsage {
+    /// When the message carrying this view was published.
+    pub published: SimTime,
+    /// The per-flow usage the remote manager advertised.
+    pub flows: Vec<FlowUsage>,
+}
+
+/// One host's Emulation Manager: local TCALs, the received remote view and
+/// the enforcement state derived from them.
+pub struct EmulationManager {
+    host: HostId,
+    config: EmulationConfig,
+    /// This manager's own collapsed snapshot of the topology. Snapshots are
+    /// distributed ahead of time (dynamic events are part of the experiment
+    /// description), but *usage* only ever arrives through the bus. Shared
+    /// read-only (the paths map is O(services²) — one copy, not one per
+    /// host).
+    collapsed: Arc<CollapsedTopology>,
+    /// Egress qdisc tree per **local** container.
+    egress: HashMap<Addr, EgressTree>,
+    /// Latest received usage per remote host.
+    remote: HashMap<HostId, RemoteUsage>,
+    /// Local usage measured in the current loop iteration.
+    usages: HashMap<(Addr, Addr), Bandwidth>,
+    /// Rates enforced on local pairs in the last iteration.
+    last_allocation: HashMap<(Addr, Addr), Bandwidth>,
+    /// Consecutive loop iterations each link has been oversubscribed.
+    oversub_streak: HashMap<LinkId, u32>,
+}
+
+impl EmulationManager {
+    /// Builds the manager for `host`, owning the TCALs of `local` containers.
+    pub fn new(
+        host: HostId,
+        config: EmulationConfig,
+        collapsed: Arc<CollapsedTopology>,
+        local: &[Addr],
+        rng: &SimRng,
+    ) -> Self {
+        let mut egress = HashMap::new();
+        for &addr in local {
+            egress.insert(
+                addr,
+                EgressTree::new(addr, rng.derive(u64::from(addr.as_u32()))),
+            );
+        }
+        let mut manager = EmulationManager {
+            host,
+            config,
+            collapsed,
+            egress,
+            remote: HashMap::new(),
+            usages: HashMap::new(),
+            last_allocation: HashMap::new(),
+            oversub_streak: HashMap::new(),
+        };
+        manager.install_local_paths();
+        manager
+    }
+
+    /// The physical host this manager runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Addresses of the containers placed on this host.
+    pub fn container_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.egress.keys().copied()
+    }
+
+    /// `true` if the container with address `addr` is placed on this host.
+    pub fn owns(&self, addr: Addr) -> bool {
+        self.egress.contains_key(&addr)
+    }
+
+    /// Number of containers placed on this host.
+    pub fn container_count(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// The rate this manager enforced for a local (src, dst) pair in the
+    /// last loop iteration, if the pair was active.
+    pub fn allocation(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
+        self.last_allocation.get(&(src, dst)).copied()
+    }
+
+    /// The local usage measured in the last loop iteration.
+    pub fn measured_usage(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
+        self.usages.get(&(src, dst)).copied()
+    }
+
+    /// The local usage table of the last loop iteration.
+    pub fn local_usages(&self) -> &HashMap<(Addr, Addr), Bandwidth> {
+        &self.usages
+    }
+
+    /// Number of remote flows currently in this manager's received view.
+    pub fn remote_flow_count(&self) -> usize {
+        self.remote.values().map(|v| v.flows.len()).sum()
+    }
+
+    /// Worst staleness of the received remote view: the age of the oldest
+    /// per-host usage entry this manager is currently enforcing from.
+    pub fn remote_staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.remote
+            .values()
+            .map(|v| now.saturating_since(v.published))
+            .max()
+    }
+
+    /// Offers a packet from a local container to its egress tree.
+    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> Option<EgressVerdict> {
+        self.egress
+            .get_mut(&packet.src)
+            .map(|tree| tree.enqueue(now, packet))
+    }
+
+    /// Packets that finished their collapsed-path emulation on this host.
+    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for tree in self.egress.values_mut() {
+            out.extend(tree.dequeue_ready(now));
+        }
+        out
+    }
+
+    /// Earliest time any local TCAL needs service.
+    pub fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for tree in self.egress.values_mut() {
+            if let Some(t) = tree.next_wakeup(now) {
+                if t < SimTime::MAX {
+                    earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Loop steps 1–2: reads and clears the per-destination usage of every
+    /// local TCAL.
+    pub fn collect_usage(&mut self) {
+        let interval = self.config.loop_interval;
+        self.usages.clear();
+        for (&src, tree) in &mut self.egress {
+            for (&dst, &bytes) in tree.usage() {
+                let mut rate = bytes.rate_over(interval);
+                // The token bucket lets a burst through above the shaped
+                // rate; reporting that transient as usage would make a
+                // single well-behaved flow look like it oversubscribes its
+                // own link and draw injected congestion loss. Clamp to the
+                // rate the class was actually configured to.
+                if let Some(shaped) = tree.bandwidth(dst) {
+                    rate = rate.min(shaped);
+                }
+                if rate.as_bps() > 0 {
+                    self.usages.insert((src, dst), rate);
+                }
+            }
+            tree.clear_usage();
+        }
+    }
+
+    /// Loop step 3a: publishes this host's local usage on the bus. Idle
+    /// managers publish an empty heartbeat so subscribers can retire the
+    /// host's previous advertisement instead of enforcing on it forever.
+    pub fn publish(&self, now: SimTime, bus: &mut DisseminationBus) {
+        // The bus stamps the sender/publish-time header fields; the manager
+        // only supplies the payload.
+        let mut message = MetadataMessage::new();
+        let mut entries: Vec<(&(Addr, Addr), &Bandwidth)> = self.usages.iter().collect();
+        entries.sort_by_key(|(&key, _)| key);
+        for (&(src, dst), &used) in entries {
+            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
+                continue;
+            };
+            let ids: Vec<u16> = path.links.iter().map(|l| l.0 as u16).collect();
+            message.flows.push(FlowUsage::new(used, ids));
+        }
+        bus.publish(now, self.host, &message);
+    }
+
+    /// Loop step 3b: absorbs delivered metadata, keeping the newest message
+    /// per sender (deliveries can bunch up when the loop outpaces the
+    /// network delay).
+    pub fn absorb(&mut self, deliveries: Vec<Delivery>) {
+        for delivery in deliveries {
+            let newer = self
+                .remote
+                .get(&delivery.from)
+                .is_none_or(|prev| prev.published <= delivery.published);
+            if newer {
+                self.remote.insert(
+                    delivery.from,
+                    RemoteUsage {
+                        published: delivery.published,
+                        flows: delivery.message.flows,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Loop steps 4–5: recomputes the RTT-aware min-max shares from local
+    /// usage plus the received (possibly stale) remote view, and enforces
+    /// the resulting rates and congestion loss on the local TCALs.
+    pub fn enforce(&mut self, now: SimTime) {
+        // The competing flow set, as *this* manager can know it.
+        let mut flows: Vec<FlowDemand> = Vec::new();
+        let mut usage_by_id: HashMap<u64, Bandwidth> = HashMap::new();
+        let mut local_keys: Vec<(u64, Addr, Addr)> = Vec::new();
+
+        let mut local: Vec<(&(Addr, Addr), &Bandwidth)> = self.usages.iter().collect();
+        local.sort_by_key(|(&key, _)| key);
+        for (&(src, dst), &used) in local {
+            let id = flows.len() as u64;
+            let Some(demand) = self.collapsed.flow_demand(id, src, dst) else {
+                continue;
+            };
+            flows.push(demand);
+            usage_by_id.insert(id, used);
+            local_keys.push((id, src, dst));
+        }
+
+        let mut remote: Vec<(&HostId, &RemoteUsage)> = self.remote.iter().collect();
+        remote.sort_by_key(|(&host, _)| host);
+        for (_, view) in remote {
+            for flow in &view.flows {
+                let links: Vec<LinkId> = flow
+                    .link_ids
+                    .iter()
+                    .map(|&l| LinkId(u32::from(l)))
+                    .collect();
+                // Links this snapshot still knows about; under dynamic
+                // events a remote advertisement can reference links that no
+                // longer exist here — managers transiently disagree.
+                let known: Vec<LinkId> = links
+                    .iter()
+                    .copied()
+                    .filter(|l| self.collapsed.link_capacity(*l).is_some())
+                    .collect();
+                let one_way = known
+                    .iter()
+                    .filter_map(|&l| self.collapsed.link_latency(l))
+                    .fold(SimDuration::ZERO, |acc, d| acc + d);
+                let rtt = if one_way.is_zero() {
+                    SimDuration::from_millis(1)
+                } else {
+                    one_way * 2
+                };
+                let demand = known
+                    .iter()
+                    .filter_map(|&l| self.collapsed.link_capacity(l))
+                    .min()
+                    .unwrap_or(Bandwidth::MAX);
+                let id = flows.len() as u64;
+                flows.push(FlowDemand {
+                    id,
+                    links,
+                    rtt,
+                    demand,
+                });
+                usage_by_id.insert(id, flow.used());
+            }
+        }
+
+        let allocation = if self.config.bandwidth_sharing {
+            allocate(&flows, self.collapsed.link_capacities())
+        } else {
+            Default::default()
+        };
+        let over = if self.config.congestion_loss {
+            let raw = oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities());
+            let mut streaks = HashMap::new();
+            for &link in raw.keys() {
+                let run = self.oversub_streak.get(&link).copied().unwrap_or(0) + 1;
+                streaks.insert(link, run);
+            }
+            self.oversub_streak = streaks;
+            raw.into_iter()
+                .filter(|(link, _)| {
+                    self.oversub_streak.get(link).copied().unwrap_or(0) >= CONGESTION_GRACE_LOOPS
+                })
+                .collect()
+        } else {
+            self.oversub_streak.clear();
+            HashMap::new()
+        };
+
+        // Enforcement: active local pairs get their computed share (or keep
+        // the path maximum when sharing is disabled); inactive pairs fall
+        // back to the path maximum so new flows are not throttled by stale
+        // limits.
+        self.last_allocation.clear();
+        let mut enforced: HashMap<(Addr, Addr), (Bandwidth, f64)> = HashMap::new();
+        for &(id, src, dst) in &local_keys {
+            let Some(path) = self.collapsed.path_by_addr(src, dst) else {
+                continue;
+            };
+            let rate = if self.config.bandwidth_sharing {
+                allocation.of(id)
+            } else {
+                path.max_bandwidth
+            };
+            // Congestion loss: combine the path's intrinsic loss with the
+            // worst (persistent) oversubscription along the path.
+            let mut congestion = 0.0f64;
+            for link in &path.links {
+                if let Some(&o) = over.get(link) {
+                    congestion = congestion.max(o);
+                }
+            }
+            let loss = 1.0 - (1.0 - path.loss) * (1.0 - congestion);
+            enforced.insert((src, dst), (rate, loss));
+            self.last_allocation.insert((src, dst), rate);
+        }
+        let addressed: Vec<_> = self.collapsed.addresses().collect();
+        for &(src_node, src_addr) in &addressed {
+            let Some(tree) = self.egress.get_mut(&src_addr) else {
+                continue;
+            };
+            for &(dst_node, dst_addr) in &addressed {
+                if src_addr == dst_addr {
+                    continue;
+                }
+                let Some(path) = self.collapsed.path(src_node, dst_node) else {
+                    continue;
+                };
+                match enforced.get(&(src_addr, dst_addr)) {
+                    Some(&(rate, loss)) => {
+                        tree.set_bandwidth(now, dst_addr, rate);
+                        tree.set_loss(dst_addr, loss);
+                    }
+                    None => {
+                        tree.set_bandwidth(now, dst_addr, path.max_bandwidth);
+                        tree.set_loss(dst_addr, path.loss);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Swaps in a new collapsed snapshot (dynamic events — which are part of
+    /// the experiment description and therefore known to every manager) and
+    /// reconciles the local TCALs with it.
+    pub fn apply_snapshot(&mut self, collapsed: Arc<CollapsedTopology>) {
+        self.collapsed = collapsed;
+        self.install_local_paths();
+    }
+
+    /// Installs (or refreshes) the per-destination chains of every local
+    /// TCAL from the current collapsed snapshot.
+    fn install_local_paths(&mut self) {
+        let collapsed = Arc::clone(&self.collapsed);
+        for (src_node, src_addr) in collapsed.addresses() {
+            let Some(tree) = self.egress.get_mut(&src_addr) else {
+                continue;
+            };
+            // Remove chains towards destinations that disappeared.
+            let valid: Vec<Addr> = collapsed
+                .addresses()
+                .filter(|&(dst_node, _)| collapsed.path(src_node, dst_node).is_some())
+                .map(|(_, a)| a)
+                .collect();
+            let stale: Vec<Addr> = tree.destinations().filter(|d| !valid.contains(d)).collect();
+            for dst in stale {
+                tree.remove_path(dst);
+            }
+            for (dst_node, dst_addr) in collapsed.addresses() {
+                if dst_addr == src_addr {
+                    continue;
+                }
+                let Some(path) = collapsed.path(src_node, dst_node) else {
+                    continue;
+                };
+                let netem = NetemConfig {
+                    delay: path.latency,
+                    jitter: path.jitter,
+                    loss: path.loss,
+                    ..NetemConfig::default()
+                };
+                // The htb class starts at the collapsed maximum bandwidth;
+                // the emulation loop tightens it as soon as competing flows
+                // appear.
+                let rate = self
+                    .last_allocation
+                    .get(&(src_addr, dst_addr))
+                    .copied()
+                    .unwrap_or(path.max_bandwidth);
+                tree.install_path(dst_addr, netem, rate);
+            }
+        }
+    }
+}

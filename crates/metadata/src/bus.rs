@@ -64,6 +64,20 @@ struct InFlight {
     message: MetadataMessage,
 }
 
+/// A metadata message as it reaches a subscriber: the payload plus the
+/// sender host and the (virtual) time it was published. Receivers key their
+/// remote-usage view on `from` and can quantify staleness as
+/// `now - published`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Host whose Emulation Manager published the message.
+    pub from: HostId,
+    /// Virtual time of publication (delivery time minus the network delay).
+    pub published: SimTime,
+    /// The usage payload.
+    pub message: MetadataMessage,
+}
+
 /// The dissemination bus connecting Emulation Managers.
 ///
 /// Same-host publication is delivered instantly (shared memory); cross-host
@@ -75,7 +89,7 @@ pub struct DisseminationBus {
     network_delay: SimDuration,
     in_flight: VecDeque<InFlight>,
     /// Messages ready for pick-up, per destination host.
-    mailboxes: HashMap<HostId, Vec<MetadataMessage>>,
+    mailboxes: HashMap<HostId, Vec<Delivery>>,
     accounting: TrafficAccounting,
 }
 
@@ -104,8 +118,13 @@ impl DisseminationBus {
     }
 
     /// Publishes `message` from `from` to every other host (and to local
-    /// subscribers for free).
+    /// subscribers for free). The bus stamps the wire header — sender host
+    /// and publish time — so a subscriber's [`Delivery`] always agrees with
+    /// what the encoded message itself claims.
     pub fn publish(&mut self, now: SimTime, from: HostId, message: &MetadataMessage) {
+        let mut message = message.clone();
+        message.sender = from;
+        message.published = now;
         for &host in &self.hosts {
             if host == from {
                 self.accounting.local_messages += 1;
@@ -113,7 +132,6 @@ impl DisseminationBus {
             }
             let bytes = message.encoded_len() as u64;
             *self.accounting.sent_bytes.entry(from).or_default() += bytes;
-            *self.accounting.received_bytes.entry(host).or_default() += bytes;
             self.accounting.remote_messages += 1;
             self.in_flight.push_back(InFlight {
                 deliver_at: now + self.network_delay,
@@ -128,7 +146,16 @@ impl DisseminationBus {
         let mut remaining = VecDeque::new();
         while let Some(m) = self.in_flight.pop_front() {
             if m.deliver_at <= now {
-                self.mailboxes.entry(m.to).or_default().push(m.message);
+                // Receive-side accounting happens here, at delivery: bytes
+                // still in flight when the experiment ends were sent but
+                // never received.
+                *self.accounting.received_bytes.entry(m.to).or_default() +=
+                    m.message.encoded_len() as u64;
+                self.mailboxes.entry(m.to).or_default().push(Delivery {
+                    from: m.message.sender,
+                    published: m.message.published,
+                    message: m.message,
+                });
             } else {
                 remaining.push_back(m);
             }
@@ -136,8 +163,9 @@ impl DisseminationBus {
         self.in_flight = remaining;
     }
 
-    /// Drains the messages delivered to `host`.
-    pub fn drain(&mut self, now: SimTime, host: HostId) -> Vec<MetadataMessage> {
+    /// Drains the messages delivered to `host`, each carrying its sender
+    /// and publish time.
+    pub fn drain(&mut self, now: SimTime, host: HostId) -> Vec<Delivery> {
         self.advance(now);
         self.mailboxes.entry(host).or_default().drain(..).collect()
     }
@@ -193,9 +221,38 @@ mod tests {
         assert!(bus.drain(SimTime::from_micros(500), HostId(1)).is_empty());
         let delivered = bus.drain(SimTime::from_millis(1), HostId(1));
         assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].flows.len(), 3);
+        assert_eq!(delivered[0].message.flows.len(), 3);
+        // The delivery identifies who published, and when.
+        assert_eq!(delivered[0].from, HostId(0));
+        assert_eq!(delivered[0].published, SimTime::ZERO);
         // The sender never receives its own message.
         assert!(bus.drain(SimTime::from_millis(2), HostId(0)).is_empty());
+    }
+
+    #[test]
+    fn delivery_survives_the_wire_format_with_wide_link_ids() {
+        // A >256-link topology forces the 2-byte id path; the delivered
+        // message must round-trip through the codec with the sender host and
+        // publish time intact — exactly what a remote Emulation Manager
+        // reconstructs from the datagram.
+        let mut wide = MetadataMessage::new();
+        wide.flows.push(FlowUsage::new(
+            Bandwidth::from_mbps(25),
+            vec![3, 700, 4_000, 65_535],
+        ));
+        assert!(!wide.uses_compact_ids());
+        let mut bus = DisseminationBus::new(hosts(2), SimDuration::from_micros(200));
+        bus.publish(SimTime::from_millis(40), HostId(1), &wide);
+        let delivered = bus.drain(SimTime::from_millis(41), HostId(0));
+        assert_eq!(delivered.len(), 1);
+        let d = &delivered[0];
+        assert_eq!(d.from, HostId(1));
+        assert_eq!(d.published, SimTime::from_millis(40));
+        let decoded = MetadataMessage::decode(d.message.encode()).unwrap();
+        assert_eq!(decoded, d.message);
+        assert_eq!(decoded.sender, HostId(1));
+        assert_eq!(decoded.published, SimTime::from_millis(40));
+        assert_eq!(decoded.flows[0].link_ids, vec![3, 700, 4_000, 65_535]);
     }
 
     #[test]

@@ -1,9 +1,23 @@
 //! Wire format of the Kollaps metadata messages (paper §4.2).
+//!
+//! Every message carries a small constant header — flow count, the
+//! compact-id flag, the **sender host** and the **publish timestamp** —
+//! followed by one entry per active flow. Receivers need the sender to
+//! replace that host's previous (now stale) usage view, and the timestamp
+//! to reason about staleness; both live in the header so the per-flow
+//! layout (and therefore the Figure 3/4 traffic scaling) is unchanged.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
+use kollaps_sim::time::SimTime;
 use kollaps_sim::units::Bandwidth;
+
+use crate::bus::HostId;
+
+/// Fixed header size: 2 bytes flow count + 1 byte id-width flag + 4 bytes
+/// sender host + 8 bytes publish timestamp (nanoseconds of virtual time).
+pub const HEADER_LEN: usize = 15;
 
 /// Usage report for one active flow.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,10 +44,14 @@ impl FlowUsage {
     }
 }
 
-/// One metadata message, as emitted by an Emulation Core on every iteration
-/// of the emulation loop.
+/// One metadata message, as emitted by an Emulation Manager on every
+/// iteration of the emulation loop.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MetadataMessage {
+    /// Physical host whose Emulation Manager published this message.
+    pub sender: HostId,
+    /// Virtual time at which the message was published.
+    pub published: SimTime,
     /// Per-flow usage reports.
     pub flows: Vec<FlowUsage>,
 }
@@ -61,6 +79,15 @@ impl MetadataMessage {
         MetadataMessage::default()
     }
 
+    /// Creates an empty message stamped with its sender and publish time.
+    pub fn from_host(sender: HostId, published: SimTime) -> Self {
+        MetadataMessage {
+            sender,
+            published,
+            flows: Vec::new(),
+        }
+    }
+
     /// `true` if the network is small enough (≤ 256 links) for 1-byte link
     /// identifiers; decided per message from the largest id it carries, the
     /// same optimisation described in the paper for ≤ 256-node topologies.
@@ -74,12 +101,12 @@ impl MetadataMessage {
     /// Serialized size in bytes (without encoding).
     pub fn encoded_len(&self) -> usize {
         let id_width = if self.uses_compact_ids() { 1 } else { 2 };
-        // 2 bytes flow count + 1 byte id-width flag.
-        3 + self
-            .flows
-            .iter()
-            .map(|f| 4 + 1 + f.link_ids.len() * id_width)
-            .sum::<usize>()
+        HEADER_LEN
+            + self
+                .flows
+                .iter()
+                .map(|f| 4 + 1 + f.link_ids.len() * id_width)
+                .sum::<usize>()
     }
 
     /// Encodes the message into a byte buffer.
@@ -88,6 +115,8 @@ impl MetadataMessage {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
         buf.put_u16(self.flows.len() as u16);
         buf.put_u8(u8::from(compact));
+        buf.put_u32(self.sender.0);
+        buf.put_u64(self.published.as_nanos());
         for flow in &self.flows {
             buf.put_u32(flow.used_kbps);
             buf.put_u8(flow.link_ids.len().min(255) as u8);
@@ -104,11 +133,13 @@ impl MetadataMessage {
 
     /// Decodes a message previously produced by [`MetadataMessage::encode`].
     pub fn decode(mut buf: Bytes) -> Result<Self, DecodeError> {
-        if buf.remaining() < 3 {
+        if buf.remaining() < HEADER_LEN {
             return Err(DecodeError::Truncated);
         }
         let n_flows = buf.get_u16() as usize;
         let compact = buf.get_u8() == 1;
+        let sender = HostId(buf.get_u32());
+        let published = SimTime::from_nanos(buf.get_u64());
         let mut flows = Vec::with_capacity(n_flows);
         for _ in 0..n_flows {
             if buf.remaining() < 5 {
@@ -134,7 +165,11 @@ impl MetadataMessage {
                 link_ids,
             });
         }
-        Ok(MetadataMessage { flows })
+        Ok(MetadataMessage {
+            sender,
+            published,
+            flows,
+        })
     }
 
     /// `true` when the encoded form fits a single UDP datagram (1472 bytes
@@ -180,9 +215,22 @@ mod tests {
     }
 
     #[test]
-    fn empty_message_is_three_bytes() {
-        let m = MetadataMessage::new();
-        assert_eq!(m.encode().len(), 3);
+    fn header_carries_sender_and_publish_time() {
+        // The 2-byte id path and the header fields round-trip together.
+        let mut m = msg(4, 3, 9_999);
+        m.sender = HostId(7);
+        m.published = SimTime::from_millis(1_250);
+        assert!(!m.uses_compact_ids());
+        let decoded = MetadataMessage::decode(m.encode()).unwrap();
+        assert_eq!(decoded.sender, HostId(7));
+        assert_eq!(decoded.published, SimTime::from_millis(1_250));
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn empty_message_is_header_only() {
+        let m = MetadataMessage::from_host(HostId(3), SimTime::from_secs(2));
+        assert_eq!(m.encode().len(), HEADER_LEN);
         assert_eq!(MetadataMessage::decode(m.encode()).unwrap(), m);
     }
 
@@ -191,8 +239,8 @@ mod tests {
         let small = msg(20, 4, 200);
         let large = msg(20, 4, 2_000);
         assert!(small.encoded_len() < large.encoded_len());
-        // 20 flows * (4 + 1 + 4) + 3 = 183 bytes.
-        assert_eq!(small.encoded_len(), 183);
+        // 20 flows * (4 + 1 + 4) + the 15-byte header = 195 bytes.
+        assert_eq!(small.encoded_len(), 195);
     }
 
     #[test]
@@ -207,7 +255,7 @@ mod tests {
     fn truncated_messages_are_rejected() {
         let m = msg(3, 2, 100);
         let encoded = m.encode();
-        for cut in [0usize, 1, 2, 4, 7] {
+        for cut in [0usize, 1, 2, 8, 14, 16, 19, 22] {
             let partial = encoded.slice(0..cut.min(encoded.len() - 1));
             assert_eq!(
                 MetadataMessage::decode(partial),

@@ -138,12 +138,25 @@ impl Backend {
         Ok(())
     }
 
-    /// Builds the dataplane. `validate` must have passed.
-    pub(crate) fn build(&self, topology: Topology, schedule: EventSchedule) -> AnyDataplane {
+    /// Builds the dataplane. `validate` must have passed. `placement` pins
+    /// services to host indices (Kollaps only; the other backends model a
+    /// single host).
+    pub(crate) fn build(
+        &self,
+        topology: Topology,
+        schedule: EventSchedule,
+        placement: &std::collections::HashMap<kollaps_topology::model::NodeId, u32>,
+    ) -> AnyDataplane {
         match self {
-            Backend::Kollaps { hosts, config } => AnyDataplane::Kollaps(Box::new(
-                KollapsDataplane::new(topology, schedule, (*hosts).max(1), *config),
-            )),
+            Backend::Kollaps { hosts, config } => {
+                AnyDataplane::Kollaps(Box::new(KollapsDataplane::with_placement(
+                    topology,
+                    schedule,
+                    (*hosts).max(1),
+                    placement,
+                    *config,
+                )))
+            }
             Backend::GroundTruth => {
                 AnyDataplane::GroundTruth(Box::new(GroundTruthDataplane::new(&topology)))
             }
@@ -193,6 +206,34 @@ impl AnyDataplane {
     pub fn metadata_network_bytes(&self) -> Option<u64> {
         match self {
             AnyDataplane::Kollaps(dp) => Some(dp.metadata_accounting().total_network_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Per-host metadata traffic `(host, sent, received)` in bytes on the
+    /// physical network, in host-id order (Kollaps only; empty otherwise).
+    pub fn metadata_per_host(&self) -> Vec<(u32, u64, u64)> {
+        let AnyDataplane::Kollaps(dp) = self else {
+            return Vec::new();
+        };
+        let accounting = dp.metadata_accounting();
+        (0..dp.host_count() as u32)
+            .map(|h| {
+                let host = kollaps_metadata::bus::HostId(h);
+                (
+                    h,
+                    accounting.sent_bytes.get(&host).copied().unwrap_or(0),
+                    accounting.received_bytes.get(&host).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// How close the per-host Emulation Managers tracked the omniscient
+    /// allocation (Kollaps only).
+    pub fn convergence(&self) -> Option<kollaps_core::emulation::ConvergenceStats> {
+        match self {
+            AnyDataplane::Kollaps(dp) => Some(dp.convergence()),
             _ => None,
         }
     }

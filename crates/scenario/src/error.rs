@@ -44,6 +44,15 @@ pub enum ScenarioError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An explicit container placement is inconsistent: the pinned host
+    /// index does not exist, or the same service is pinned to two different
+    /// hosts.
+    InvalidPlacement {
+        /// The service being placed.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The scenario has no workloads; running it would measure nothing.
     EmptyWorkload,
     /// A workload is self-contradictory (same endpoints, zero rate, zero
@@ -70,6 +79,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::UnsupportedBackend { backend, reason } => {
                 write!(f, "backend `{backend}` cannot run this scenario: {reason}")
+            }
+            ScenarioError::InvalidPlacement { name, reason } => {
+                write!(f, "invalid placement of `{name}`: {reason}")
             }
             ScenarioError::EmptyWorkload => {
                 write!(f, "scenario declares no workloads")

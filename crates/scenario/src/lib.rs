@@ -63,7 +63,9 @@ mod workload;
 
 pub use backend::{AnyDataplane, Backend};
 pub use error::ScenarioError;
-pub use report::{FlowReport, HttpStats, LinkReport, Report, RttStats};
+pub use report::{
+    ConvergenceReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report, RttStats,
+};
 pub use workload::{Workload, DEFAULT_DURATION};
 
 use kollaps_core::collapse::Addressable;
@@ -92,6 +94,9 @@ pub struct Scenario {
     schedule: EventSchedule,
     workloads: Vec<Workload>,
     duration: Option<SimDuration>,
+    hosts: Option<usize>,
+    metadata_delay: Option<SimDuration>,
+    placement: Vec<(String, u32)>,
 }
 
 impl Scenario {
@@ -103,6 +108,9 @@ impl Scenario {
             schedule: EventSchedule::new(),
             workloads: Vec::new(),
             duration: None,
+            hosts: None,
+            metadata_delay: None,
+            placement: Vec::new(),
         }
     }
 
@@ -143,6 +151,59 @@ impl Scenario {
     /// a single host.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Spreads the containers over `n` physical hosts (Kollaps backend
+    /// only). Each host runs its own Emulation Manager, so with more than
+    /// one host the enforcement depends on the metadata actually received
+    /// over the (delayed) physical network.
+    ///
+    /// ```
+    /// use kollaps_scenario::{Scenario, Workload};
+    /// use kollaps_topology::generators;
+    /// use kollaps_sim::prelude::*;
+    ///
+    /// let (topo, _, _) = generators::dumbbell(
+    ///     2,
+    ///     Bandwidth::from_mbps(100),
+    ///     Bandwidth::from_mbps(50),
+    ///     SimDuration::from_millis(1),
+    ///     SimDuration::from_millis(10),
+    /// );
+    /// let report = Scenario::from_topology(topo)
+    ///     .hosts(2)
+    ///     .place("client-0", 0)
+    ///     .place("server-0", 1)
+    ///     .metadata_delay(SimDuration::from_millis(5))
+    ///     .workload(Workload::ping("client-0", "server-0").count(3))
+    ///     .run()
+    ///     .expect("valid scenario");
+    /// assert_eq!(report.hosts, 2);
+    /// assert_eq!(report.metadata_per_host.len(), 2);
+    /// assert!(report.convergence.is_some());
+    /// ```
+    pub fn hosts(mut self, n: usize) -> Self {
+        self.hosts = Some(n);
+        self
+    }
+
+    /// Pins a service's container to a physical host index (`0..hosts`);
+    /// services not pinned are placed round-robin. Kollaps backend only.
+    /// Unknown names, out-of-range host indices and conflicting pins are
+    /// reported as typed errors by [`Scenario::run`].
+    pub fn place(mut self, service: &str, host: u32) -> Self {
+        self.placement.push((service.to_string(), host));
+        self
+    }
+
+    /// Sets the one-way delay of metadata messages on the physical network
+    /// (Kollaps backend only). Together with multiple [`Scenario::hosts`]
+    /// this is the accuracy-vs-staleness knob: managers enforce from what
+    /// they have received, so a larger delay means a later reaction to
+    /// remote flows.
+    pub fn metadata_delay(mut self, delay: SimDuration) -> Self {
+        self.metadata_delay = Some(delay);
         self
     }
 
@@ -204,7 +265,56 @@ impl Scenario {
         for workload in &self.workloads {
             validate_workload(&topology, workload)?;
         }
-        self.backend.validate(&topology, &schedule)?;
+
+        // Apply the deployment knobs (hosts / placement / metadata delay).
+        // They configure the per-host Emulation Managers, so they only mean
+        // something on the Kollaps backend.
+        let mut backend = self.backend;
+        let knobs_used =
+            self.hosts.is_some() || self.metadata_delay.is_some() || !self.placement.is_empty();
+        match &mut backend {
+            Backend::Kollaps { hosts, config } => {
+                if let Some(n) = self.hosts {
+                    *hosts = n.max(1);
+                }
+                if let Some(delay) = self.metadata_delay {
+                    config.metadata_delay = delay;
+                }
+            }
+            other => {
+                if knobs_used {
+                    return Err(ScenarioError::UnsupportedBackend {
+                        backend: other.name().to_string(),
+                        reason: "hosts/placement/metadata_delay configure per-host \
+                                 emulation managers, which only the Kollaps backend runs"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        let mut placement: std::collections::HashMap<NodeId, u32> =
+            std::collections::HashMap::new();
+        for (name, host) in &self.placement {
+            let node = service_node(&topology, name)?;
+            if *host as usize >= backend.hosts() {
+                return Err(ScenarioError::InvalidPlacement {
+                    name: name.clone(),
+                    reason: format!(
+                        "host index {host} out of range for a {}-host deployment",
+                        backend.hosts()
+                    ),
+                });
+            }
+            if let Some(previous) = placement.insert(node, *host) {
+                if previous != *host {
+                    return Err(ScenarioError::InvalidPlacement {
+                        name: name.clone(),
+                        reason: format!("pinned to both host {previous} and host {host}"),
+                    });
+                }
+            }
+        }
+        backend.validate(&topology, &schedule)?;
 
         // Total timeline: the last workload window, unless capped.
         let natural_end = self
@@ -218,9 +328,9 @@ impl Scenario {
             None => natural_end,
         };
 
-        let backend_name = self.backend.name().to_string();
-        let hosts = self.backend.hosts();
-        let dataplane = self.backend.build(topology.clone(), schedule);
+        let backend_name = backend.name().to_string();
+        let hosts = backend.hosts();
+        let dataplane = backend.build(topology.clone(), schedule, &placement);
         let resolved = self
             .workloads
             .into_iter()
@@ -620,6 +730,82 @@ mod tests {
             .unwrap();
         let rtt = report.flows[0].rtt.as_ref().unwrap();
         assert!((rtt.mean_ms - 10.0).abs() < 1.0, "rtt {}", rtt.mean_ms);
+    }
+
+    #[test]
+    fn deployment_knobs_shape_the_report() {
+        let report = Scenario::from_topology(p2p(50))
+            .hosts(2)
+            .place("client", 0)
+            .place("server", 1)
+            .metadata_delay(SimDuration::from_millis(5))
+            .workload(
+                Workload::iperf_udp("client", "server", Bandwidth::from_mbps(20))
+                    .duration(SimDuration::from_secs(3)),
+            )
+            .run()
+            .expect("valid scenario");
+        assert_eq!(report.hosts, 2);
+        assert_eq!(report.metadata_per_host.len(), 2);
+        // The client's host publishes flow entries, so it sends more than
+        // the idle server host's heartbeats; both exchange something.
+        assert!(report.metadata_per_host.iter().all(|h| h.sent_bytes > 0));
+        assert!(
+            report.metadata_per_host[0].sent_bytes > report.metadata_per_host[1].sent_bytes,
+            "flow publisher must outweigh heartbeats: {:?}",
+            report.metadata_per_host
+        );
+        let convergence = report.convergence.expect("kollaps reports convergence");
+        assert!(convergence.max_gap >= convergence.last_gap);
+        assert!(convergence.max_gap >= convergence.mean_gap);
+        let json = report.to_json();
+        assert!(json.get("metadata_per_host").is_some());
+        assert!(json.get("convergence").is_some());
+    }
+
+    #[test]
+    fn deployment_knobs_require_the_kollaps_backend() {
+        let err = Scenario::from_topology(p2p(50))
+            .backend(Backend::ground_truth())
+            .hosts(2)
+            .workload(Workload::ping("client", "server").count(1))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnsupportedBackend { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn placement_is_validated() {
+        let base = || {
+            Scenario::from_topology(p2p(50))
+                .hosts(2)
+                .workload(Workload::ping("client", "server").count(1))
+        };
+        let err = base().place("nonexistent", 0).run().unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownNode { .. }), "{err}");
+        let err = base().place("client", 7).run().unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidPlacement { .. }),
+            "{err}"
+        );
+        let err = base()
+            .place("client", 0)
+            .place("client", 1)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidPlacement { .. }),
+            "{err}"
+        );
+        // A consistent duplicate pin is fine.
+        base()
+            .place("client", 1)
+            .place("client", 1)
+            .run()
+            .expect("consistent pins are valid");
     }
 
     #[test]

@@ -81,6 +81,33 @@ pub struct LinkReport {
     pub utilization: f64,
 }
 
+/// Metadata traffic one physical host put on (and took off) the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostMetadata {
+    /// Host index.
+    pub host: u32,
+    /// Bytes this host's Emulation Manager sent over the physical network.
+    pub sent_bytes: u64,
+    /// Bytes delivered to this host's Emulation Manager from remote ones.
+    pub received_bytes: u64,
+}
+
+/// How close the decentralized per-host enforcement tracked the omniscient
+/// allocation over the run. The gap is the maximum relative difference
+/// between any Emulation Manager's enforced rate and the rate a centralized
+/// solver with instantaneous knowledge would have assigned the same flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Gap in the final loop iteration of the run.
+    pub last_gap: f64,
+    /// Worst gap over the whole run (spikes while stale metadata is in
+    /// flight are expected — that is the accuracy-vs-staleness trade-off).
+    pub max_gap: f64,
+    /// Mean gap over all measured loop iterations — the time-averaged
+    /// inaccuracy the metadata staleness costs.
+    pub mean_gap: f64,
+}
+
 /// The structured result of [`crate::Scenario::run`].
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -99,6 +126,12 @@ pub struct Report {
     /// Metadata bytes the emulation managers exchanged over the physical
     /// network (`None` for backends without an emulation manager).
     pub metadata_bytes: Option<u64>,
+    /// Per-host metadata traffic, in host-id order (empty for backends
+    /// without an emulation manager).
+    pub metadata_per_host: Vec<HostMetadata>,
+    /// Allocation-convergence metric of the decentralized enforcement
+    /// (`None` for backends without per-host emulation managers).
+    pub convergence: Option<ConvergenceReport>,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -174,6 +207,26 @@ impl LinkReport {
     }
 }
 
+impl HostMetadata {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("host", self.host.into()),
+            ("sent_bytes", self.sent_bytes.into()),
+            ("received_bytes", self.received_bytes.into()),
+        ])
+    }
+}
+
+impl ConvergenceReport {
+    fn to_json(self) -> Value {
+        obj(vec![
+            ("last_gap", self.last_gap.into()),
+            ("max_gap", self.max_gap.into()),
+            ("mean_gap", self.mean_gap.into()),
+        ])
+    }
+}
+
 impl Report {
     /// The flows produced by workloads with the given label, in order.
     pub fn flows_of<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a FlowReport> {
@@ -196,6 +249,21 @@ impl Report {
                 Value::Array(self.links.iter().map(LinkReport::to_json).collect()),
             ),
             ("metadata_bytes", self.metadata_bytes.into()),
+            (
+                "metadata_per_host",
+                Value::Array(
+                    self.metadata_per_host
+                        .iter()
+                        .map(HostMetadata::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "convergence",
+                self.convergence
+                    .map(ConvergenceReport::to_json)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 

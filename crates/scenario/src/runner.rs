@@ -16,7 +16,9 @@ use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
 use kollaps_workloads::memcached_throughput;
 
 use crate::backend::AnyDataplane;
-use crate::report::{FlowReport, HttpStats, LinkReport, Report, RttStats};
+use crate::report::{
+    ConvergenceReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report, RttStats,
+};
 use crate::workload::Workload;
 
 /// Wall-clock slice between event-dispatch rounds (same granularity the
@@ -308,6 +310,21 @@ pub(crate) fn execute(
 
     let links = link_reports(&rt, &demands);
     let metadata_bytes = rt.dataplane.metadata_network_bytes();
+    let metadata_per_host = rt
+        .dataplane
+        .metadata_per_host()
+        .into_iter()
+        .map(|(host, sent_bytes, received_bytes)| HostMetadata {
+            host,
+            sent_bytes,
+            received_bytes,
+        })
+        .collect();
+    let convergence = rt.dataplane.convergence().map(|c| ConvergenceReport {
+        last_gap: c.last_gap,
+        max_gap: c.max_gap,
+        mean_gap: c.mean_gap(),
+    });
     RunnerOutput {
         report: Report {
             scenario: scenario_name,
@@ -317,6 +334,8 @@ pub(crate) fn execute(
             flows: reports.into_iter().flatten().collect(),
             links,
             metadata_bytes,
+            metadata_per_host,
+            convergence,
         },
     }
 }

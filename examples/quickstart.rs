@@ -68,6 +68,14 @@ fn main() {
         );
     }
 
-    // The whole report is machine-readable JSON for downstream tooling.
+    // The whole report is machine-readable JSON for downstream tooling; CI
+    // uploads the written file as a workflow artifact.
     println!("\n{}", report.to_json_string());
+    let path = std::path::Path::new("target").join("quickstart-report.json");
+    match std::fs::create_dir_all("target")
+        .and_then(|()| std::fs::write(&path, report.to_json_string()))
+    {
+        Ok(()) => println!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
 }

@@ -146,3 +146,89 @@ proptest! {
         }
     }
 }
+
+/// With `metadata_delay = 0` and a single host, the decentralized per-host
+/// Emulation Manager sees exactly what the old centralized loop saw, so its
+/// allocation must equal the centralized `allocate()` result — on random
+/// scale-free generator topologies (fixed seeds), not just the paper's
+/// hand-built ones.
+#[test]
+fn single_host_decentralized_allocation_matches_centralized() {
+    use kollaps::core::emulation::{EmulationConfig, KollapsDataplane};
+    use kollaps::core::runtime::Runtime;
+    use kollaps::core::CollapsedTopology;
+    use kollaps::topology::events::EventSchedule;
+    use kollaps::topology::generators::ScaleFreeParams;
+
+    for seed in [1u64, 7, 42] {
+        let mut rng = SimRng::new(seed);
+        let params = ScaleFreeParams {
+            total_elements: 24,
+            ..ScaleFreeParams::default()
+        };
+        let (topo, nodes, _) = generators::barabasi_albert(&params, &mut rng);
+        let collapsed = CollapsedTopology::build(&topo);
+        let config = EmulationConfig {
+            metadata_delay: SimDuration::ZERO,
+            ..EmulationConfig::default()
+        };
+        let dp = KollapsDataplane::new(topo, EventSchedule::new(), 1, config);
+        let mut rt = Runtime::new(dp);
+        let mut pairs = Vec::new();
+        for (i, &a) in nodes.iter().enumerate().take(8) {
+            let b = nodes[(i + 3) % nodes.len()];
+            if a == b || collapsed.path(a, b).is_none() {
+                continue;
+            }
+            let (Some(src), Some(dst)) = (collapsed.address_of(a), collapsed.address_of(b)) else {
+                continue;
+            };
+            rt.add_udp_flow(src, dst, Bandwidth::from_mbps(40), SimTime::ZERO, None);
+            pairs.push((src, dst));
+        }
+        assert!(pairs.len() >= 4, "seed {seed} produced too few flows");
+        let _ = rt.run_until(SimTime::from_millis(600));
+
+        // Rebuild the old centralized solver input from the same usage the
+        // managers measured, in the same deterministic order.
+        pairs.sort();
+        let mut flows = Vec::new();
+        let mut keys = Vec::new();
+        for &(src, dst) in &pairs {
+            if rt.dataplane.measured_usage(src, dst).is_none() {
+                continue;
+            }
+            let path = collapsed.path_by_addr(src, dst).unwrap();
+            let src_node = collapsed.service_at(src).unwrap();
+            let dst_node = collapsed.service_at(dst).unwrap();
+            flows.push(FlowDemand {
+                id: keys.len() as u64,
+                links: path.links.clone(),
+                rtt: collapsed.rtt(src_node, dst_node).unwrap(),
+                demand: path.max_bandwidth,
+            });
+            keys.push((src, dst));
+        }
+        assert!(!flows.is_empty(), "seed {seed} measured no usage");
+        let centralized = allocate(&flows, collapsed.link_capacities());
+        for (i, &(src, dst)) in keys.iter().enumerate() {
+            let decentralized = rt
+                .dataplane
+                .allocation(src, dst)
+                .expect("active pair has an allocation");
+            let expected = centralized.of(i as u64);
+            let diff = decentralized.as_bps().abs_diff(expected.as_bps());
+            assert!(
+                diff <= 1,
+                "seed {seed}, pair {i}: decentralized {decentralized} vs centralized {expected}"
+            );
+        }
+        let stats = rt.dataplane.convergence();
+        assert!(stats.samples > 0);
+        assert!(
+            stats.max_gap < 1e-9,
+            "seed {seed}: single-host gap {}",
+            stats.max_gap
+        );
+    }
+}
