@@ -122,10 +122,15 @@ impl GroundTruthDataplane {
     /// Moves packets that finished a hop onto their next hop (or into the
     /// arrival buffer).
     fn propagate(&mut self, now: SimTime) {
+        // Sorted: same-instant forwarding between pipes must not depend on
+        // the process-random HashMap iteration order, or contended runs
+        // stop being reproducible. The key set cannot change inside the
+        // fixpoint loop, so collect and sort once.
+        let mut link_ids: Vec<LinkId> = self.links.keys().copied().collect();
+        link_ids.sort();
         loop {
             let mut moved = false;
-            let link_ids: Vec<LinkId> = self.links.keys().copied().collect();
-            for link in link_ids {
+            for &link in &link_ids {
                 let ready = {
                     let pipe = self.links.get_mut(&link).expect("link exists");
                     pipe.deliver_ready(now)

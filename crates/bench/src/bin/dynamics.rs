@@ -1,0 +1,25 @@
+//! The dynamics sweep: per-event swap work of the precomputed snapshot
+//! timeline vs the old online all-pairs re-collapse, over event rate ×
+//! topology size. Writes `target/dynamics-bench.json` (uploaded as a CI
+//! artifact). `--full` runs the larger sweep.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (sizes, flaps, horizon): (&[usize], &[usize], u64) = if full {
+        (&[60, 120, 240, 480], &[1, 4, 16], 40)
+    } else {
+        (&[45, 90, 180], &[1, 4], 20)
+    };
+    let cells = kollaps_bench::run_dynamics(sizes, flaps, horizon);
+    let rows = kollaps_bench::dynamics_rows(&cells);
+    kollaps_bench::print_rows(
+        "Dynamics: timeline swap cost (per-event delta) vs online all-pairs rebuild",
+        &rows,
+    );
+    let json = serde_json::to_string(&kollaps_bench::dynamics_json(&cells));
+    let path = std::path::Path::new("target").join("dynamics-bench.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("\nsweep written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

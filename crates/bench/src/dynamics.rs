@@ -1,0 +1,263 @@
+//! The dynamics bench: timeline-driven snapshot swaps vs the old online
+//! re-collapse, swept over event rate × topology size.
+//!
+//! For each (topology size, flapped-link count) cell the bench generates a
+//! Poisson link-flapping schedule on randomly sampled access links,
+//! precomputes the snapshot timeline, and contrasts
+//!
+//! * **offline precompute + per-event delta** (what the emulation now does:
+//!   the per-event swap work is the delta's changed paths), against
+//! * **online re-collapse** (what `apply_dynamic_events` used to do inline:
+//!   a full all-pairs rebuild of every service pair on every event).
+//!
+//! The acceptance property is visible in the output: per-event swap cost
+//! tracks the number of paths the flapped links actually carry (roughly
+//! `2·(services-1)` per flapped access link), while the online rebuild
+//! redoes `pair_count` paths per event — so the ratio grows with topology
+//! size at fixed churn.
+
+use kollaps_core::{CollapsedTopology, SnapshotTimeline};
+use kollaps_dynamics::Churn;
+use kollaps_sim::prelude::*;
+use kollaps_sim::rng::SimRng;
+use kollaps_topology::events::apply_action;
+use kollaps_topology::generators::{self, ScaleFreeParams};
+use kollaps_topology::model::Topology;
+
+use crate::Row;
+
+/// One cell of the sweep, with everything the JSON artifact needs.
+#[derive(Debug, Clone)]
+pub struct DynamicsCell {
+    /// Total topology elements (services + switches).
+    pub elements: usize,
+    /// Service count (end nodes).
+    pub services: usize,
+    /// Ordered service pairs in the collapsed view.
+    pub pairs: usize,
+    /// Access links being flapped.
+    pub flapped_links: usize,
+    /// Events in the generated schedule.
+    pub events: usize,
+    /// Change times (= snapshots precomputed).
+    pub snapshots: usize,
+    /// Offline timeline precompute, microseconds.
+    pub precompute_micros: u64,
+    /// Mean per-event swap cost (changed + removed paths).
+    pub mean_swap_cost: f64,
+    /// Worst per-event swap cost.
+    pub max_swap_cost: usize,
+    /// Total wall-clock microseconds of replaying the schedule with the old
+    /// online all-pairs re-collapse.
+    pub online_rebuild_micros: u64,
+    /// Paths the online rebuild re-derives over the whole schedule
+    /// (`pairs × snapshots`).
+    pub online_paths_recomputed: usize,
+    /// Paths the timeline re-derived offline (its selective precompute).
+    pub timeline_paths_recomputed: usize,
+}
+
+/// Builds the sweep topology and the churn schedule for one cell.
+fn cell_inputs(elements: usize, flapped: usize) -> (Topology, Vec<(String, String)>) {
+    let mut rng = SimRng::new(elements as u64 * 31 + flapped as u64);
+    let params = ScaleFreeParams {
+        total_elements: elements,
+        ..ScaleFreeParams::default()
+    };
+    let (topo, nodes, _) = generators::barabasi_albert(&params, &mut rng);
+    // Flap the access links of `flapped` distinct sampled services; an
+    // access link flap affects exactly that service's pairs, which keeps
+    // the expected delta size known.
+    let mut picked: Vec<usize> = Vec::new();
+    while picked.len() < flapped.min(nodes.len()) {
+        let i = rng.gen_index(nodes.len());
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    let links = picked
+        .into_iter()
+        .map(|i| {
+            let node = nodes[i];
+            let link = topo
+                .links_from(node)
+                .next()
+                .expect("every end node has an access link");
+            let peer = topo.node(link.to).expect("peer exists").kind.display_name();
+            let name = topo.node(node).expect("node exists").kind.display_name();
+            (name, peer)
+        })
+        .collect();
+    (topo, links)
+}
+
+/// Runs the sweep. `sizes` are total element counts; `flap_counts` how many
+/// access links churn concurrently; `horizon_secs` the churn window.
+pub fn run_dynamics(
+    sizes: &[usize],
+    flap_counts: &[usize],
+    horizon_secs: u64,
+) -> Vec<DynamicsCell> {
+    let mut cells = Vec::new();
+    for &elements in sizes {
+        for &flapped in flap_counts {
+            let (topo, links) = cell_inputs(elements, flapped);
+            let link_refs: Vec<(&str, &str)> = links
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            let schedule = Churn::poisson_flaps(&link_refs)
+                .mean_uptime(SimDuration::from_secs(2))
+                .mean_downtime(SimDuration::from_millis(400))
+                .horizon(SimDuration::from_secs(horizon_secs))
+                .seed(elements as u64 ^ 0x5eed)
+                .generate(&topo)
+                .expect("generated churn is valid");
+            let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+            let stats = *timeline.stats();
+            let deltas = timeline.deltas();
+            let mean_swap_cost = if deltas.is_empty() {
+                0.0
+            } else {
+                deltas.iter().map(|d| d.swap_cost()).sum::<usize>() as f64 / deltas.len() as f64
+            };
+            let max_swap_cost = deltas.iter().map(|d| d.swap_cost()).max().unwrap_or(0);
+
+            // The old inline path: re-apply each change group to the
+            // topology and rebuild all pairs, timing the whole replay.
+            let mut online = topo.clone();
+            let mut collapsed = CollapsedTopology::build(&topo);
+            let started = std::time::Instant::now();
+            for at in schedule.change_times() {
+                for event in schedule.events_at(at) {
+                    apply_action(&mut online, &event.action);
+                }
+                collapsed = collapsed.rebuild_with_addresses(&online);
+            }
+            let online_rebuild_micros = started.elapsed().as_micros() as u64;
+            let pairs = timeline.initial().pair_count();
+            cells.push(DynamicsCell {
+                elements,
+                services: topo.service_ids().len(),
+                pairs,
+                flapped_links: links.len(),
+                events: schedule.len(),
+                snapshots: timeline.len(),
+                precompute_micros: stats.precompute_micros,
+                mean_swap_cost,
+                max_swap_cost,
+                online_rebuild_micros,
+                online_paths_recomputed: pairs * timeline.len(),
+                timeline_paths_recomputed: stats.recomputed_paths,
+            });
+        }
+    }
+    cells
+}
+
+/// The printable view of the sweep (same `Row` shape as the paper tables).
+pub fn dynamics_rows(cells: &[DynamicsCell]) -> Vec<Row> {
+    cells
+        .iter()
+        .map(|c| Row {
+            label: format!("{} elem / {} flapping", c.elements, c.flapped_links),
+            values: vec![
+                ("pairs".into(), f64::NAN, c.pairs as f64),
+                ("events".into(), f64::NAN, c.events as f64),
+                ("mean swap paths".into(), f64::NAN, c.mean_swap_cost),
+                (
+                    "swap/pairs %".into(),
+                    f64::NAN,
+                    100.0 * c.mean_swap_cost / (c.pairs.max(1) as f64),
+                ),
+                (
+                    "precompute ms".into(),
+                    f64::NAN,
+                    c.precompute_micros as f64 / 1000.0,
+                ),
+                (
+                    "online rebuild ms".into(),
+                    f64::NAN,
+                    c.online_rebuild_micros as f64 / 1000.0,
+                ),
+            ],
+        })
+        .collect()
+}
+
+/// The machine-readable view, uploaded as a CI artifact by the
+/// `--bin dynamics` driver.
+pub fn dynamics_json(cells: &[DynamicsCell]) -> serde_json::Value {
+    use serde_json::Value;
+    let rows: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            Value::Object(vec![
+                ("elements".to_string(), c.elements.into()),
+                ("services".to_string(), c.services.into()),
+                ("pairs".to_string(), c.pairs.into()),
+                ("flapped_links".to_string(), c.flapped_links.into()),
+                ("events".to_string(), c.events.into()),
+                ("snapshots".to_string(), c.snapshots.into()),
+                ("precompute_micros".to_string(), c.precompute_micros.into()),
+                ("mean_swap_cost".to_string(), c.mean_swap_cost.into()),
+                ("max_swap_cost".to_string(), c.max_swap_cost.into()),
+                (
+                    "online_rebuild_micros".to_string(),
+                    c.online_rebuild_micros.into(),
+                ),
+                (
+                    "online_paths_recomputed".to_string(),
+                    c.online_paths_recomputed.into(),
+                ),
+                (
+                    "timeline_paths_recomputed".to_string(),
+                    c.timeline_paths_recomputed.into(),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("bench".to_string(), "dynamics".into()),
+        ("cells".to_string(), Value::Array(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion of the dynamics engine, asserted on the
+    /// bench's own sweep: per-event swap work follows the delta (the paths
+    /// over the flapped links), not the topology size.
+    #[test]
+    fn swap_cost_scales_with_delta_not_topology_size() {
+        let cells = run_dynamics(&[45, 90], &[1], 20);
+        assert_eq!(cells.len(), 2);
+        for cell in &cells {
+            assert!(cell.events > 0, "churn generated no events");
+            // One flapping access link touches at most the pairs involving
+            // its service: 2·(services-1) of services·(services-1) pairs.
+            let bound = 2 * (cell.services - 1);
+            assert!(
+                cell.max_swap_cost <= bound,
+                "swap cost {} exceeds per-service bound {bound}",
+                cell.max_swap_cost
+            );
+            // The online rebuild pays the full pair count per event.
+            assert!(cell.online_paths_recomputed >= cell.pairs * cell.snapshots);
+        }
+        // Doubling the topology size at fixed churn leaves the absolute
+        // swap cost bounded by the (linear) per-service pair count while
+        // all-pairs work grows quadratically: the ratio must improve.
+        let small = &cells[0];
+        let large = &cells[1];
+        assert!(large.pairs > small.pairs * 3);
+        let small_fraction = small.mean_swap_cost / small.pairs as f64;
+        let large_fraction = large.mean_swap_cost / large.pairs as f64;
+        assert!(
+            large_fraction < small_fraction,
+            "delta fraction must shrink with size: {small_fraction} vs {large_fraction}"
+        );
+    }
+}

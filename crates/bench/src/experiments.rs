@@ -34,7 +34,9 @@ pub struct Row {
     pub values: Vec<(String, f64, f64)>,
 }
 
-fn print_rows(title: &str, rows: &[Row]) {
+/// Prints a result table: one line per row, `column: paper=x measured=y`
+/// cells (NaN paper values render as `n/a`).
+pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     for row in rows {
         print!("{:<22}", row.label);

@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dynamics;
 pub mod experiments;
 
+pub use dynamics::{dynamics_json, dynamics_rows, run_dynamics, DynamicsCell};
 pub use experiments::*;

@@ -11,6 +11,7 @@
 //! for the same physical link.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -57,20 +58,69 @@ impl CollapsedPath {
 /// The collapsed view of a topology snapshot: every reachable ordered pair
 /// of services mapped to its end-to-end virtual link, plus the addressing
 /// information used by the dataplane.
+///
+/// Paths are held behind [`Arc`] so that successive snapshots of a dynamic
+/// experiment (see `crate::timeline`) share the unchanged entries
+/// structurally instead of cloning `O(services²)` paths per event.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CollapsedTopology {
-    paths: HashMap<(NodeId, NodeId), CollapsedPath>,
-    addresses: HashMap<NodeId, Addr>,
-    nodes_by_addr: HashMap<Addr, NodeId>,
-    link_capacity: HashMap<LinkId, Bandwidth>,
-    link_latency: HashMap<LinkId, SimDuration>,
+    pub(crate) paths: HashMap<(NodeId, NodeId), Arc<CollapsedPath>>,
+    pub(crate) addresses: HashMap<NodeId, Addr>,
+    pub(crate) nodes_by_addr: HashMap<Addr, NodeId>,
+    pub(crate) link_capacity: HashMap<LinkId, Bandwidth>,
+    pub(crate) link_latency: HashMap<LinkId, SimDuration>,
+}
+
+/// Collapses one shortest path into its end-to-end `CollapsedPath`.
+pub(crate) fn collapse_path(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    path: &kollaps_topology::graph::Path,
+) -> Option<CollapsedPath> {
+    let props = PathProperties::compose(topology, path)?;
+    Some(CollapsedPath {
+        src,
+        dst,
+        latency: props.latency,
+        jitter: props.jitter,
+        loss: props.loss,
+        max_bandwidth: props.max_bandwidth,
+        links: path.links.clone(),
+    })
+}
+
+fn all_pairs(topology: &Topology) -> HashMap<(NodeId, NodeId), Arc<CollapsedPath>> {
+    let graph = TopologyGraph::new(topology);
+    let mut paths = HashMap::new();
+    for ((src, dst), path) in graph.all_pairs_service_paths() {
+        if let Some(collapsed) = collapse_path(topology, src, dst, &path) {
+            paths.insert((src, dst), Arc::new(collapsed));
+        }
+    }
+    paths
+}
+
+pub(crate) fn link_tables(
+    topology: &Topology,
+) -> (HashMap<LinkId, Bandwidth>, HashMap<LinkId, SimDuration>) {
+    let capacity = topology
+        .links()
+        .iter()
+        .map(|l| (l.id, l.properties.bandwidth))
+        .collect();
+    let latency = topology
+        .links()
+        .iter()
+        .map(|l| (l.id, l.properties.latency))
+        .collect();
+    (capacity, latency)
 }
 
 impl CollapsedTopology {
     /// Collapses `topology`, assigning container addresses in service-id
     /// order (`10.1.0.0/16`, matching the deployment generator).
     pub fn build(topology: &Topology) -> Self {
-        let graph = TopologyGraph::new(topology);
         let mut addresses = HashMap::new();
         let mut nodes_by_addr = HashMap::new();
         for (i, service) in topology.service_ids().into_iter().enumerate() {
@@ -78,35 +128,9 @@ impl CollapsedTopology {
             addresses.insert(service, addr);
             nodes_by_addr.insert(addr, service);
         }
-        let mut paths = HashMap::new();
-        for ((src, dst), path) in graph.all_pairs_service_paths() {
-            if let Some(props) = PathProperties::compose(topology, &path) {
-                paths.insert(
-                    (src, dst),
-                    CollapsedPath {
-                        src,
-                        dst,
-                        latency: props.latency,
-                        jitter: props.jitter,
-                        loss: props.loss,
-                        max_bandwidth: props.max_bandwidth,
-                        links: path.links.clone(),
-                    },
-                );
-            }
-        }
-        let link_capacity = topology
-            .links()
-            .iter()
-            .map(|l| (l.id, l.properties.bandwidth))
-            .collect();
-        let link_latency = topology
-            .links()
-            .iter()
-            .map(|l| (l.id, l.properties.latency))
-            .collect();
+        let (link_capacity, link_latency) = link_tables(topology);
         CollapsedTopology {
-            paths,
+            paths: all_pairs(topology),
             addresses,
             nodes_by_addr,
             link_capacity,
@@ -116,37 +140,16 @@ impl CollapsedTopology {
 
     /// Re-collapses a modified topology while keeping the original address
     /// assignment (containers keep their IP across dynamic events).
+    ///
+    /// This is the **online full rebuild**: every service pair is re-derived
+    /// from scratch. The runtime emulation no longer calls it per event (the
+    /// precomputed `crate::timeline` swaps delta-encoded snapshots instead);
+    /// it remains the reference the timeline is checked against and the
+    /// fallback for callers that mutate topologies outside a schedule.
     pub fn rebuild_with_addresses(&self, topology: &Topology) -> Self {
-        let graph = TopologyGraph::new(topology);
-        let mut paths = HashMap::new();
-        for ((src, dst), path) in graph.all_pairs_service_paths() {
-            if let Some(props) = PathProperties::compose(topology, &path) {
-                paths.insert(
-                    (src, dst),
-                    CollapsedPath {
-                        src,
-                        dst,
-                        latency: props.latency,
-                        jitter: props.jitter,
-                        loss: props.loss,
-                        max_bandwidth: props.max_bandwidth,
-                        links: path.links.clone(),
-                    },
-                );
-            }
-        }
-        let link_capacity = topology
-            .links()
-            .iter()
-            .map(|l| (l.id, l.properties.bandwidth))
-            .collect();
-        let link_latency = topology
-            .links()
-            .iter()
-            .map(|l| (l.id, l.properties.latency))
-            .collect();
+        let (link_capacity, link_latency) = link_tables(topology);
         CollapsedTopology {
-            paths,
+            paths: all_pairs(topology),
             addresses: self.addresses.clone(),
             nodes_by_addr: self.nodes_by_addr.clone(),
             link_capacity,
@@ -156,6 +159,14 @@ impl CollapsedTopology {
 
     /// The collapsed path from `src` to `dst`, if reachable.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&CollapsedPath> {
+        self.paths.get(&(src, dst)).map(Arc::as_ref)
+    }
+
+    /// The shared handle of the collapsed path from `src` to `dst`. Two
+    /// snapshots returning [`Arc::ptr_eq`] handles are guaranteed to agree
+    /// on that pair — the structural-sharing property the snapshot timeline
+    /// relies on (and tests assert).
+    pub fn path_handle(&self, src: NodeId, dst: NodeId) -> Option<&Arc<CollapsedPath>> {
         self.paths.get(&(src, dst))
     }
 
@@ -176,7 +187,12 @@ impl CollapsedTopology {
 
     /// All collapsed paths.
     pub fn paths(&self) -> impl Iterator<Item = &CollapsedPath> {
-        self.paths.values()
+        self.paths.values().map(Arc::as_ref)
+    }
+
+    /// All collapsed pairs with their shared path handles.
+    pub fn path_handles(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Arc<CollapsedPath>)> {
+        self.paths.iter()
     }
 
     /// Number of collapsed (ordered) pairs.

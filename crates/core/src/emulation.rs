@@ -15,9 +15,12 @@
 //!   delivered, (4) recomputes the RTT-aware min-max shares **from that
 //!   received, possibly stale view only**, (5) enforces the new rates (and
 //!   injects congestion loss when a link stays oversubscribed);
-//! * dynamic topology events re-collapse the topology and hand every
-//!   manager the new snapshot (schedules are part of the experiment
-//!   description, so all managers know them in advance);
+//! * dynamic topology events come from a [`SnapshotTimeline`] precomputed
+//!   **offline** at construction (schedules are part of the experiment
+//!   description, so the whole sequence of collapsed snapshots is known in
+//!   advance): at runtime each due change swaps in the precomputed snapshot
+//!   `Arc` and touches only the delta'd qdisc chains — no shortest-path
+//!   computation ever runs inside the loop;
 //! * the dataplane itself only routes packets to the owning manager, runs
 //!   the physical-network delivery queue, and — because it can see every
 //!   manager at once — scores how far the decentralized decisions are from
@@ -31,13 +34,14 @@ use kollaps_metadata::bus::{DisseminationBus, HostId, TrafficAccounting};
 use kollaps_netmodel::egress::EgressVerdict;
 use kollaps_netmodel::packet::{Addr, Packet};
 use kollaps_sim::prelude::*;
-use kollaps_topology::events::{apply_action, EventSchedule};
+use kollaps_topology::events::EventSchedule;
 use kollaps_topology::model::{NodeId, Topology};
 
 use crate::collapse::{Addressable, CollapsedTopology};
 use crate::manager::EmulationManager;
 use crate::runtime::{Dataplane, SendOutcome};
 use crate::sharing::{allocate, FlowDemand};
+use crate::timeline::SnapshotTimeline;
 
 /// Tuning knobs of the emulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +112,47 @@ impl ConvergenceStats {
     }
 }
 
+/// Runtime accounting of the dynamics engine: how much work applying the
+/// precomputed snapshot timeline actually cost. The headline property is
+/// that per-event swap work follows the **delta** (paths the change
+/// affected), not the topology size — `changed_paths_*` against
+/// [`DynamicsStats::pair_count`] makes that measurable, and the
+/// `--bin dynamics` bench sweeps it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicsStats {
+    /// Wall-clock microseconds the offline timeline precompute took (paid
+    /// once at construction, before the experiment starts).
+    pub precompute_micros: u64,
+    /// Change times precomputed in the timeline.
+    pub snapshots_precomputed: usize,
+    /// Change times whose snapshot has been swapped in so far.
+    pub snapshots_applied: usize,
+    /// Schedule events those swaps covered.
+    pub events_applied: usize,
+    /// Swap cost (changed + removed paths) of the most recent change.
+    pub changed_paths_last: usize,
+    /// Total swap cost over all applied changes.
+    pub changed_paths_total: usize,
+    /// Worst single-change swap cost.
+    pub changed_paths_max: usize,
+    /// Per-destination qdisc chains actually rewritten across all hosts.
+    pub chains_touched_total: usize,
+    /// Ordered service pairs in the initial snapshot — the work an online
+    /// all-pairs re-collapse would redo on every event.
+    pub pair_count: usize,
+}
+
+impl DynamicsStats {
+    /// Mean swap cost per applied change.
+    pub fn mean_swap_cost(&self) -> f64 {
+        if self.snapshots_applied == 0 {
+            0.0
+        } else {
+            self.changed_paths_total as f64 / self.snapshots_applied as f64
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct PendingDelivery {
     arrival: SimTime,
@@ -139,14 +184,18 @@ impl Ord for PendingDelivery {
 /// queue.
 pub struct KollapsDataplane {
     config: EmulationConfig,
-    topology: Topology,
     /// The omniscient collapsed view — used for addressing, for routing
     /// packets, and as the reference the convergence metric compares the
     /// managers' local decisions against. Enforcement never reads it; the
     /// managers hold read-only `Arc` clones of the same snapshot.
     collapsed: Arc<CollapsedTopology>,
-    schedule: EventSchedule,
-    applied_events: usize,
+    /// Every collapsed snapshot of the experiment, precomputed offline at
+    /// construction; runtime event application only swaps `Arc`s and
+    /// touches the delta'd chains.
+    timeline: SnapshotTimeline,
+    /// Index of the next unapplied timeline delta.
+    next_delta: usize,
+    dynamics: DynamicsStats,
     /// One Emulation Manager per physical host, in host-id order.
     managers: Vec<EmulationManager>,
     /// Physical host of each container.
@@ -184,7 +233,17 @@ impl KollapsDataplane {
         pinned: &HashMap<NodeId, u32>,
         config: EmulationConfig,
     ) -> Self {
-        let collapsed = Arc::new(CollapsedTopology::build(&topology));
+        // The whole dynamics of the experiment are precomputed here, before
+        // any traffic flows (paper §3: schedules are part of the experiment
+        // description, so nothing about a topology change is a surprise).
+        let timeline = SnapshotTimeline::precompute(&topology, &schedule);
+        let collapsed = Arc::clone(timeline.initial());
+        let dynamics = DynamicsStats {
+            precompute_micros: timeline.stats().precompute_micros,
+            snapshots_precomputed: timeline.len(),
+            pair_count: collapsed.pair_count(),
+            ..DynamicsStats::default()
+        };
         let hosts = hosts.max(1);
         let host_ids: Vec<HostId> = (0..hosts as u32).map(HostId).collect();
         let rng = SimRng::new(config.seed);
@@ -210,10 +269,10 @@ impl KollapsDataplane {
         let bus = DisseminationBus::new(host_ids, config.metadata_delay);
         KollapsDataplane {
             config,
-            topology,
             collapsed,
-            schedule,
-            applied_events: 0,
+            timeline,
+            next_delta: 0,
+            dynamics,
             managers,
             placement,
             bus,
@@ -264,6 +323,17 @@ impl KollapsDataplane {
     /// allocation so far.
     pub fn convergence(&self) -> ConvergenceStats {
         self.convergence
+    }
+
+    /// The precomputed snapshot timeline of this experiment.
+    pub fn timeline(&self) -> &SnapshotTimeline {
+        &self.timeline
+    }
+
+    /// Runtime accounting of the dynamics engine (events applied, per-event
+    /// swap cost, offline precompute time).
+    pub fn dynamics(&self) -> DynamicsStats {
+        self.dynamics
     }
 
     /// The bandwidth the owning manager enforced for the (src, dst) pair in
@@ -361,27 +431,29 @@ impl KollapsDataplane {
         self.convergence.samples += 1;
     }
 
-    /// Applies every dynamic event whose time has come, re-collapses the
-    /// topology and distributes the new snapshot to every manager.
+    /// Applies every precomputed change whose time has come: swaps in the
+    /// offline-built snapshot and hands every manager the delta, so only
+    /// the qdisc chains the change affected are touched. No topology
+    /// mutation, no re-collapse and no event cloning happens here — the
+    /// timeline is walked by index over its (sorted) deltas.
     fn apply_dynamic_events(&mut self, now: SimTime) {
-        let due: Vec<_> = self
-            .schedule
-            .events()
-            .iter()
-            .skip(self.applied_events)
-            .take_while(|e| SimTime::ZERO + e.at <= now)
-            .cloned()
-            .collect();
-        if due.is_empty() {
-            return;
-        }
-        for event in &due {
-            apply_action(&mut self.topology, &event.action);
-        }
-        self.applied_events += due.len();
-        self.collapsed = Arc::new(self.collapsed.rebuild_with_addresses(&self.topology));
-        for manager in &mut self.managers {
-            manager.apply_snapshot(Arc::clone(&self.collapsed));
+        while let Some(delta) = self.timeline.deltas().get(self.next_delta) {
+            if SimTime::ZERO + delta.at > now {
+                break;
+            }
+            self.collapsed = Arc::clone(&delta.snapshot);
+            let mut touched = 0;
+            for manager in &mut self.managers {
+                touched += manager.apply_delta(delta);
+            }
+            let cost = delta.swap_cost();
+            self.dynamics.snapshots_applied += 1;
+            self.dynamics.events_applied += delta.events;
+            self.dynamics.changed_paths_last = cost;
+            self.dynamics.changed_paths_total += cost;
+            self.dynamics.changed_paths_max = self.dynamics.changed_paths_max.max(cost);
+            self.dynamics.chains_touched_total += touched;
+            self.next_delta += 1;
         }
     }
 }
@@ -618,6 +690,52 @@ mod tests {
         assert!((early - 20.0).abs() < 1.0, "early rtt {early}");
         assert!((late - 80.0).abs() < 2.0, "late rtt {late}");
         let _ = probe;
+    }
+
+    /// The dynamics acceptance property at the dataplane level: applying a
+    /// precomputed event touches only the qdisc chains of the paths the
+    /// event affected, and the dataplane records that swap cost.
+    #[test]
+    fn dynamic_event_application_touches_only_the_delta() {
+        let (topo, _, _) = generators::dumbbell(
+            4,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let mut schedule = EventSchedule::new();
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(1),
+            action: DynamicAction::SetLinkProperties {
+                orig: "client-0".into(),
+                dest: "bridge-left".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(25)),
+                    ..LinkChange::default()
+                },
+            },
+        });
+        let dp = KollapsDataplane::new(topo, schedule, 1, EmulationConfig::default());
+        // 8 services: 56 ordered pairs, precomputed as one delta of 14
+        // (every pair involving client-0).
+        assert_eq!(dp.timeline().len(), 1);
+        assert_eq!(dp.timeline().deltas()[0].swap_cost(), 14);
+        let client = dp.address_of_index(0);
+        let server = dp.address_of_index(4);
+        let mut rt = Runtime::new(dp);
+        rt.add_udp_flow(client, server, Bandwidth::from_mbps(5), SimTime::ZERO, None);
+        let _ = rt.run_until(SimTime::from_secs(2));
+        let stats = rt.dataplane.dynamics();
+        assert_eq!(stats.snapshots_applied, 1);
+        assert_eq!(stats.events_applied, 1);
+        assert_eq!(stats.changed_paths_last, 14);
+        assert_eq!(stats.changed_paths_max, 14);
+        assert_eq!(stats.pair_count, 56);
+        // Every touched chain belongs to the single host; far fewer than
+        // the 56 chains a full reinstall would rewrite.
+        assert_eq!(stats.chains_touched_total, 14);
+        assert!(stats.mean_swap_cost() < stats.pair_count as f64);
     }
 
     #[test]

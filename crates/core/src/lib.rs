@@ -18,6 +18,11 @@
 //!   [`runtime::Runtime`] that moves packets between TCP/UDP/ICMP endpoints
 //!   and the network under test; the full-state baselines implement the same
 //!   trait, so every workload runs unmodified on either.
+//! * [`timeline`] — the offline dynamics engine: the whole sequence of
+//!   collapsed snapshots of a dynamic experiment precomputed up front,
+//!   delta-encoded with structural sharing, so runtime event application
+//!   never recomputes paths (re-exported as the public face of
+//!   `kollaps_dynamics`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +32,11 @@ pub mod emulation;
 pub mod manager;
 pub mod runtime;
 pub mod sharing;
+pub mod timeline;
 
 pub use collapse::{Addressable, CollapsedPath, CollapsedTopology};
-pub use emulation::{ConvergenceStats, EmulationConfig, KollapsDataplane};
+pub use emulation::{ConvergenceStats, DynamicsStats, EmulationConfig, KollapsDataplane};
 pub use manager::EmulationManager;
 pub use runtime::{Dataplane, Runtime, RuntimeEvent, SendOutcome};
 pub use sharing::{allocate, oversubscription, Allocation, FlowDemand};
+pub use timeline::{SnapshotDelta, SnapshotTimeline, TimelineStats};

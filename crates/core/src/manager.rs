@@ -168,9 +168,15 @@ impl EmulationManager {
     }
 
     /// Packets that finished their collapsed-path emulation on this host.
+    /// Trees are drained in container-address order so that same-instant
+    /// packets enter the delivery queue deterministically (HashMap iteration
+    /// order differs per process).
     pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut addrs: Vec<Addr> = self.egress.keys().copied().collect();
+        addrs.sort();
         let mut out = Vec::new();
-        for tree in self.egress.values_mut() {
+        for addr in addrs {
+            let tree = self.egress.get_mut(&addr).expect("own tree");
             out.extend(tree.dequeue_ready(now));
         }
         out
@@ -394,10 +400,69 @@ impl EmulationManager {
 
     /// Swaps in a new collapsed snapshot (dynamic events — which are part of
     /// the experiment description and therefore known to every manager) and
-    /// reconciles the local TCALs with it.
+    /// reconciles the local TCALs with it by **full reinstall**: every
+    /// destination chain of every local TCAL is rewritten.
+    ///
+    /// The emulation loop does not use this any more — it applies
+    /// [`EmulationManager::apply_delta`], which touches only the chains the
+    /// change affected. This full swap remains for callers that obtained a
+    /// snapshot outside a precomputed timeline.
     pub fn apply_snapshot(&mut self, collapsed: Arc<CollapsedTopology>) {
         self.collapsed = collapsed;
         self.install_local_paths();
+    }
+
+    /// Applies one precomputed change: swaps the snapshot `Arc` and updates
+    /// **only** the qdisc chains of local pairs the delta names. Returns the
+    /// number of chains touched — the per-host share of the swap cost, which
+    /// scales with the paths the event affected rather than with the
+    /// topology size (no path is recomputed here; the timeline did that
+    /// offline).
+    pub fn apply_delta(&mut self, delta: &crate::timeline::SnapshotDelta) -> usize {
+        self.collapsed = Arc::clone(&delta.snapshot);
+        let collapsed = Arc::clone(&self.collapsed);
+        let mut touched = 0;
+        for &(src, dst) in &delta.removed_paths {
+            let (Some(src_addr), Some(dst_addr)) =
+                (collapsed.address_of(src), collapsed.address_of(dst))
+            else {
+                continue;
+            };
+            if let Some(tree) = self.egress.get_mut(&src_addr) {
+                if tree.remove_path(dst_addr) {
+                    touched += 1;
+                }
+                self.last_allocation.remove(&(src_addr, dst_addr));
+            }
+        }
+        for &(src, dst) in &delta.changed_paths {
+            let (Some(src_addr), Some(dst_addr)) =
+                (collapsed.address_of(src), collapsed.address_of(dst))
+            else {
+                continue;
+            };
+            let Some(tree) = self.egress.get_mut(&src_addr) else {
+                continue;
+            };
+            let Some(path) = collapsed.path(src, dst) else {
+                continue;
+            };
+            let netem = NetemConfig {
+                delay: path.latency,
+                jitter: path.jitter,
+                loss: path.loss,
+                ..NetemConfig::default()
+            };
+            let rate = self
+                .last_allocation
+                .get(&(src_addr, dst_addr))
+                .copied()
+                .unwrap_or(path.max_bandwidth)
+                .min(path.max_bandwidth);
+            tree.install_path(dst_addr, netem, rate);
+            touched += 1;
+        }
+        touched
     }
 
     /// Installs (or refreshes) the per-destination chains of every local
@@ -433,12 +498,14 @@ impl EmulationManager {
                 };
                 // The htb class starts at the collapsed maximum bandwidth;
                 // the emulation loop tightens it as soon as competing flows
-                // appear.
+                // appear. A kept allocation is clamped in case the path
+                // maximum shrank under it.
                 let rate = self
                     .last_allocation
                     .get(&(src_addr, dst_addr))
                     .copied()
-                    .unwrap_or(path.max_bandwidth);
+                    .unwrap_or(path.max_bandwidth)
+                    .min(path.max_bandwidth);
                 tree.install_path(dst_addr, netem, rate);
             }
         }

@@ -109,6 +109,9 @@ pub struct Runtime<D: Dataplane> {
     /// Flows with an outstanding RTO-check event (at most one per flow, to
     /// keep the event count linear in simulated time rather than in packets).
     rto_scheduled: std::collections::HashSet<FlowId>,
+    /// Rotating start index of the back-pressure pump round-robin (see
+    /// `Ev::DataplaneWakeup`).
+    pump_rotation: usize,
     sample_window: SimDuration,
 }
 
@@ -129,6 +132,7 @@ impl<D: Dataplane> Runtime<D> {
             pending_events: Vec::new(),
             wakeup_scheduled: None,
             rto_scheduled: std::collections::HashSet::new(),
+            pump_rotation: 0,
             sample_window: SimDuration::from_secs(1),
         };
         rt.queue.schedule(SimTime::ZERO, Ev::Tick);
@@ -363,8 +367,19 @@ impl<D: Dataplane> Runtime<D> {
             Ev::DataplaneWakeup => {
                 self.wakeup_scheduled = None;
                 // Back-pressured TCP senders get another chance whenever the
-                // dataplane makes progress.
-                let flows: Vec<FlowId> = self.tcp_senders.keys().copied().collect();
+                // dataplane makes progress. Under contention the pump order
+                // decides who wins the freed egress slots, so it must be
+                // deterministic (HashMap order is a per-process coin flip)
+                // but not biased (always-lowest-id-first would let one flow
+                // starve the rest): round-robin over the sorted ids with a
+                // rotating start.
+                let mut flows: Vec<FlowId> = self.tcp_senders.keys().copied().collect();
+                flows.sort();
+                if !flows.is_empty() {
+                    let start = self.pump_rotation % flows.len();
+                    self.pump_rotation = self.pump_rotation.wrapping_add(1);
+                    flows.rotate_left(start);
+                }
                 for flow in flows {
                     self.pump_tcp(now, flow);
                 }

@@ -1,0 +1,474 @@
+//! The precomputed snapshot timeline: offline dynamics, delta-encoded.
+//!
+//! The paper's dynamics claim (§3, Listing 2) is that Kollaps knows the
+//! whole event schedule up front and therefore pre-computes the sequence of
+//! collapsed topology snapshots **offline**, so that sub-second dynamic
+//! events are enforced at runtime without recomputation. This module is that
+//! engine: [`SnapshotTimeline::precompute`] turns a topology plus an
+//! [`EventSchedule`] into one [`CollapsedTopology`] per change time, where
+//!
+//! * consecutive snapshots **structurally share** every unchanged
+//!   [`crate::collapse::CollapsedPath`] behind an [`Arc`] (cloning a snapshot costs one map
+//!   of pointer bumps, not `O(services²)` path copies), and
+//! * each snapshot carries a [`SnapshotDelta`] — exactly the service pairs
+//!   whose end-to-end path changed or disappeared — so runtime application
+//!   touches only the affected qdisc chains and never runs an all-pairs
+//!   shortest-path computation inside the emulation loop.
+//!
+//! The precompute is *selective*: only sources whose previous paths traverse
+//! a changed link are re-derived. For purely degrading change groups (links
+//! removed, latencies increased, bandwidth/loss/jitter edits) that is exact:
+//! a shortest path that avoids every changed link stays shortest, and the
+//! deterministic `(cost, hops, node-id)` tie-breaking of
+//! [`kollaps_topology::graph::TopologyGraph::shortest_paths_from`] keeps
+//! picking it. The moment a group can *improve* routes (a link joins, a
+//! latency drops) every source is re-derived — still offline, and the
+//! structural-sharing diff keeps the runtime delta minimal. The equality of
+//! timeline snapshots with a full online re-collapse is pinned by property
+//! tests over generated topologies and random schedules.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use kollaps_sim::time::SimDuration;
+use kollaps_topology::events::{apply_action, EventSchedule};
+use kollaps_topology::graph::TopologyGraph;
+use kollaps_topology::model::{LinkId, LinkProperties, NodeId, Topology};
+
+use crate::collapse::{collapse_path, link_tables, CollapsedTopology};
+
+/// One precomputed topology change: the new snapshot plus the exact set of
+/// service pairs the change affected.
+#[derive(Debug, Clone)]
+pub struct SnapshotDelta {
+    /// When the change takes effect, relative to experiment start.
+    pub at: SimDuration,
+    /// Number of schedule events applied at this change time.
+    pub events: usize,
+    /// Links removed, added or re-parameterized by this change.
+    pub changed_links: Vec<LinkId>,
+    /// Service pairs whose collapsed path changed (including pairs that
+    /// just became reachable).
+    pub changed_paths: Vec<(NodeId, NodeId)>,
+    /// Service pairs that lost their collapsed path (unreachable or an
+    /// endpoint left).
+    pub removed_paths: Vec<(NodeId, NodeId)>,
+    /// The full snapshot after the change; unchanged paths are the same
+    /// `Arc`s as in the previous snapshot.
+    pub snapshot: Arc<CollapsedTopology>,
+}
+
+impl SnapshotDelta {
+    /// The runtime swap cost of this change: the number of per-destination
+    /// qdisc chains that have to be touched, which scales with the paths
+    /// the change actually affected — not with the topology size.
+    pub fn swap_cost(&self) -> usize {
+        self.changed_paths.len() + self.removed_paths.len()
+    }
+}
+
+/// Offline-precompute accounting, surfaced through the dataplane's dynamics
+/// stats and the `--bin dynamics` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimelineStats {
+    /// Wall-clock time the offline precompute took, in microseconds.
+    pub precompute_micros: u64,
+    /// Distinct change times (= number of deltas).
+    pub change_times: usize,
+    /// Total schedule events folded into the timeline.
+    pub events: usize,
+    /// Collapsed paths re-derived across all deltas (the offline work).
+    pub recomputed_paths: usize,
+    /// Path slots that were structurally shared with the previous snapshot
+    /// instead of being re-derived or re-allocated.
+    pub shared_paths: usize,
+    /// Service pairs in the initial snapshot (the all-pairs scale an online
+    /// re-collapse would pay per event).
+    pub initial_pairs: usize,
+}
+
+/// The precomputed sequence of collapsed snapshots of a dynamic experiment.
+#[derive(Debug, Clone)]
+pub struct SnapshotTimeline {
+    initial: Arc<CollapsedTopology>,
+    deltas: Vec<SnapshotDelta>,
+    stats: TimelineStats,
+}
+
+impl SnapshotTimeline {
+    /// Precomputes the snapshot at every change time of `schedule` applied
+    /// to `topology`. Runs offline (before the experiment starts); the
+    /// runtime then only swaps `Arc`s and touches the delta'd chains.
+    pub fn precompute(topology: &Topology, schedule: &EventSchedule) -> Self {
+        let started = std::time::Instant::now();
+        let initial = Arc::new(CollapsedTopology::build(topology));
+        let mut stats = TimelineStats {
+            initial_pairs: initial.pair_count(),
+            ..TimelineStats::default()
+        };
+        let mut working = topology.clone();
+        let mut prev = Arc::clone(&initial);
+        let mut deltas = Vec::new();
+        let events = schedule.events();
+        let mut i = 0;
+        // The schedule is sorted by construction; each iteration consumes
+        // the index range [i, j) of one change time — no event is cloned.
+        while i < events.len() {
+            let at = events[i].at;
+            let mut j = i;
+            while j < events.len() && events[j].at == at {
+                j += 1;
+            }
+            let before: HashMap<LinkId, LinkProperties> = working
+                .links()
+                .iter()
+                .map(|l| (l.id, l.properties))
+                .collect();
+            for event in &events[i..j] {
+                apply_action(&mut working, &event.action);
+            }
+            let delta = derive_snapshot(&working, &prev, &before, at, j - i, &mut stats);
+            prev = Arc::clone(&delta.snapshot);
+            deltas.push(delta);
+            i = j;
+        }
+        stats.change_times = deltas.len();
+        stats.events = events.len();
+        stats.precompute_micros = started.elapsed().as_micros() as u64;
+        SnapshotTimeline {
+            initial,
+            deltas,
+            stats,
+        }
+    }
+
+    /// The snapshot before the first change.
+    pub fn initial(&self) -> &Arc<CollapsedTopology> {
+        &self.initial
+    }
+
+    /// The precomputed changes, in chronological order.
+    pub fn deltas(&self) -> &[SnapshotDelta] {
+        &self.deltas
+    }
+
+    /// Precompute accounting.
+    pub fn stats(&self) -> &TimelineStats {
+        &self.stats
+    }
+
+    /// Number of change times.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// `true` when the schedule produced no changes.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The snapshot in force at `at` (initial before the first change).
+    pub fn snapshot_at(&self, at: SimDuration) -> &Arc<CollapsedTopology> {
+        let idx = self.deltas.partition_point(|d| d.at <= at);
+        if idx == 0 {
+            &self.initial
+        } else {
+            &self.deltas[idx - 1].snapshot
+        }
+    }
+}
+
+/// Builds the snapshot after one change group, sharing unchanged paths with
+/// `prev` and recording exactly what differs.
+fn derive_snapshot(
+    working: &Topology,
+    prev: &CollapsedTopology,
+    before: &HashMap<LinkId, LinkProperties>,
+    at: SimDuration,
+    events: usize,
+    stats: &mut TimelineStats,
+) -> SnapshotDelta {
+    // Diff the link tables to find what this group touched.
+    let after: HashMap<LinkId, LinkProperties> = working
+        .links()
+        .iter()
+        .map(|l| (l.id, l.properties))
+        .collect();
+    let mut changed_links: Vec<LinkId> = Vec::new();
+    // Links previously-derived paths might traverse: removed or modified.
+    let mut stale_links: HashSet<LinkId> = HashSet::new();
+    // `true` once the group may create *better* routes than before (a new
+    // link, or a latency drop): selective re-derivation from affected
+    // sources is no longer sufficient, every source must be re-derived.
+    let mut improving = false;
+    for (&id, props) in &after {
+        match before.get(&id) {
+            None => {
+                changed_links.push(id);
+                improving = true;
+            }
+            Some(old) if old != props => {
+                changed_links.push(id);
+                stale_links.insert(id);
+                if props.latency < old.latency {
+                    improving = true;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    for &id in before.keys() {
+        if !after.contains_key(&id) {
+            changed_links.push(id);
+            stale_links.insert(id);
+        }
+    }
+    changed_links.sort();
+
+    let services: Vec<NodeId> = working.service_ids();
+    let service_set: HashSet<NodeId> = services.iter().copied().collect();
+
+    // Start from the previous snapshot's paths: `Arc` clones, no path data
+    // is copied. Pairs whose endpoint service left are dropped up front.
+    let mut paths = prev.paths.clone();
+    let mut removed_paths: Vec<(NodeId, NodeId)> = Vec::new();
+    paths.retain(|&(src, dst), _| {
+        let keep = service_set.contains(&src) && service_set.contains(&dst);
+        if !keep {
+            removed_paths.push((src, dst));
+        }
+        keep
+    });
+
+    // Sources that need re-derivation: all of them when the group can
+    // improve routes, otherwise only those with a path over a stale link.
+    let sources: Vec<NodeId> = if improving {
+        services.clone()
+    } else if stale_links.is_empty() {
+        Vec::new()
+    } else {
+        let mut affected: HashSet<NodeId> = HashSet::new();
+        for (&(src, _), path) in &paths {
+            if path.links.iter().any(|l| stale_links.contains(l)) {
+                affected.insert(src);
+            }
+        }
+        let mut sources: Vec<NodeId> = affected.into_iter().collect();
+        sources.sort();
+        sources
+    };
+
+    let mut changed_paths: Vec<(NodeId, NodeId)> = Vec::new();
+    if !sources.is_empty() {
+        let graph = TopologyGraph::new(working);
+        for &src in &sources {
+            let from_src = graph.shortest_paths_from(src);
+            for &dst in &services {
+                if dst == src {
+                    continue;
+                }
+                let fresh = from_src
+                    .get(&dst)
+                    .and_then(|p| collapse_path(working, src, dst, p));
+                match fresh {
+                    Some(fresh) => {
+                        stats.recomputed_paths += 1;
+                        let unchanged = prev
+                            .paths
+                            .get(&(src, dst))
+                            .is_some_and(|old| **old == fresh);
+                        if !unchanged {
+                            paths.insert((src, dst), Arc::new(fresh));
+                            changed_paths.push((src, dst));
+                        }
+                    }
+                    None => {
+                        if paths.remove(&(src, dst)).is_some() {
+                            removed_paths.push((src, dst));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.shared_paths += paths.len() - changed_paths.len();
+    changed_paths.sort();
+    removed_paths.sort();
+
+    let (link_capacity, link_latency) = link_tables(working);
+    let snapshot = Arc::new(CollapsedTopology {
+        paths,
+        addresses: prev.addresses.clone(),
+        nodes_by_addr: prev.nodes_by_addr.clone(),
+        link_capacity,
+        link_latency,
+    });
+    SnapshotDelta {
+        at,
+        events,
+        changed_links,
+        changed_paths,
+        removed_paths,
+        snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kollaps_sim::units::Bandwidth;
+    use kollaps_topology::events::{DynamicAction, DynamicEvent, LinkChange};
+    use kollaps_topology::generators;
+
+    fn dumbbell() -> Topology {
+        let (topo, _, _) = generators::dumbbell(
+            3,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        topo
+    }
+
+    fn set_edge_latency(orig: &str, dest: &str, secs: u64, ms: u64) -> DynamicEvent {
+        DynamicEvent {
+            at: SimDuration::from_secs(secs),
+            action: DynamicAction::SetLinkProperties {
+                orig: orig.into(),
+                dest: dest.into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(ms)),
+                    ..LinkChange::default()
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn empty_schedule_precomputes_only_the_initial_snapshot() {
+        let topo = dumbbell();
+        let timeline = SnapshotTimeline::precompute(&topo, &EventSchedule::new());
+        assert!(timeline.is_empty());
+        assert_eq!(timeline.initial().pair_count(), 6 * 5);
+        assert_eq!(timeline.stats().events, 0);
+        assert!(Arc::ptr_eq(
+            timeline.snapshot_at(SimDuration::from_secs(99)),
+            timeline.initial()
+        ));
+    }
+
+    #[test]
+    fn edge_change_only_rederives_paths_over_that_edge() {
+        let topo = dumbbell();
+        let mut schedule = EventSchedule::new();
+        // Degrade client-0's access link: only the 10 ordered pairs
+        // touching client-0 can change; the other 20 must be shared.
+        schedule.push(set_edge_latency("client-0", "bridge-left", 5, 40));
+        let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        assert_eq!(timeline.len(), 1);
+        let delta = &timeline.deltas()[0];
+        let c0 = topo.node_by_name("client-0").unwrap();
+        assert!(delta.changed_paths.iter().all(|&(s, d)| s == c0 || d == c0));
+        assert!(delta.removed_paths.is_empty());
+        assert_eq!(delta.changed_paths.len(), 10);
+        assert_eq!(delta.swap_cost(), 10);
+        // Structural sharing: an untouched pair is the same Arc.
+        let c1 = topo.node_by_name("client-1").unwrap();
+        let s1 = topo.node_by_name("server-1").unwrap();
+        assert!(Arc::ptr_eq(
+            timeline.initial().path_handle(c1, s1).unwrap(),
+            delta.snapshot.path_handle(c1, s1).unwrap()
+        ));
+        // The changed pair is not shared, and carries the new latency.
+        let s0 = topo.node_by_name("server-0").unwrap();
+        assert!(!Arc::ptr_eq(
+            timeline.initial().path_handle(c0, s0).unwrap(),
+            delta.snapshot.path_handle(c0, s0).unwrap()
+        ));
+        assert_eq!(
+            delta.snapshot.path(c0, s0).unwrap().latency,
+            SimDuration::from_millis(40 + 10 + 1)
+        );
+    }
+
+    #[test]
+    fn snapshots_match_the_online_full_rebuild() {
+        let topo = dumbbell();
+        let mut schedule = EventSchedule::new();
+        schedule.push(set_edge_latency("client-0", "bridge-left", 2, 40));
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(4),
+            action: DynamicAction::LinkLeave {
+                orig: "client-1".into(),
+                dest: "bridge-left".into(),
+            },
+        });
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(6),
+            action: DynamicAction::LinkJoin {
+                orig: "client-1".into(),
+                dest: "bridge-left".into(),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(1)),
+                    up: Some(Bandwidth::from_mbps(100)),
+                    down: Some(Bandwidth::from_mbps(100)),
+                    ..LinkChange::default()
+                },
+            },
+        });
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(8),
+            action: DynamicAction::NodeLeave {
+                name: "server-2".into(),
+            },
+        });
+        let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        assert_eq!(timeline.len(), 4);
+
+        // Replay the schedule online and full-rebuild at every change time.
+        let mut online = topo.clone();
+        let mut reference = CollapsedTopology::build(&topo);
+        for delta in timeline.deltas() {
+            for event in schedule.events_at(delta.at) {
+                apply_action(&mut online, &event.action);
+            }
+            reference = reference.rebuild_with_addresses(&online);
+            assert_eq!(delta.snapshot.pair_count(), reference.pair_count());
+            for (pair, path) in reference.path_handles() {
+                let timeline_path = delta
+                    .snapshot
+                    .path_handle(pair.0, pair.1)
+                    .unwrap_or_else(|| panic!("pair {pair:?} missing at {:?}", delta.at));
+                assert_eq!(**timeline_path, **path, "pair {pair:?} at {:?}", delta.at);
+            }
+            assert_eq!(
+                delta.snapshot.link_capacities().len(),
+                reference.link_capacities().len()
+            );
+        }
+    }
+
+    #[test]
+    fn node_leave_removes_every_pair_of_that_service() {
+        let topo = dumbbell();
+        let mut schedule = EventSchedule::new();
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(1),
+            action: DynamicAction::NodeLeave {
+                name: "client-2".into(),
+            },
+        });
+        let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        let delta = &timeline.deltas()[0];
+        let c2 = topo.node_by_name("client-2").unwrap();
+        assert_eq!(delta.removed_paths.len(), 10);
+        assert!(delta.removed_paths.iter().all(|&(s, d)| s == c2 || d == c2));
+        assert!(delta.snapshot.path(c2, c2).is_none());
+        // The address assignment survives (containers keep their IP).
+        assert_eq!(
+            delta.snapshot.address_of(c2),
+            timeline.initial().address_of(c2)
+        );
+    }
+}

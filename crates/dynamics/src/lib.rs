@@ -1,0 +1,65 @@
+//! # kollaps-dynamics
+//!
+//! The dynamic-topology subsystem of the Kollaps reproduction, in two
+//! halves mirroring the paper's §3 dynamics story:
+//!
+//! 1. **The snapshot timeline** — the offline dynamics engine. Because the
+//!    event schedule is part of the experiment description, the whole
+//!    sequence of collapsed topology snapshots is precomputed before the
+//!    experiment starts, delta-encoded with structural sharing; at runtime
+//!    each change swaps an `Arc` and touches only the affected qdisc
+//!    chains, never recomputing paths in the emulation loop. The engine
+//!    lives in `kollaps_core::timeline` (it needs the collapse internals)
+//!    and is re-exported here as [`SnapshotTimeline`], [`SnapshotDelta`]
+//!    and [`TimelineStats`].
+//!
+//! 2. **Churn generators** — composable sources of [`EventSchedule`]s that
+//!    open the churn/failure workload space: Poisson link flapping
+//!    ([`Churn::poisson_flaps`]), staggered node leave/rejoin churn
+//!    ([`Churn::staggered_nodes`]), partition/heal
+//!    ([`Churn::partition`]), bandwidth-degradation ramps
+//!    ([`Churn::bandwidth_ramp`]) and replay of a simple JSON trace format
+//!    ([`Churn::trace`], see [`trace`]). Every generator validates against
+//!    the topology it is applied to and reports a typed [`ChurnError`].
+//!
+//! The scenario layer exposes the generators as `Scenario::churn(..)`
+//! knobs; generation is deterministic from an explicit seed.
+//!
+//! ```
+//! use kollaps_dynamics::{Churn, SnapshotTimeline};
+//! use kollaps_sim::prelude::*;
+//! use kollaps_topology::generators;
+//!
+//! let (topo, _, _) = generators::dumbbell(
+//!     2,
+//!     Bandwidth::from_mbps(100),
+//!     Bandwidth::from_mbps(50),
+//!     SimDuration::from_millis(1),
+//!     SimDuration::from_millis(10),
+//! );
+//! let schedule = Churn::poisson_flaps(&[("client-0", "bridge-left")])
+//!     .mean_uptime(SimDuration::from_secs(2))
+//!     .mean_downtime(SimDuration::from_millis(300))
+//!     .horizon(SimDuration::from_secs(20))
+//!     .seed(7)
+//!     .generate(&topo)
+//!     .expect("valid churn");
+//! assert!(!schedule.is_empty());
+//! // The whole dynamic future is precomputed offline:
+//! let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+//! assert_eq!(timeline.len(), schedule.change_times().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod trace;
+
+pub use churn::{Churn, ChurnError};
+pub use kollaps_core::timeline::{SnapshotDelta, SnapshotTimeline, TimelineStats};
+pub use trace::{parse_trace, trace_to_json, TraceError};
+
+// Re-exported so downstream code can name the schedule type without a
+// direct kollaps_topology dependency.
+pub use kollaps_topology::events::EventSchedule;

@@ -1,0 +1,319 @@
+//! Trace replay: a simple JSON format for recorded dynamic-topology traces.
+//!
+//! The format is a flat record list (optionally wrapped in an object under
+//! an `"events"` key), friendly to hand-editing and to tooling that dumps
+//! observed churn from a real deployment:
+//!
+//! ```json
+//! { "events": [
+//!   { "at_ms": 500,  "action": "link_down", "orig": "c1", "dest": "s1" },
+//!   { "at_ms": 900,  "action": "link_up",   "orig": "c1", "dest": "s1",
+//!     "latency_ms": 10, "up_mbps": 50, "down_mbps": 50 },
+//!   { "at_ms": 1200, "action": "set_link",  "orig": "s1", "dest": "s2",
+//!     "latency_ms": 40, "loss": 0.01 },
+//!   { "at_ms": 2000, "action": "node_down", "name": "sv" },
+//!   { "at_ms": 2500, "action": "node_up",   "name": "sw" }
+//! ] }
+//! ```
+//!
+//! * `action` is one of `link_down`, `link_up`, `set_link`, `node_down`,
+//!   `node_up`.
+//! * Property fields (`latency_ms`, `jitter_ms`, `up_mbps`, `down_mbps`,
+//!   `loss`) are optional; for `set_link` at least one must be present.
+//! * Records may appear in **any order** — the parsed [`EventSchedule`] is
+//!   normalized on construction (see
+//!   [`EventSchedule::from_events`]), so an out-of-order trace
+//!   can never break the emulation loop's sorted due-event scan.
+
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+use kollaps_topology::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use serde_json::Value;
+
+/// A malformed trace: what was wrong and — when the problem is inside a
+/// record — which record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// Human-readable reason.
+    pub reason: String,
+    /// Index of the offending record, if the trace parsed as JSON.
+    pub record: Option<usize>,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.record {
+            Some(i) => write!(f, "record {i}: {}", self.reason),
+            None => write!(f, "{}", self.reason),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(reason: impl Into<String>, record: Option<usize>) -> TraceError {
+    TraceError {
+        reason: reason.into(),
+        record,
+    }
+}
+
+/// Parses a JSON trace into a normalized (sorted) [`EventSchedule`].
+pub fn parse_trace(json: &str) -> Result<EventSchedule, TraceError> {
+    let value = serde_json::from_str(json).map_err(|e| err(format!("invalid JSON: {e}"), None))?;
+    let records = match &value {
+        Value::Array(items) => items.as_slice(),
+        Value::Object(_) => value
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("expected an `events` array", None))?,
+        _ => return Err(err("expected an array of records", None)),
+    };
+    let mut events = Vec::with_capacity(records.len());
+    for (i, record) in records.iter().enumerate() {
+        events.push(parse_record(record, i)?);
+    }
+    Ok(EventSchedule::from_events(events))
+}
+
+fn parse_record(record: &Value, i: usize) -> Result<DynamicEvent, TraceError> {
+    let at_ms = record
+        .get("at_ms")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| err("missing numeric `at_ms`", Some(i)))?;
+    if !(at_ms.is_finite() && at_ms >= 0.0) {
+        return Err(err("`at_ms` must be finite and non-negative", Some(i)));
+    }
+    let at = SimDuration::from_millis_f64(at_ms);
+    let action = record
+        .get("action")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("missing string `action`", Some(i)))?;
+    let name_field = |key: &str| -> Result<String, TraceError> {
+        record
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| err(format!("`{action}` needs a string `{key}`"), Some(i)))
+    };
+    let action = match action {
+        "link_down" => DynamicAction::LinkLeave {
+            orig: name_field("orig")?,
+            dest: name_field("dest")?,
+        },
+        "link_up" => DynamicAction::LinkJoin {
+            orig: name_field("orig")?,
+            dest: name_field("dest")?,
+            change: parse_change(record, i)?,
+        },
+        "set_link" => {
+            let change = parse_change(record, i)?;
+            if change == LinkChange::default() {
+                return Err(err("`set_link` needs at least one property field", Some(i)));
+            }
+            DynamicAction::SetLinkProperties {
+                orig: name_field("orig")?,
+                dest: name_field("dest")?,
+                change,
+            }
+        }
+        "node_down" => DynamicAction::NodeLeave {
+            name: name_field("name")?,
+        },
+        "node_up" => DynamicAction::NodeJoin {
+            name: name_field("name")?,
+        },
+        other => return Err(err(format!("unknown action `{other}`"), Some(i))),
+    };
+    Ok(DynamicEvent { at, action })
+}
+
+fn parse_change(record: &Value, i: usize) -> Result<LinkChange, TraceError> {
+    let number = |key: &str| -> Result<Option<f64>, TraceError> {
+        match record.get(key) {
+            None => Ok(None),
+            Some(v) => match v.as_f64() {
+                Some(n) if n.is_finite() && n >= 0.0 => Ok(Some(n)),
+                _ => Err(err(
+                    format!("`{key}` must be a non-negative number"),
+                    Some(i),
+                )),
+            },
+        }
+    };
+    let loss = number("loss")?;
+    if let Some(loss) = loss {
+        // A probability, not a percentage: the rest of the stack asserts
+        // the [0, 1] range, so reject it here with the record index.
+        if loss > 1.0 {
+            return Err(err("`loss` must be a probability in [0, 1]", Some(i)));
+        }
+    }
+    Ok(LinkChange {
+        latency: number("latency_ms")?.map(SimDuration::from_millis_f64),
+        jitter: number("jitter_ms")?.map(SimDuration::from_millis_f64),
+        up: number("up_mbps")?.map(Bandwidth::from_mbps_f64),
+        down: number("down_mbps")?.map(Bandwidth::from_mbps_f64),
+        loss,
+    })
+}
+
+/// Serializes a schedule back into the trace format (an object with an
+/// `"events"` array), so recorded or generated churn can be stored and
+/// replayed. `parse_trace(&trace_to_json(s))` reproduces `s` up to the
+/// millisecond resolution of `at_ms`.
+pub fn trace_to_json(schedule: &EventSchedule) -> String {
+    let records: Vec<Value> = schedule.events().iter().map(record_to_json).collect();
+    Value::Object(vec![("events".to_string(), Value::Array(records))]).to_string()
+}
+
+fn record_to_json(event: &DynamicEvent) -> Value {
+    let mut fields: Vec<(String, Value)> =
+        vec![("at_ms".to_string(), event.at.as_millis_f64().into())];
+    let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+    let change_fields = |change: &LinkChange, push: &mut dyn FnMut(&str, Value)| {
+        if let Some(latency) = change.latency {
+            push("latency_ms", latency.as_millis_f64().into());
+        }
+        if let Some(jitter) = change.jitter {
+            push("jitter_ms", jitter.as_millis_f64().into());
+        }
+        if let Some(up) = change.up {
+            push("up_mbps", up.as_mbps().into());
+        }
+        if let Some(down) = change.down {
+            push("down_mbps", down.as_mbps().into());
+        }
+        if let Some(loss) = change.loss {
+            push("loss", loss.into());
+        }
+    };
+    match &event.action {
+        DynamicAction::LinkLeave { orig, dest } => {
+            push("action", "link_down".into());
+            push("orig", orig.as_str().into());
+            push("dest", dest.as_str().into());
+        }
+        DynamicAction::LinkJoin { orig, dest, change } => {
+            push("action", "link_up".into());
+            push("orig", orig.as_str().into());
+            push("dest", dest.as_str().into());
+            change_fields(change, &mut push);
+        }
+        DynamicAction::SetLinkProperties { orig, dest, change } => {
+            push("action", "set_link".into());
+            push("orig", orig.as_str().into());
+            push("dest", dest.as_str().into());
+            change_fields(change, &mut push);
+        }
+        DynamicAction::NodeLeave { name } => {
+            push("action", "node_down".into());
+            push("name", name.as_str().into());
+        }
+        DynamicAction::NodeJoin { name } => {
+            push("action", "node_up".into());
+            push("name", name.as_str().into());
+        }
+    }
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_actions_and_normalizes_order() {
+        // Records deliberately out of order: the deserialized schedule must
+        // come out sorted, or the emulation loop's due-event scan (and the
+        // sortedness `change_times` relies on) would silently break.
+        let trace = r#"{ "events": [
+            { "at_ms": 2000, "action": "node_down", "name": "sv" },
+            { "at_ms": 500,  "action": "link_down", "orig": "c1", "dest": "s1" },
+            { "at_ms": 900,  "action": "link_up", "orig": "c1", "dest": "s1",
+              "latency_ms": 10, "up_mbps": 50, "down_mbps": 25, "loss": 0.01 },
+            { "at_ms": 1200, "action": "set_link", "orig": "s1", "dest": "s2",
+              "latency_ms": 40.5 },
+            { "at_ms": 2500, "action": "node_up", "name": "sw" }
+        ] }"#;
+        let schedule = parse_trace(trace).expect("valid trace");
+        assert_eq!(schedule.len(), 5);
+        let times: Vec<f64> = schedule
+            .events()
+            .iter()
+            .map(|e| e.at.as_millis_f64())
+            .collect();
+        assert_eq!(times, [500.0, 900.0, 1200.0, 2000.0, 2500.0]);
+        let DynamicAction::LinkJoin { change, .. } = &schedule.events()[1].action else {
+            panic!("expected link_up second");
+        };
+        assert_eq!(change.latency, Some(SimDuration::from_millis(10)));
+        assert_eq!(change.up, Some(Bandwidth::from_mbps(50)));
+        assert_eq!(change.down, Some(Bandwidth::from_mbps(25)));
+        assert_eq!(change.loss, Some(0.01));
+        assert_eq!(change.jitter, None);
+        assert!(matches!(
+            &schedule.events()[2].action,
+            DynamicAction::SetLinkProperties { .. }
+        ));
+        assert_eq!(schedule.change_times().len(), 5);
+    }
+
+    #[test]
+    fn bare_arrays_are_accepted() {
+        let schedule =
+            parse_trace(r#"[{ "at_ms": 10, "action": "node_down", "name": "x" }]"#).unwrap();
+        assert_eq!(schedule.len(), 1);
+    }
+
+    #[test]
+    fn malformed_traces_are_typed_errors() {
+        for (trace, needle) in [
+            ("nonsense", "invalid JSON"),
+            ("{}", "events"),
+            (r#"[{ "action": "node_down", "name": "x" }]"#, "at_ms"),
+            (r#"[{ "at_ms": 5 }]"#, "action"),
+            (r#"[{ "at_ms": 5, "action": "warp" }]"#, "unknown action"),
+            (
+                r#"[{ "at_ms": 5, "action": "link_down", "orig": "a" }]"#,
+                "dest",
+            ),
+            (
+                r#"[{ "at_ms": 5, "action": "set_link", "orig": "a", "dest": "b" }]"#,
+                "at least one property",
+            ),
+            (
+                r#"[{ "at_ms": 5, "action": "set_link", "orig": "a", "dest": "b", "loss": -1 }]"#,
+                "non-negative",
+            ),
+            (
+                r#"[{ "at_ms": 5, "action": "set_link", "orig": "a", "dest": "b", "loss": 1.5 }]"#,
+                "probability",
+            ),
+            (
+                r#"[{ "at_ms": -2, "action": "node_down", "name": "x" }]"#,
+                "at_ms",
+            ),
+        ] {
+            let error = parse_trace(trace).expect_err(trace);
+            assert!(
+                error.to_string().contains(needle),
+                "`{trace}` → `{error}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_json_form() {
+        let trace = r#"[
+            { "at_ms": 500, "action": "link_down", "orig": "c1", "dest": "s1" },
+            { "at_ms": 900, "action": "link_up", "orig": "c1", "dest": "s1",
+              "latency_ms": 10, "jitter_ms": 0.5, "up_mbps": 50, "down_mbps": 25,
+              "loss": 0.01 },
+            { "at_ms": 1000, "action": "node_down", "name": "sv" }
+        ]"#;
+        let schedule = parse_trace(trace).unwrap();
+        let reparsed = parse_trace(&trace_to_json(&schedule)).unwrap();
+        assert_eq!(schedule, reparsed);
+    }
+}

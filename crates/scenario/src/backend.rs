@@ -237,6 +237,15 @@ impl AnyDataplane {
             _ => None,
         }
     }
+
+    /// Dynamics-engine accounting (Kollaps only; `None` when the scenario
+    /// had no dynamic events to precompute).
+    pub fn dynamics(&self) -> Option<kollaps_core::emulation::DynamicsStats> {
+        match self {
+            AnyDataplane::Kollaps(dp) if !dp.timeline().is_empty() => Some(dp.dynamics()),
+            _ => None,
+        }
+    }
 }
 
 impl Addressable for AnyDataplane {

@@ -53,6 +53,13 @@ pub enum ScenarioError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A churn spec is invalid for this topology (unknown node, no link to
+    /// flap, out-of-range parameter, malformed trace).
+    InvalidChurn {
+        /// Human-readable reason (the churn generator's typed error,
+        /// rendered).
+        reason: String,
+    },
     /// The scenario has no workloads; running it would measure nothing.
     EmptyWorkload,
     /// A workload is self-contradictory (same endpoints, zero rate, zero
@@ -83,6 +90,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::InvalidPlacement { name, reason } => {
                 write!(f, "invalid placement of `{name}`: {reason}")
             }
+            ScenarioError::InvalidChurn { reason } => {
+                write!(f, "invalid churn: {reason}")
+            }
             ScenarioError::EmptyWorkload => {
                 write!(f, "scenario declares no workloads")
             }
@@ -104,5 +114,13 @@ impl From<ParseError> for ScenarioError {
 impl From<XmlError> for ScenarioError {
     fn from(e: XmlError) -> Self {
         ScenarioError::Xml(e)
+    }
+}
+
+impl From<kollaps_dynamics::ChurnError> for ScenarioError {
+    fn from(e: kollaps_dynamics::ChurnError) -> Self {
+        ScenarioError::InvalidChurn {
+            reason: e.to_string(),
+        }
     }
 }

@@ -63,8 +63,10 @@ mod workload;
 
 pub use backend::{AnyDataplane, Backend};
 pub use error::ScenarioError;
+pub use kollaps_dynamics::Churn;
 pub use report::{
-    ConvergenceReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report, RttStats,
+    ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report,
+    RttStats,
 };
 pub use workload::{Workload, DEFAULT_DURATION};
 
@@ -92,6 +94,7 @@ pub struct Scenario {
     source: TopologySource,
     backend: Backend,
     schedule: EventSchedule,
+    churn: Vec<Churn>,
     workloads: Vec<Workload>,
     duration: Option<SimDuration>,
     hosts: Option<usize>,
@@ -106,6 +109,7 @@ impl Scenario {
             source,
             backend: Backend::kollaps(),
             schedule: EventSchedule::new(),
+            churn: Vec::new(),
             workloads: Vec::new(),
             duration: None,
             hosts: None,
@@ -216,9 +220,49 @@ impl Scenario {
     /// Merges a whole event schedule (on top of any events already present,
     /// e.g. from a `dynamic:` section of the DSL source).
     pub fn schedule(mut self, schedule: EventSchedule) -> Self {
-        for event in schedule.events() {
-            self.schedule.push(event.clone());
-        }
+        self.schedule.merge(&schedule);
+        self
+    }
+
+    /// Adds a churn generator: a declarative source of dynamic events
+    /// (Poisson link flapping, staggered node churn, partition/heal,
+    /// bandwidth ramps, trace replay — see [`Churn`]). The spec is
+    /// validated against the topology when the scenario runs; its events
+    /// merge into the schedule like hand-written ones, flow through the
+    /// same offline snapshot precompute, and surface in
+    /// [`Report::dynamics`].
+    ///
+    /// ```
+    /// use kollaps_scenario::{Churn, Scenario, Workload};
+    /// use kollaps_sim::prelude::*;
+    /// use kollaps_topology::generators;
+    ///
+    /// let (topo, _, _) = generators::dumbbell(
+    ///     2,
+    ///     Bandwidth::from_mbps(100),
+    ///     Bandwidth::from_mbps(50),
+    ///     SimDuration::from_millis(1),
+    ///     SimDuration::from_millis(10),
+    /// );
+    /// let report = Scenario::from_topology(topo)
+    ///     .churn(
+    ///         Churn::poisson_flaps(&[("client-1", "bridge-left")])
+    ///             .mean_uptime(SimDuration::from_secs(2))
+    ///             .mean_downtime(SimDuration::from_millis(300))
+    ///             .horizon(SimDuration::from_secs(8))
+    ///             .seed(7),
+    ///     )
+    ///     .workload(
+    ///         Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(20))
+    ///             .duration(SimDuration::from_secs(8)),
+    ///     )
+    ///     .run()
+    ///     .expect("valid scenario");
+    /// let dynamics = report.dynamics.expect("churn ran");
+    /// assert!(dynamics.events_applied > 0);
+    /// ```
+    pub fn churn(mut self, churn: Churn) -> Self {
+        self.churn.push(churn);
         self
     }
 
@@ -254,8 +298,11 @@ impl Scenario {
             TopologySource::Xml(text) => (parse_modelnet_xml(&text)?, EventSchedule::new()),
             TopologySource::Topology(topology) => (*topology, EventSchedule::new()),
         };
-        for event in self.schedule.events() {
-            schedule.push(event.clone());
+        schedule.merge(&self.schedule);
+        // Churn generators expand against the concrete topology; their
+        // events merge into the same schedule as hand-written ones.
+        for churn in &self.churn {
+            schedule.merge(&churn.generate(&topology)?);
         }
 
         validate_topology(&topology)?;
@@ -806,6 +853,96 @@ mod tests {
             .place("client", 1)
             .run()
             .expect("consistent pins are valid");
+    }
+
+    #[test]
+    fn churn_knob_generates_events_and_reports_dynamics() {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let report = Scenario::from_topology(topo)
+            .named("churn-smoke")
+            .churn(
+                Churn::partition(&["bridge-left"], &["bridge-right"])
+                    .start(SimDuration::from_secs(2))
+                    .heal_after(Some(SimDuration::from_secs(2))),
+            )
+            .workload(
+                Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(20))
+                    .duration(SimDuration::from_secs(6)),
+            )
+            .run()
+            .expect("valid scenario");
+        let dynamics = report.dynamics.expect("dynamic scenario reports dynamics");
+        assert_eq!(dynamics.snapshots_precomputed, 2);
+        assert_eq!(dynamics.snapshots_applied, 2);
+        assert_eq!(dynamics.events_applied, 2);
+        assert!(dynamics.max_swap_cost > 0);
+        assert!(dynamics.mean_swap_cost <= dynamics.pair_count as f64);
+        // The partition cuts goodput to ~2/3 of the uninterrupted run.
+        let mbps = report.flows[0].goodput_mbps.unwrap();
+        assert!((10.0..=16.0).contains(&mbps), "goodput {mbps}");
+        let json = report.to_json();
+        let dyn_json = json.get("dynamics").expect("dynamics in JSON");
+        assert_eq!(
+            dyn_json.get("events_applied").and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        // Static scenarios stay clean: no dynamics block.
+        let static_report = Scenario::from_topology(p2p(20))
+            .workload(Workload::ping("client", "server").count(2))
+            .run()
+            .unwrap();
+        assert!(static_report.dynamics.is_none());
+        assert!(static_report.to_json().get("dynamics").unwrap().is_null());
+    }
+
+    #[test]
+    fn churn_specs_are_validated_as_typed_errors() {
+        let err = Scenario::from_topology(p2p(20))
+            .churn(Churn::poisson_flaps(&[("ghost", "server")]))
+            .workload(Workload::ping("client", "server").count(1))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::InvalidChurn { reason } if reason.contains("ghost")),
+            "{err}"
+        );
+        let err = Scenario::from_topology(p2p(20))
+            .churn(Churn::trace("not json"))
+            .workload(Workload::ping("client", "server").count(1))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidChurn { .. }), "{err}");
+    }
+
+    #[test]
+    fn trace_churn_replays_through_the_scenario() {
+        let trace = r#"{ "events": [
+            { "at_ms": 4000, "action": "set_link", "orig": "client", "dest": "server",
+              "latency_ms": 60 },
+            { "at_ms": 2000, "action": "set_link", "orig": "client", "dest": "server",
+              "latency_ms": 30 }
+        ] }"#;
+        let report = Scenario::from_topology(p2p(100))
+            .churn(Churn::trace(trace))
+            .workload(
+                Workload::ping("client", "server")
+                    .count(60)
+                    .interval(SimDuration::from_millis(100))
+                    .duration(SimDuration::from_secs(6)),
+            )
+            .run()
+            .expect("valid scenario");
+        let rtt = report.flows[0].rtt.as_ref().unwrap();
+        // Phases: 20 ms → 60 ms → 120 ms RTT; the samples must span them.
+        assert!(rtt.min_ms < 25.0, "min {}", rtt.min_ms);
+        assert!(rtt.max_ms > 100.0, "max {}", rtt.max_ms);
+        assert_eq!(report.dynamics.unwrap().snapshots_applied, 2);
     }
 
     #[test]

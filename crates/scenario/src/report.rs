@@ -108,6 +108,32 @@ pub struct ConvergenceReport {
     pub mean_gap: f64,
 }
 
+/// What the dynamics engine did during the run: the offline precompute the
+/// snapshot timeline paid once, and the per-event swap work at runtime —
+/// which scales with each event's delta (changed paths), not with the
+/// topology's pair count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsReport {
+    /// Wall-clock microseconds spent precomputing the snapshot timeline
+    /// (before the experiment started).
+    pub precompute_micros: u64,
+    /// Change times precomputed offline.
+    pub snapshots_precomputed: usize,
+    /// Change times whose snapshot was swapped in during the run.
+    pub snapshots_applied: usize,
+    /// Schedule events those swaps covered.
+    pub events_applied: usize,
+    /// Mean per-event swap cost (changed + removed paths).
+    pub mean_swap_cost: f64,
+    /// Worst single-event swap cost.
+    pub max_swap_cost: usize,
+    /// Per-destination qdisc chains actually rewritten across all hosts.
+    pub chains_touched: usize,
+    /// Ordered service pairs in the collapsed topology — the all-pairs work
+    /// an online re-collapse would redo per event.
+    pub pair_count: usize,
+}
+
 /// The structured result of [`crate::Scenario::run`].
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -132,6 +158,9 @@ pub struct Report {
     /// Allocation-convergence metric of the decentralized enforcement
     /// (`None` for backends without per-host emulation managers).
     pub convergence: Option<ConvergenceReport>,
+    /// Dynamics-engine accounting (`None` for static scenarios and for
+    /// backends without the snapshot timeline).
+    pub dynamics: Option<DynamicsReport>,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -227,6 +256,21 @@ impl ConvergenceReport {
     }
 }
 
+impl DynamicsReport {
+    fn to_json(self) -> Value {
+        obj(vec![
+            ("precompute_micros", self.precompute_micros.into()),
+            ("snapshots_precomputed", self.snapshots_precomputed.into()),
+            ("snapshots_applied", self.snapshots_applied.into()),
+            ("events_applied", self.events_applied.into()),
+            ("mean_swap_cost", self.mean_swap_cost.into()),
+            ("max_swap_cost", self.max_swap_cost.into()),
+            ("chains_touched", self.chains_touched.into()),
+            ("pair_count", self.pair_count.into()),
+        ])
+    }
+}
+
 impl Report {
     /// The flows produced by workloads with the given label, in order.
     pub fn flows_of<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a FlowReport> {
@@ -262,6 +306,12 @@ impl Report {
                 "convergence",
                 self.convergence
                     .map(ConvergenceReport::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "dynamics",
+                self.dynamics
+                    .map(DynamicsReport::to_json)
                     .unwrap_or(Value::Null),
             ),
         ])

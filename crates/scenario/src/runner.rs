@@ -17,7 +17,8 @@ use kollaps_workloads::memcached_throughput;
 
 use crate::backend::AnyDataplane;
 use crate::report::{
-    ConvergenceReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report, RttStats,
+    ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report,
+    RttStats,
 };
 use crate::workload::Workload;
 
@@ -325,6 +326,16 @@ pub(crate) fn execute(
         max_gap: c.max_gap,
         mean_gap: c.mean_gap(),
     });
+    let dynamics = rt.dataplane.dynamics().map(|d| DynamicsReport {
+        precompute_micros: d.precompute_micros,
+        snapshots_precomputed: d.snapshots_precomputed,
+        snapshots_applied: d.snapshots_applied,
+        events_applied: d.events_applied,
+        mean_swap_cost: d.mean_swap_cost(),
+        max_swap_cost: d.changed_paths_max,
+        chains_touched: d.chains_touched_total,
+        pair_count: d.pair_count,
+    });
     RunnerOutput {
         report: Report {
             scenario: scenario_name,
@@ -336,6 +347,7 @@ pub(crate) fn execute(
             metadata_bytes,
             metadata_per_host,
             convergence,
+            dynamics,
         },
     }
 }

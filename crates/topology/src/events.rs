@@ -85,6 +85,14 @@ pub struct DynamicEvent {
 }
 
 /// An ordered schedule of dynamic events.
+///
+/// The schedule is **always sorted** by [`DynamicEvent::at`] (stable for
+/// equal timestamps): [`EventSchedule::push`] inserts in order and every
+/// bulk constructor ([`EventSchedule::from_events`], which external
+/// deserializers such as the `kollaps_dynamics` trace parser go through)
+/// normalizes on construction. Consumers — the emulation loop's due-event
+/// scan and the `dedup` in [`EventSchedule::change_times`] — rely on this
+/// invariant.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EventSchedule {
     events: Vec<DynamicEvent>,
@@ -96,11 +104,51 @@ impl EventSchedule {
         EventSchedule::default()
     }
 
-    /// Adds an event, keeping the schedule sorted by time (stable for equal
-    /// timestamps).
+    /// Builds a schedule from events in **any** order, normalizing to
+    /// chronological order (stable: events with equal timestamps keep their
+    /// relative order). Every path that materializes a schedule from
+    /// external data (JSON traces, generated event lists) must come through
+    /// here so the sortedness invariant holds from construction on.
+    pub fn from_events(mut events: Vec<DynamicEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        EventSchedule { events }
+    }
+
+    /// Adds an event, keeping the schedule sorted by time. The insertion
+    /// point is found by binary search (stable for equal timestamps: the
+    /// new event goes after existing ones with the same time), so building
+    /// a schedule of `n` events costs `O(n log n)` comparisons plus the
+    /// element moves — not the full re-sort per insert it used to be.
     pub fn push(&mut self, event: DynamicEvent) {
-        self.events.push(event);
-        self.events.sort_by_key(|e| e.at);
+        let at = event.at;
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, event);
+    }
+
+    /// Merges every event of `other` into this schedule, preserving order.
+    pub fn merge(&mut self, other: &EventSchedule) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.events.len() + other.events.len());
+        let mut ours = std::mem::take(&mut self.events).into_iter().peekable();
+        let mut theirs = other.events.iter().cloned().peekable();
+        loop {
+            match (ours.peek(), theirs.peek()) {
+                (Some(a), Some(b)) => {
+                    // `<=` keeps the merge stable: our events win ties.
+                    if a.at <= b.at {
+                        merged.push(ours.next().expect("peeked"));
+                    } else {
+                        merged.push(theirs.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push(ours.next().expect("peeked")),
+                (None, Some(_)) => merged.push(theirs.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.events = merged;
     }
 
     /// The events in chronological order.
@@ -118,7 +166,8 @@ impl EventSchedule {
         self.events.is_empty()
     }
 
-    /// The distinct timestamps at which the topology changes.
+    /// The distinct timestamps at which the topology changes, in order
+    /// (well-defined because the schedule is sorted by construction).
     pub fn change_times(&self) -> Vec<SimDuration> {
         let mut times: Vec<SimDuration> = self.events.iter().map(|e| e.at).collect();
         times.dedup();
@@ -270,6 +319,83 @@ mod tests {
         assert_eq!(s.events()[0].at, SimDuration::from_secs(120));
         assert_eq!(s.change_times().len(), 2);
         assert_eq!(s.events_at(SimDuration::from_secs(200)).count(), 1);
+    }
+
+    #[test]
+    fn from_events_normalizes_arbitrary_order() {
+        let leave = |secs: u64, name: &str| DynamicEvent {
+            at: SimDuration::from_secs(secs),
+            action: DynamicAction::NodeLeave { name: name.into() },
+        };
+        // Out of order, with a duplicate timestamp to check stability.
+        let schedule = EventSchedule::from_events(vec![
+            leave(30, "c"),
+            leave(10, "a"),
+            leave(30, "d"),
+            leave(20, "b"),
+        ]);
+        let times: Vec<u64> = schedule
+            .events()
+            .iter()
+            .map(|e| e.at.as_secs_f64() as u64)
+            .collect();
+        assert_eq!(times, [10, 20, 30, 30]);
+        // Stable: "c" was listed before "d" at t=30 and stays first.
+        assert!(
+            matches!(&schedule.events()[2].action, DynamicAction::NodeLeave { name } if name == "c")
+        );
+        assert_eq!(schedule.change_times().len(), 3);
+    }
+
+    #[test]
+    fn push_inserts_in_order_and_is_stable_for_equal_times() {
+        let mut s = EventSchedule::new();
+        for (secs, name) in [(5u64, "x"), (1, "a"), (5, "y"), (3, "m"), (5, "z")] {
+            s.push(DynamicEvent {
+                at: SimDuration::from_secs(secs),
+                action: DynamicAction::NodeLeave { name: name.into() },
+            });
+        }
+        let order: Vec<(u64, String)> = s
+            .events()
+            .iter()
+            .map(|e| {
+                let DynamicAction::NodeLeave { name } = &e.action else {
+                    unreachable!()
+                };
+                (e.at.as_secs_f64() as u64, name.clone())
+            })
+            .collect();
+        assert_eq!(
+            order,
+            [
+                (1, "a".to_string()),
+                (3, "m".to_string()),
+                (5, "x".to_string()),
+                (5, "y".to_string()),
+                (5, "z".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_interleaves_two_sorted_schedules() {
+        let ev = |secs: u64, name: &str| DynamicEvent {
+            at: SimDuration::from_secs(secs),
+            action: DynamicAction::NodeLeave { name: name.into() },
+        };
+        let mut a = EventSchedule::from_events(vec![ev(1, "a1"), ev(4, "a4")]);
+        let b = EventSchedule::from_events(vec![ev(2, "b2"), ev(4, "b4"), ev(6, "b6")]);
+        a.merge(&b);
+        let times: Vec<u64> = a
+            .events()
+            .iter()
+            .map(|e| e.at.as_secs_f64() as u64)
+            .collect();
+        assert_eq!(times, [1, 2, 4, 4, 6]);
+        // Ties go to the receiving schedule's events.
+        assert!(matches!(&a.events()[2].action, DynamicAction::NodeLeave { name } if name == "a4"));
+        assert_eq!(a.len(), 5);
     }
 
     #[test]

@@ -136,7 +136,8 @@ impl Default for LinkProperties {
 /// A unidirectional link between two nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkSpec {
-    /// Identifier, dense and stable within one topology.
+    /// Identifier, stable within one topology. Ids are assigned
+    /// monotonically and never reused, even after a link is removed.
     pub id: LinkId,
     /// Source node.
     pub from: NodeId,
@@ -158,6 +159,11 @@ pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<LinkSpec>,
     names: HashMap<String, NodeId>,
+    /// Next link id. Monotonic: ids of removed links are never reused, so a
+    /// link added by a dynamic event is distinguishable from every link
+    /// that ever existed (the snapshot timeline's delta detection and the
+    /// metadata codec's link ids both rely on that).
+    next_link: u32,
 }
 
 impl Topology {
@@ -226,7 +232,8 @@ impl Topology {
         properties: LinkProperties,
         network: &str,
     ) -> LinkId {
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(self.next_link);
+        self.next_link += 1;
         self.links.push(LinkSpec {
             id,
             from,

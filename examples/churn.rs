@@ -1,0 +1,79 @@
+//! Churn quickstart: put a dumbbell under generated churn — Poisson link
+//! flapping plus a partition/heal — and read what the dynamics engine did
+//! from the report (events applied, per-event swap cost, offline
+//! precompute time).
+//!
+//! Run with `cargo run --example churn`. CI runs it as the churn smoke and
+//! uploads the written JSON report.
+
+use kollaps::prelude::*;
+use kollaps::scenario::Churn;
+use kollaps::topology::generators;
+
+fn main() {
+    let (topo, _, _) = generators::dumbbell(
+        4,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    );
+
+    let report = Scenario::from_topology(topo)
+        .named("churn-quickstart")
+        // client-3's access link flaps with exponential up/down times...
+        .churn(
+            Churn::poisson_flaps(&[("client-3", "bridge-left")])
+                .mean_uptime(SimDuration::from_secs(3))
+                .mean_downtime(SimDuration::from_millis(400))
+                .horizon(SimDuration::from_secs(12))
+                .seed(7),
+        )
+        // ...and the trunk partitions for two seconds mid-run.
+        .churn(
+            Churn::partition(&["bridge-left"], &["bridge-right"])
+                .start(SimDuration::from_secs(5))
+                .heal_after(Some(SimDuration::from_secs(2))),
+        )
+        .workloads((0..4).map(|i| {
+            Workload::iperf_udp(
+                &format!("client-{i}"),
+                &format!("server-{i}"),
+                Bandwidth::from_mbps(20),
+            )
+            .duration(SimDuration::from_secs(12))
+        }))
+        .run()
+        .expect("valid churn scenario");
+
+    for flow in &report.flows {
+        println!(
+            "{} -> {}: {:.2} Mb/s mean goodput",
+            flow.client,
+            flow.server,
+            flow.goodput_mbps.unwrap_or(0.0)
+        );
+    }
+    let dynamics = report.dynamics.expect("churn scenario reports dynamics");
+    println!(
+        "\ndynamics: {} events in {} snapshot swaps, mean swap cost {:.1} paths \
+         (of {} pairs), precomputed offline in {:.2} ms",
+        dynamics.events_applied,
+        dynamics.snapshots_applied,
+        dynamics.mean_swap_cost,
+        dynamics.pair_count,
+        dynamics.precompute_micros as f64 / 1000.0,
+    );
+    assert!(
+        dynamics.events_applied > 0,
+        "smoke: churn must generate and apply events"
+    );
+
+    let path = std::path::Path::new("target").join("churn-report.json");
+    match std::fs::create_dir_all("target")
+        .and_then(|()| std::fs::write(&path, report.to_json_string()))
+    {
+        Ok(()) => println!("report written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

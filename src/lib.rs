@@ -5,6 +5,7 @@
 
 pub use kollaps_baselines as baselines;
 pub use kollaps_core as core;
+pub use kollaps_dynamics as dynamics;
 pub use kollaps_metadata as metadata;
 pub use kollaps_netmodel as netmodel;
 pub use kollaps_orchestrator as orchestrator;
@@ -27,6 +28,7 @@ pub mod prelude {
     pub use kollaps_core::emulation::{EmulationConfig, KollapsDataplane};
     pub use kollaps_core::runtime::Runtime;
     pub use kollaps_core::CollapsedTopology;
+    pub use kollaps_dynamics::{Churn, SnapshotTimeline};
     pub use kollaps_topology::dsl::parse_experiment;
     pub use kollaps_topology::model::Topology;
     pub use kollaps_transport::tcp::{CongestionAlgorithm, TcpSenderConfig, TransferSize};

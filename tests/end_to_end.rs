@@ -267,3 +267,87 @@ fn staggered_join_converges_to_the_new_shares() {
         "C1 must not collapse right after the join: {e1} Mb/s"
     );
 }
+
+/// Regression pin for the Figure 7 dynamic experiment (mixed long- and
+/// short-lived flows), driven through the **pre-scenario `Runtime` API** so
+/// it exercises the emulation core directly: an iPerf flow runs throughout,
+/// wrk2 hammers the same node in the middle third. The paper claims < 5 %
+/// deviation from bare metal; this reproduction has deviated far more in
+/// the middle phase since the seed (documented in README "Known
+/// deviations"). The bounds below pin today's accuracy so dynamics-engine
+/// changes cannot silently regress it further — if the mid-phase number
+/// *improves*, tighten them.
+#[test]
+fn fig7_mixed_flows_accuracy_is_pinned() {
+    use kollaps::workloads::run_wrk2;
+
+    const PHASE: u64 = 6;
+
+    fn phases<D: kollaps::core::runtime::Dataplane + Addressable>(dp: D) -> (f64, f64, f64) {
+        let iperf_client = dp.address_of_index(0);
+        let wrk_client = dp.address_of_index(1);
+        let iperf_server = dp.address_of_index(2);
+        let mut rt = Runtime::new(dp);
+        let flow = rt.add_tcp_flow(
+            iperf_client,
+            iperf_server,
+            TransferSize::Unbounded,
+            TcpSenderConfig::default(),
+            SimTime::ZERO,
+        );
+        let _ = rt.run_until(SimTime::from_secs(PHASE));
+        let _ = run_wrk2(
+            &mut rt,
+            iperf_client,
+            wrk_client,
+            20,
+            DataSize::from_kib(64),
+            SimDuration::from_secs(PHASE),
+        );
+        let _ = rt.run_until(SimTime::from_secs(3 * PHASE));
+        let series = rt.throughput_series(flow).unwrap();
+        (
+            series.mean_between(SimTime::ZERO, SimTime::from_secs(PHASE)),
+            series.mean_between(SimTime::from_secs(PHASE), SimTime::from_secs(2 * PHASE)),
+            series.mean_between(SimTime::from_secs(2 * PHASE), SimTime::from_secs(3 * PHASE)),
+        )
+    }
+
+    let star = || {
+        let (topo, _) = generators::star(3, Bandwidth::from_mbps(100), SimDuration::from_millis(2));
+        topo
+    };
+    let (k_pre, k_mid, k_post) = phases(KollapsDataplane::with_defaults(star(), 1));
+    let (b_pre, b_mid, b_post) = phases(GroundTruthDataplane::new(&star()));
+    let dev = |k: f64, b: f64| kollaps::sim::stats::deviation_percent(k, b);
+    eprintln!("fig7 probe: pre {k_pre:.2}/{b_pre:.2} mid {k_mid:.2}/{b_mid:.2} post {k_post:.2}/{b_post:.2}");
+    // Measured at the time of pinning: pre 0.2 %, mid 12.0 % (57.22 vs
+    // 51.09 Mb/s), post 0.3 %. The historic ~45-57 % mid-phase deviation
+    // turned out to be an artifact of the back-pressure pump order being
+    // HashMap-random (per process!): once the runtime pumps contending
+    // senders in deterministic round-robin, bare metal and Kollaps agree
+    // within ~12 % even in the contended phase. The bounds pin that level
+    // so dynamics-engine (or any other) changes cannot silently regress it.
+    assert!(
+        dev(k_pre, b_pre) < 5.0,
+        "pre-wrk2 phase must track bare metal: {k_pre:.2} vs {b_pre:.2}"
+    );
+    assert!(
+        dev(k_post, b_post) < 8.0,
+        "post-wrk2 phase must track bare metal: {k_post:.2} vs {b_post:.2}"
+    );
+    assert!(
+        dev(k_mid, b_mid) < 20.0,
+        "mid-phase deviation regressed past the pinned bound: {k_mid:.2} vs {b_mid:.2} ({:.1}%)",
+        dev(k_mid, b_mid)
+    );
+    // Both systems must show the contention dip itself.
+    assert!(
+        k_mid < k_pre * 0.8,
+        "kollaps iperf must dip under wrk2: {k_mid:.2}"
+    );
+    assert!(
+        b_mid < b_pre * 0.8,
+        "bare-metal iperf must dip under wrk2: {b_mid:.2}"
+    );
+}

@@ -147,6 +147,135 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The dynamics acceptance property: on seeded generated topologies
+    /// under random schedules (churn-generator flaps, ramps, node leaves,
+    /// link joins — including route-*improving* changes), every precomputed
+    /// timeline snapshot is **exactly** equal to the old online re-collapse
+    /// of the evolved topology, and the bandwidth allocations derived from
+    /// the two are bit-identical. This is what lets the emulation loop swap
+    /// deltas instead of re-running all-pairs shortest paths per event.
+    #[test]
+    fn timeline_equals_online_recollapse(seed in 0u64..100_000) {
+        use kollaps::core::timeline::SnapshotTimeline;
+        use kollaps::core::CollapsedTopology;
+        use kollaps::dynamics::Churn;
+        use kollaps::topology::events::{
+            apply_action, DynamicAction, DynamicEvent, LinkChange,
+        };
+        use kollaps::topology::generators::ScaleFreeParams;
+
+        let mut rng = SimRng::new(seed);
+        let params = ScaleFreeParams {
+            total_elements: 18,
+            ..ScaleFreeParams::default()
+        };
+        let (topo, nodes, switches) = generators::barabasi_albert(&params, &mut rng);
+        prop_assert!(nodes.len() >= 4);
+        let name_of = |id| {
+            topo.node(id).map(|n| n.kind.display_name()).unwrap()
+        };
+
+        // A random schedule mixing every change family. The churn generator
+        // contributes flaps (leave + restore); raw events contribute a
+        // latency degradation, a node departure and a brand-new link (the
+        // route-improving case the selective precompute must detect).
+        let flapped = name_of(nodes[rng.gen_index(nodes.len())]);
+        let peer = topo
+            .node(topo.links_from(topo.node_by_name(&flapped).unwrap()).next().unwrap().to)
+            .map(|n| n.kind.display_name())
+            .unwrap();
+        let mut schedule = Churn::poisson_flaps(&[(flapped.as_str(), peer.as_str())])
+            .mean_uptime(SimDuration::from_secs(3))
+            .mean_downtime(SimDuration::from_millis(500))
+            .horizon(SimDuration::from_secs(12))
+            .seed(seed ^ 0xc0ffee)
+            .generate(&topo)
+            .expect("valid flap spec");
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_millis(rng.gen_range(1, 12_000)),
+            action: DynamicAction::SetLinkProperties {
+                orig: name_of(switches[0]),
+                dest: name_of(switches[1 % switches.len()]),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis(rng.gen_range(20, 80))),
+                    up: Some(Bandwidth::from_mbps(rng.gen_range(5, 50))),
+                    down: Some(Bandwidth::from_mbps(rng.gen_range(5, 50))),
+                    ..LinkChange::default()
+                },
+            },
+        });
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_millis(rng.gen_range(1, 12_000)),
+            action: DynamicAction::NodeLeave {
+                name: name_of(nodes[rng.gen_index(nodes.len())]),
+            },
+        });
+        // A new shortcut between two random switches: latency 0.1 ms makes
+        // it attractive, forcing re-routes far from the changed link.
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_millis(rng.gen_range(1, 12_000)),
+            action: DynamicAction::LinkJoin {
+                orig: name_of(switches[rng.gen_index(switches.len())]),
+                dest: name_of(switches[rng.gen_index(switches.len())]),
+                change: LinkChange {
+                    latency: Some(SimDuration::from_millis_f64(0.1)),
+                    up: Some(Bandwidth::from_gbps(1)),
+                    down: Some(Bandwidth::from_gbps(1)),
+                    ..LinkChange::default()
+                },
+            },
+        });
+
+        let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        prop_assert_eq!(timeline.len(), schedule.change_times().len());
+
+        // Replay online with the full re-collapse and compare exactly.
+        let mut online = topo.clone();
+        let mut reference = CollapsedTopology::build(&topo);
+        for delta in timeline.deltas() {
+            for event in schedule.events_at(delta.at) {
+                apply_action(&mut online, &event.action);
+            }
+            reference = reference.rebuild_with_addresses(&online);
+            prop_assert_eq!(delta.snapshot.pair_count(), reference.pair_count());
+            for (&(src, dst), path) in reference.path_handles() {
+                let timeline_path = delta.snapshot.path(src, dst);
+                prop_assert!(timeline_path.is_some());
+                prop_assert_eq!(timeline_path.unwrap(), &**path);
+            }
+            prop_assert_eq!(delta.snapshot.link_capacities(), reference.link_capacities());
+
+            // Allocations from the two snapshots are bit-identical: feed the
+            // same active pairs through `flow_demand` + `allocate` on both.
+            let mut pairs: Vec<(kollaps::netmodel::packet::Addr, kollaps::netmodel::packet::Addr)> =
+                Vec::new();
+            for (&(src, dst), _) in reference.path_handles() {
+                if let (Some(a), Some(b)) = (reference.address_of(src), reference.address_of(dst)) {
+                    pairs.push((a, b));
+                }
+            }
+            pairs.sort();
+            pairs.truncate(8);
+            let demands = |view: &CollapsedTopology| -> Vec<FlowDemand> {
+                pairs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &(a, b))| view.flow_demand(i as u64, a, b))
+                    .collect()
+            };
+            let from_timeline = demands(&delta.snapshot);
+            let from_reference = demands(&reference);
+            prop_assert_eq!(from_timeline.len(), from_reference.len());
+            let alloc_timeline = allocate(&from_timeline, delta.snapshot.link_capacities());
+            let alloc_reference = allocate(&from_reference, reference.link_capacities());
+            for i in 0..from_timeline.len() as u64 {
+                prop_assert_eq!(alloc_timeline.of(i), alloc_reference.of(i));
+            }
+        }
+    }
+}
+
 /// With `metadata_delay = 0` and a single host, the decentralized per-host
 /// Emulation Manager sees exactly what the old centralized loop saw, so its
 /// allocation must equal the centralized `allocate()` result — on random

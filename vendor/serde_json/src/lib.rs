@@ -2,12 +2,13 @@
 //!
 //! The build environment has no registry access, so this crate supplies the
 //! small slice of `serde_json` the workspace needs: the dynamically-typed
-//! [`Value`] tree and a compact writer. Reports are built as `Value` trees
-//! by hand (the vendored `serde` shim's `Serialize` is a marker trait with
-//! no data model), which keeps the emitted JSON byte-compatible with what
-//! the real crate would produce for the same tree. When a real serde
-//! backend lands, this shim is replaced by the crates.io dependency by
-//! editing one line in the root `Cargo.toml`.
+//! [`Value`] tree, a compact writer and a [`from_str`] parser into `Value`
+//! (used by the `kollaps_dynamics` trace-replay format). Reports are built
+//! as `Value` trees by hand (the vendored `serde` shim's `Serialize` is a
+//! marker trait with no data model), which keeps the emitted JSON
+//! byte-compatible with what the real crate would produce for the same
+//! tree. When a real serde backend lands, this shim is replaced by the
+//! crates.io dependency by editing one line in the root `Cargo.toml`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -221,6 +222,311 @@ pub fn to_string(value: &Value) -> String {
     value.to_string()
 }
 
+/// A JSON parse error: what went wrong and the byte offset it went wrong
+/// at (upstream reports line/column; a flat offset keeps the shim small
+/// while still pointing at the culprit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl Error {
+    /// Byte offset of the error in the input.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Like upstream's `from_str::<Value>`: numbers without `.`/exponent that
+/// fit `u64` become [`Value::Uint`], everything else [`Value::Number`];
+/// duplicate object keys keep the last occurrence's position semantics of a
+/// plain push (the tree preserves insertion order, lookups find the first).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting the parser accepts before giving up with a
+/// typed error — same bound as upstream `serde_json`, and what keeps a
+/// corrupt `[[[[...` input from overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.nested(Parser::parse_object),
+            Some(b'[') => self.nested(Parser::parse_array),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        parse: fn(&mut Parser<'a>) -> Result<Value, Error>,
+    ) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match ch {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at `c`.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return Err(self.error("invalid UTF-8 in string"));
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.error("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(code) => {
+                self.pos = end;
+                Ok(code)
+            }
+            None => Err(self.error("invalid \\u escape")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Uint(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first`, 0 when `first` is
+/// not a valid leading byte.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +541,11 @@ mod tests {
             ("missing".into(), Value::Null),
             ("samples".into(), vec![1.0, 2.0].into()),
         ]);
+        // Round trip through the parser: structurally identical except for
+        // float-typed integral numbers, which re-parse as `Uint`.
+        let text = to_string(&v);
+        let parsed = from_str(&text).expect("valid JSON");
+        assert_eq!(to_string(&parsed), text);
         assert_eq!(
             to_string(&v),
             r#"{"name":"iperf","rate_mbps":12.5,"replies":3,"ok":true,"missing":null,"samples":[1,2]}"#
@@ -269,5 +580,71 @@ mod tests {
         assert_eq!(arr[0].as_f64(), Some(10.0));
         assert!(v.get("y").is_none());
         assert!(Value::from(Option::<f64>::None).is_null());
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_escapes() {
+        let v = from_str(
+            " { \"a\" : [ 1 , -2.5 , 1e3 , true , null ] ,\n\t\"s\" : \"q\\\"\\n\\u0041\\u00e9\" } ",
+        )
+        .expect("valid");
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], Value::Uint(1));
+        assert_eq!(arr[1], Value::Number(-2.5));
+        assert_eq!(arr[2], Value::Number(1000.0));
+        assert_eq!(arr[3], Value::Bool(true));
+        assert!(arr[4].is_null());
+        assert_eq!(v.get("s").unwrap().as_str(), Some("q\"\nAé"));
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs_and_raw_utf8() {
+        let v = from_str(r#"["😀", "héllo"]"#).expect("valid");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[0].as_str(), Some("😀"));
+        assert_eq!(arr[1].as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_with_offsets() {
+        for (text, expect_offset_at_most) in [
+            ("", 0usize),
+            ("{", 1),
+            ("[1, ]", 4),
+            ("{\"a\" 1}", 6),
+            ("tru", 3),
+            ("\"unterminated", 13),
+            ("[1] trailing", 12),
+            ("01x", 3),
+        ] {
+            let err = from_str(text).expect_err(text);
+            assert!(err.offset() <= expect_offset_at_most, "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn parser_caps_nesting_depth() {
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&deep_ok).is_ok());
+        // Way past the cap: must come back as a typed error, not a stack
+        // overflow.
+        let too_deep = "[".repeat(200_000);
+        let err = from_str(&too_deep).expect_err("depth-capped");
+        assert!(err.to_string().contains("recursion"), "{err}");
+    }
+
+    #[test]
+    fn parser_number_edges() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::Uint(u64::MAX)
+        );
+        // Too big for u64 → f64.
+        assert!(matches!(
+            from_str("18446744073709551616").unwrap(),
+            Value::Number(_)
+        ));
+        assert_eq!(from_str("-7").unwrap(), Value::Number(-7.0));
+        assert_eq!(from_str("0.125").unwrap(), Value::Number(0.125));
     }
 }
