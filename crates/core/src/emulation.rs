@@ -237,6 +237,23 @@ impl KollapsDataplane {
         // any traffic flows (paper §3: schedules are part of the experiment
         // description, so nothing about a topology change is a surprise).
         let timeline = SnapshotTimeline::precompute(&topology, &schedule);
+        KollapsDataplane::with_prepared(timeline, hosts, pinned, config)
+    }
+
+    /// Builds the emulation from an **already precomputed** snapshot
+    /// timeline. A campaign sweeping non-topological parameters precomputes
+    /// the timeline once and hands every variant a clone: the clone shares
+    /// every `CollapsedTopology` snapshot (and every `CollapsedPath` inside
+    /// them) structurally behind `Arc`s, so N variants pay the offline
+    /// all-pairs work once, not N times. The timeline's own
+    /// `precompute_micros` travels with it — variants built from the same
+    /// prepared timeline report identical precompute counters.
+    pub fn with_prepared(
+        timeline: SnapshotTimeline,
+        hosts: usize,
+        pinned: &HashMap<NodeId, u32>,
+        config: EmulationConfig,
+    ) -> Self {
         let collapsed = Arc::clone(timeline.initial());
         let dynamics = DynamicsStats {
             precompute_micros: timeline.stats().precompute_micros,
@@ -334,6 +351,64 @@ impl KollapsDataplane {
     /// swap cost, offline precompute time).
     pub fn dynamics(&self) -> DynamicsStats {
         self.dynamics
+    }
+
+    /// Extends the precomputed timeline with injected events — the live
+    /// steering path. Every event must lie strictly in the future of `now`
+    /// (the session validates and reports a typed error; here it is a
+    /// debug assertion), which guarantees no already-applied delta moves:
+    /// the extension re-derives at most the not-yet-applied suffix, and in
+    /// the common case (events after the last delta) only appends. Returns
+    /// the number of deltas derived.
+    pub fn extend_timeline(&mut self, now: SimTime, extra: &EventSchedule) -> usize {
+        debug_assert!(
+            extra.events().iter().all(|e| SimTime::ZERO + e.at > now),
+            "injected events must be in the future"
+        );
+        let _ = now;
+        let derived = self.timeline.extend(extra);
+        self.dynamics.snapshots_precomputed = self.timeline.len();
+        self.dynamics.precompute_micros = self.timeline.stats().precompute_micros;
+        derived
+    }
+
+    /// Links any manager currently observes oversubscribed (its last loop
+    /// iteration measured more offered load than capacity), sorted and
+    /// deduplicated across hosts. Live telemetry reads this to detect
+    /// oversubscription onset.
+    pub fn oversubscribed_links(&self) -> Vec<kollaps_topology::model::LinkId> {
+        let mut links: Vec<_> = self
+            .managers
+            .iter()
+            .flat_map(|m| m.oversubscribed_links())
+            .collect();
+        links.sort();
+        links.dedup();
+        links
+    }
+
+    /// The offered load per original-topology link implied by the usage
+    /// every manager measured in its **last** loop iteration — the live
+    /// counterpart of the report's end-of-run link table. Sorted by link
+    /// id.
+    pub fn link_usage(&self) -> Vec<(kollaps_topology::model::LinkId, Bandwidth)> {
+        let mut load: HashMap<kollaps_topology::model::LinkId, u64> = HashMap::new();
+        for manager in &self.managers {
+            for (&(src, dst), &used) in manager.local_usages() {
+                let Some(path) = self.collapsed.path_by_addr(src, dst) else {
+                    continue;
+                };
+                for &link in &path.links {
+                    *load.entry(link).or_default() += used.as_bps();
+                }
+            }
+        }
+        let mut usage: Vec<_> = load
+            .into_iter()
+            .map(|(link, bps)| (link, Bandwidth::from_bps(bps)))
+            .collect();
+        usage.sort_by_key(|&(link, _)| link);
+        usage
     }
 
     /// The bandwidth the owning manager enforced for the (src, dst) pair in

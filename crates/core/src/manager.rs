@@ -151,6 +151,13 @@ impl EmulationManager {
         self.remote.values().map(|v| v.flows.len()).sum()
     }
 
+    /// Links this manager observed oversubscribed in its most recent loop
+    /// iteration (streak ≥ 1 — before the congestion grace period elapses,
+    /// so onset is visible even when no loss is injected yet).
+    pub fn oversubscribed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.oversub_streak.keys().copied()
+    }
+
     /// Worst staleness of the received remote view: the age of the oldest
     /// per-host usage entry this manager is currently enforcing from.
     pub fn remote_staleness(&self, now: SimTime) -> Option<SimDuration> {

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use kollaps_sim::time::SimDuration;
-use kollaps_topology::events::{apply_action, EventSchedule};
+use kollaps_topology::events::{apply_action, DynamicEvent, EventSchedule};
 use kollaps_topology::graph::TopologyGraph;
 use kollaps_topology::model::{LinkId, LinkProperties, NodeId, Topology};
 
@@ -69,6 +69,13 @@ impl SnapshotDelta {
 
 /// Offline-precompute accounting, surfaced through the dataplane's dynamics
 /// stats and the `--bin dynamics` bench.
+///
+/// The counters measure **work performed**, cumulatively: an
+/// [`SnapshotTimeline::extend`] that re-derives an already-precomputed
+/// suffix adds that suffix's derivation work *again* (the work really did
+/// happen twice), exactly as `precompute_micros` accumulates wall-clock
+/// across extensions. They are not a description of the final delta list —
+/// for per-change swap costs read the deltas themselves.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TimelineStats {
     /// Wall-clock time the offline precompute took, in microseconds.
@@ -85,11 +92,24 @@ pub struct TimelineStats {
     /// Service pairs in the initial snapshot (the all-pairs scale an online
     /// re-collapse would pay per event).
     pub initial_pairs: usize,
+    /// Incremental [`SnapshotTimeline::extend`] calls folded into this
+    /// timeline after the initial precompute (live steering injections).
+    pub extensions: usize,
 }
 
 /// The precomputed sequence of collapsed snapshots of a dynamic experiment.
+///
+/// The timeline keeps the base topology and the schedule it was derived
+/// from, so a running session can [`SnapshotTimeline::extend`] it with
+/// injected events **incrementally** — only the deltas at or after the
+/// earliest new event are re-derived; everything before them (including all
+/// already-applied changes) is untouched.
 #[derive(Debug, Clone)]
 pub struct SnapshotTimeline {
+    /// The topology before any event, as handed to the precompute.
+    base: Topology,
+    /// Every event folded into the timeline so far, sorted.
+    schedule: EventSchedule,
     initial: Arc<CollapsedTopology>,
     deltas: Vec<SnapshotDelta>,
     stats: TimelineStats,
@@ -107,39 +127,90 @@ impl SnapshotTimeline {
             ..TimelineStats::default()
         };
         let mut working = topology.clone();
-        let mut prev = Arc::clone(&initial);
+        let prev = Arc::clone(&initial);
         let mut deltas = Vec::new();
-        let events = schedule.events();
-        let mut i = 0;
-        // The schedule is sorted by construction; each iteration consumes
-        // the index range [i, j) of one change time — no event is cloned.
-        while i < events.len() {
-            let at = events[i].at;
-            let mut j = i;
-            while j < events.len() && events[j].at == at {
-                j += 1;
-            }
-            let before: HashMap<LinkId, LinkProperties> = working
-                .links()
-                .iter()
-                .map(|l| (l.id, l.properties))
-                .collect();
-            for event in &events[i..j] {
-                apply_action(&mut working, &event.action);
-            }
-            let delta = derive_snapshot(&working, &prev, &before, at, j - i, &mut stats);
-            prev = Arc::clone(&delta.snapshot);
-            deltas.push(delta);
-            i = j;
-        }
+        fold_events(
+            &mut working,
+            prev,
+            schedule.events(),
+            &mut deltas,
+            &mut stats,
+        );
         stats.change_times = deltas.len();
-        stats.events = events.len();
+        stats.events = schedule.len();
         stats.precompute_micros = started.elapsed().as_micros() as u64;
         SnapshotTimeline {
+            base: topology.clone(),
+            schedule: schedule.clone(),
             initial,
             deltas,
             stats,
         }
+    }
+
+    /// Folds `extra` events into the timeline **incrementally**: deltas
+    /// strictly before the earliest new event are kept as-is (their
+    /// snapshots, `Arc`s and indices do not move), and only the change
+    /// times at or after it are (re-)derived. When every new event lands
+    /// after the last existing delta — the common live-injection case —
+    /// this appends without re-deriving a single old path.
+    ///
+    /// Returns the number of deltas derived by this call. The caller is
+    /// responsible for only injecting events whose time is still in the
+    /// future of whatever has already been applied; extending *behind* an
+    /// applied change would rewrite history that enforcement already acted
+    /// on.
+    pub fn extend(&mut self, extra: &EventSchedule) -> usize {
+        if extra.is_empty() {
+            return 0;
+        }
+        let started = std::time::Instant::now();
+        let cut = extra.events()[0].at;
+        // Deltas strictly before the cut survive untouched.
+        let keep = self.deltas.partition_point(|d| d.at < cut);
+        self.deltas.truncate(keep);
+        self.schedule.merge(extra);
+        // Rebuild the working topology as of just before the cut: replaying
+        // raw actions is O(events) graph edits — no collapse, no paths.
+        let events = self.schedule.events();
+        let resume = events.partition_point(|e| e.at < cut);
+        let mut working = self.base.clone();
+        for event in &events[..resume] {
+            apply_action(&mut working, &event.action);
+        }
+        let prev = match self.deltas.last() {
+            Some(delta) => Arc::clone(&delta.snapshot),
+            None => Arc::clone(&self.initial),
+        };
+        fold_events(
+            &mut working,
+            prev,
+            &events[resume..],
+            &mut self.deltas,
+            &mut self.stats,
+        );
+        let derived = self.deltas.len() - keep;
+        self.stats.change_times = self.deltas.len();
+        self.stats.events = events.len();
+        self.stats.extensions += 1;
+        self.stats.precompute_micros += started.elapsed().as_micros() as u64;
+        derived
+    }
+
+    /// The topology as evolved by every scheduled event with time `<= at`
+    /// (a fresh clone; the timeline itself is not mutated). This is what
+    /// live steering validates injected events and churn specs against.
+    pub fn topology_at(&self, at: SimDuration) -> Topology {
+        let mut topo = self.base.clone();
+        for event in self.schedule.events().iter().take_while(|e| e.at <= at) {
+            apply_action(&mut topo, &event.action);
+        }
+        topo
+    }
+
+    /// Every event folded into the timeline so far, in order.
+    pub fn schedule(&self) -> &EventSchedule {
+        &self.schedule
     }
 
     /// The snapshot before the first change.
@@ -175,6 +246,39 @@ impl SnapshotTimeline {
         } else {
             &self.deltas[idx - 1].snapshot
         }
+    }
+}
+
+/// Folds a sorted run of events into `deltas`: groups them by change time,
+/// applies each group to `working` and derives one structurally-shared
+/// snapshot per group. The shared core of [`SnapshotTimeline::precompute`]
+/// and [`SnapshotTimeline::extend`]; no event is cloned.
+fn fold_events(
+    working: &mut Topology,
+    mut prev: Arc<CollapsedTopology>,
+    events: &[DynamicEvent],
+    deltas: &mut Vec<SnapshotDelta>,
+    stats: &mut TimelineStats,
+) {
+    let mut i = 0;
+    while i < events.len() {
+        let at = events[i].at;
+        let mut j = i;
+        while j < events.len() && events[j].at == at {
+            j += 1;
+        }
+        let before: HashMap<LinkId, LinkProperties> = working
+            .links()
+            .iter()
+            .map(|l| (l.id, l.properties))
+            .collect();
+        for event in &events[i..j] {
+            apply_action(working, &event.action);
+        }
+        let delta = derive_snapshot(working, &prev, &before, at, j - i, stats);
+        prev = Arc::clone(&delta.snapshot);
+        deltas.push(delta);
+        i = j;
     }
 }
 
@@ -447,6 +551,73 @@ mod tests {
                 reference.link_capacities().len()
             );
         }
+    }
+
+    /// The extension invariant: extending an existing timeline with extra
+    /// events yields exactly the deltas a from-scratch precompute of the
+    /// merged schedule would, while keeping every delta before the earliest
+    /// new event untouched (same `Arc`s, same indices).
+    #[test]
+    fn extend_matches_a_from_scratch_precompute() {
+        let topo = dumbbell();
+        let mut schedule = EventSchedule::new();
+        schedule.push(set_edge_latency("client-0", "bridge-left", 2, 40));
+        schedule.push(set_edge_latency("client-1", "bridge-left", 6, 25));
+        let mut timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        let first_snapshot = Arc::clone(&timeline.deltas()[0].snapshot);
+
+        // Append-only extension (after the last delta) plus a mid-schedule
+        // injection (between the two existing deltas) in one call.
+        let mut extra = EventSchedule::new();
+        extra.push(set_edge_latency("server-0", "bridge-right", 4, 33));
+        extra.push(set_edge_latency("client-2", "bridge-left", 9, 50));
+        let derived = timeline.extend(&extra);
+        // The t=2 delta is before the cut (t=4) and survives; t=4, t=6 and
+        // t=9 are (re-)derived.
+        assert_eq!(derived, 3);
+        assert_eq!(timeline.len(), 4);
+        assert!(Arc::ptr_eq(&timeline.deltas()[0].snapshot, &first_snapshot));
+        assert_eq!(timeline.stats().extensions, 1);
+
+        let mut merged = schedule.clone();
+        merged.merge(&extra);
+        let reference = SnapshotTimeline::precompute(&topo, &merged);
+        assert_eq!(timeline.len(), reference.len());
+        for (ours, theirs) in timeline.deltas().iter().zip(reference.deltas()) {
+            assert_eq!(ours.at, theirs.at);
+            assert_eq!(ours.changed_paths, theirs.changed_paths);
+            assert_eq!(ours.removed_paths, theirs.removed_paths);
+            assert_eq!(ours.snapshot.pair_count(), theirs.snapshot.pair_count());
+            for (pair, path) in theirs.snapshot.path_handles() {
+                assert_eq!(
+                    **ours.snapshot.path_handle(pair.0, pair.1).unwrap(),
+                    **path,
+                    "pair {pair:?} at {:?}",
+                    ours.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_at_replays_the_schedule() {
+        let topo = dumbbell();
+        let mut schedule = EventSchedule::new();
+        schedule.push(DynamicEvent {
+            at: SimDuration::from_secs(3),
+            action: DynamicAction::NodeLeave {
+                name: "client-2".into(),
+            },
+        });
+        let timeline = SnapshotTimeline::precompute(&topo, &schedule);
+        assert!(timeline
+            .topology_at(SimDuration::from_secs(2))
+            .node_by_name("client-2")
+            .is_some());
+        assert!(timeline
+            .topology_at(SimDuration::from_secs(3))
+            .node_by_name("client-2")
+            .is_none());
     }
 
     #[test]

@@ -271,6 +271,46 @@ impl Churn {
         self
     }
 
+    /// Scales the churn **rate** by `factor`: every temporal spacing of the
+    /// spec (flap mean up/downtimes, node stagger and downtime, partition
+    /// heal delay, ramp duration) is divided by it, so `factor = 2.0` makes
+    /// the same churn happen twice as fast within the same horizon. Trace
+    /// replays are untouched (their timestamps are data, not a knob). This
+    /// is the `Campaign::vary_churn_rate` axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    pub fn scale_rate(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "churn rate factor must be positive: {factor}"
+        );
+        let scale = |d: SimDuration| d.mul_f64(1.0 / factor);
+        match &mut self.kind {
+            ChurnKind::PoissonFlaps {
+                mean_up, mean_down, ..
+            } => {
+                *mean_up = scale(*mean_up);
+                *mean_down = scale(*mean_down);
+            }
+            ChurnKind::StaggeredNodes {
+                stagger, downtime, ..
+            } => {
+                *stagger = scale(*stagger);
+                *downtime = scale(*downtime);
+            }
+            ChurnKind::Partition { heal_after, .. } => {
+                *heal_after = heal_after.map(scale);
+            }
+            ChurnKind::BandwidthRamp { duration, .. } => {
+                *duration = scale(*duration);
+            }
+            ChurnKind::Trace { .. } => {}
+        }
+        self
+    }
+
     /// Validates the spec against `topology` and expands it into a sorted
     /// [`EventSchedule`].
     pub fn generate(&self, topology: &Topology) -> Result<EventSchedule, ChurnError> {

@@ -17,6 +17,7 @@ use kollaps_baselines::{
 use kollaps_core::collapse::{Addressable, CollapsedTopology};
 use kollaps_core::emulation::{EmulationConfig, KollapsDataplane};
 use kollaps_core::runtime::{Dataplane, SendOutcome};
+use kollaps_core::timeline::SnapshotTimeline;
 use kollaps_netmodel::packet::Packet;
 use kollaps_sim::prelude::*;
 use kollaps_topology::events::EventSchedule;
@@ -140,18 +141,26 @@ impl Backend {
 
     /// Builds the dataplane. `validate` must have passed. `placement` pins
     /// services to host indices (Kollaps only; the other backends model a
-    /// single host).
+    /// single host). A `prepared` snapshot timeline — precomputed from the
+    /// *same* topology and schedule, typically by a [`crate::Campaign`]
+    /// sharing one precompute across variants — is cloned instead of
+    /// re-deriving everything; the clone shares all snapshot and path data
+    /// structurally behind `Arc`s.
     pub(crate) fn build(
         &self,
         topology: Topology,
         schedule: EventSchedule,
         placement: &std::collections::HashMap<kollaps_topology::model::NodeId, u32>,
+        prepared: Option<&SnapshotTimeline>,
     ) -> AnyDataplane {
         match self {
             Backend::Kollaps { hosts, config } => {
-                AnyDataplane::Kollaps(Box::new(KollapsDataplane::with_placement(
-                    topology,
-                    schedule,
+                let timeline = match prepared {
+                    Some(timeline) => timeline.clone(),
+                    None => SnapshotTimeline::precompute(&topology, &schedule),
+                };
+                AnyDataplane::Kollaps(Box::new(KollapsDataplane::with_prepared(
+                    timeline,
                     (*hosts).max(1),
                     placement,
                     *config,
@@ -201,6 +210,43 @@ macro_rules! dispatch {
 }
 
 impl AnyDataplane {
+    /// The Kollaps dataplane, when that is the selected backend (the live
+    /// session's steering and telemetry taps are Kollaps-specific).
+    pub(crate) fn kollaps(&self) -> Option<&KollapsDataplane> {
+        match self {
+            AnyDataplane::Kollaps(dp) => Some(dp),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the Kollaps dataplane, for timeline extension.
+    pub(crate) fn kollaps_mut(&mut self) -> Option<&mut KollapsDataplane> {
+        match self {
+            AnyDataplane::Kollaps(dp) => Some(dp),
+            _ => None,
+        }
+    }
+
+    /// Live offered load per original link as `(link, offered Mb/s,
+    /// capacity Mb/s)`, from the managers' most recent loop iteration
+    /// (Kollaps only; empty otherwise).
+    pub(crate) fn live_link_usage(&self) -> Vec<(u32, f64, f64)> {
+        let AnyDataplane::Kollaps(dp) = self else {
+            return Vec::new();
+        };
+        dp.link_usage()
+            .into_iter()
+            .map(|(link, offered)| {
+                let capacity = dp
+                    .collapsed()
+                    .link_capacity(link)
+                    .map(|b| b.as_mbps())
+                    .unwrap_or(f64::INFINITY);
+                (link.0, offered.as_mbps(), capacity)
+            })
+            .collect()
+    }
+
     /// Total metadata bytes put on the physical network, when the backend
     /// has an emulation manager exchanging metadata (Kollaps only).
     pub fn metadata_network_bytes(&self) -> Option<u64> {

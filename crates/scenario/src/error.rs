@@ -17,10 +17,19 @@ pub enum ScenarioError {
     Parse(ParseError),
     /// The ModelNet XML text did not parse.
     Xml(XmlError),
-    /// A workload references a node name the topology does not declare.
+    /// A single referenced node name does not exist in the topology
+    /// (placement pins, injected dynamic events).
     UnknownNode {
         /// The unknown name.
         name: String,
+    },
+    /// Workload endpoints reference node names the topology does not
+    /// declare — **all** of them, collected across every workload of the
+    /// scenario in one pass, so a misspelled scenario is fixed once, not
+    /// one `run()` per typo.
+    UnknownNodes {
+        /// Every unknown name, deduplicated, in first-reference order.
+        names: Vec<String>,
     },
     /// A workload endpoint names a bridge; traffic can only originate at or
     /// target service (container) nodes.
@@ -62,6 +71,12 @@ pub enum ScenarioError {
     },
     /// The scenario has no workloads; running it would measure nothing.
     EmptyWorkload,
+    /// A session pacing knob ([`crate::Scenario::step_interval`] or
+    /// [`crate::Scenario::sample_interval`]) is zero.
+    InvalidStepInterval {
+        /// Which knob ("step_interval" or "sample_interval").
+        knob: &'static str,
+    },
     /// A workload is self-contradictory (same endpoints, zero rate, zero
     /// probe count, no clients, ...).
     InvalidWorkload {
@@ -76,7 +91,17 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Parse(e) => write!(f, "experiment description: {e}"),
             ScenarioError::Xml(e) => write!(f, "ModelNet XML: {e}"),
             ScenarioError::UnknownNode { name } => {
-                write!(f, "workload references unknown node `{name}`")
+                write!(f, "scenario references unknown node `{name}`")
+            }
+            ScenarioError::UnknownNodes { names } => {
+                write!(f, "workloads reference unknown nodes: ")?;
+                for (i, name) in names.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{name}`")?;
+                }
+                Ok(())
             }
             ScenarioError::NotAService { name } => {
                 write!(f, "workload endpoint `{name}` is a bridge, not a service")
@@ -95,6 +120,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::EmptyWorkload => {
                 write!(f, "scenario declares no workloads")
+            }
+            ScenarioError::InvalidStepInterval { knob } => {
+                write!(f, "session {knob} must be positive")
             }
             ScenarioError::InvalidWorkload { reason } => {
                 write!(f, "invalid workload: {reason}")

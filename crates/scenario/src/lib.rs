@@ -21,10 +21,25 @@
 //!   emulation manager;
 //!
 //! validates the whole composition into a typed [`ScenarioError`] (unknown
-//! node names, zero-bandwidth links, unsupported backend/topology
-//! combinations, ...) and, on [`Scenario::run`], returns a structured
-//! [`Report`] — per-flow goodput/RTT/request summaries plus per-link
-//! offered load — serializable to JSON via the vendored `serde_json` shim.
+//! node names — all of them, collected in one pass — zero-bandwidth links,
+//! unsupported backend/topology combinations, ...) and, on
+//! [`Scenario::run`], returns a structured [`Report`] — per-flow
+//! goodput/RTT/request summaries plus per-link offered load — serializable
+//! to JSON via the vendored `serde_json` shim.
+//!
+//! Execution itself is **session-based**: [`Scenario::session`] returns a
+//! live [`Session`] with a steppable clock ([`Session::step`],
+//! [`Session::run_until`], [`Session::pause`]), live accessors
+//! ([`Session::flow_progress`], [`Session::link_loads`],
+//! [`Session::convergence`]), streaming telemetry ([`Sink`],
+//! [`TelemetryEvent`], [`Sample`]) and mid-run steering
+//! ([`Session::inject_workload`], [`Session::inject_event`],
+//! [`Session::inject_churn`] — the precomputed snapshot timeline is
+//! extended incrementally). [`Scenario::run`] is a thin wrapper:
+//! `session()?.finish()`, byte-identical by property test. [`Campaign`]
+//! runs parameter sweeps (metadata delay, seeds, churn rate, custom axes)
+//! concurrently with structurally shared timeline precompute and collects
+//! a [`CampaignReport`].
 //!
 //! ```
 //! use kollaps_scenario::{Backend, Scenario, Workload};
@@ -56,21 +71,28 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod campaign;
 mod error;
 mod report;
 mod runner;
+mod session;
+mod telemetry;
 mod workload;
 
 pub use backend::{AnyDataplane, Backend};
+pub use campaign::{Campaign, CampaignAggregates, CampaignReport, VariantReport};
 pub use error::ScenarioError;
 pub use kollaps_dynamics::Churn;
 pub use report::{
     ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report,
-    RttStats,
+    RttStats, SCHEMA_VERSION,
 };
+pub use session::{Session, SessionError};
+pub use telemetry::{FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
 pub use workload::{Workload, DEFAULT_DURATION};
 
 use kollaps_core::collapse::Addressable;
+use kollaps_core::timeline::SnapshotTimeline;
 use kollaps_netmodel::packet::Addr;
 use kollaps_sim::prelude::*;
 use kollaps_topology::dsl::{parse_experiment, Experiment};
@@ -79,8 +101,10 @@ use kollaps_topology::model::{NodeId, Topology};
 use kollaps_topology::xml::parse_modelnet_xml;
 
 use runner::{ResolvedKind, ResolvedWorkload};
+use session::SessionInit;
 use workload::WorkloadKind;
 
+#[derive(Clone)]
 enum TopologySource {
     Dsl(String),
     Xml(String),
@@ -89,6 +113,10 @@ enum TopologySource {
 
 /// The scenario builder. See the [crate-level documentation](crate) for an
 /// end-to-end example.
+///
+/// A scenario is plain data and `Clone`: a [`Campaign`] clones one base
+/// scenario per parameter variant.
+#[derive(Clone)]
 pub struct Scenario {
     name: String,
     source: TopologySource,
@@ -100,6 +128,8 @@ pub struct Scenario {
     hosts: Option<usize>,
     metadata_delay: Option<SimDuration>,
     placement: Vec<(String, u32)>,
+    step_interval: Option<SimDuration>,
+    sample_interval: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -115,6 +145,8 @@ impl Scenario {
             hosts: None,
             metadata_delay: None,
             placement: Vec::new(),
+            step_interval: None,
+            sample_interval: None,
         }
     }
 
@@ -286,17 +318,36 @@ impl Scenario {
         self
     }
 
-    /// Validates the composition, builds the selected backend, runs every
-    /// workload on the shared virtual timeline and returns the structured
-    /// [`Report`].
-    pub fn run(self) -> Result<Report, ScenarioError> {
-        let (topology, mut schedule) = match self.source {
+    /// Sets the wall-clock slice between the session's event-dispatch
+    /// rounds (completion re-arming, window finalization, telemetry).
+    /// Defaults to 100 ms; a zero interval is rejected with
+    /// [`ScenarioError::InvalidStepInterval`].
+    pub fn step_interval(mut self, interval: SimDuration) -> Self {
+        self.step_interval = Some(interval);
+        self
+    }
+
+    /// Enables periodic telemetry samples: every `interval` of virtual
+    /// time, attached [`Sink`]s receive a [`Sample`] of the whole session.
+    /// Off by default; a zero interval is rejected with
+    /// [`ScenarioError::InvalidStepInterval`].
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Expands the topology source and folds the declared schedule and
+    /// churn generators into one sorted event schedule — the first phase
+    /// of building a session, shared with [`Campaign`] (which compares
+    /// expansions across variants to share one timeline precompute).
+    pub(crate) fn expand(&self) -> Result<(Topology, EventSchedule), ScenarioError> {
+        let (topology, mut schedule) = match &self.source {
             TopologySource::Dsl(text) => {
-                let experiment = parse_experiment(&text)?;
+                let experiment = parse_experiment(text)?;
                 (experiment.topology, experiment.schedule)
             }
-            TopologySource::Xml(text) => (parse_modelnet_xml(&text)?, EventSchedule::new()),
-            TopologySource::Topology(topology) => (*topology, EventSchedule::new()),
+            TopologySource::Xml(text) => (parse_modelnet_xml(text)?, EventSchedule::new()),
+            TopologySource::Topology(topology) => ((**topology).clone(), EventSchedule::new()),
         };
         schedule.merge(&self.schedule);
         // Churn generators expand against the concrete topology; their
@@ -304,13 +355,61 @@ impl Scenario {
         for churn in &self.churn {
             schedule.merge(&churn.generate(&topology)?);
         }
+        Ok((topology, schedule))
+    }
 
+    /// Validates the composition, builds the selected backend and returns
+    /// a live [`Session`] over it — paused at `t = 0`, nothing run yet.
+    /// Drive it with [`Session::step`]/[`Session::run_until`], observe it
+    /// through accessors and [`Sink`]s, steer it with the `inject_*`
+    /// calls, and close it with [`Session::finish`].
+    pub fn session(self) -> Result<Session, ScenarioError> {
+        let (topology, schedule) = self.expand()?;
+        self.into_session(topology, schedule, None)
+    }
+
+    /// Validates the composition, runs the whole timeline and returns the
+    /// structured [`Report`]. A thin wrapper over the session engine:
+    /// `self.session()?.finish()`.
+    pub fn run(self) -> Result<Report, ScenarioError> {
+        Ok(self.session()?.finish())
+    }
+
+    /// The shared tail of [`Scenario::session`]: validation and
+    /// construction over an already-expanded topology and schedule, with
+    /// an optional pre-precomputed snapshot timeline (campaign variants
+    /// share one).
+    pub(crate) fn into_session(
+        self,
+        topology: Topology,
+        schedule: EventSchedule,
+        prepared: Option<&SnapshotTimeline>,
+    ) -> Result<Session, ScenarioError> {
         validate_topology(&topology)?;
         if self.workloads.is_empty() {
             return Err(ScenarioError::EmptyWorkload);
         }
+        // Every unknown endpoint name across every workload, in one error.
+        let unknown = unknown_workload_names(&topology, &self.workloads);
+        if !unknown.is_empty() {
+            return Err(ScenarioError::UnknownNodes { names: unknown });
+        }
         for workload in &self.workloads {
             validate_workload(&topology, workload)?;
+        }
+        let step = match self.step_interval {
+            Some(interval) if interval.is_zero() => {
+                return Err(ScenarioError::InvalidStepInterval {
+                    knob: "step_interval",
+                })
+            }
+            Some(interval) => interval,
+            None => runner::DEFAULT_STEP,
+        };
+        if self.sample_interval.is_some_and(|i| i.is_zero()) {
+            return Err(ScenarioError::InvalidStepInterval {
+                knob: "sample_interval",
+            });
         }
 
         // Apply the deployment knobs (hosts / placement / metadata delay).
@@ -377,23 +476,66 @@ impl Scenario {
 
         let backend_name = backend.name().to_string();
         let hosts = backend.hosts();
-        let dataplane = backend.build(topology.clone(), schedule, &placement);
+        let dataplane = backend.build(topology.clone(), schedule, &placement, prepared);
         let resolved = self
             .workloads
             .into_iter()
             .map(|w| resolve_workload(&topology, &dataplane, w, total_end))
             .collect::<Result<Vec<_>, _>>()?;
 
-        Ok(runner::execute(
-            dataplane,
-            self.name,
+        Ok(Session::new(SessionInit {
+            scenario_name: self.name,
             backend_name,
             hosts,
-            resolved,
+            topology,
+            dataplane,
+            workloads: resolved,
             total_end,
-        )
-        .report)
+            duration_capped: self.duration.is_some(),
+            step,
+            sample_interval: self.sample_interval,
+        }))
     }
+}
+
+/// Every workload endpoint name the topology does not declare, collected
+/// across the whole workload set: deduplicated, in first-reference order.
+pub(crate) fn unknown_workload_names(topology: &Topology, workloads: &[Workload]) -> Vec<String> {
+    let mut unknown: Vec<String> = Vec::new();
+    let mut check = |name: &str| {
+        if topology.node_by_name(name).is_none() && !unknown.iter().any(|n| n == name) {
+            unknown.push(name.to_string());
+        }
+    };
+    for workload in workloads {
+        match &workload.kind {
+            WorkloadKind::IperfTcp { client, server, .. }
+            | WorkloadKind::IperfUdp { client, server, .. } => {
+                check(client);
+                check(server);
+            }
+            WorkloadKind::Ping { src, dst, .. } => {
+                check(src);
+                check(dst);
+            }
+            WorkloadKind::Wrk2 { server, client, .. } => {
+                check(server);
+                check(client);
+            }
+            WorkloadKind::Curl {
+                server, clients, ..
+            }
+            | WorkloadKind::Memcached {
+                server, clients, ..
+            } => {
+                check(server);
+                for client in clients {
+                    check(client);
+                }
+            }
+        }
+    }
+    unknown
 }
 
 fn validate_topology(topology: &Topology) -> Result<(), ScenarioError> {

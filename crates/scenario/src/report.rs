@@ -8,6 +8,15 @@
 
 use serde_json::Value;
 
+/// Version stamp of the JSON layout emitted by [`Report::to_json`] and
+/// [`crate::CampaignReport::to_json`], so downstream tooling can detect
+/// format changes. Bumped whenever a field is added, removed or renamed:
+///
+/// * **1** — the implicit, unstamped layout up to the session redesign.
+/// * **2** — adds the `schema_version` stamp itself and the
+///   `CampaignReport` document.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// RTT statistics of a ping workload (milliseconds).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RttStats {
@@ -37,7 +46,7 @@ pub struct HttpStats {
 }
 
 /// The measured outcome of one workload.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowReport {
     /// Workload label ("iperf-tcp", "iperf-udp", "ping", "wrk2", "curl",
     /// "memcached").
@@ -163,7 +172,7 @@ pub struct Report {
     pub dynamics: Option<DynamicsReport>,
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
             .into_iter()
@@ -280,6 +289,7 @@ impl Report {
     /// The whole report as a JSON value tree.
     pub fn to_json(&self) -> Value {
         obj(vec![
+            ("schema_version", SCHEMA_VERSION.into()),
             ("scenario", self.scenario.as_str().into()),
             ("backend", self.backend.as_str().into()),
             ("hosts", self.hosts.into()),

@@ -1,30 +1,32 @@
-//! The scenario execution engine.
+//! Workload state machinery shared by the [`crate::Session`] engine.
 //!
 //! All workloads of a scenario share one [`Runtime`] and one virtual
-//! timeline: flows are registered up front with their start times, the
-//! engine steps the clock in small slices so request/response workloads can
-//! re-arm on completion events, and every workload is finalized into a
-//! [`FlowReport`] exactly when its activity window closes.
+//! timeline: flows are registered with their start times (up front, or
+//! mid-run through [`crate::Session::inject_workload`]), the session steps
+//! the clock in small slices so request/response workloads can re-arm on
+//! completion events, and every workload is finalized into a [`FlowReport`]
+//! exactly when its activity window closes. This module holds the
+//! per-workload registration, live state, completion handling and
+//! finalization; the resumable clock-driving loop lives in
+//! [`crate::session`].
 
 use std::collections::HashMap;
 
 use kollaps_core::collapse::Addressable;
-use kollaps_core::runtime::{Runtime, RuntimeEvent};
+use kollaps_core::runtime::Runtime;
 use kollaps_netmodel::packet::{Addr, FlowId};
 use kollaps_sim::prelude::*;
 use kollaps_transport::tcp::{TcpSenderConfig, TransferSize};
 use kollaps_workloads::memcached_throughput;
 
 use crate::backend::AnyDataplane;
-use crate::report::{
-    ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report,
-    RttStats,
-};
+use crate::report::{FlowReport, HttpStats, LinkReport, RttStats};
 use crate::workload::Workload;
 
-/// Wall-clock slice between event-dispatch rounds (same granularity the
-/// standalone wrk2/curl drivers used).
-const STEP: SimDuration = SimDuration::from_millis(100);
+/// Default wall-clock slice between event-dispatch rounds (same granularity
+/// the standalone wrk2/curl drivers used); overridable per scenario with
+/// [`crate::Scenario::step_interval`].
+pub(crate) const DEFAULT_STEP: SimDuration = SimDuration::from_millis(100);
 
 /// Per-operation memcached server time (µs) and aggregate server capacity
 /// (ops/s) fed to the closed-loop model, matching the Figure 4 harness.
@@ -77,7 +79,7 @@ pub(crate) enum ResolvedKind {
 }
 
 /// Live state of one workload while the scenario runs.
-enum State {
+pub(crate) enum State {
     IperfTcp {
         flow: FlowId,
     },
@@ -115,245 +117,137 @@ enum State {
 }
 
 /// Endpoints a finalized flow moved bulk data between, for link accounting.
-struct LinkDemand {
+pub(crate) struct LinkDemand {
     src: Addr,
     dst: Addr,
     mbps: f64,
 }
 
-pub(crate) struct RunnerOutput {
-    pub report: Report,
-}
-
-pub(crate) fn execute(
-    dataplane: AnyDataplane,
-    scenario_name: String,
-    backend_name: String,
-    hosts: usize,
-    workloads: Vec<ResolvedWorkload>,
-    total_end: SimTime,
-) -> RunnerOutput {
-    let mut rt = Runtime::new(dataplane);
-    let mut states = Vec::with_capacity(workloads.len());
-    let mut owner: HashMap<FlowId, usize> = HashMap::new();
-
-    // Register every workload up front; the runtime honours future start
-    // times, so nothing moves before its window opens.
-    for (idx, w) in workloads.iter().enumerate() {
-        let state = match &w.kind {
-            ResolvedKind::IperfTcp {
-                client,
-                server,
-                algorithm,
-            } => {
+/// Registers one resolved workload with the runtime at slot `idx` and
+/// returns its live state. The runtime honours future start times, so
+/// nothing moves before the window opens — which makes this the single
+/// registration path for both up-front declaration and mid-run injection.
+pub(crate) fn register_workload(
+    rt: &mut Runtime<AnyDataplane>,
+    owner: &mut HashMap<FlowId, usize>,
+    idx: usize,
+    w: &ResolvedWorkload,
+) -> State {
+    match &w.kind {
+        ResolvedKind::IperfTcp {
+            client,
+            server,
+            algorithm,
+        } => {
+            let flow = rt.add_tcp_flow(
+                *client,
+                *server,
+                TransferSize::Unbounded,
+                TcpSenderConfig::with_algorithm(*algorithm),
+                w.start,
+            );
+            State::IperfTcp { flow }
+        }
+        ResolvedKind::IperfUdp {
+            client,
+            server,
+            rate,
+        } => {
+            let flow = rt.add_udp_flow(*client, *server, *rate, w.start, Some(w.end));
+            State::IperfUdp { flow }
+        }
+        ResolvedKind::Ping {
+            src,
+            dst,
+            count,
+            interval,
+        } => {
+            let flow = rt.add_ping(*src, *dst, *interval, *count, w.start);
+            State::Ping { flow }
+        }
+        ResolvedKind::Wrk2 {
+            server,
+            client,
+            connections,
+            request,
+        } => {
+            let mut flows = Vec::with_capacity(*connections);
+            let mut last_start = HashMap::new();
+            for _ in 0..*connections {
                 let flow = rt.add_tcp_flow(
-                    *client,
                     *server,
-                    TransferSize::Unbounded,
-                    TcpSenderConfig::with_algorithm(*algorithm),
+                    *client,
+                    TransferSize::Bytes(request.as_bytes()),
+                    TcpSenderConfig::default(),
                     w.start,
                 );
-                State::IperfTcp { flow }
+                owner.insert(flow, idx);
+                last_start.insert(flow, w.start);
+                flows.push(flow);
             }
-            ResolvedKind::IperfUdp {
-                client,
-                server,
-                rate,
-            } => {
-                let flow = rt.add_udp_flow(*client, *server, *rate, w.start, Some(w.end));
-                State::IperfUdp { flow }
+            State::Wrk2 {
+                flows,
+                request: *request,
+                requests: 0,
+                bytes_per_client: vec![0],
+                latencies_ms: Summary::new(),
+                last_start,
+                per_second: HashMap::new(),
             }
-            ResolvedKind::Ping {
-                src,
-                dst,
-                count,
-                interval,
-            } => {
-                let flow = rt.add_ping(*src, *dst, *interval, *count, w.start);
-                State::Ping { flow }
-            }
-            ResolvedKind::Wrk2 {
-                server,
-                client,
-                connections,
-                request,
-            } => {
-                let mut flows = Vec::with_capacity(*connections);
-                let mut last_start = HashMap::new();
-                for _ in 0..*connections {
-                    let flow = rt.add_tcp_flow(
-                        *server,
-                        *client,
-                        TransferSize::Bytes(request.as_bytes()),
-                        TcpSenderConfig::default(),
-                        w.start,
-                    );
-                    owner.insert(flow, idx);
-                    last_start.insert(flow, w.start);
-                    flows.push(flow);
-                }
-                State::Wrk2 {
-                    flows,
-                    request: *request,
-                    requests: 0,
-                    bytes_per_client: vec![0],
-                    latencies_ms: Summary::new(),
-                    last_start,
-                    per_second: HashMap::new(),
-                }
-            }
-            ResolvedKind::Curl {
-                server,
-                clients,
-                request,
-            } => {
-                let mut owner_client = HashMap::new();
-                let mut started_at = HashMap::new();
-                for (ci, client) in clients.iter().enumerate() {
-                    let flow = rt.add_tcp_flow(
-                        *server,
-                        *client,
-                        TransferSize::Bytes(request.as_bytes()),
-                        TcpSenderConfig::default(),
-                        w.start,
-                    );
-                    owner.insert(flow, idx);
-                    owner_client.insert(flow, ci);
-                    started_at.insert(flow, w.start);
-                }
-                State::Curl {
-                    server: *server,
-                    clients: clients.clone(),
-                    request: *request,
-                    owner_client,
-                    started_at,
-                    requests: 0,
-                    bytes_per_client: vec![0; clients.len()],
-                    latencies_ms: Summary::new(),
-                    per_second: HashMap::new(),
-                }
-            }
-            ResolvedKind::Memcached {
-                server,
-                clients,
-                connections,
-            } => {
-                let interval = SimDuration::from_millis(100);
-                let window = w.end.saturating_since(w.start);
-                let count = (window.as_secs_f64() / interval.as_secs_f64()).floor() as u64;
-                let probes = clients
-                    .iter()
-                    .map(|c| rt.add_ping(*c, *server, interval, count.max(1), w.start))
-                    .collect();
-                State::Memcached {
-                    probes,
-                    connections: *connections,
-                }
-            }
-        };
-        states.push(state);
-    }
-
-    // Boundaries the clock must land on exactly: workload window edges.
-    let mut boundaries: Vec<SimTime> = workloads
-        .iter()
-        .flat_map(|w| [w.start, w.end])
-        .chain(std::iter::once(total_end))
-        .collect();
-    boundaries.sort();
-    boundaries.dedup();
-
-    let mut reports: Vec<Option<FlowReport>> = (0..workloads.len()).map(|_| None).collect();
-    let mut demands: Vec<LinkDemand> = Vec::new();
-    let mut now = SimTime::ZERO;
-    while now < total_end {
-        let mut next = now + STEP;
-        if let Some(&b) = boundaries.iter().find(|&&b| b > now) {
-            next = next.min(b);
         }
-        next = next.min(total_end);
-        for event in rt.run_until(next) {
-            if let RuntimeEvent::TcpCompleted { flow, at } = event {
-                let Some(&idx) = owner.get(&flow) else {
-                    continue;
-                };
-                handle_completion(
-                    &mut rt,
-                    &mut owner,
-                    &mut states[idx],
-                    idx,
-                    flow,
-                    at,
-                    &workloads,
+        ResolvedKind::Curl {
+            server,
+            clients,
+            request,
+        } => {
+            let mut owner_client = HashMap::new();
+            let mut started_at = HashMap::new();
+            for (ci, client) in clients.iter().enumerate() {
+                let flow = rt.add_tcp_flow(
+                    *server,
+                    *client,
+                    TransferSize::Bytes(request.as_bytes()),
+                    TcpSenderConfig::default(),
+                    w.start,
                 );
+                owner.insert(flow, idx);
+                owner_client.insert(flow, ci);
+                started_at.insert(flow, w.start);
+            }
+            State::Curl {
+                server: *server,
+                clients: clients.clone(),
+                request: *request,
+                owner_client,
+                started_at,
+                requests: 0,
+                bytes_per_client: vec![0; clients.len()],
+                latencies_ms: Summary::new(),
+                per_second: HashMap::new(),
             }
         }
-        now = next;
-        for (idx, w) in workloads.iter().enumerate() {
-            if w.end == now && !matches!(states[idx], State::Done) {
-                let state = std::mem::replace(&mut states[idx], State::Done);
-                let (report, flow_demands) = finalize(&mut rt, w, state);
-                demands.extend(flow_demands);
-                reports[idx] = Some(report);
+        ResolvedKind::Memcached {
+            server,
+            clients,
+            connections,
+        } => {
+            let interval = SimDuration::from_millis(100);
+            let window = w.end.saturating_since(w.start);
+            let count = (window.as_secs_f64() / interval.as_secs_f64()).floor() as u64;
+            let probes = clients
+                .iter()
+                .map(|c| rt.add_ping(*c, *server, interval, count.max(1), w.start))
+                .collect();
+            State::Memcached {
+                probes,
+                connections: *connections,
             }
         }
-    }
-    // Safety net: windows clipped exactly to `total_end` are finalized by
-    // the last loop iteration; anything left (empty scenario) ends here.
-    for (idx, w) in workloads.iter().enumerate() {
-        if !matches!(states[idx], State::Done) {
-            let state = std::mem::replace(&mut states[idx], State::Done);
-            let (report, flow_demands) = finalize(&mut rt, w, state);
-            demands.extend(flow_demands);
-            reports[idx] = Some(report);
-        }
-    }
-
-    let links = link_reports(&rt, &demands);
-    let metadata_bytes = rt.dataplane.metadata_network_bytes();
-    let metadata_per_host = rt
-        .dataplane
-        .metadata_per_host()
-        .into_iter()
-        .map(|(host, sent_bytes, received_bytes)| HostMetadata {
-            host,
-            sent_bytes,
-            received_bytes,
-        })
-        .collect();
-    let convergence = rt.dataplane.convergence().map(|c| ConvergenceReport {
-        last_gap: c.last_gap,
-        max_gap: c.max_gap,
-        mean_gap: c.mean_gap(),
-    });
-    let dynamics = rt.dataplane.dynamics().map(|d| DynamicsReport {
-        precompute_micros: d.precompute_micros,
-        snapshots_precomputed: d.snapshots_precomputed,
-        snapshots_applied: d.snapshots_applied,
-        events_applied: d.events_applied,
-        mean_swap_cost: d.mean_swap_cost(),
-        max_swap_cost: d.changed_paths_max,
-        chains_touched: d.chains_touched_total,
-        pair_count: d.pair_count,
-    });
-    RunnerOutput {
-        report: Report {
-            scenario: scenario_name,
-            backend: backend_name,
-            hosts,
-            duration_s: total_end.as_secs_f64(),
-            flows: reports.into_iter().flatten().collect(),
-            links,
-            metadata_bytes,
-            metadata_per_host,
-            convergence,
-            dynamics,
-        },
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn handle_completion(
+pub(crate) fn handle_completion(
     rt: &mut Runtime<AnyDataplane>,
     owner: &mut HashMap<FlowId, usize>,
     state: &mut State,
@@ -455,7 +349,7 @@ fn per_second_vec(per_second: &HashMap<u64, u64>, start: SimTime, end: SimTime) 
         .collect()
 }
 
-fn finalize(
+pub(crate) fn finalize(
     rt: &mut Runtime<AnyDataplane>,
     w: &ResolvedWorkload,
     state: State,
@@ -607,7 +501,7 @@ fn finalize(
     (report, demands)
 }
 
-fn endpoint_names(workload: &Workload) -> (String, String) {
+pub(crate) fn endpoint_names(workload: &Workload) -> (String, String) {
     use crate::workload::WorkloadKind::*;
     match &workload.kind {
         IperfTcp { client, server, .. } | IperfUdp { client, server, .. } => {
@@ -624,7 +518,7 @@ fn endpoint_names(workload: &Workload) -> (String, String) {
     }
 }
 
-fn link_reports(rt: &Runtime<AnyDataplane>, demands: &[LinkDemand]) -> Vec<LinkReport> {
+pub(crate) fn link_reports(rt: &Runtime<AnyDataplane>, demands: &[LinkDemand]) -> Vec<LinkReport> {
     let collapsed = rt.dataplane.collapsed();
     let mut offered: HashMap<u32, f64> = HashMap::new();
     for demand in demands {

@@ -1,0 +1,1199 @@
+//! The live, resumable execution engine behind [`crate::Scenario`].
+//!
+//! A [`Session`] is a running experiment you can hold in your hand:
+//! [`Session::step`] and [`Session::run_until`] advance the virtual clock
+//! in increments, [`Session::pause`]/[`Session::resume`] gate it, live
+//! accessors ([`Session::clock`], [`Session::flow_progress`],
+//! [`Session::link_loads`], [`Session::convergence`]) expose the running
+//! state, attached [`Sink`]s stream typed [`TelemetryEvent`]s and periodic
+//! [`crate::Sample`]s, and the steering calls
+//! ([`Session::inject_workload`], [`Session::inject_event`],
+//! [`Session::inject_churn`]) change the experiment *while it runs* —
+//! extending the precomputed snapshot timeline incrementally instead of
+//! rebuilding it.
+//!
+//! The one-shot [`crate::Scenario::run`] is a thin wrapper:
+//! `scenario.session()?.finish()`. The engine dispatches workload events
+//! (completion re-arming, window finalization) at exactly the same
+//! instants whether the clock is driven in one go or in arbitrary user
+//! steps: runtime events that fall between dispatch points are buffered
+//! and handled at the next dispatch point, so a stepped session is
+//! **byte-identical** to the one-shot path (pinned by a property test).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use kollaps_core::runtime::{Runtime, RuntimeEvent};
+use kollaps_netmodel::packet::FlowId;
+use kollaps_sim::prelude::*;
+use kollaps_topology::events::{DynamicAction, DynamicEvent, EventSchedule};
+use kollaps_topology::model::Topology;
+
+use crate::backend::AnyDataplane;
+use crate::report::{ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, Report};
+use crate::runner::{self, LinkDemand, ResolvedWorkload, State};
+use crate::telemetry::{FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
+use crate::workload::Workload;
+use crate::{Churn, ScenarioError};
+
+/// Everything that can go wrong while driving or steering a live session.
+///
+/// Scenario *composition* problems keep their typed [`ScenarioError`]
+/// (wrapped in [`SessionError::Invalid`]); the variants here are the
+/// session-lifecycle failures that cannot exist in the one-shot world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The session is paused; call [`Session::resume`] first.
+    Paused,
+    /// An injected event or churn spec targets a time the session clock
+    /// has already passed — the emulated past cannot be rewritten.
+    PastInjection {
+        /// Requested effect time, seconds since scenario start.
+        at_s: f64,
+        /// The session clock at injection, seconds since scenario start.
+        now_s: f64,
+    },
+    /// The injected workload, event or churn spec failed validation
+    /// against the running scenario (unknown node, unsupported backend,
+    /// invalid spec, ...).
+    Invalid(ScenarioError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Paused => write!(f, "session is paused; resume() before stepping"),
+            SessionError::PastInjection { at_s, now_s } => write!(
+                f,
+                "cannot inject at t={at_s}s: the session clock is already at {now_s}s"
+            ),
+            SessionError::Invalid(e) => write!(f, "invalid injection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ScenarioError> for SessionError {
+    fn from(e: ScenarioError) -> Self {
+        SessionError::Invalid(e)
+    }
+}
+
+/// Construction bundle handed from the scenario builder to the session
+/// (the builder validated everything; the session only runs it).
+pub(crate) struct SessionInit {
+    pub scenario_name: String,
+    pub backend_name: String,
+    pub hosts: usize,
+    pub topology: Topology,
+    pub dataplane: AnyDataplane,
+    pub workloads: Vec<ResolvedWorkload>,
+    pub total_end: SimTime,
+    pub duration_capped: bool,
+    pub step: SimDuration,
+    pub sample_interval: Option<SimDuration>,
+}
+
+/// A live experiment: the resumable state the one-shot runner used to keep
+/// on its stack; the module-level docs above state the stepping contract.
+pub struct Session {
+    rt: Runtime<AnyDataplane>,
+    scenario_name: String,
+    backend_name: String,
+    hosts: usize,
+    /// The declared (base) topology — the universe workload endpoints are
+    /// validated and resolved against, injected ones included.
+    topology: Topology,
+    workloads: Vec<ResolvedWorkload>,
+    states: Vec<State>,
+    owner: HashMap<FlowId, usize>,
+    reports: Vec<Option<FlowReport>>,
+    /// Last live progress of finalized workloads (their runtime state is
+    /// consumed by finalization, so the final view is snapshotted).
+    final_progress: Vec<Option<FlowProgress>>,
+    started_emitted: Vec<bool>,
+    demands: Vec<LinkDemand>,
+    /// Times the clock must land on exactly: workload window edges.
+    boundaries: Vec<SimTime>,
+    /// The last event-dispatch point (the one-shot loop's `now`).
+    dispatched: SimTime,
+    /// The session clock; `>= dispatched` (strictly greater when a user
+    /// step stopped between dispatch points).
+    cursor: SimTime,
+    total_end: SimTime,
+    /// `true` when an explicit `Scenario::duration` cap fixed `total_end`
+    /// (injected workloads are then clipped instead of extending it).
+    duration_capped: bool,
+    step: SimDuration,
+    sample_interval: Option<SimDuration>,
+    next_sample: SimTime,
+    paused: bool,
+    sinks: Vec<Box<dyn Sink>>,
+    /// Runtime events collected between dispatch points; handled at the
+    /// next dispatch point so stepping granularity cannot change outcomes.
+    pending: Vec<RuntimeEvent>,
+    /// Telemetry watermarks (what has already been reported to sinks).
+    seen_snapshots: usize,
+    seen_metadata_bytes: u64,
+    oversubscribed: HashSet<u32>,
+}
+
+impl Session {
+    pub(crate) fn new(init: SessionInit) -> Self {
+        let SessionInit {
+            scenario_name,
+            backend_name,
+            hosts,
+            topology,
+            dataplane,
+            workloads,
+            total_end,
+            duration_capped,
+            step,
+            sample_interval,
+        } = init;
+        let mut rt = Runtime::new(dataplane);
+        let mut owner = HashMap::new();
+        let mut states = Vec::with_capacity(workloads.len());
+        for (idx, w) in workloads.iter().enumerate() {
+            states.push(runner::register_workload(&mut rt, &mut owner, idx, w));
+        }
+        let mut boundaries: Vec<SimTime> = workloads
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .chain(std::iter::once(total_end))
+            .collect();
+        boundaries.sort();
+        boundaries.dedup();
+        let n = workloads.len();
+        Session {
+            rt,
+            scenario_name,
+            backend_name,
+            hosts,
+            topology,
+            workloads,
+            states,
+            owner,
+            reports: (0..n).map(|_| None).collect(),
+            final_progress: (0..n).map(|_| None).collect(),
+            started_emitted: vec![false; n],
+            demands: Vec::new(),
+            boundaries,
+            dispatched: SimTime::ZERO,
+            cursor: SimTime::ZERO,
+            total_end,
+            duration_capped,
+            step,
+            sample_interval,
+            next_sample: sample_interval
+                .map(|i| SimTime::ZERO + i)
+                .unwrap_or(SimTime::MAX),
+            paused: false,
+            sinks: Vec::new(),
+            pending: Vec::new(),
+            seen_snapshots: 0,
+            seen_metadata_bytes: 0,
+            oversubscribed: HashSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock driving
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of the session.
+    pub fn clock(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// When the experiment timeline ends (grows if an injected workload
+    /// outlives every declared one and no duration cap was set).
+    pub fn end(&self) -> SimTime {
+        self.total_end
+    }
+
+    /// Pauses the session: [`Session::step`] and [`Session::run_until`]
+    /// fail with [`SessionError::Paused`] until [`Session::resume`].
+    /// Steering and the live accessors keep working while paused.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Clears a [`Session::pause`].
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// `true` while the session is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Advances the clock by `dt` (clipped to the end of the experiment)
+    /// and returns the new clock.
+    pub fn step(&mut self, dt: SimDuration) -> Result<SimTime, SessionError> {
+        let target = (self.cursor + dt).min(self.total_end);
+        self.advance(target)?;
+        Ok(self.cursor)
+    }
+
+    /// Advances the clock to `deadline` (clipped to the end of the
+    /// experiment) and returns the new clock.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<SimTime, SessionError> {
+        self.advance(deadline.min(self.total_end))?;
+        Ok(self.cursor)
+    }
+
+    /// Runs whatever remains of the timeline, finalizes every workload and
+    /// returns the structured [`Report`] — exactly what the one-shot
+    /// [`crate::Scenario::run`] returns. An active pause is released (finishing
+    /// *is* the resume).
+    pub fn finish(mut self) -> Report {
+        self.paused = false;
+        self.advance(self.total_end)
+            .expect("an unpaused session always advances");
+        // Safety net: windows clipped exactly to the end are finalized by
+        // the last dispatch; anything left (zero-length timeline) ends
+        // here.
+        for idx in 0..self.workloads.len() {
+            if !matches!(self.states[idx], State::Done) {
+                self.finalize_workload(idx);
+            }
+        }
+        self.build_report()
+    }
+
+    /// The clock-driving core. Dispatch points are computed exactly like
+    /// the pre-session one-shot loop computed its slice ends (step
+    /// interval, clipped to the next window boundary and the experiment
+    /// end), independent of how callers slice their steps: a step that
+    /// stops between dispatch points buffers runtime events and handles
+    /// them when the dispatch point is eventually reached. Sampling
+    /// instants pause the clock the same way a user step does — the sample
+    /// is taken **without** dispatching, so enabling observability cannot
+    /// perturb the experiment's results.
+    fn advance(&mut self, target: SimTime) -> Result<(), SessionError> {
+        if self.paused {
+            return Err(SessionError::Paused);
+        }
+        while self.cursor < target {
+            let next = self.next_dispatch();
+            // A due sampling instant strictly before the next dispatch
+            // point: stop there exactly like a user step would, observe,
+            // and continue. Coinciding instants sample right after the
+            // dispatch (the `<` keeps dispatch first).
+            if let Some(interval) = self.sample_interval {
+                if self.next_sample <= target && self.next_sample < next {
+                    let at = self.next_sample;
+                    if at > self.cursor {
+                        let events = self.rt.run_until(at);
+                        self.pending.extend(events);
+                        self.cursor = at;
+                    }
+                    self.take_sample(at);
+                    while self.next_sample <= at {
+                        self.next_sample += interval;
+                    }
+                    continue;
+                }
+            }
+            if next <= target {
+                let events = self.rt.run_until(next);
+                self.pending.extend(events);
+                self.dispatch(next);
+                if let Some(interval) = self.sample_interval {
+                    if self.next_sample == next {
+                        self.take_sample(next);
+                        while self.next_sample <= next {
+                            self.next_sample += interval;
+                        }
+                    }
+                }
+            } else {
+                let events = self.rt.run_until(target);
+                self.pending.extend(events);
+                self.cursor = target;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The next event-dispatch instant after the last one.
+    fn next_dispatch(&self) -> SimTime {
+        let mut next = self.dispatched + self.step;
+        if let Some(&b) = self.boundaries.iter().find(|&&b| b > self.dispatched) {
+            next = next.min(b);
+        }
+        next.min(self.total_end)
+    }
+
+    /// One event-dispatch round at `now`: handle buffered completions,
+    /// finalize windows that closed, emit telemetry and samples.
+    fn dispatch(&mut self, now: SimTime) {
+        for event in std::mem::take(&mut self.pending) {
+            if let RuntimeEvent::TcpCompleted { flow, at } = event {
+                let Some(&idx) = self.owner.get(&flow) else {
+                    continue;
+                };
+                runner::handle_completion(
+                    &mut self.rt,
+                    &mut self.owner,
+                    &mut self.states[idx],
+                    idx,
+                    flow,
+                    at,
+                    &self.workloads,
+                );
+            }
+        }
+        self.dispatched = now;
+        self.cursor = now;
+        for idx in 0..self.workloads.len() {
+            if !self.started_emitted[idx] && self.workloads[idx].start <= now {
+                self.started_emitted[idx] = true;
+                if !self.sinks.is_empty() {
+                    let w = &self.workloads[idx];
+                    let (client, server) = runner::endpoint_names(&w.workload);
+                    let event = TelemetryEvent::FlowStarted {
+                        at_s: w.start.as_secs_f64(),
+                        workload: w.workload.label().to_string(),
+                        client,
+                        server,
+                    };
+                    self.emit(&event);
+                }
+            }
+        }
+        for idx in 0..self.workloads.len() {
+            if self.workloads[idx].end == now && !matches!(self.states[idx], State::Done) {
+                self.finalize_workload(idx);
+            }
+        }
+        self.dataplane_telemetry();
+    }
+
+    /// Finalizes workload `idx` into its [`FlowReport`], snapshotting the
+    /// live progress first (finalization consumes the runtime state).
+    fn finalize_workload(&mut self, idx: usize) {
+        let progress = FlowProgress {
+            status: FlowStatus::Finished,
+            ..self.progress_of(idx)
+        };
+        let state = std::mem::replace(&mut self.states[idx], State::Done);
+        let (report, flow_demands) = runner::finalize(&mut self.rt, &self.workloads[idx], state);
+        self.demands.extend(flow_demands);
+        if !self.sinks.is_empty() {
+            let event = TelemetryEvent::FlowFinished {
+                at_s: self.workloads[idx].end.as_secs_f64(),
+                report: report.clone(),
+            };
+            self.emit(&event);
+        }
+        self.reports[idx] = Some(report);
+        self.final_progress[idx] = Some(progress);
+    }
+
+    /// Detects and reports dataplane-side occurrences since the last
+    /// dispatch: applied topology changes, oversubscription transitions
+    /// and metadata put on the physical network.
+    fn dataplane_telemetry(&mut self) {
+        let want = !self.sinks.is_empty();
+        let mut events: Vec<TelemetryEvent> = Vec::new();
+        if let Some(dp) = self.rt.dataplane.kollaps() {
+            let applied = dp.dynamics().snapshots_applied;
+            if applied > self.seen_snapshots {
+                if want {
+                    for delta in &dp.timeline().deltas()[self.seen_snapshots..applied] {
+                        events.push(TelemetryEvent::DynamicEventApplied {
+                            at_s: delta.at.as_secs_f64(),
+                            events: delta.events,
+                            changed_paths: delta.swap_cost(),
+                        });
+                    }
+                }
+                self.seen_snapshots = applied;
+            }
+            let at_s = self.cursor.as_secs_f64();
+            let current: HashSet<u32> = dp.oversubscribed_links().iter().map(|l| l.0).collect();
+            if current != self.oversubscribed {
+                if want {
+                    let mut onset: Vec<u32> =
+                        current.difference(&self.oversubscribed).copied().collect();
+                    onset.sort_unstable();
+                    let mut cleared: Vec<u32> =
+                        self.oversubscribed.difference(&current).copied().collect();
+                    cleared.sort_unstable();
+                    for link in onset {
+                        events.push(TelemetryEvent::OversubscriptionOnset { at_s, link });
+                    }
+                    for link in cleared {
+                        events.push(TelemetryEvent::OversubscriptionCleared { at_s, link });
+                    }
+                }
+                self.oversubscribed = current;
+            }
+            let total = dp.metadata_accounting().total_network_bytes();
+            if total > self.seen_metadata_bytes {
+                if want {
+                    events.push(TelemetryEvent::MetadataDelivered {
+                        at_s,
+                        bytes: total - self.seen_metadata_bytes,
+                    });
+                }
+                self.seen_metadata_bytes = total;
+            }
+        }
+        for event in &events {
+            self.emit(event);
+        }
+    }
+
+    /// Delivers one periodic sample at `now` (a non-dispatching
+    /// observation stop inserted by [`Session::advance`]).
+    fn take_sample(&mut self, now: SimTime) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let sample = Sample {
+            at_s: now.as_secs_f64(),
+            flows: self.flow_progress(),
+            links: self.link_loads(),
+            convergence_gap: self.rt.dataplane.convergence().map(|c| c.last_gap),
+        };
+        for sink in &mut self.sinks {
+            sink.on_sample(&sample);
+        }
+    }
+
+    fn emit(&mut self, event: &TelemetryEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Live accessors
+    // ------------------------------------------------------------------
+
+    /// Attaches a telemetry sink. Sinks receive every subsequent
+    /// [`TelemetryEvent`] (and periodic samples, when the scenario set a
+    /// sample interval) synchronously, in attachment order.
+    pub fn attach_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Point-in-time progress of every workload, in declaration order
+    /// (injected workloads append).
+    pub fn flow_progress(&self) -> Vec<FlowProgress> {
+        (0..self.workloads.len())
+            .map(|idx| self.progress_of(idx))
+            .collect()
+    }
+
+    fn progress_of(&self, idx: usize) -> FlowProgress {
+        if let Some(done) = &self.final_progress[idx] {
+            return done.clone();
+        }
+        let w = &self.workloads[idx];
+        let (client, server) = runner::endpoint_names(&w.workload);
+        let status = if self.cursor < w.start {
+            FlowStatus::Pending
+        } else {
+            FlowStatus::Running
+        };
+        let (bytes, replies, requests) = match &self.states[idx] {
+            State::IperfTcp { flow } => (self.rt.tcp_received_bytes(*flow), 0, 0),
+            State::IperfUdp { flow } => (self.rt.udp_delivered_bytes(*flow), 0, 0),
+            State::Ping { flow } => (0, self.rt.ping_rtts(*flow).map(|s| s.len()).unwrap_or(0), 0),
+            State::Wrk2 {
+                requests,
+                bytes_per_client,
+                ..
+            }
+            | State::Curl {
+                requests,
+                bytes_per_client,
+                ..
+            } => (bytes_per_client.iter().sum(), 0, *requests),
+            State::Memcached { probes, .. } => (
+                0,
+                probes
+                    .iter()
+                    .map(|&p| self.rt.ping_rtts(p).map(|s| s.len()).unwrap_or(0))
+                    .sum(),
+                0,
+            ),
+            State::Done => (0, 0, 0),
+        };
+        FlowProgress {
+            workload: w.workload.label().to_string(),
+            client,
+            server,
+            status,
+            start_s: w.start.as_secs_f64(),
+            end_s: w.end.as_secs_f64(),
+            bytes,
+            replies,
+            requests,
+        }
+    }
+
+    /// Live offered load per original-topology link, from the emulation
+    /// managers' most recent loop iteration (Kollaps backend only; empty
+    /// otherwise).
+    pub fn link_loads(&self) -> Vec<LinkLoad> {
+        self.rt
+            .dataplane
+            .live_link_usage()
+            .into_iter()
+            .map(|(link, offered_mbps, capacity_mbps)| LinkLoad {
+                link,
+                capacity_mbps,
+                offered_mbps,
+                utilization: if capacity_mbps.is_finite() && capacity_mbps > 0.0 {
+                    offered_mbps / capacity_mbps
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// How close the decentralized enforcement has tracked the omniscient
+    /// allocation so far (Kollaps backend only).
+    pub fn convergence(&self) -> Option<ConvergenceReport> {
+        self.rt.dataplane.convergence().map(|c| ConvergenceReport {
+            last_gap: c.last_gap,
+            max_gap: c.max_gap,
+            mean_gap: c.mean_gap(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Live steering
+    // ------------------------------------------------------------------
+
+    /// Injects a workload into the running session. The workload is
+    /// validated against the scenario topology exactly like a declared
+    /// one; its start is clamped forward to the current clock (an injected
+    /// workload cannot start in the past), and — unless the scenario set
+    /// an explicit duration cap — the experiment end grows to cover its
+    /// window.
+    pub fn inject_workload(&mut self, workload: Workload) -> Result<(), SessionError> {
+        let unknown =
+            crate::unknown_workload_names(&self.topology, std::slice::from_ref(&workload));
+        if !unknown.is_empty() {
+            return Err(SessionError::Invalid(ScenarioError::UnknownNodes {
+                names: unknown,
+            }));
+        }
+        crate::validate_workload(&self.topology, &workload)?;
+        let mut resolved =
+            crate::resolve_workload(&self.topology, &self.rt.dataplane, workload, SimTime::MAX)?;
+        resolved.start = resolved.start.max(self.cursor);
+        resolved.end = resolved.start + resolved.workload.effective_duration();
+        if self.duration_capped {
+            // A capped timeline clips the window; a window clipped to
+            // nothing would register a phantom flow that can never run.
+            if resolved.start >= self.total_end {
+                return Err(SessionError::Invalid(ScenarioError::InvalidWorkload {
+                    reason: format!(
+                        "injected workload window starts at {:.3}s, at or beyond the \
+                         scenario duration cap of {:.3}s",
+                        resolved.start.as_secs_f64(),
+                        self.total_end.as_secs_f64()
+                    ),
+                }));
+            }
+            resolved.end = resolved.end.min(self.total_end);
+        } else if resolved.end > self.total_end {
+            self.total_end = resolved.end;
+            self.add_boundary(resolved.end);
+        }
+        let idx = self.workloads.len();
+        let state = runner::register_workload(&mut self.rt, &mut self.owner, idx, &resolved);
+        self.add_boundary(resolved.start);
+        self.add_boundary(resolved.end);
+        if !self.sinks.is_empty() {
+            let event = TelemetryEvent::WorkloadInjected {
+                at_s: self.cursor.as_secs_f64(),
+                workload: resolved.workload.label().to_string(),
+                start_s: resolved.start.as_secs_f64(),
+            };
+            self.emit(&event);
+        }
+        self.workloads.push(resolved);
+        self.states.push(state);
+        self.reports.push(None);
+        self.final_progress.push(None);
+        self.started_emitted.push(false);
+        Ok(())
+    }
+
+    /// Injects a dynamic topology event into the running session. The
+    /// event must lie strictly in the future of the clock, its node names
+    /// are validated against the topology *as evolved* at that time, and
+    /// the precomputed snapshot timeline is extended **incrementally** —
+    /// an injected event produces exactly the snapshots (and therefore
+    /// exactly the emulation) the same event declared up front would have.
+    pub fn inject_event(&mut self, event: DynamicEvent) -> Result<(), SessionError> {
+        let mut schedule = EventSchedule::new();
+        schedule.push(event);
+        self.inject_schedule(schedule, true)?;
+        Ok(())
+    }
+
+    /// Expands a churn generator against the topology as evolved at the
+    /// current clock and injects the resulting events. **Every** generated
+    /// event must lie in the clock's future (give the spec a
+    /// [`Churn::start`] at or after the clock): a generator's events are
+    /// causally paired (partition/heal, link down/up), so silently
+    /// dropping a past half would corrupt the topology — a half-past
+    /// schedule is rejected whole with [`SessionError::PastInjection`].
+    /// Returns how many events were injected.
+    pub fn inject_churn(&mut self, churn: Churn) -> Result<usize, SessionError> {
+        let now = self.cursor.saturating_since(SimTime::ZERO);
+        let evolved = self
+            .kollaps_or_unsupported("churn injection")?
+            .timeline()
+            .topology_at(now);
+        let generated = churn
+            .generate(&evolved)
+            .map_err(|e| SessionError::Invalid(e.into()))?;
+        if generated.is_empty() {
+            return Ok(0);
+        }
+        let injected = generated.len();
+        // The generator already validated names; `inject_schedule` rejects
+        // the whole batch if any event lies at or before the clock.
+        self.inject_schedule(generated, false)?;
+        Ok(injected)
+    }
+
+    /// Shared injection path: checks the backend, rejects past times,
+    /// optionally validates node names, extends the timeline.
+    fn inject_schedule(
+        &mut self,
+        schedule: EventSchedule,
+        validate_names: bool,
+    ) -> Result<(), SessionError> {
+        self.kollaps_or_unsupported("dynamic event injection")?;
+        for event in schedule.events() {
+            if SimTime::ZERO + event.at <= self.cursor {
+                return Err(SessionError::PastInjection {
+                    at_s: event.at.as_secs_f64(),
+                    now_s: self.cursor.as_secs_f64(),
+                });
+            }
+        }
+        if validate_names {
+            let dp = self.rt.dataplane.kollaps().expect("checked above");
+            for event in schedule.events() {
+                let topo = dp.timeline().topology_at(event.at);
+                validate_action(&topo, &event.action)?;
+            }
+        }
+        let now = self.cursor;
+        let dp = self.rt.dataplane.kollaps_mut().expect("checked above");
+        let derived = dp.extend_timeline(now, &schedule);
+        if !self.sinks.is_empty() {
+            let event = TelemetryEvent::EventsInjected {
+                at_s: now.as_secs_f64(),
+                events: schedule.len(),
+                deltas_derived: derived,
+            };
+            self.emit(&event);
+        }
+        Ok(())
+    }
+
+    fn kollaps_or_unsupported(
+        &self,
+        what: &str,
+    ) -> Result<&kollaps_core::emulation::KollapsDataplane, SessionError> {
+        self.rt.dataplane.kollaps().ok_or_else(|| {
+            SessionError::Invalid(ScenarioError::UnsupportedBackend {
+                backend: self.backend_name.clone(),
+                reason: format!("{what} requires the Kollaps emulation manager"),
+            })
+        })
+    }
+
+    fn add_boundary(&mut self, t: SimTime) {
+        if let Err(i) = self.boundaries.binary_search(&t) {
+            self.boundaries.insert(i, t);
+        }
+    }
+
+    /// Assembles the final [`Report`] (the tail of the old one-shot
+    /// runner, verbatim).
+    fn build_report(&mut self) -> Report {
+        let links = runner::link_reports(&self.rt, &self.demands);
+        let metadata_bytes = self.rt.dataplane.metadata_network_bytes();
+        let metadata_per_host = self
+            .rt
+            .dataplane
+            .metadata_per_host()
+            .into_iter()
+            .map(|(host, sent_bytes, received_bytes)| HostMetadata {
+                host,
+                sent_bytes,
+                received_bytes,
+            })
+            .collect();
+        let convergence = self.rt.dataplane.convergence().map(|c| ConvergenceReport {
+            last_gap: c.last_gap,
+            max_gap: c.max_gap,
+            mean_gap: c.mean_gap(),
+        });
+        let dynamics = self.rt.dataplane.dynamics().map(|d| DynamicsReport {
+            precompute_micros: d.precompute_micros,
+            snapshots_precomputed: d.snapshots_precomputed,
+            snapshots_applied: d.snapshots_applied,
+            events_applied: d.events_applied,
+            mean_swap_cost: d.mean_swap_cost(),
+            max_swap_cost: d.changed_paths_max,
+            chains_touched: d.chains_touched_total,
+            pair_count: d.pair_count,
+        });
+        Report {
+            scenario: std::mem::take(&mut self.scenario_name),
+            backend: std::mem::take(&mut self.backend_name),
+            hosts: self.hosts,
+            duration_s: self.total_end.as_secs_f64(),
+            flows: std::mem::take(&mut self.reports)
+                .into_iter()
+                .flatten()
+                .collect(),
+            links,
+            metadata_bytes,
+            metadata_per_host,
+            convergence,
+            dynamics,
+        }
+    }
+}
+
+/// Validates the node names a dynamic action references against a concrete
+/// topology ([`DynamicAction::NodeJoin`] legitimately names an absent
+/// node, so it is exempt).
+fn validate_action(topology: &Topology, action: &DynamicAction) -> Result<(), SessionError> {
+    let check = |name: &String| -> Result<(), SessionError> {
+        if topology.node_by_name(name).is_none() {
+            return Err(SessionError::Invalid(ScenarioError::UnknownNode {
+                name: name.clone(),
+            }));
+        }
+        Ok(())
+    };
+    match action {
+        DynamicAction::SetLinkProperties { orig, dest, .. }
+        | DynamicAction::LinkJoin { orig, dest, .. }
+        | DynamicAction::LinkLeave { orig, dest } => {
+            check(orig)?;
+            check(dest)
+        }
+        DynamicAction::NodeLeave { name } => check(name),
+        DynamicAction::NodeJoin { .. } => Ok(()),
+    }
+}
+
+// The session's own behavioural tests live here; the equivalence property
+// (stepped session == one-shot run, churn included) is pinned in
+// `tests/properties.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Scenario, Workload};
+    use kollaps_topology::events::LinkChange;
+    use kollaps_topology::generators;
+
+    fn p2p(mbps: u64) -> Topology {
+        let (topo, _, _) = generators::point_to_point(
+            Bandwidth::from_mbps(mbps),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+        );
+        topo
+    }
+
+    fn base(mbps: u64) -> Scenario {
+        Scenario::from_topology(p2p(mbps)).workload(
+            Workload::iperf_udp("client", "server", Bandwidth::from_mbps(10))
+                .duration(SimDuration::from_secs(4)),
+        )
+    }
+
+    #[test]
+    fn stepping_advances_the_clock_and_finish_reports() {
+        let mut session = base(50).session().expect("valid scenario");
+        assert_eq!(session.clock(), SimTime::ZERO);
+        assert_eq!(session.end(), SimTime::from_secs(4));
+        let at = session.step(SimDuration::from_millis(1500)).unwrap();
+        assert_eq!(at, SimTime::from_millis(1500));
+        // Stepping past the end clips to it.
+        let at = session.step(SimDuration::from_secs(60)).unwrap();
+        assert_eq!(at, SimTime::from_secs(4));
+        let report = session.finish();
+        assert_eq!(report.flows.len(), 1);
+        assert!(report.flows[0].goodput_mbps.unwrap() > 8.0);
+    }
+
+    #[test]
+    fn pause_gates_the_clock_but_not_the_accessors() {
+        let mut session = base(50).session().unwrap();
+        session.run_until(SimTime::from_secs(1)).unwrap();
+        session.pause();
+        assert!(session.is_paused());
+        assert_eq!(
+            session.step(SimDuration::from_secs(1)).unwrap_err(),
+            SessionError::Paused
+        );
+        // The live view still works while paused.
+        let progress = session.flow_progress();
+        assert_eq!(progress.len(), 1);
+        assert_eq!(progress[0].status, FlowStatus::Running);
+        assert!(progress[0].bytes > 0);
+        session.resume();
+        assert_eq!(
+            session.step(SimDuration::from_secs(1)).unwrap(),
+            SimTime::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn live_accessors_track_the_run() {
+        let mut session = base(20).session().unwrap();
+        session.run_until(SimTime::from_secs(2)).unwrap();
+        let loads = session.link_loads();
+        assert!(!loads.is_empty(), "live link loads while traffic flows");
+        assert!(loads.iter().any(|l| l.offered_mbps > 5.0), "{loads:?}");
+        assert!(session.convergence().is_some());
+        let report = session.finish();
+        assert!(report.flows[0].goodput_mbps.is_some());
+    }
+
+    #[test]
+    fn injected_workload_runs_and_extends_the_timeline_end() {
+        let mut session = base(50).session().unwrap();
+        session.run_until(SimTime::from_secs(2)).unwrap();
+        session
+            .inject_workload(
+                Workload::ping("client", "server")
+                    .count(10)
+                    .interval(SimDuration::from_millis(100))
+                    .duration(SimDuration::from_secs(3)),
+            )
+            .expect("valid injection");
+        // The injected window starts at the clock (2 s) and runs 3 s; the
+        // experiment end grows from 4 s to 5 s.
+        assert_eq!(session.end(), SimTime::from_secs(5));
+        let report = session.finish();
+        assert_eq!(report.flows.len(), 2);
+        let ping = report.flows_of("ping").next().unwrap();
+        assert!((ping.start_s - 2.0).abs() < 1e-9, "{}", ping.start_s);
+        assert_eq!(ping.rtt.as_ref().unwrap().replies, 10);
+        assert!((report.duration_s - 5.0).abs() < 1e-9);
+    }
+
+    /// A sample interval finer than the dispatch step must still deliver
+    /// every sample at its exact nominal time — and because samples are
+    /// non-dispatching observation stops, enabling them must not change
+    /// the experiment's results at all.
+    #[test]
+    fn fine_grained_sampling_delivers_every_sample_without_perturbing() {
+        struct Counter(std::rc::Rc<std::cell::RefCell<Vec<f64>>>);
+        impl Sink for Counter {
+            fn on_sample(&mut self, sample: &Sample) {
+                self.0.borrow_mut().push(sample.at_s);
+            }
+        }
+        let times = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut session = base(50)
+            .sample_interval(SimDuration::from_millis(25))
+            .session()
+            .unwrap();
+        session.attach_sink(Box::new(Counter(std::rc::Rc::clone(&times))));
+        let sampled = session.finish();
+        let times = times.borrow();
+        // 4 s at 25 ms: samples at 0.025, 0.050, ..., 4.000.
+        assert_eq!(times.len(), 160, "{times:?}");
+        assert!((times[0] - 0.025).abs() < 1e-9);
+        assert!((times[159] - 4.0).abs() < 1e-9);
+        // Observability is free: the sampled run reports exactly what the
+        // unsampled one does. (Normalize the one wall-clock field in case
+        // the base scenario ever grows a dynamics block.)
+        let plain = base(50).run().unwrap();
+        let normalized = |mut r: Report| {
+            if let Some(d) = r.dynamics.as_mut() {
+                d.precompute_micros = 0;
+            }
+            r.to_json_string()
+        };
+        assert_eq!(normalized(sampled), normalized(plain));
+    }
+
+    #[test]
+    fn injection_beyond_a_duration_cap_is_rejected() {
+        let mut session = base(50)
+            .duration(SimDuration::from_secs(2))
+            .session()
+            .unwrap();
+        session.run_until(SimTime::from_secs(2)).unwrap();
+        let err = session
+            .inject_workload(Workload::ping("client", "server"))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Invalid(ScenarioError::InvalidWorkload { .. })
+            ),
+            "{err}"
+        );
+        let report = session.finish();
+        assert_eq!(report.flows.len(), 1, "no phantom flow was registered");
+    }
+
+    #[test]
+    fn injected_workloads_are_validated() {
+        let mut session = base(50).session().unwrap();
+        let err = session
+            .inject_workload(Workload::ping("client", "ghost"))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SessionError::Invalid(ScenarioError::UnknownNodes { names })
+                    if names == &["ghost".to_string()]
+            ),
+            "{err}"
+        );
+        let err = session
+            .inject_workload(Workload::iperf_tcp("client", "client"))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Invalid(ScenarioError::InvalidWorkload { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn injected_events_are_validated_and_change_the_emulation() {
+        let scenario = Scenario::from_topology(p2p(100)).workload(
+            Workload::ping("client", "server")
+                .count(40)
+                .interval(SimDuration::from_millis(100))
+                .duration(SimDuration::from_secs(4)),
+        );
+        let mut session = scenario.session().unwrap();
+        session.run_until(SimTime::from_secs(1)).unwrap();
+        // Past times are rejected.
+        let past = DynamicEvent {
+            at: SimDuration::from_millis(500),
+            action: DynamicAction::SetLinkProperties {
+                orig: "client".into(),
+                dest: "server".into(),
+                change: LinkChange::default(),
+            },
+        };
+        assert!(matches!(
+            session.inject_event(past).unwrap_err(),
+            SessionError::PastInjection { .. }
+        ));
+        // Unknown names are rejected.
+        let ghost = DynamicEvent {
+            at: SimDuration::from_secs(2),
+            action: DynamicAction::LinkLeave {
+                orig: "ghost".into(),
+                dest: "server".into(),
+            },
+        };
+        assert!(matches!(
+            session.inject_event(ghost).unwrap_err(),
+            SessionError::Invalid(ScenarioError::UnknownNode { .. })
+        ));
+        // A valid latency change applies mid-run.
+        session
+            .inject_event(DynamicEvent {
+                at: SimDuration::from_secs(2),
+                action: DynamicAction::SetLinkProperties {
+                    orig: "client".into(),
+                    dest: "server".into(),
+                    change: LinkChange {
+                        latency: Some(SimDuration::from_millis(60)),
+                        ..LinkChange::default()
+                    },
+                },
+            })
+            .expect("valid injection");
+        let report = session.finish();
+        let rtt = report.flows[0].rtt.as_ref().unwrap();
+        assert!(rtt.min_ms < 25.0, "pre-change RTT: {}", rtt.min_ms);
+        assert!(rtt.max_ms > 100.0, "post-change RTT: {}", rtt.max_ms);
+        assert_eq!(report.dynamics.unwrap().events_applied, 1);
+    }
+
+    #[test]
+    fn injected_churn_expands_against_the_evolved_topology() {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let scenario = Scenario::from_topology(topo).workload(
+            Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(20))
+                .duration(SimDuration::from_secs(8)),
+        );
+        let mut session = scenario.session().unwrap();
+        session.run_until(SimTime::from_secs(1)).unwrap();
+        let injected = session
+            .inject_churn(
+                Churn::partition(&["bridge-left"], &["bridge-right"])
+                    .start(SimDuration::from_secs(3))
+                    .heal_after(Some(SimDuration::from_secs(2))),
+            )
+            .expect("valid churn");
+        assert_eq!(injected, 2, "partition + heal");
+        // A spec whose schedule reaches into the past is rejected whole:
+        // injecting only the future half (the heal without the partition)
+        // would corrupt the topology.
+        let err = session
+            .inject_churn(
+                Churn::partition(&["bridge-left"], &["bridge-right"])
+                    .start(SimDuration::from_millis(500))
+                    .heal_after(Some(SimDuration::from_secs(2))),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::PastInjection { .. }), "{err}");
+        // A bogus spec is a typed error.
+        let err = session
+            .inject_churn(Churn::poisson_flaps(&[("ghost", "server-0")]))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Invalid(ScenarioError::InvalidChurn { .. })
+            ),
+            "{err}"
+        );
+        let report = session.finish();
+        let dynamics = report.dynamics.expect("injected churn reports dynamics");
+        assert_eq!(dynamics.events_applied, 2);
+        // The partition bites: goodput lands well below the uninterrupted
+        // 20 Mb/s.
+        let mbps = report.flows[0].goodput_mbps.unwrap();
+        assert!((12.0..=17.5).contains(&mbps), "goodput {mbps}");
+    }
+
+    #[test]
+    fn baselines_reject_steering() {
+        let mut session = Scenario::from_topology(p2p(50))
+            .backend(Backend::ground_truth())
+            .workload(Workload::ping("client", "server").count(3))
+            .session()
+            .unwrap();
+        let err = session
+            .inject_event(DynamicEvent {
+                at: SimDuration::from_secs(1),
+                action: DynamicAction::LinkLeave {
+                    orig: "client".into(),
+                    dest: "server".into(),
+                },
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Invalid(ScenarioError::UnsupportedBackend { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    /// A sink recording everything, for the telemetry tests.
+    #[derive(Default)]
+    struct Recorder {
+        events: std::rc::Rc<std::cell::RefCell<Vec<TelemetryEvent>>>,
+        samples: std::rc::Rc<std::cell::RefCell<usize>>,
+    }
+
+    impl Sink for Recorder {
+        fn on_event(&mut self, event: &TelemetryEvent) {
+            self.events.borrow_mut().push(event.clone());
+        }
+        fn on_sample(&mut self, sample: &Sample) {
+            assert!(!sample.flows.is_empty());
+            *self.samples.borrow_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn sinks_stream_typed_telemetry_and_samples() {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let scenario = Scenario::from_topology(topo)
+            .hosts(2)
+            .sample_interval(SimDuration::from_secs(1))
+            .churn(
+                Churn::partition(&["bridge-left"], &["bridge-right"])
+                    .start(SimDuration::from_secs(2))
+                    .heal_after(Some(SimDuration::from_secs(1))),
+            )
+            .workload(
+                Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(40))
+                    .duration(SimDuration::from_secs(4)),
+            )
+            .workload(
+                Workload::iperf_udp("client-1", "server-1", Bandwidth::from_mbps(40))
+                    .duration(SimDuration::from_secs(4)),
+            );
+        let recorder = Recorder::default();
+        let events = std::rc::Rc::clone(&recorder.events);
+        let samples = std::rc::Rc::clone(&recorder.samples);
+        let mut session = scenario.session().unwrap();
+        session.attach_sink(Box::new(recorder));
+        let report = session.finish();
+        assert_eq!(report.flows.len(), 2);
+
+        let events = events.borrow();
+        let count = |pred: fn(&TelemetryEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, TelemetryEvent::FlowStarted { .. })),
+            2
+        );
+        assert_eq!(
+            count(|e| matches!(e, TelemetryEvent::FlowFinished { .. })),
+            2
+        );
+        assert_eq!(
+            count(|e| matches!(e, TelemetryEvent::DynamicEventApplied { .. })),
+            2,
+            "partition + heal swaps: {events:?}"
+        );
+        // Two 40 Mb/s flows over a 50 Mb/s trunk: oversubscription onset
+        // must be reported.
+        assert!(
+            count(|e| matches!(e, TelemetryEvent::OversubscriptionOnset { .. })) >= 1,
+            "{events:?}"
+        );
+        // Two hosts exchange metadata over the physical network.
+        assert!(
+            count(|e| matches!(e, TelemetryEvent::MetadataDelivered { .. })) >= 1,
+            "{events:?}"
+        );
+        assert_eq!(*samples.borrow(), 4, "one sample per second of a 4 s run");
+    }
+}

@@ -1,0 +1,167 @@
+//! Streaming telemetry of a live [`crate::Session`].
+//!
+//! A running session narrates itself through two channels: discrete
+//! [`TelemetryEvent`]s (a flow opened its window, a precomputed topology
+//! change was swapped in, a link went oversubscribed, metadata hit the
+//! physical network) and periodic [`Sample`]s (a point-in-time view of
+//! every flow's progress, the live link loads and the convergence gap).
+//! Both are delivered to every attached [`Sink`] as they happen — at the
+//! session's event-dispatch granularity, not after the run.
+
+use crate::report::FlowReport;
+
+/// Where a workload is in its lifecycle, as seen by a live session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// The activity window has not opened yet.
+    Pending,
+    /// The window is open; traffic is (potentially) flowing.
+    Running,
+    /// The window closed and the workload was finalized into its
+    /// [`FlowReport`].
+    Finished,
+}
+
+/// Point-in-time progress of one workload of a live session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowProgress {
+    /// Workload label ("iperf-tcp", "ping", ...).
+    pub workload: String,
+    /// Name of the initiating node (traffic sink for HTTP-style workloads).
+    pub client: String,
+    /// Name of the serving node.
+    pub server: String,
+    /// Lifecycle phase.
+    pub status: FlowStatus,
+    /// Window start, seconds since scenario start.
+    pub start_s: f64,
+    /// Window end, seconds since scenario start.
+    pub end_s: f64,
+    /// Receiver-side payload bytes delivered so far (bulk workloads).
+    pub bytes: u64,
+    /// Echo replies received so far (ping and memcached probes).
+    pub replies: usize,
+    /// Requests completed so far (wrk2/curl workloads).
+    pub requests: u64,
+}
+
+/// Live offered load on one original-topology link, as measured by the
+/// emulation managers in their most recent loop iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// The link id in the original (pre-collapse) topology.
+    pub link: u32,
+    /// Configured capacity.
+    pub capacity_mbps: f64,
+    /// Offered load measured in the last emulation loop.
+    pub offered_mbps: f64,
+    /// `offered / capacity` (0 when the capacity is unlimited).
+    pub utilization: f64,
+}
+
+/// A periodic point-in-time view of the whole session, delivered to
+/// [`Sink::on_sample`] every `sample_interval`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the sample, seconds since scenario start.
+    pub at_s: f64,
+    /// Progress of every workload, in declaration order.
+    pub flows: Vec<FlowProgress>,
+    /// Live link loads (Kollaps backend only; empty otherwise).
+    pub links: Vec<LinkLoad>,
+    /// The decentralized enforcement's most recent convergence gap
+    /// (Kollaps backend only).
+    pub convergence_gap: Option<f64>,
+}
+
+/// A discrete, typed occurrence inside a running session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A workload's activity window opened.
+    FlowStarted {
+        /// When the window opened, seconds since scenario start.
+        at_s: f64,
+        /// Workload label.
+        workload: String,
+        /// Initiating node name.
+        client: String,
+        /// Serving node name.
+        server: String,
+    },
+    /// A workload's window closed and it was finalized.
+    FlowFinished {
+        /// When the window closed, seconds since scenario start.
+        at_s: f64,
+        /// The finalized per-flow report.
+        report: FlowReport,
+    },
+    /// A precomputed dynamic topology change was swapped in.
+    DynamicEventApplied {
+        /// Scheduled change time, seconds since scenario start.
+        at_s: f64,
+        /// Schedule events the swap covered.
+        events: usize,
+        /// Swap cost: collapsed paths the change touched.
+        changed_paths: usize,
+    },
+    /// A link entered oversubscription: the managers measured more offered
+    /// load than its capacity in their last loop iteration.
+    OversubscriptionOnset {
+        /// Detection time, seconds since scenario start.
+        at_s: f64,
+        /// The oversubscribed link's id in the original topology.
+        link: u32,
+    },
+    /// A previously oversubscribed link dropped back under its capacity.
+    OversubscriptionCleared {
+        /// Detection time, seconds since scenario start.
+        at_s: f64,
+        /// The recovered link's id.
+        link: u32,
+    },
+    /// Emulation managers put metadata on the physical network since the
+    /// last dispatch round.
+    MetadataDelivered {
+        /// Detection time, seconds since scenario start.
+        at_s: f64,
+        /// Metadata bytes added to the physical network.
+        bytes: u64,
+    },
+    /// A workload was injected into the running session.
+    WorkloadInjected {
+        /// Injection time, seconds since scenario start.
+        at_s: f64,
+        /// Workload label.
+        workload: String,
+        /// Effective window start, seconds since scenario start.
+        start_s: f64,
+    },
+    /// Dynamic events were injected into the running session (directly or
+    /// through a churn generator) and the snapshot timeline was extended.
+    EventsInjected {
+        /// Injection time, seconds since scenario start.
+        at_s: f64,
+        /// Number of schedule events injected.
+        events: usize,
+        /// Number of timeline deltas derived by the incremental extension.
+        deltas_derived: usize,
+    },
+}
+
+/// A consumer of live session telemetry. Implement whichever callbacks you
+/// care about; both default to no-ops. Sinks are attached with
+/// [`crate::Session::attach_sink`] and are invoked synchronously at the
+/// session's event-dispatch points, in attachment order.
+pub trait Sink {
+    /// A discrete occurrence (flow lifecycle, topology change,
+    /// oversubscription, metadata traffic, injection).
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        let _ = event;
+    }
+
+    /// A periodic full-session sample (only delivered when the scenario
+    /// set a [`crate::Scenario::sample_interval`]).
+    fn on_sample(&mut self, sample: &Sample) {
+        let _ = sample;
+    }
+}

@@ -21,7 +21,10 @@ pub use kollaps_workloads as workloads;
 pub mod prelude {
     pub use kollaps_sim::prelude::*;
 
-    pub use kollaps_scenario::{Backend, Report, Scenario, ScenarioError, Workload};
+    pub use kollaps_scenario::{
+        Backend, Campaign, CampaignReport, Report, Scenario, ScenarioError, Session, SessionError,
+        Workload,
+    };
 
     pub use kollaps_baselines::GroundTruthDataplane;
     pub use kollaps_core::collapse::Addressable;

@@ -126,7 +126,7 @@ proptest! {
             .run()
             .unwrap_err();
         prop_assert!(
-            matches!(err, ScenarioError::UnknownNode { name: ref n } if *n == name),
+            matches!(err, ScenarioError::UnknownNodes { names: ref n } if *n == vec![name.clone()]),
             "{err}"
         );
     }
@@ -274,6 +274,138 @@ proptest! {
             }
         }
     }
+}
+
+/// Strips the one nondeterministic report field (the wall-clock stamp of
+/// the offline timeline precompute) so two otherwise identical runs
+/// serialize to identical bytes.
+fn normalized_json(mut report: kollaps::scenario::Report) -> String {
+    if let Some(dynamics) = report.dynamics.as_mut() {
+        dynamics.precompute_micros = 0;
+    }
+    report.to_json_string()
+}
+
+proptest! {
+    /// The session-redesign acceptance property: driving a scenario
+    /// through `session()` in arbitrary step sizes produces a
+    /// **byte-identical** JSON report to the one-shot `run()` path — with
+    /// and without churn, across seeds. Stepping granularity must never
+    /// leak into results: runtime events that land between the session's
+    /// internal dispatch points are buffered and handled at the same
+    /// instants the one-shot loop would have handled them. The request /
+    /// response workload (wrk2) is the sensitive one: its connections
+    /// re-arm on completion events, so any dispatch-time drift would move
+    /// every subsequent transfer.
+    #[test]
+    fn stepped_session_is_byte_identical_to_one_shot(
+        seed in 0u64..1_000_000,
+        step_ms in 1u64..900,
+        with_churn in 0u8..2,
+    ) {
+        use kollaps::dynamics::Churn;
+        let make = || {
+            let (topo, _, _) = generators::dumbbell(
+                2,
+                Bandwidth::from_mbps(100),
+                Bandwidth::from_mbps(50),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(10),
+            );
+            let mut scenario = Scenario::from_topology(topo)
+                .named("equivalence")
+                .hosts(2)
+                .metadata_delay(SimDuration::from_millis(2))
+                .workload(
+                    Workload::wrk2("server-0", "client-0")
+                        .connections(2)
+                        .request_size(DataSize::from_kib(32))
+                        .duration(SimDuration::from_millis(1800)),
+                )
+                .workload(
+                    Workload::iperf_udp("client-1", "server-1", Bandwidth::from_mbps(30))
+                        .duration(SimDuration::from_millis(1800)),
+                )
+                .workload(
+                    Workload::ping("client-0", "server-1")
+                        .count(5)
+                        .interval(SimDuration::from_millis(250))
+                        .start(SimDuration::from_millis(300))
+                        .duration(SimDuration::from_millis(1400)),
+                );
+            if with_churn == 1 {
+                scenario = scenario.churn(
+                    Churn::poisson_flaps(&[("client-1", "bridge-left")])
+                        .mean_uptime(SimDuration::from_millis(800))
+                        .mean_downtime(SimDuration::from_millis(200))
+                        .horizon(SimDuration::from_millis(1800))
+                        .seed(seed),
+                );
+            }
+            scenario
+        };
+        let one_shot = make().run().expect("valid scenario");
+        let mut session = make().session().expect("valid scenario");
+        while session.clock() < session.end() {
+            session.step(SimDuration::from_millis(step_ms)).expect("stepping");
+        }
+        let stepped = session.finish();
+        prop_assert_eq!(normalized_json(one_shot), normalized_json(stepped));
+    }
+}
+
+/// The steering-equivalence contract: a dynamic event injected mid-run
+/// into a live session produces exactly the report the same event declared
+/// up front produces. The injection path extends the precomputed snapshot
+/// timeline incrementally; this pins that the incrementally derived
+/// snapshots drive the emulation identically to precomputed ones.
+#[test]
+fn mid_run_injection_equals_up_front_declaration() {
+    use kollaps::topology::events::{DynamicAction, DynamicEvent, LinkChange};
+
+    let make = || {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        Scenario::from_topology(topo)
+            .named("injection-parity")
+            .workload(
+                Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(20))
+                    .duration(SimDuration::from_secs(5)),
+            )
+            .workload(
+                Workload::ping("client-1", "server-1")
+                    .count(20)
+                    .interval(SimDuration::from_millis(200))
+                    .duration(SimDuration::from_secs(5)),
+            )
+    };
+    let event = || DynamicEvent {
+        at: SimDuration::from_secs(3),
+        action: DynamicAction::SetLinkProperties {
+            orig: "bridge-left".into(),
+            dest: "bridge-right".into(),
+            change: LinkChange {
+                latency: Some(SimDuration::from_millis(45)),
+                up: Some(Bandwidth::from_mbps(10)),
+                down: Some(Bandwidth::from_mbps(10)),
+                ..LinkChange::default()
+            },
+        },
+    };
+
+    let declared = make().event(event()).run().expect("valid scenario");
+    let mut session = make().session().expect("valid scenario");
+    session
+        .run_until(kollaps::sim::time::SimTime::from_secs(1))
+        .expect("stepping");
+    session.inject_event(event()).expect("valid injection");
+    let injected = session.finish();
+    assert_eq!(normalized_json(declared), normalized_json(injected));
 }
 
 /// With `metadata_delay = 0` and a single host, the decentralized per-host

@@ -22,9 +22,30 @@ fn unknown_node_name_is_rejected() {
         .run()
         .unwrap_err();
     assert!(
-        matches!(err, ScenarioError::UnknownNode { ref name } if name == "ghost"),
+        matches!(err, ScenarioError::UnknownNodes { ref names } if names == &["ghost".to_string()]),
         "{err}"
     );
+}
+
+/// The one-pass contract: every unknown endpoint name across every
+/// workload is collected into a single error (deduplicated, in
+/// first-reference order), so a misspelled scenario is fixed once.
+#[test]
+fn all_unknown_node_names_are_reported_at_once() {
+    let err = Scenario::from_topology(p2p())
+        .workload(Workload::iperf_tcp("ghost-a", "ghost-b"))
+        .workload(Workload::ping("client", "ghost-c"))
+        .workload(Workload::curl("ghost-a", &["server", "ghost-d"]))
+        .run()
+        .unwrap_err();
+    let ScenarioError::UnknownNodes { names } = &err else {
+        panic!("expected UnknownNodes, got {err}");
+    };
+    assert_eq!(names, &["ghost-a", "ghost-b", "ghost-c", "ghost-d"]);
+    let text = format!("{err}");
+    for name in names {
+        assert!(text.contains(name.as_str()), "{text}");
+    }
 }
 
 #[test]
@@ -160,9 +181,38 @@ fn parse_errors_surface_typed() {
     // Whether the XML parser reports an error or an empty topology, the
     // scenario must not run a workload against nodes that do not exist.
     match err {
-        Err(ScenarioError::Xml(_)) | Err(ScenarioError::UnknownNode { .. }) => {}
+        Err(ScenarioError::Xml(_)) | Err(ScenarioError::UnknownNodes { .. }) => {}
         other => panic!("expected typed failure, got {other:?}"),
     }
+}
+
+#[test]
+fn zero_intervals_are_rejected() {
+    let err = Scenario::from_topology(p2p())
+        .step_interval(SimDuration::ZERO)
+        .workload(Workload::ping("client", "server"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidStepInterval { knob } if knob == "step_interval"),
+        "{err}"
+    );
+    let err = Scenario::from_topology(p2p())
+        .sample_interval(SimDuration::ZERO)
+        .workload(Workload::ping("client", "server"))
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::InvalidStepInterval { knob } if knob == "sample_interval"),
+        "{err}"
+    );
+    // A positive step interval is a legitimate pacing knob.
+    let report = Scenario::from_topology(p2p())
+        .step_interval(SimDuration::from_millis(25))
+        .workload(Workload::ping("client", "server").count(3))
+        .run()
+        .expect("valid scenario");
+    assert_eq!(report.flows[0].rtt.as_ref().unwrap().replies, 3);
 }
 
 #[test]
