@@ -1,0 +1,105 @@
+//! The perf-trajectory gate: compares the fresh bench results in
+//! `target/BENCH_*.json` against the baselines committed at the repo root,
+//! prints a markdown delta table (also written to `target/bench-diff.md`
+//! for the CI artifact), and exits nonzero when any tracked metric
+//! regressed beyond its tolerance or silently disappeared.
+//!
+//! ```text
+//! cargo run --release -p kollaps_bench --bin dynamics
+//! cargo run --release -p kollaps_bench --bin session
+//! cargo run --release -p kollaps_bench --bin staleness
+//! cargo run --release -p kollaps_bench --bin bench_diff            # gate
+//! cargo run --release -p kollaps_bench --bin bench_diff -- --bless # refresh
+//! ```
+//!
+//! `--bless` copies the fresh results over the committed baselines instead
+//! of gating — run it (and commit the `BENCH_*.json` files) when a PR
+//! intentionally moves a tracked metric.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kollaps_bench::{diff, has_regressions, markdown_table, BenchReport};
+
+const BENCHES: [&str; 3] = ["dynamics", "session", "staleness"];
+
+/// The committed baselines live next to `Cargo.toml` at the workspace root;
+/// resolve it from the crate dir so the bin works from any cwd.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let bless = std::env::args().any(|a| a == "--bless");
+    let root = repo_root();
+    let target = root.join("target");
+
+    let mut table = String::new();
+    let mut failed = false;
+    for bench in BENCHES {
+        let fresh_path = target.join(format!("BENCH_{bench}.json"));
+        let baseline_path = root.join(format!("BENCH_{bench}.json"));
+        let fresh = match BenchReport::read(&fresh_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("no fresh results for `{bench}` — run its bin first ({e})");
+                failed = true;
+                continue;
+            }
+        };
+        if bless {
+            match fresh.write(&baseline_path) {
+                Ok(()) => println!("blessed {}", baseline_path.display()),
+                Err(e) => {
+                    eprintln!("could not bless {}: {e}", baseline_path.display());
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        let baseline = match BenchReport::read(&baseline_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("no committed baseline for `{bench}` — bless one first ({e})");
+                failed = true;
+                continue;
+            }
+        };
+        let deltas = diff(&baseline, &fresh);
+        if has_regressions(&deltas) {
+            failed = true;
+        }
+        table.push_str(&markdown_table(bench, &deltas));
+        table.push('\n');
+    }
+    if bless {
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    print!("{table}");
+    let table_path = target.join("bench-diff.md");
+    if let Err(e) = std::fs::create_dir_all(&target)
+        .and_then(|()| std::fs::write(&table_path, table.as_bytes()))
+    {
+        eprintln!("could not write {}: {e}", table_path.display());
+    }
+    if failed {
+        eprintln!(
+            "\nperf trajectory gate FAILED — a tracked metric regressed past its \
+             tolerance (or is missing). If the change is intentional, rerun the \
+             bench bins and `bench_diff --bless`, then commit the BENCH_*.json files."
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nperf trajectory gate passed.");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,7 +1,9 @@
 //! The dynamics sweep: per-event swap work of the precomputed snapshot
 //! timeline vs the old online all-pairs re-collapse, over event rate ×
-//! topology size. Writes `target/dynamics-bench.json` (uploaded as a CI
-//! artifact). `--full` runs the larger sweep.
+//! topology size. Writes `target/dynamics-bench.json` (the raw cells) and
+//! `target/BENCH_dynamics.json` (the unified perf-trajectory records the
+//! `bench_diff` gate compares against the committed baseline). `--full`
+//! runs the larger sweep.
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -21,5 +23,17 @@ fn main() {
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &json)) {
         Ok(()) => println!("\nsweep written to {}", path.display()),
         Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+    // The gate only tracks the default sweep: `--full` cells would show up
+    // as new/missing metrics against the committed baseline.
+    if full {
+        println!("(--full sweep: skipping BENCH_dynamics.json)");
+        return;
+    }
+    let records = kollaps_bench::dynamics_records(&cells);
+    let path = std::path::Path::new("target").join("BENCH_dynamics.json");
+    match records.write(&path) {
+        Ok(()) => println!("records written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

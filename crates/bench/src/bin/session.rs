@@ -1,43 +1,10 @@
-//! The session-layer overhead bench: the one-shot `Scenario::run()` is now
-//! a wrapper over the resumable `Session`, so this sweep pins (a) that the
-//! wrapper costs nothing measurable and (b) what fine-grained interactive
-//! stepping costs relative to it, plus the wall-clock speedup a concurrent
-//! `Campaign` gets from its thread pool. Writes
-//! `target/session-bench.json` (uploaded as a CI artifact).
+//! The session-layer overhead bench driver: runs the shared sweep in
+//! `kollaps_bench::session`, prints the human-readable table, and writes
+//! `target/session-bench.json` (raw result) plus
+//! `target/BENCH_session.json` (the unified perf-trajectory records the
+//! `bench_diff` gate compares against the committed baseline).
 
-use std::time::Instant;
-
-use kollaps_scenario::{Campaign, Churn, Scenario, Workload};
-use kollaps_sim::prelude::*;
-use kollaps_topology::generators;
 use serde_json::Value;
-
-fn scenario() -> Scenario {
-    let (topo, _, _) = generators::dumbbell(
-        4,
-        Bandwidth::from_mbps(100),
-        Bandwidth::from_mbps(50),
-        SimDuration::from_millis(1),
-        SimDuration::from_millis(10),
-    );
-    Scenario::from_topology(topo)
-        .named("session-bench")
-        .churn(
-            Churn::poisson_flaps(&[("client-3", "bridge-left")])
-                .mean_uptime(SimDuration::from_secs(2))
-                .mean_downtime(SimDuration::from_millis(300))
-                .horizon(SimDuration::from_secs(6))
-                .seed(7),
-        )
-        .workloads((0..4).map(|i| {
-            Workload::iperf_udp(
-                &format!("client-{i}"),
-                &format!("server-{i}"),
-                Bandwidth::from_mbps(20),
-            )
-            .duration(SimDuration::from_secs(6))
-        }))
-}
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -49,78 +16,46 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 }
 
 fn main() {
-    // (a) one-shot vs stepped sessions at three granularities.
-    let t0 = Instant::now();
-    let baseline = scenario().run().expect("valid scenario");
-    let one_shot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let result = kollaps_bench::run_session_bench();
 
+    println!("session overhead (6 s emulated, 4 flows, churn):");
+    println!("  {:<18} {:>9.1} ms  (x1.00)", "run()", result.one_shot_ms);
     let mut rows: Vec<Value> = vec![obj(vec![
         ("mode", "run()".into()),
-        ("wall_ms", one_shot_ms.into()),
+        ("wall_ms", result.one_shot_ms.into()),
         ("relative", 1.0f64.into()),
     ])];
-    println!("session overhead (6 s emulated, 4 flows, churn):");
-    println!("  {:<18} {:>9.1} ms  (x1.00)", "run()", one_shot_ms);
-    for step_ms in [1000u64, 100, 10] {
-        let t = Instant::now();
-        let mut session = scenario().session().expect("valid scenario");
-        while session.clock() < session.end() {
-            session
-                .step(SimDuration::from_millis(step_ms))
-                .expect("stepping");
-        }
-        let report = session.finish();
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(report.flows.len(), baseline.flows.len());
-        let mode = format!("step({step_ms}ms)");
+    for run in &result.stepped {
+        let mode = format!("step({}ms)", run.step_ms);
         println!(
             "  {:<18} {:>9.1} ms  (x{:.2})",
-            mode,
-            wall_ms,
-            wall_ms / one_shot_ms
+            mode, run.wall_ms, run.relative
         );
         rows.push(obj(vec![
             ("mode", mode.as_str().into()),
-            ("wall_ms", wall_ms.into()),
-            ("relative", (wall_ms / one_shot_ms).into()),
+            ("wall_ms", run.wall_ms.into()),
+            ("relative", run.relative.into()),
         ]));
     }
-
-    // (b) campaign thread-pool speedup on a 4-variant staleness sweep.
-    let delays = [
-        SimDuration::ZERO,
-        SimDuration::from_millis(2),
-        SimDuration::from_millis(10),
-        SimDuration::from_millis(25),
-    ];
-    let sweep = |threads: usize| {
-        let t = Instant::now();
-        let report = Campaign::over(scenario())
-            .vary_metadata_delay(&delays)
-            .threads(threads)
-            .run()
-            .expect("valid campaign");
-        assert_eq!(report.timeline_precomputes, 1, "sweep shares one timeline");
-        t.elapsed().as_secs_f64() * 1e3
-    };
-    let serial_ms = sweep(1);
-    let parallel_ms = sweep(4);
     println!(
-        "\ncampaign (4 variants): serial {serial_ms:.1} ms, 4 threads {parallel_ms:.1} ms (x{:.2})",
-        serial_ms / parallel_ms
+        "\ncampaign ({} variants): serial {:.1} ms, 4 threads {:.1} ms (x{:.2})",
+        result.campaign_variants,
+        result.campaign_serial_ms,
+        result.campaign_threads4_ms,
+        result.campaign_speedup()
     );
 
     let json = obj(vec![
         ("bench", "session".into()),
-        ("one_shot_ms", one_shot_ms.into()),
+        ("one_shot_ms", result.one_shot_ms.into()),
         ("stepped", Value::Array(rows)),
         (
             "campaign",
             obj(vec![
-                ("variants", delays.len().into()),
-                ("serial_ms", serial_ms.into()),
-                ("threads4_ms", parallel_ms.into()),
-                ("speedup", (serial_ms / parallel_ms).into()),
+                ("variants", result.campaign_variants.into()),
+                ("serial_ms", result.campaign_serial_ms.into()),
+                ("threads4_ms", result.campaign_threads4_ms.into()),
+                ("speedup", result.campaign_speedup().into()),
             ]),
         ),
     ]);
@@ -128,5 +63,12 @@ fn main() {
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, json.to_string())) {
         Ok(()) => println!("\nbench written to {}", path.display()),
         Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+
+    let records = kollaps_bench::session_records(&result);
+    let path = std::path::Path::new("target").join("BENCH_session.json");
+    match records.write(&path) {
+        Ok(()) => println!("records written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

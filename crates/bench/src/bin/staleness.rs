@@ -1,4 +1,19 @@
 //! The accuracy-vs-staleness sweep: `loop_interval` x `metadata_delay`.
+//! Prints the table and writes `target/BENCH_staleness.json` (the unified
+//! perf-trajectory records the `bench_diff` gate compares against the
+//! committed baseline).
+
 fn main() {
-    kollaps_bench::run_staleness(6);
+    let cells = kollaps_bench::run_staleness_cells(6);
+    kollaps_bench::print_rows(
+        "Accuracy vs staleness: mean relative gap (%) to the omniscient \
+         allocation (grows with the metadata delay, shrinks with a faster loop)",
+        &kollaps_bench::staleness_rows(&cells),
+    );
+    let records = kollaps_bench::staleness_records(&cells);
+    let path = std::path::Path::new("target").join("BENCH_staleness.json");
+    match records.write(&path) {
+        Ok(()) => println!("\nrecords written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
 }

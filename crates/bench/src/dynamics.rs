@@ -24,6 +24,7 @@ use kollaps_topology::events::apply_action;
 use kollaps_topology::generators::{self, ScaleFreeParams};
 use kollaps_topology::model::Topology;
 
+use crate::record::{BenchRecord, BenchReport, TOLERANCE_DETERMINISTIC, TOLERANCE_WALL_CLOCK};
 use crate::Row;
 
 /// One cell of the sweep, with everything the JSON artifact needs.
@@ -221,6 +222,55 @@ pub fn dynamics_json(cells: &[DynamicsCell]) -> serde_json::Value {
         ("bench".to_string(), "dynamics".into()),
         ("cells".to_string(), Value::Array(rows)),
     ])
+}
+
+/// The perf-trajectory records for `BENCH_dynamics.json`: the deterministic
+/// swap-work metrics gate tightly (the simulation reproduces them exactly),
+/// the wall-clock timings gate loosely, and the sweep-shape counts are
+/// informational context.
+pub fn dynamics_records(cells: &[DynamicsCell]) -> BenchReport {
+    let mut report = BenchReport::new("dynamics");
+    for c in cells {
+        let cell = |name: &str, value: f64, unit: &str| {
+            BenchRecord::new(name, value, unit)
+                .axis("elements", c.elements)
+                .axis("flapped", c.flapped_links)
+        };
+        report.push(
+            cell("mean_swap_cost", c.mean_swap_cost, "paths")
+                .lower_is_better(TOLERANCE_DETERMINISTIC),
+        );
+        report.push(
+            cell("max_swap_cost", c.max_swap_cost as f64, "paths")
+                .lower_is_better(TOLERANCE_DETERMINISTIC),
+        );
+        report.push(
+            cell(
+                "timeline_paths_recomputed",
+                c.timeline_paths_recomputed as f64,
+                "paths",
+            )
+            .lower_is_better(TOLERANCE_DETERMINISTIC),
+        );
+        report.push(
+            cell("precompute_micros", c.precompute_micros as f64, "micros")
+                .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(cell(
+            "online_paths_recomputed",
+            c.online_paths_recomputed as f64,
+            "paths",
+        ));
+        report.push(cell(
+            "online_rebuild_micros",
+            c.online_rebuild_micros as f64,
+            "micros",
+        ));
+        report.push(cell("pairs", c.pairs as f64, "count"));
+        report.push(cell("events", c.events as f64, "count"));
+        report.push(cell("snapshots", c.snapshots as f64, "count"));
+    }
+    report
 }
 
 #[cfg(test)]

@@ -17,6 +17,13 @@
 
 pub mod dynamics;
 pub mod experiments;
+pub mod record;
+pub mod session;
 
-pub use dynamics::{dynamics_json, dynamics_rows, run_dynamics, DynamicsCell};
+pub use dynamics::{dynamics_json, dynamics_records, dynamics_rows, run_dynamics, DynamicsCell};
 pub use experiments::*;
+pub use record::{
+    diff, has_regressions, markdown_table, BenchRecord, BenchReport, Delta, DeltaKind, Direction,
+    BENCH_SCHEMA_VERSION, TOLERANCE_DETERMINISTIC, TOLERANCE_WALL_CLOCK,
+};
+pub use session::{run_session_bench, session_records, SessionBenchResult, SteppedRun};

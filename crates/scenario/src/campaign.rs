@@ -447,7 +447,7 @@ mod tests {
         assert!(report.aggregates.goodput_mean_mbps.unwrap() > 5.0);
         assert!(report.variant("metadata_delay=5.0ms").is_some());
         let json = report.to_json();
-        assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(3));
         assert_eq!(
             json.get("timeline_precomputes").and_then(|v| v.as_u64()),
             Some(1)

@@ -84,11 +84,11 @@ pub use campaign::{Campaign, CampaignAggregates, CampaignReport, VariantReport};
 pub use error::ScenarioError;
 pub use kollaps_dynamics::Churn;
 pub use report::{
-    ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, HttpStats, LinkReport, Report,
-    RttStats, SCHEMA_VERSION,
+    ConvergenceReport, DynamicsReport, FlowClassReport, FlowReport, HostMetadata, HttpStats,
+    LinkReport, PercentileStats, Report, RttStats, SCHEMA_VERSION,
 };
 pub use session::{Session, SessionError};
-pub use telemetry::{FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
+pub use telemetry::{Aggregator, FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
 pub use workload::{Workload, DEFAULT_DURATION};
 
 use kollaps_core::collapse::Addressable;

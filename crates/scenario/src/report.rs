@@ -15,7 +15,10 @@ use serde_json::Value;
 /// * **1** — the implicit, unstamped layout up to the session redesign.
 /// * **2** — adds the `schema_version` stamp itself and the
 ///   `CampaignReport` document.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * **3** — adds `flow_classes` (per-flow-class latency/goodput
+///   p50/p90/p99 from the aggregating telemetry sink) and grows `http`
+///   with `latency_p99_ms` + raw `samples_ms`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// RTT statistics of a ping workload (milliseconds).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -43,6 +46,51 @@ pub struct HttpStats {
     pub latency_p50_ms: f64,
     /// 90th-percentile per-request completion latency.
     pub latency_p90_ms: f64,
+    /// 99th-percentile per-request completion latency.
+    pub latency_p99_ms: f64,
+    /// Every per-request completion latency, in completion order (feeds
+    /// the flow-class latency aggregation).
+    pub samples_ms: Vec<f64>,
+}
+
+/// Percentile summary of one aggregated metric: the shape the telemetry
+/// aggregator exports instead of a bare mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PercentileStats {
+    /// Arithmetic mean over every sample ever recorded.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Number of samples aggregated.
+    pub samples: u64,
+}
+
+/// Aggregated percentile telemetry for one *flow class* — every flow of
+/// the same workload label ("iperf-udp", "ping", "wrk2", ...), the
+/// aggregation unit that stays bounded when a scenario models millions of
+/// logical users.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowClassReport {
+    /// The workload label the class aggregates.
+    pub class: String,
+    /// Finalized flows aggregated into the class.
+    pub flows: usize,
+    /// Latency percentiles (ms) over every RTT/request-latency sample of
+    /// the class (`None` for classes without latency samples, e.g. bulk
+    /// iperf).
+    pub latency_ms: Option<PercentileStats>,
+    /// Goodput percentiles (Mb/s) over the per-second delivery windows of
+    /// every flow in the class (`None` for classes that move no bulk
+    /// data, e.g. ping).
+    pub goodput_mbps: Option<PercentileStats>,
 }
 
 /// The measured outcome of one workload.
@@ -170,6 +218,9 @@ pub struct Report {
     /// Dynamics-engine accounting (`None` for static scenarios and for
     /// backends without the snapshot timeline).
     pub dynamics: Option<DynamicsReport>,
+    /// Per-flow-class percentile telemetry from the aggregating sink,
+    /// sorted by class label (empty when no flow was finalized).
+    pub flow_classes: Vec<FlowClassReport>,
 }
 
 pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -200,6 +251,43 @@ impl HttpStats {
             ("requests", self.requests.into()),
             ("latency_p50_ms", self.latency_p50_ms.into()),
             ("latency_p90_ms", self.latency_p90_ms.into()),
+            ("latency_p99_ms", self.latency_p99_ms.into()),
+            ("samples_ms", self.samples_ms.clone().into()),
+        ])
+    }
+}
+
+impl PercentileStats {
+    fn to_json(self) -> Value {
+        obj(vec![
+            ("mean", self.mean.into()),
+            ("p50", self.p50.into()),
+            ("p90", self.p90.into()),
+            ("p99", self.p99.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+            ("samples", self.samples.into()),
+        ])
+    }
+}
+
+impl FlowClassReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("class", self.class.as_str().into()),
+            ("flows", self.flows.into()),
+            (
+                "latency_ms",
+                self.latency_ms
+                    .map(PercentileStats::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "goodput_mbps",
+                self.goodput_mbps
+                    .map(PercentileStats::to_json)
+                    .unwrap_or(Value::Null),
+            ),
         ])
     }
 }
@@ -323,6 +411,15 @@ impl Report {
                 self.dynamics
                     .map(DynamicsReport::to_json)
                     .unwrap_or(Value::Null),
+            ),
+            (
+                "flow_classes",
+                Value::Array(
+                    self.flow_classes
+                        .iter()
+                        .map(FlowClassReport::to_json)
+                        .collect(),
+                ),
             ),
         ])
     }

@@ -430,11 +430,7 @@ pub(crate) fn finalize(
             let mbps = DataSize::from_bytes(bytes).rate_over(window).as_mbps();
             report.goodput_mbps = Some(mbps);
             report.per_second_mbps = per_second_vec(&per_second, w.start, w.end);
-            report.http = Some(HttpStats {
-                requests,
-                latency_p50_ms: latencies_ms.percentile(50.0),
-                latency_p90_ms: latencies_ms.percentile(90.0),
-            });
+            report.http = Some(http_stats(requests, &latencies_ms));
             if let ResolvedKind::Wrk2 { server, client, .. } = &w.kind {
                 demands.push(LinkDemand {
                     src: *server,
@@ -459,11 +455,7 @@ pub(crate) fn finalize(
             let bytes: u64 = bytes_per_client.iter().sum();
             report.goodput_mbps = Some(DataSize::from_bytes(bytes).rate_over(window).as_mbps());
             report.per_second_mbps = per_second_vec(&per_second, w.start, w.end);
-            report.http = Some(HttpStats {
-                requests,
-                latency_p50_ms: latencies_ms.percentile(50.0),
-                latency_p90_ms: latencies_ms.percentile(90.0),
-            });
+            report.http = Some(http_stats(requests, &latencies_ms));
             for (ci, client) in clients.iter().enumerate() {
                 let mbps = (bytes_per_client[ci] as f64 * 8.0) / secs / 1.0e6;
                 demands.push(LinkDemand {
@@ -499,6 +491,16 @@ pub(crate) fn finalize(
         State::Done => {}
     }
     (report, demands)
+}
+
+fn http_stats(requests: u64, latencies_ms: &Summary) -> HttpStats {
+    HttpStats {
+        requests,
+        latency_p50_ms: latencies_ms.percentile(50.0),
+        latency_p90_ms: latencies_ms.percentile(90.0),
+        latency_p99_ms: latencies_ms.percentile(99.0),
+        samples_ms: latencies_ms.samples().to_vec(),
+    }
 }
 
 pub(crate) fn endpoint_names(workload: &Workload) -> (String, String) {

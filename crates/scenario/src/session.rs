@@ -32,7 +32,9 @@ use kollaps_topology::model::Topology;
 use crate::backend::AnyDataplane;
 use crate::report::{ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, Report};
 use crate::runner::{self, LinkDemand, ResolvedWorkload, State};
-use crate::telemetry::{FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
+use crate::telemetry::{
+    Aggregator, FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent,
+};
 use crate::workload::Workload;
 use crate::{Churn, ScenarioError};
 
@@ -130,6 +132,9 @@ pub struct Session {
     next_sample: SimTime,
     paused: bool,
     sinks: Vec<Box<dyn Sink>>,
+    /// The built-in flow-class aggregator: every finalized flow folds into
+    /// it, and [`Session::finish`] exports it as `Report::flow_classes`.
+    aggregator: Aggregator,
     /// Runtime events collected between dispatch points; handled at the
     /// next dispatch point so stepping granularity cannot change outcomes.
     pending: Vec<RuntimeEvent>,
@@ -192,6 +197,7 @@ impl Session {
                 .unwrap_or(SimTime::MAX),
             paused: false,
             sinks: Vec::new(),
+            aggregator: Aggregator::new(),
             pending: Vec::new(),
             seen_snapshots: 0,
             seen_metadata_bytes: 0,
@@ -385,10 +391,11 @@ impl Session {
         let state = std::mem::replace(&mut self.states[idx], State::Done);
         let (report, flow_demands) = runner::finalize(&mut self.rt, &self.workloads[idx], state);
         self.demands.extend(flow_demands);
+        self.aggregator.observe_flow(&report);
         if !self.sinks.is_empty() {
             let event = TelemetryEvent::FlowFinished {
                 at_s: self.workloads[idx].end.as_secs_f64(),
-                report: report.clone(),
+                report: Box::new(report.clone()),
             };
             self.emit(&event);
         }
@@ -560,6 +567,13 @@ impl Session {
                 },
             })
             .collect()
+    }
+
+    /// Per-flow-class percentile telemetry aggregated over the flows
+    /// finalized *so far* (live view of what [`Session::finish`] exports
+    /// as [`Report::flow_classes`]).
+    pub fn flow_classes(&self) -> Vec<crate::report::FlowClassReport> {
+        self.aggregator.flow_classes()
     }
 
     /// How close the decentralized enforcement has tracked the omniscient
@@ -773,6 +787,7 @@ impl Session {
             metadata_per_host,
             convergence,
             dynamics,
+            flow_classes: self.aggregator.flow_classes(),
         }
     }
 }

@@ -7,8 +7,19 @@
 //! every flow's progress, the live link loads and the convergence gap).
 //! Both are delivered to every attached [`Sink`] as they happen — at the
 //! session's event-dispatch granularity, not after the run.
+//!
+//! The [`Aggregator`] is the production-shape consumer of that stream: it
+//! folds every finalized flow into bounded per-flow-class accumulators
+//! (ring-buffer samples + percentile histograms) and exports
+//! latency/goodput p50/p90/p99 per class. Every [`crate::Session`] owns
+//! one and surfaces its output as [`crate::Report::flow_classes`]; attach
+//! your own instance as a [`Sink`] to aggregate a custom window.
 
-use crate::report::FlowReport;
+use std::collections::BTreeMap;
+
+use kollaps_sim::stats::{Histogram, SampleSet};
+
+use crate::report::{FlowClassReport, FlowReport, PercentileStats};
 
 /// Where a workload is in its lifecycle, as seen by a live session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,8 +103,9 @@ pub enum TelemetryEvent {
     FlowFinished {
         /// When the window closed, seconds since scenario start.
         at_s: f64,
-        /// The finalized per-flow report.
-        report: FlowReport,
+        /// The finalized per-flow report (boxed: it dwarfs every other
+        /// variant).
+        report: Box<FlowReport>,
     },
     /// A precomputed dynamic topology change was swapped in.
     DynamicEventApplied {
@@ -146,6 +158,164 @@ pub enum TelemetryEvent {
         /// Number of timeline deltas derived by the incremental extension.
         deltas_derived: usize,
     },
+}
+
+/// Retained samples per aggregated metric before the ring wraps (beyond
+/// it, percentiles fall back to the histogram approximation).
+const RING_CAPACITY: usize = 4096;
+
+/// Histogram shape for latency samples: 0.25 ms buckets up to 2.5 s.
+const LATENCY_BUCKET_MS: f64 = 0.25;
+const LATENCY_UPPER_MS: f64 = 2_500.0;
+
+/// Histogram shape for goodput samples: 1 Mb/s buckets up to 20 Gb/s.
+const GOODPUT_BUCKET_MBPS: f64 = 1.0;
+const GOODPUT_UPPER_MBPS: f64 = 20_000.0;
+
+/// One aggregated metric: a ring buffer of recent samples (exact
+/// percentiles until it wraps) backed by a fixed-bucket histogram (bounded
+/// approximation afterwards). Mean/min/max/count stay exact over the whole
+/// lifetime either way.
+#[derive(Debug, Clone)]
+struct MetricAccumulator {
+    ring: SampleSet,
+    histogram: Histogram,
+}
+
+impl MetricAccumulator {
+    fn new(bucket_width: f64, upper_bound: f64) -> Self {
+        MetricAccumulator {
+            ring: SampleSet::new(RING_CAPACITY),
+            histogram: Histogram::new(bucket_width, upper_bound),
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.ring.record(value);
+        self.histogram.record(value);
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.ring.dropped() == 0 {
+            self.ring.percentile(p)
+        } else {
+            self.histogram.percentile(p)
+        }
+    }
+
+    fn stats(&self) -> Option<PercentileStats> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        Some(PercentileStats {
+            mean: self.ring.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            min: self.ring.min(),
+            max: self.ring.max(),
+            samples: self.ring.total_count(),
+        })
+    }
+}
+
+/// Accumulated telemetry of one flow class (one workload label).
+#[derive(Debug, Clone)]
+struct ClassAccumulator {
+    flows: usize,
+    latency_ms: MetricAccumulator,
+    goodput_mbps: MetricAccumulator,
+}
+
+impl ClassAccumulator {
+    fn new() -> Self {
+        ClassAccumulator {
+            flows: 0,
+            latency_ms: MetricAccumulator::new(LATENCY_BUCKET_MS, LATENCY_UPPER_MS),
+            goodput_mbps: MetricAccumulator::new(GOODPUT_BUCKET_MBPS, GOODPUT_UPPER_MBPS),
+        }
+    }
+}
+
+/// The aggregating sink: folds finalized flows into bounded per-flow-class
+/// accumulators and exports latency/goodput percentiles.
+///
+/// Flows are classed by workload label, so memory scales with the number
+/// of *workload kinds*, not the number of flows — the aggregation contract
+/// that keeps reports bounded when a scenario models millions of logical
+/// users. Latency samples come from every RTT reply (ping, memcached
+/// probes) and every per-request completion latency (wrk2, curl); goodput
+/// samples are each bulk flow's per-second delivery windows.
+///
+/// Every [`crate::Session`] owns one internally and exports it as
+/// [`crate::Report::flow_classes`]; the type is public so custom tooling
+/// can attach an independent instance via [`crate::Session::attach_sink`]
+/// (it observes [`TelemetryEvent::FlowFinished`] only, so its output is
+/// independent of whether periodic sampling is enabled).
+#[derive(Debug, Clone, Default)]
+pub struct Aggregator {
+    classes: BTreeMap<String, ClassAccumulator>,
+}
+
+impl Aggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Folds one finalized flow into its class accumulator.
+    pub fn observe_flow(&mut self, report: &FlowReport) {
+        let class = self
+            .classes
+            .entry(report.workload.clone())
+            .or_insert_with(ClassAccumulator::new);
+        class.flows += 1;
+        if let Some(rtt) = &report.rtt {
+            for &sample in &rtt.samples_ms {
+                class.latency_ms.record(sample);
+            }
+        }
+        if let Some(http) = &report.http {
+            for &sample in &http.samples_ms {
+                class.latency_ms.record(sample);
+            }
+        }
+        if !report.per_second_mbps.is_empty() {
+            for &mbps in &report.per_second_mbps {
+                class.goodput_mbps.record(mbps);
+            }
+        } else if let Some(mbps) = report.goodput_mbps {
+            // Sub-second windows produce no per-second series; the
+            // window-average goodput is the one sample there is.
+            class.goodput_mbps.record(mbps);
+        }
+    }
+
+    /// Flows folded in so far, across all classes.
+    pub fn flows_observed(&self) -> usize {
+        self.classes.values().map(|c| c.flows).sum()
+    }
+
+    /// Exports the per-class percentile reports, sorted by class label.
+    pub fn flow_classes(&self) -> Vec<FlowClassReport> {
+        self.classes
+            .iter()
+            .map(|(class, acc)| FlowClassReport {
+                class: class.clone(),
+                flows: acc.flows,
+                latency_ms: acc.latency_ms.stats(),
+                goodput_mbps: acc.goodput_mbps.stats(),
+            })
+            .collect()
+    }
+}
+
+impl Sink for Aggregator {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        if let TelemetryEvent::FlowFinished { report, .. } = event {
+            self.observe_flow(report);
+        }
+    }
 }
 
 /// A consumer of live session telemetry. Implement whichever callbacks you

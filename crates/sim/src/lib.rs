@@ -43,7 +43,7 @@ pub use units::{Bandwidth, DataSize};
 pub mod prelude {
     pub use crate::queue::EventQueue;
     pub use crate::rng::{Distribution, SimRng};
-    pub use crate::stats::{Histogram, RateMeter, Summary, TimeSeries};
+    pub use crate::stats::{Histogram, RateMeter, SampleSet, Summary, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::token_bucket::TokenBucket;
     pub use crate::units::{Bandwidth, DataSize};

@@ -103,6 +103,123 @@ impl Summary {
     }
 }
 
+/// A bounded ring buffer of the most recent samples with lossless running
+/// aggregates.
+///
+/// Long-lived telemetry accumulation (a session streaming flow samples for
+/// hours) cannot keep every sample the way [`Summary`] does: memory here
+/// stays `O(capacity)` while `count`/`mean`/`min`/`max` remain exact over
+/// the whole lifetime. Percentiles are computed over the retained window —
+/// exact until the ring wraps, recent-window estimates afterwards (pair
+/// with a [`Histogram`] when a whole-lifetime percentile is needed past
+/// the wrap point, as the scenario telemetry aggregator does).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleSet {
+    capacity: usize,
+    ring: Vec<f64>,
+    head: usize,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleSet {
+    /// Creates a set retaining at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SampleSet {
+            capacity,
+            ring: Vec::new(),
+            head: 0,
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a sample, evicting the oldest retained one when full.
+    pub fn record(&mut self, value: f64) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(value);
+        } else {
+            self.ring[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples currently retained in the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total samples recorded over the set's lifetime, evicted included.
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that have been evicted from the window (`0` until the ring
+    /// wraps — while it is `0`, [`SampleSet::percentile`] is exact).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// Lifetime arithmetic mean (all samples, evicted included), or 0 if
+    /// empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Lifetime minimum, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Lifetime maximum, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `p`-th percentile (0-100) over the retained window, nearest-rank
+    /// on the sorted samples; 0 if empty. Exact while
+    /// [`SampleSet::dropped`] is 0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.ring.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.ring.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
 /// A fixed-bucket-width histogram for latency-style measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
@@ -467,6 +584,122 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), 1000.0);
         assert!(h.percentile(99.0) >= 10.0);
+    }
+
+    #[test]
+    fn sample_set_empty_is_zero() {
+        let s = SampleSet::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.total_count(), 0);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn sample_set_single_sample_is_every_percentile() {
+        let mut s = SampleSet::new(8);
+        s.record(42.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 42.0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 42.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn sample_set_p0_and_p100_are_window_extremes() {
+        let mut s = SampleSet::new(128);
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(s.percentile(-5.0), 1.0);
+        assert_eq!(s.percentile(250.0), 100.0);
+        let p90 = s.percentile(90.0);
+        assert!((89.0..=91.0).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn sample_set_ring_evicts_oldest_but_keeps_lifetime_aggregates() {
+        let mut s = SampleSet::new(4);
+        for i in 1..=10 {
+            s.record(i as f64);
+        }
+        // Window holds 7..=10; lifetime aggregates still cover 1..=10.
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total_count(), 10);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.mean(), 5.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.percentile(0.0), 7.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn summary_single_sample_is_every_percentile() {
+        let mut s = Summary::new();
+        s.record(7.5);
+        for p in [0.0, 50.0, 90.0, 100.0] {
+            assert_eq!(s.percentile(p), 7.5, "p{p}");
+        }
+    }
+
+    /// For in-range values the histogram percentile reports a bucket upper
+    /// edge: at most one bucket width above the true sample, plus at most
+    /// one more width when its ceil-rank and the exact nearest-rank
+    /// straddle a bucket boundary — a two-bucket-width error bound.
+    #[test]
+    fn histogram_percentile_error_is_bounded_by_bucket_width() {
+        let width = 2.5;
+        let mut h = Histogram::new(width, 100.0);
+        let mut exact = Summary::new();
+        for i in 1..=1000 {
+            let v = (i % 97) as f64 + 0.37;
+            h.record(v);
+            exact.record(v);
+        }
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let approx = h.percentile(p);
+            let truth = exact.percentile(p);
+            assert!(
+                (approx - truth).abs() <= 2.0 * width,
+                "p{p}: histogram {approx} vs exact {truth} (width {width})"
+            );
+        }
+    }
+
+    /// Values past the upper bound collapse into the single overflow
+    /// bucket: percentiles that land there report the overflow boundary
+    /// (the approximation floor), while min/max stay exact.
+    #[test]
+    fn histogram_overflow_bucket_percentile_approximation() {
+        let width = 1.0;
+        let upper = 10.0;
+        let mut h = Histogram::new(width, upper);
+        for v in [1.0, 2.0, 3.0, 500.0, 1000.0] {
+            h.record(v);
+        }
+        // p100 lands in the overflow bucket: the reported value is its
+        // upper edge — bounded, never the (unknowable) raw overflow value.
+        let p100 = h.percentile(100.0);
+        assert!(
+            p100 >= upper && p100 <= upper + 2.0 * width,
+            "overflow percentile {p100} must clamp near the bound {upper}"
+        );
+        // Percentiles below the overflow mass stay exact to bucket width.
+        assert!((h.percentile(40.0) - 2.0).abs() <= width);
+        // Exact extremes survive aggregation.
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
     }
 
     #[test]

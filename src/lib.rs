@@ -22,8 +22,8 @@ pub mod prelude {
     pub use kollaps_sim::prelude::*;
 
     pub use kollaps_scenario::{
-        Backend, Campaign, CampaignReport, Report, Scenario, ScenarioError, Session, SessionError,
-        Workload,
+        Aggregator, Backend, Campaign, CampaignReport, FlowClassReport, PercentileStats, Report,
+        Scenario, ScenarioError, Session, SessionError, Workload,
     };
 
     pub use kollaps_baselines::GroundTruthDataplane;

@@ -351,3 +351,106 @@ fn fig7_mixed_flows_accuracy_is_pinned() {
         "bare-metal iperf must dip under wrk2: {b_mid:.2}"
     );
 }
+
+/// The perf-trajectory acceptance test: the report's `flow_classes` block
+/// (schema v3) carries per-flow-class latency and goodput percentiles —
+/// p50/p90/p99, not just means — produced by the session's built-in
+/// aggregating telemetry sink, and they survive into the JSON document.
+#[test]
+fn report_carries_flow_class_percentiles() {
+    let (topo, _, _) = generators::dumbbell(
+        4,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    );
+    let mut scenario = Scenario::from_topology(topo).named("flow-class-percentiles");
+    // Four staggered UDP flows over the shared trunk: contention makes the
+    // per-second goodput windows genuinely spread, so the percentiles are
+    // a distribution, not a constant.
+    for i in 0..4u64 {
+        scenario = scenario.workload(
+            Workload::iperf_udp(
+                &format!("client-{i}"),
+                &format!("server-{i}"),
+                Bandwidth::from_mbps(30),
+            )
+            .start(SimDuration::from_millis(i * 500))
+            .duration(SimDuration::from_secs(4)),
+        );
+    }
+    let report = scenario
+        .workload(
+            Workload::ping("client-0", "server-3")
+                .count(30)
+                .interval(SimDuration::from_millis(100))
+                .duration(SimDuration::from_secs(4)),
+        )
+        .run()
+        .expect("valid scenario");
+
+    assert_eq!(report.flow_classes.len(), 2, "{:?}", report.flow_classes);
+    let udp = report
+        .flow_classes
+        .iter()
+        .find(|c| c.class == "iperf-udp")
+        .expect("iperf-udp class");
+    assert_eq!(udp.flows, 4);
+    assert!(udp.latency_ms.is_none(), "bulk UDP has no latency samples");
+    let goodput = udp.goodput_mbps.expect("udp goodput percentiles");
+    // Four 4 s flows contribute one sample per closed one-second window
+    // (staggered windows lose their trailing partial second).
+    assert!(goodput.samples >= 12, "4 flows x 4 s: {}", goodput.samples);
+    assert!(
+        goodput.min <= goodput.p50
+            && goodput.p50 <= goodput.p90
+            && goodput.p90 <= goodput.p99
+            && goodput.p99 <= goodput.max,
+        "percentiles must be ordered: {goodput:?}"
+    );
+    // 4 x 30 Mb/s over a 50 Mb/s trunk: the median window is contended
+    // (well under the 30 Mb/s offered rate), while early uncontended
+    // windows keep the p99 near the full rate.
+    assert!(goodput.p50 < 25.0, "contended median: {goodput:?}");
+    assert!(goodput.p99 > goodput.p50, "spread survives: {goodput:?}");
+
+    let ping = report
+        .flow_classes
+        .iter()
+        .find(|c| c.class == "ping")
+        .expect("ping class");
+    assert_eq!(ping.flows, 1);
+    assert!(ping.goodput_mbps.is_none(), "ping moves no bulk data");
+    let latency = ping.latency_ms.expect("ping latency percentiles");
+    assert_eq!(latency.samples, 30);
+    assert!(
+        latency.p50 <= latency.p90 && latency.p90 <= latency.p99,
+        "{latency:?}"
+    );
+    assert!(latency.p50 > 0.0);
+
+    // The JSON document carries the same block under schema version 3.
+    let json = report.to_json();
+    assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+    let classes = json
+        .get("flow_classes")
+        .and_then(|v| v.as_array())
+        .expect("flow_classes array");
+    assert_eq!(classes.len(), 2);
+    let ping_json = classes
+        .iter()
+        .find(|c| c.get("class").and_then(|v| v.as_str()) == Some("ping"))
+        .expect("ping class in JSON");
+    let lat_json = ping_json.get("latency_ms").expect("latency_ms");
+    for field in ["mean", "p50", "p90", "p99", "min", "max", "samples"] {
+        assert!(
+            lat_json.get(field).and_then(|v| v.as_f64()).is_some(),
+            "latency_ms.{field} missing: {lat_json}"
+        );
+    }
+    assert!(
+        (lat_json.get("p99").unwrap().as_f64().unwrap() - latency.p99).abs() < 1e-9,
+        "JSON p99 mirrors the struct"
+    );
+}
