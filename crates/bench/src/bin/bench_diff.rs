@@ -5,6 +5,7 @@
 //! regressed beyond its tolerance or silently disappeared.
 //!
 //! ```text
+//! cargo run --release -p kollaps_bench --bin distributed
 //! cargo run --release -p kollaps_bench --bin dynamics
 //! cargo run --release -p kollaps_bench --bin session
 //! cargo run --release -p kollaps_bench --bin staleness
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 
 use kollaps_bench::{diff, has_regressions, markdown_table, BenchReport};
 
-const BENCHES: [&str; 3] = ["dynamics", "session", "staleness"];
+const BENCHES: [&str; 4] = ["distributed", "dynamics", "session", "staleness"];
 
 /// The committed baselines live next to `Cargo.toml` at the workspace root;
 /// resolve it from the crate dir so the bin works from any cwd.

@@ -1,0 +1,20 @@
+//! The distributed metadata-latency bench: staggered join over real
+//! loopback sockets vs the in-process run. Prints the comparison and
+//! writes `target/BENCH_distributed.json` (the unified perf-trajectory
+//! records the `bench_diff` gate compares against the committed baseline).
+
+fn main() {
+    let cell = kollaps_bench::run_distributed_cell(3);
+    kollaps_bench::print_rows(
+        "Distributed runtime vs in-process: convergence gap delta (exactly \
+         zero under replica lockstep), real UDP metadata traffic, and the \
+         wall-clock cost of the per-tick barrier",
+        &kollaps_bench::distributed_rows(&cell),
+    );
+    let records = kollaps_bench::distributed_records(&cell);
+    let path = std::path::Path::new("target").join("BENCH_distributed.json");
+    match records.write(&path) {
+        Ok(()) => println!("\nrecords written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -15,11 +15,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod distributed;
 pub mod dynamics;
 pub mod experiments;
 pub mod record;
 pub mod session;
 
+pub use distributed::{
+    distributed_records, distributed_rows, run_distributed_cell, DistributedCell,
+};
 pub use dynamics::{dynamics_json, dynamics_records, dynamics_rows, run_dynamics, DynamicsCell};
 pub use experiments::*;
 pub use record::{

@@ -30,7 +30,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-use kollaps_metadata::bus::{DisseminationBus, HostId, TrafficAccounting};
+use kollaps_metadata::bus::{Bus, DisseminationBus, HostId, TrafficAccounting};
 use kollaps_netmodel::egress::EgressVerdict;
 use kollaps_netmodel::packet::{Addr, Packet};
 use kollaps_sim::prelude::*;
@@ -200,10 +200,17 @@ pub struct KollapsDataplane {
     managers: Vec<EmulationManager>,
     /// Physical host of each container.
     placement: HashMap<Addr, HostId>,
-    bus: DisseminationBus,
+    /// The dissemination transport. The in-process default is the modeled
+    /// [`DisseminationBus`]; the distributed runtime swaps in a socket-backed
+    /// implementation via [`KollapsDataplane::set_bus`].
+    bus: Box<dyn Bus>,
     pending: BinaryHeap<Reverse<PendingDelivery>>,
     next_delivery_seq: u64,
     convergence: ConvergenceStats,
+    /// Per-host, per-iteration convergence gaps, recorded only when
+    /// [`KollapsDataplane::record_host_gaps`] was enabled (indexed by host,
+    /// aligned with `convergence.samples`).
+    host_gap_series: Option<Vec<Vec<f64>>>,
     next_tick: SimTime,
     started: bool,
 }
@@ -283,7 +290,7 @@ impl KollapsDataplane {
             .iter()
             .map(|&h| EmulationManager::new(h, config, Arc::clone(&collapsed), &by_host[&h], &rng))
             .collect();
-        let bus = DisseminationBus::new(host_ids, config.metadata_delay);
+        let bus = Box::new(DisseminationBus::new(host_ids, config.metadata_delay));
         KollapsDataplane {
             config,
             collapsed,
@@ -296,6 +303,7 @@ impl KollapsDataplane {
             pending: BinaryHeap::new(),
             next_delivery_seq: 0,
             convergence: ConvergenceStats::default(),
+            host_gap_series: None,
             next_tick: SimTime::ZERO,
             started: false,
         }
@@ -319,6 +327,44 @@ impl KollapsDataplane {
     /// Metadata traffic accounting (Figures 3 and 4).
     pub fn metadata_accounting(&self) -> &TrafficAccounting {
         self.bus.accounting()
+    }
+
+    /// Replaces the dissemination transport. The distributed runtime
+    /// injects its socket-backed bus here before any traffic flows; the
+    /// replacement must connect the same host set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emulation loop has already run (swapping transports
+    /// mid-run would lose in-flight metadata) or if the host sets differ.
+    pub fn set_bus(&mut self, bus: Box<dyn Bus>) {
+        assert!(
+            !self.started,
+            "the metadata bus can only be replaced before the emulation starts"
+        );
+        assert_eq!(
+            bus.hosts(),
+            self.bus.hosts(),
+            "the replacement bus must connect the same hosts"
+        );
+        self.bus = bus;
+    }
+
+    /// Enables per-host convergence recording: from the next loop iteration
+    /// on, every scored iteration appends each host's own worst gap to a
+    /// per-host series (all series stay sample-aligned with
+    /// [`KollapsDataplane::convergence`]). The distributed runtime merges
+    /// these series across agents to reconstruct the global gap.
+    pub fn record_host_gaps(&mut self) {
+        if self.host_gap_series.is_none() {
+            self.host_gap_series = Some(vec![Vec::new(); self.managers.len()]);
+        }
+    }
+
+    /// The recorded per-host gap series, one per host in host-id order.
+    /// Empty unless [`KollapsDataplane::record_host_gaps`] was called.
+    pub fn host_gap_series(&self) -> &[Vec<f64>] {
+        self.host_gap_series.as_deref().unwrap_or(&[])
     }
 
     /// Number of physical hosts in the deployment.
@@ -450,8 +496,12 @@ impl KollapsDataplane {
         // iteration's news — the staleness the paper trades for
         // decentralization.
         for manager in &self.managers {
-            manager.publish(now, &mut self.bus);
+            manager.publish(now, self.bus.as_mut());
         }
+        // Between publish and drain the bus synchronizes: the modeled bus
+        // moves due messages, a socket bus blocks until every peer's
+        // datagram of this iteration has arrived (the lockstep barrier).
+        self.bus.synchronize(now);
         for manager in &mut self.managers {
             let deliveries = self.bus.drain(now, manager.host());
             manager.absorb(deliveries);
@@ -490,6 +540,7 @@ impl KollapsDataplane {
         }
         let omniscient = allocate(&flows, self.collapsed.link_capacities());
         let mut gap = 0.0f64;
+        let mut host_gaps = vec![0.0f64; self.managers.len()];
         for (i, &(mi, src, dst)) in keys.iter().enumerate() {
             let target = omniscient.of(i as u64).as_bps() as f64;
             if target <= 0.0 {
@@ -498,12 +549,19 @@ impl KollapsDataplane {
             let Some(enforced) = self.managers[mi].allocation(src, dst) else {
                 continue;
             };
-            gap = gap.max((enforced.as_bps() as f64 - target).abs() / target);
+            let g = (enforced.as_bps() as f64 - target).abs() / target;
+            gap = gap.max(g);
+            host_gaps[mi] = host_gaps[mi].max(g);
         }
         self.convergence.last_gap = gap;
         self.convergence.max_gap = self.convergence.max_gap.max(gap);
         self.convergence.sum_gap += gap;
         self.convergence.samples += 1;
+        if let Some(series) = &mut self.host_gap_series {
+            for (host, &g) in host_gaps.iter().enumerate() {
+                series[host].push(g);
+            }
+        }
     }
 
     /// Applies every precomputed change whose time has come: swaps in the
@@ -1007,6 +1065,41 @@ mod tests {
                 assert!(rt.dataplane.convergence().max_gap > 0.5);
             }
         }
+    }
+
+    /// The property the distributed runtime's report merge rests on: the
+    /// per-host gap series partition the global metric. Each scored
+    /// iteration's global gap is the max over that iteration's per-host
+    /// gaps, so max/last/mean are all reconstructible from the series.
+    #[test]
+    fn host_gap_series_partition_the_global_gap() {
+        let (mut dp, (c0, s0), (c1, s1)) = split_dumbbell(EmulationConfig::default());
+        dp.record_host_gaps();
+        let mut rt = Runtime::new(dp);
+        rt.add_udp_flow(c0, s0, Bandwidth::from_mbps(40), SimTime::ZERO, None);
+        rt.add_udp_flow(
+            c1,
+            s1,
+            Bandwidth::from_mbps(40),
+            SimTime::from_millis(125),
+            None,
+        );
+        let _ = rt.run_until(SimTime::from_secs(2));
+        let stats = rt.dataplane.convergence();
+        assert!(stats.samples > 0);
+        let series = rt.dataplane.host_gap_series();
+        assert_eq!(series.len(), 2);
+        for s in series {
+            assert_eq!(s.len() as u64, stats.samples, "series stay sample-aligned");
+        }
+        let merged: Vec<f64> = (0..stats.samples as usize)
+            .map(|i| series.iter().map(|s| s[i]).fold(0.0, f64::max))
+            .collect();
+        let max = merged.iter().copied().fold(0.0, f64::max);
+        let sum: f64 = merged.iter().sum();
+        assert!((max - stats.max_gap).abs() < 1e-12);
+        assert!((sum - stats.sum_gap).abs() < 1e-9);
+        assert!((merged.last().unwrap() - stats.last_gap).abs() < 1e-12);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use kollaps_metadata::bus::{Delivery, DisseminationBus, HostId};
+use kollaps_metadata::bus::{Bus, Delivery, HostId};
 use kollaps_metadata::codec::{FlowUsage, MetadataMessage};
 use kollaps_netmodel::egress::{EgressTree, EgressVerdict};
 use kollaps_netmodel::netem::NetemConfig;
@@ -229,7 +229,7 @@ impl EmulationManager {
     /// Loop step 3a: publishes this host's local usage on the bus. Idle
     /// managers publish an empty heartbeat so subscribers can retire the
     /// host's previous advertisement instead of enforcing on it forever.
-    pub fn publish(&self, now: SimTime, bus: &mut DisseminationBus) {
+    pub fn publish(&self, now: SimTime, bus: &mut dyn Bus) {
         // The bus stamps the sender/publish-time header fields; the manager
         // only supplies the payload.
         let mut message = MetadataMessage::new();

@@ -56,6 +56,41 @@ impl TrafficAccounting {
     }
 }
 
+/// The dissemination transport as the emulation loop sees it: publish the
+/// local usage, synchronize once per loop iteration, drain what has been
+/// delivered, and account the traffic.
+///
+/// Two implementations exist: the in-process [`DisseminationBus`] (a modeled
+/// delay queue — `synchronize` just moves due messages towards their
+/// mailboxes) and the distributed runtime's `SocketBus`, which sends the
+/// encoded frames over real UDP sockets and uses `synchronize` as the
+/// per-tick barrier that waits for every peer's datagram of the current
+/// iteration. The emulation loop calls the same four methods either way, so
+/// the dataplane cannot tell a modeled network from a real one.
+///
+/// `Send` is required because sessions (and therefore their dataplanes) move
+/// across threads in campaign sweeps.
+pub trait Bus: Send {
+    /// The participating hosts.
+    fn hosts(&self) -> &[HostId];
+
+    /// Publishes `message` from `from` to every other host. Implementations
+    /// stamp the wire header (sender host + publish time) themselves.
+    fn publish(&mut self, now: SimTime, from: HostId, message: &MetadataMessage);
+
+    /// Called once per loop iteration, after every manager published and
+    /// before any mailbox is drained. The modeled bus moves due messages;
+    /// a socket-backed bus blocks here until the current iteration's remote
+    /// datagrams have arrived (the distributed lockstep barrier).
+    fn synchronize(&mut self, now: SimTime);
+
+    /// Drains the messages delivered to `host` by `now`.
+    fn drain(&mut self, now: SimTime, host: HostId) -> Vec<Delivery>;
+
+    /// Traffic accounting so far.
+    fn accounting(&self) -> &TrafficAccounting;
+}
+
 /// A message in flight towards another host's Emulation Manager.
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -171,6 +206,28 @@ impl DisseminationBus {
     }
 }
 
+impl Bus for DisseminationBus {
+    fn hosts(&self) -> &[HostId] {
+        DisseminationBus::hosts(self)
+    }
+
+    fn publish(&mut self, now: SimTime, from: HostId, message: &MetadataMessage) {
+        DisseminationBus::publish(self, now, from, message);
+    }
+
+    fn synchronize(&mut self, now: SimTime) {
+        self.advance(now);
+    }
+
+    fn drain(&mut self, now: SimTime, host: HostId) -> Vec<Delivery> {
+        DisseminationBus::drain(self, now, host)
+    }
+
+    fn accounting(&self) -> &TrafficAccounting {
+        DisseminationBus::accounting(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +310,21 @@ mod tests {
         assert_eq!(decoded.sender, HostId(1));
         assert_eq!(decoded.published, SimTime::from_millis(40));
         assert_eq!(decoded.flows[0].link_ids, vec![3, 700, 4_000, 65_535]);
+    }
+
+    #[test]
+    fn trait_object_dispatch_matches_the_inherent_behaviour() {
+        let mut bus: Box<dyn Bus> = Box::new(DisseminationBus::new(
+            hosts(2),
+            SimDuration::from_micros(100),
+        ));
+        bus.publish(SimTime::ZERO, HostId(0), &message(2));
+        bus.synchronize(SimTime::from_micros(100));
+        let delivered = bus.drain(SimTime::from_micros(100), HostId(1));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].from, HostId(0));
+        assert_eq!(bus.accounting().remote_messages, 1);
+        assert_eq!(bus.hosts().len(), 2);
     }
 
     #[test]

@@ -19,6 +19,9 @@ use crate::bus::HostId;
 /// sender host + 8 bytes publish timestamp (nanoseconds of virtual time).
 pub const HEADER_LEN: usize = 15;
 
+/// Size of the length prefix a framed message carries on the wire.
+pub const FRAME_PREFIX_LEN: usize = 4;
+
 /// Usage report for one active flow.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowUsage {
@@ -61,12 +64,18 @@ pub struct MetadataMessage {
 pub enum DecodeError {
     /// The buffer ended before the advertised content.
     Truncated,
+    /// A framed buffer's length prefix disagrees with its actual payload
+    /// size (trailing garbage, or two frames glued together).
+    FrameMismatch,
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated => write!(f, "metadata message is truncated"),
+            DecodeError::FrameMismatch => {
+                write!(f, "frame length prefix disagrees with the payload size")
+            }
         }
     }
 }
@@ -178,6 +187,37 @@ impl MetadataMessage {
     pub fn fits_single_datagram(&self) -> bool {
         self.encoded_len() <= 1472
     }
+
+    /// Encodes the message with a 4-byte big-endian length prefix — the
+    /// frame the distributed runtime actually puts in a UDP datagram. The
+    /// prefix lets a receiver reject truncated or corrupted datagrams
+    /// before handing bytes to [`MetadataMessage::decode`].
+    pub fn encode_framed(&self) -> Bytes {
+        let body = self.encode();
+        let mut buf = BytesMut::with_capacity(FRAME_PREFIX_LEN + body.len());
+        buf.put_u32(body.len() as u32);
+        buf.extend_from_slice(&body);
+        buf.freeze()
+    }
+
+    /// Decodes one framed message: the 4-byte length prefix must match the
+    /// remaining payload exactly (a datagram carries exactly one frame).
+    /// Short buffers are [`DecodeError::Truncated`]; a prefix that
+    /// disagrees with the payload size is [`DecodeError::FrameMismatch`].
+    pub fn decode_framed(frame: &[u8]) -> Result<Self, DecodeError> {
+        if frame.len() < FRAME_PREFIX_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let declared = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let body = &frame[FRAME_PREFIX_LEN..];
+        if body.len() < declared {
+            return Err(DecodeError::Truncated);
+        }
+        if body.len() > declared {
+            return Err(DecodeError::FrameMismatch);
+        }
+        MetadataMessage::decode(Bytes::copy_from_slice(body))
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +303,31 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn framed_round_trip_and_rejection() {
+        let mut m = msg(3, 2, 100);
+        m.sender = HostId(2);
+        m.published = SimTime::from_millis(350);
+        let frame = m.encode_framed();
+        assert_eq!(frame.len(), FRAME_PREFIX_LEN + m.encoded_len());
+        assert_eq!(MetadataMessage::decode_framed(&frame).unwrap(), m);
+        // Any truncation is rejected.
+        for cut in 0..frame.len() {
+            assert_eq!(
+                MetadataMessage::decode_framed(&frame[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage after the declared frame is rejected too.
+        let mut padded = frame.to_vec();
+        padded.push(0xAB);
+        assert_eq!(
+            MetadataMessage::decode_framed(&padded),
+            Err(DecodeError::FrameMismatch)
+        );
     }
 
     #[test]

@@ -257,6 +257,80 @@ mod tests {
             .all(|&ph| ph == BootstrapPhase::ManagerLaunched));
     }
 
+    /// The two-service topology behind the golden manifests below.
+    fn two_service_plan(orch: Orchestrator) -> DeploymentPlan {
+        let mut topo = kollaps_topology::model::Topology::new();
+        topo.add_service("api", 0, "kollaps/api");
+        topo.add_service("db", 0, "kollaps/db");
+        DeploymentGenerator::new(Cluster::paper_testbed(2), orch).generate(&topo)
+    }
+
+    #[test]
+    fn swarm_compose_output_is_pinned() {
+        let golden = "\
+version: \"3\"
+services:
+  api-0:
+    image: kollaps/api
+    hostname: api.0
+    labels:
+      kollaps.emulated: \"true\"
+      kollaps.address: \"10.1.0.0\"
+    deploy:
+      placement:
+        constraints: [\"node.hostname == node-0\"]
+  db-0:
+    image: kollaps/db
+    hostname: db.0
+    labels:
+      kollaps.emulated: \"true\"
+      kollaps.address: \"10.1.0.1\"
+    deploy:
+      placement:
+        constraints: [\"node.hostname == node-1\"]
+";
+        assert_eq!(
+            two_service_plan(Orchestrator::Swarm).render_manifest(),
+            golden
+        );
+    }
+
+    #[test]
+    fn kubernetes_manifest_output_is_pinned() {
+        let golden = "\
+---
+apiVersion: v1
+kind: Pod
+metadata:
+  name: api-0
+  annotations:
+    kollaps/emulated: \"true\"
+    kollaps/address: \"10.1.0.0\"
+spec:
+  nodeName: node-0
+  containers:
+  - name: app
+    image: kollaps/api
+---
+apiVersion: v1
+kind: Pod
+metadata:
+  name: db-0
+  annotations:
+    kollaps/emulated: \"true\"
+    kollaps/address: \"10.1.0.1\"
+spec:
+  nodeName: node-1
+  containers:
+  - name: app
+    image: kollaps/db
+";
+        assert_eq!(
+            two_service_plan(Orchestrator::Kubernetes).render_manifest(),
+            golden
+        );
+    }
+
     #[test]
     fn manifests_mention_every_container() {
         let p = plan(2, Orchestrator::Swarm);

@@ -1,0 +1,275 @@
+//! The `kollaps-agent`: one process per emulated physical host.
+//!
+//! An agent connects to the coordinator's TCP control socket, receives the
+//! scenario spec, rebuilds the deterministic session replica locally, swaps
+//! the modeled metadata bus for a [`SocketBus`] bound to a real loopback
+//! UDP socket, and drives the emulation to completion in lockstep with its
+//! peers. At the end it ships its partial report — including the real
+//! socket byte counts and its host's convergence-gap series — back to the
+//! coordinator.
+//!
+//! The control-plane message sequence is documented on [`crate::coordinator`].
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kollaps_metadata::bus::HostId;
+use kollaps_scenario::{Scenario, ScenarioError, Session, SessionError};
+use kollaps_sim::time::SimDuration;
+use serde_json::Value;
+
+use crate::socket_bus::{SocketBus, SocketBusStats};
+use crate::wire::{self, WireError};
+
+/// How long the agent waits on the control socket before giving up on the
+/// coordinator. Generous: the coordinator may legitimately stay quiet while
+/// other agents catch up.
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Everything that can abort an agent.
+#[derive(Debug)]
+pub enum AgentError {
+    /// The control or metadata socket failed.
+    Io(std::io::Error),
+    /// The control plane sent a malformed or unexpected message.
+    Wire(WireError),
+    /// The scenario spec could not be decoded or instantiated.
+    Scenario(ScenarioError),
+    /// The rebuilt session rejected a distributed hook.
+    Session(SessionError),
+    /// The coordinator violated the handshake sequence.
+    Protocol(String),
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::Io(e) => write!(f, "agent i/o: {e}"),
+            AgentError::Wire(e) => write!(f, "agent control plane: {e}"),
+            AgentError::Scenario(e) => write!(f, "agent scenario: {e}"),
+            AgentError::Session(e) => write!(f, "agent session: {e}"),
+            AgentError::Protocol(reason) => write!(f, "agent protocol: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<std::io::Error> for AgentError {
+    fn from(e: std::io::Error) -> Self {
+        AgentError::Io(e)
+    }
+}
+
+impl From<WireError> for AgentError {
+    fn from(e: WireError) -> Self {
+        AgentError::Wire(e)
+    }
+}
+
+impl From<ScenarioError> for AgentError {
+    fn from(e: ScenarioError) -> Self {
+        AgentError::Scenario(e)
+    }
+}
+
+impl From<SessionError> for AgentError {
+    fn from(e: SessionError) -> Self {
+        AgentError::Session(e)
+    }
+}
+
+/// The session replica plus the shared socket counters, built on `spec`.
+struct Prepared {
+    session: Session,
+    stats: Arc<SocketBusStats>,
+}
+
+fn prepare(message: &Value, me: u32, udp: UdpSocket) -> Result<Prepared, AgentError> {
+    let spec = message
+        .get("spec")
+        .ok_or_else(|| AgentError::Protocol("spec message without a spec".to_string()))?;
+    let scenario = Scenario::from_spec(spec)?;
+    let n_hosts = scenario.host_count();
+    if me as usize >= n_hosts {
+        return Err(AgentError::Protocol(format!(
+            "assigned host {me} but the scenario has only {n_hosts} hosts"
+        )));
+    }
+    let metadata_delay = spec
+        .get("config")
+        .and_then(|c| c.get("metadata_delay_ns"))
+        .and_then(|v| v.as_u64())
+        .map(SimDuration::from_nanos)
+        .unwrap_or(SimDuration::ZERO);
+    let loss = message.get("loss").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let barrier_timeout = message
+        .get("barrier_timeout_ms")
+        .and_then(|v| v.as_u64())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(5));
+    let mut peers = HashMap::new();
+    if let Some(list) = message.get("peers").and_then(|v| v.as_array()) {
+        for entry in list {
+            let pair = entry.as_array().ok_or_else(|| {
+                AgentError::Protocol("peer entry is not a [host, port] pair".to_string())
+            })?;
+            let (host, port) = match (
+                pair.first().and_then(|v| v.as_u64()),
+                pair.get(1).and_then(|v| v.as_u64()),
+            ) {
+                (Some(h), Some(p)) => (h as u32, p as u16),
+                _ => {
+                    return Err(AgentError::Protocol(
+                        "peer entry is not a [host, port] pair".to_string(),
+                    ))
+                }
+            };
+            if host != me {
+                let addr: SocketAddr = format!("127.0.0.1:{port}")
+                    .parse()
+                    .expect("loopback address is well-formed");
+                peers.insert(HostId(host), addr);
+            }
+        }
+    }
+    let mut session = scenario.session()?;
+    session.record_host_gaps()?;
+    let stats = Arc::new(SocketBusStats::default());
+    let bus = SocketBus::new(
+        (0..n_hosts as u32).map(HostId).collect(),
+        HostId(me),
+        udp,
+        peers,
+        metadata_delay,
+        loss,
+        barrier_timeout,
+        Arc::clone(&stats),
+    )?;
+    session.install_metadata_bus(Box::new(bus))?;
+    Ok(Prepared { session, stats })
+}
+
+/// Runs the session to its end and builds the `report` control message.
+fn execute(prepared: Prepared, me: u32) -> Result<Value, AgentError> {
+    let Prepared { mut session, stats } = prepared;
+    let end = session.end();
+    session.run_until(end)?;
+    let gaps = session
+        .host_gap_series()
+        .into_iter()
+        .nth(me as usize)
+        .unwrap_or_default();
+    let report = session.finish();
+    let (sent, received) = report
+        .metadata_per_host
+        .iter()
+        .find(|row| row.host == me)
+        .map(|row| (row.sent_bytes, row.received_bytes))
+        .unwrap_or((0, 0));
+    Ok(wire::msg(
+        "report",
+        vec![
+            ("host", me.into()),
+            ("report", report.to_json()),
+            (
+                "gaps",
+                Value::Array(gaps.into_iter().map(Value::from).collect()),
+            ),
+            ("sent", sent.into()),
+            ("received", received.into()),
+            (
+                "barrier_wait_micros",
+                stats.barrier_wait_micros.load(Ordering::Relaxed).into(),
+            ),
+            ("barriers", stats.barriers.load(Ordering::Relaxed).into()),
+            (
+                "lost_datagrams",
+                stats.lost_datagrams.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "barrier_timeouts",
+                stats.barrier_timeouts.load(Ordering::Relaxed).into(),
+            ),
+        ],
+    ))
+}
+
+/// Runs one agent to completion: connect to `coordinator`, emulate host
+/// `me`, report, exit. This is the whole body of the `kollaps-agent` binary
+/// and is equally callable on a thread for in-process distributed tests.
+pub fn run(coordinator: &str, me: u32) -> Result<(), AgentError> {
+    let udp = UdpSocket::bind("127.0.0.1:0")?;
+    let udp_port = udp.local_addr()?.port();
+    let mut control = TcpStream::connect(coordinator)?;
+    control.set_read_timeout(Some(CONTROL_TIMEOUT))?;
+    control.set_nodelay(true)?;
+    wire::send(
+        &mut control,
+        &wire::msg(
+            "hello",
+            vec![
+                ("host", me.into()),
+                ("udp_port", u64::from(udp_port).into()),
+            ],
+        ),
+    )?;
+    let mut udp = Some(udp);
+    let mut prepared = None;
+    loop {
+        let message = wire::recv(&mut control)?;
+        match wire::msg_type(&message) {
+            Some("sync") => {
+                let nonce = wire::field_u64(&message, "nonce")?;
+                wire::send(
+                    &mut control,
+                    &wire::msg("sync_ack", vec![("nonce", nonce.into())]),
+                )?;
+            }
+            Some("spec") => {
+                let socket = udp
+                    .take()
+                    .ok_or_else(|| AgentError::Protocol("received a second spec".to_string()))?;
+                prepared = Some(prepare(&message, me, socket)?);
+                wire::send(
+                    &mut control,
+                    &wire::msg("manager_up", vec![("host", me.into())]),
+                )?;
+            }
+            Some("attach") => {
+                let cores = prepared
+                    .as_ref()
+                    .and_then(|p| p.session.containers_on_host(me))
+                    .ok_or_else(|| AgentError::Protocol("attach before spec".to_string()))?;
+                wire::send(
+                    &mut control,
+                    &wire::msg(
+                        "cores_attached",
+                        vec![("host", me.into()), ("cores", cores.into())],
+                    ),
+                )?;
+            }
+            Some("start") => {
+                let ready = prepared
+                    .take()
+                    .ok_or_else(|| AgentError::Protocol("start before spec".to_string()))?;
+                let report = execute(ready, me)?;
+                wire::send(&mut control, &report)?;
+            }
+            Some("bye") => return Ok(()),
+            Some(t) => {
+                return Err(AgentError::Protocol(format!(
+                    "unexpected control message `{t}`"
+                )))
+            }
+            None => {
+                return Err(AgentError::Protocol(
+                    "control message without a type".to_string(),
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The per-host agent process: `kollaps-agent <coordinator-addr> <host-id>`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(coordinator), Some(host)) = (args.next(), args.next()) else {
+        eprintln!("usage: kollaps-agent <coordinator-addr> <host-id>");
+        return ExitCode::FAILURE;
+    };
+    let host: u32 = match host.parse() {
+        Ok(h) => h,
+        Err(_) => {
+            eprintln!("kollaps-agent: host id must be an unsigned integer, got `{host}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match kollaps_runtime::agent::run(&coordinator, host) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kollaps-agent host {host}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

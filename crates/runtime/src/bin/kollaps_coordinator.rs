@@ -1,0 +1,132 @@
+//! The coordinator process: runs the staggered-join scenario distributed
+//! over real agent processes on loopback.
+//!
+//! ```text
+//! kollaps-coordinator [--seconds N] [--agent-bin PATH] [--out PATH] [--threads]
+//! ```
+//!
+//! By default the agent binary is discovered next to the coordinator
+//! executable and the merged report is written to
+//! `target/distributed-report.json` (falling back to the current
+//! directory when no `target/` exists).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use kollaps_runtime::coordinator::{self, Launch, RunOptions};
+
+fn default_agent_bin() -> Option<PathBuf> {
+    let me = std::env::current_exe().ok()?;
+    let sibling = me.with_file_name("kollaps-agent");
+    sibling.exists().then_some(sibling)
+}
+
+fn default_out() -> PathBuf {
+    let target = PathBuf::from("target");
+    if target.is_dir() {
+        target.join("distributed-report.json")
+    } else {
+        PathBuf::from("distributed-report.json")
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seconds = 5u64;
+    let mut agent_bin: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut threads = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seconds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seconds = v,
+                None => return usage("--seconds needs an unsigned integer"),
+            },
+            "--agent-bin" => match args.next() {
+                Some(v) => agent_bin = Some(PathBuf::from(v)),
+                None => return usage("--agent-bin needs a path"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a path"),
+            },
+            "--threads" => threads = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let launch = if threads {
+        Launch::Threads
+    } else {
+        match agent_bin.or_else(default_agent_bin) {
+            Some(bin) => Launch::Processes(bin),
+            None => {
+                eprintln!(
+                    "kollaps-coordinator: no kollaps-agent binary next to this executable; \
+                     pass --agent-bin PATH or --threads"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let scenario = coordinator::staggered_join_scenario(seconds);
+    let options = RunOptions {
+        launch,
+        loss_probability: 0.0,
+        barrier_timeout: Duration::from_secs(5),
+    };
+    let outcome = match coordinator::run(&scenario, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("kollaps-coordinator: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out = out.unwrap_or_else(default_out);
+    let text = serde_json::to_string(&outcome.report);
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("kollaps-coordinator: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "distributed staggered-join: {seconds}s over {} agents",
+        outcome.agents.len()
+    );
+    for agent in &outcome.agents {
+        println!(
+            "  host {}: {} cores, {} B sent / {} B received over UDP, \
+             {} barriers ({} µs waiting, {} timeouts), control RTT {} µs",
+            agent.host,
+            agent.cores,
+            agent.sent_bytes,
+            agent.received_bytes,
+            agent.barriers,
+            agent.barrier_wait_micros,
+            agent.barrier_timeouts,
+            agent.control_rtt_micros,
+        );
+    }
+    let phases: Vec<String> = outcome
+        .bootstrap_trace
+        .iter()
+        .map(|step| format!("{step:?}"))
+        .collect();
+    println!("  bootstrap: {}", phases.join(" -> "));
+    if let Some(convergence) = outcome.report.get("convergence") {
+        println!("  convergence: {}", serde_json::to_string(convergence));
+    }
+    println!("  report: {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn usage(reason: &str) -> ExitCode {
+    eprintln!("kollaps-coordinator: {reason}");
+    eprintln!(
+        "usage: kollaps-coordinator [--seconds N] [--agent-bin PATH] [--out PATH] [--threads]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,587 @@
+//! The `kollaps-coordinator`: spawns agents, runs the bootstrapper state
+//! machine against real processes, and merges their partial reports.
+//!
+//! # Control-plane sequence
+//!
+//! All control traffic is framed JSON over TCP ([`crate::wire`]); metadata
+//! rides UDP between the agents directly ([`crate::socket_bus`]).
+//!
+//! 1. Each agent connects and sends `hello { host, udp_port }`.
+//! 2. The coordinator sends `sync { nonce }`; the agent echoes
+//!    `sync_ack { nonce }` — a clock-sync/liveness probe whose round-trip
+//!    time is recorded per agent.
+//! 3. The coordinator sends `spec { spec, peers, loss,
+//!    barrier_timeout_ms }` carrying the scenario wire codec
+//!    ([`Scenario::to_spec`]) and the UDP peer directory; the agent builds
+//!    its session replica and answers `manager_up { host }`. All
+//!    `manager_up`s together drive the deployment plan's first
+//!    [`DeploymentPlan::advance_bootstrap`] step
+//!    (bootstrapper scheduled → manager launched).
+//! 4. The coordinator sends `attach`; the agent reports
+//!    `cores_attached { host, cores }` and the second `advance_bootstrap`
+//!    completes the bootstrap (manager launched → cores attached).
+//! 5. `start` releases the barrier: every agent runs its session to the
+//!    end in UDP lockstep and ships `report { host, report, gaps, ... }`.
+//! 6. The coordinator merges the partial reports, sends `bye`, and joins
+//!    the agents.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kollaps_metadata::bus::HostId;
+use kollaps_orchestrator::{
+    BootstrapPhase, Cluster, DeploymentGenerator, DeploymentPlan, Orchestrator,
+};
+use kollaps_scenario::{Scenario, ScenarioError, Workload};
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::Bandwidth;
+use serde_json::Value;
+
+use crate::agent::{self, AgentError};
+use crate::wire::{self, WireError};
+
+/// How agents are brought up.
+#[derive(Debug, Clone)]
+pub enum Launch {
+    /// Run each agent on a thread inside this process. The sockets are
+    /// exactly as real as in process mode; only the address space is
+    /// shared. Default for tests and examples.
+    Threads,
+    /// Spawn the `kollaps-agent` binary at this path, one process per
+    /// host.
+    Processes(PathBuf),
+}
+
+/// Knobs for a distributed run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// How agents are launched.
+    pub launch: Launch,
+    /// Probability that an agent drops an incoming metadata datagram
+    /// (injected loss on the emulated physical network).
+    pub loss_probability: f64,
+    /// How long an agent waits on the per-tick metadata barrier before
+    /// declaring a peer dead.
+    pub barrier_timeout: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            launch: Launch::Threads,
+            loss_probability: 0.0,
+            barrier_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything that can abort a distributed run.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// A control socket failed.
+    Io(std::io::Error),
+    /// An agent sent a malformed or unexpected control message.
+    Wire(WireError),
+    /// The scenario could not be encoded for distribution.
+    Scenario(ScenarioError),
+    /// An agent violated the handshake, died, or reported inconsistent
+    /// state.
+    Protocol(String),
+}
+
+impl std::fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordinatorError::Io(e) => write!(f, "coordinator i/o: {e}"),
+            CoordinatorError::Wire(e) => write!(f, "coordinator control plane: {e}"),
+            CoordinatorError::Scenario(e) => write!(f, "coordinator scenario: {e}"),
+            CoordinatorError::Protocol(reason) => write!(f, "coordinator protocol: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<std::io::Error> for CoordinatorError {
+    fn from(e: std::io::Error) -> Self {
+        CoordinatorError::Io(e)
+    }
+}
+
+impl From<WireError> for CoordinatorError {
+    fn from(e: WireError) -> Self {
+        CoordinatorError::Wire(e)
+    }
+}
+
+impl From<ScenarioError> for CoordinatorError {
+    fn from(e: ScenarioError) -> Self {
+        CoordinatorError::Scenario(e)
+    }
+}
+
+/// Per-agent facts collected over the control plane.
+#[derive(Debug, Clone)]
+pub struct AgentStats {
+    /// The host this agent emulated.
+    pub host: u32,
+    /// Real bytes this agent's authoritative manager sent over UDP.
+    pub sent_bytes: u64,
+    /// Real bytes it received over UDP (after injected loss).
+    pub received_bytes: u64,
+    /// Wall-clock microseconds it spent blocked in the metadata barrier.
+    pub barrier_wait_micros: u64,
+    /// Barrier rounds it completed.
+    pub barriers: u64,
+    /// Datagrams dropped by the injected-loss knob.
+    pub lost_datagrams: u64,
+    /// Barrier rounds that hit the wall-clock timeout.
+    pub barrier_timeouts: u64,
+    /// Control-plane round-trip time measured during the sync handshake.
+    pub control_rtt_micros: u64,
+    /// Emulation Cores (emulated containers) the agent attached.
+    pub cores: u64,
+}
+
+/// The result of a distributed run.
+#[derive(Debug)]
+pub struct DistributedOutcome {
+    /// The merged schema-version-3 report: agent 0's partial report with
+    /// the metadata accounting replaced by real per-agent socket byte
+    /// counts and the convergence block recomputed from the per-host gap
+    /// series.
+    pub report: Value,
+    /// The bootstrap phase of every host after each
+    /// [`DeploymentPlan::advance_bootstrap`] step, starting with the
+    /// initial state.
+    pub bootstrap_trace: Vec<Vec<BootstrapPhase>>,
+    /// Per-agent control-plane and socket statistics, ordered by host.
+    pub agents: Vec<AgentStats>,
+}
+
+/// One connected agent from the coordinator's point of view.
+struct AgentLink {
+    host: u32,
+    stream: TcpStream,
+    udp_port: u16,
+    control_rtt_micros: u64,
+}
+
+enum AgentHandle {
+    Thread(JoinHandle<Result<(), AgentError>>),
+    Process(Child),
+}
+
+/// Replaces (or appends) a top-level field of a JSON object report.
+fn set_field(report: &mut Value, key: &str, value: Value) {
+    if let Value::Object(fields) = report {
+        for (k, v) in fields.iter_mut() {
+            if k == key {
+                *v = value;
+                return;
+            }
+        }
+        fields.push((key.to_string(), value));
+    }
+}
+
+/// Recomputes the global convergence block from per-host gap series.
+///
+/// Mirrors `update_convergence` in the emulation loop exactly: the global
+/// per-iteration gap is the max across hosts, the running max and sum are
+/// taken in iteration order, and the mean divides by the sample count —
+/// all exact operations, so the merged block is bit-identical to what a
+/// single in-process run reports.
+fn merge_convergence(series: &[Vec<f64>]) -> Option<(f64, f64, f64)> {
+    let len = series.iter().map(Vec::len).max()?;
+    if len == 0 {
+        return None;
+    }
+    let mut last = 0.0f64;
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for i in 0..len {
+        let mut gap = 0.0f64;
+        for host in series {
+            if let Some(&g) = host.get(i) {
+                gap = gap.max(g);
+            }
+        }
+        last = gap;
+        max = max.max(gap);
+        sum += gap;
+    }
+    Some((last, max, sum / len as f64))
+}
+
+fn launch_agents(
+    launch: &Launch,
+    control_addr: &str,
+    hosts: u32,
+) -> Result<Vec<AgentHandle>, CoordinatorError> {
+    let mut handles = Vec::new();
+    for host in 0..hosts {
+        match launch {
+            Launch::Threads => {
+                let addr = control_addr.to_string();
+                handles.push(AgentHandle::Thread(std::thread::spawn(move || {
+                    agent::run(&addr, host)
+                })));
+            }
+            Launch::Processes(bin) => {
+                let child = Command::new(bin)
+                    .arg(control_addr)
+                    .arg(host.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| {
+                        CoordinatorError::Protocol(format!(
+                            "failed to spawn agent binary {}: {e}",
+                            bin.display()
+                        ))
+                    })?;
+                handles.push(AgentHandle::Process(child));
+            }
+        }
+    }
+    Ok(handles)
+}
+
+fn join_agents(handles: Vec<AgentHandle>) -> Result<(), CoordinatorError> {
+    for handle in handles {
+        match handle {
+            AgentHandle::Thread(h) => match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(CoordinatorError::Protocol(format!("agent failed: {e}"))),
+                Err(_) => {
+                    return Err(CoordinatorError::Protocol(
+                        "agent thread panicked".to_string(),
+                    ))
+                }
+            },
+            AgentHandle::Process(mut child) => {
+                let status = child.wait()?;
+                if !status.success() {
+                    return Err(CoordinatorError::Protocol(format!(
+                        "agent process exited with {status}"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `scenario` distributed across one agent per host and returns the
+/// merged report.
+///
+/// The scenario must target the Kollaps backend; its host count decides the
+/// number of agents. The deployment plan is generated exactly as for a real
+/// Swarm cluster and its bootstrapper state machine is driven by the actual
+/// agent handshake.
+pub fn run(
+    scenario: &Scenario,
+    options: &RunOptions,
+) -> Result<DistributedOutcome, CoordinatorError> {
+    let spec = scenario.to_spec()?;
+    let hosts = scenario.host_count() as u32;
+    let topology = scenario.topology()?;
+    let explicit_placement = spec
+        .get("placement")
+        .and_then(|v| v.as_array())
+        .is_some_and(|p| !p.is_empty());
+
+    // The deployment plan models the cluster side: container placement and
+    // the bootstrapper state machine the handshake below drives for real.
+    let cluster = Cluster::paper_testbed(hosts as usize);
+    let mut plan: DeploymentPlan =
+        DeploymentGenerator::new(cluster, Orchestrator::Swarm).generate(&topology);
+    let phase_snapshot = |plan: &DeploymentPlan, hosts: u32| -> Vec<BootstrapPhase> {
+        (0..hosts)
+            .map(|h| {
+                plan.bootstrap
+                    .get(&HostId(h))
+                    .copied()
+                    .unwrap_or(BootstrapPhase::BootstrapperScheduled)
+            })
+            .collect()
+    };
+    let mut bootstrap_trace = vec![phase_snapshot(&plan, hosts)];
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let control_addr = listener.local_addr()?.to_string();
+    let handles = launch_agents(&options.launch, &control_addr, hosts)?;
+
+    let outcome = (|| -> Result<DistributedOutcome, CoordinatorError> {
+        // Accept one hello per host, in whatever order agents come up.
+        let mut links: HashMap<u32, AgentLink> = HashMap::new();
+        for _ in 0..hosts {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_nodelay(true)?;
+            let hello = wire::recv_expect(&mut stream, "hello")?;
+            let host = wire::field_u64(&hello, "host")? as u32;
+            let udp_port = wire::field_u64(&hello, "udp_port")? as u16;
+            if host >= hosts || links.contains_key(&host) {
+                return Err(CoordinatorError::Protocol(format!(
+                    "unexpected hello from host {host}"
+                )));
+            }
+            links.insert(
+                host,
+                AgentLink {
+                    host,
+                    stream,
+                    udp_port,
+                    control_rtt_micros: 0,
+                },
+            );
+        }
+        let mut links: Vec<AgentLink> = {
+            let mut v: Vec<AgentLink> = links.into_values().collect();
+            v.sort_by_key(|l| l.host);
+            v
+        };
+
+        // Clock sync / liveness probe: one nonce round-trip per agent.
+        for (i, link) in links.iter_mut().enumerate() {
+            let nonce = 0xC0DE_0000 + i as u64;
+            let sent_at = Instant::now();
+            wire::send(
+                &mut link.stream,
+                &wire::msg("sync", vec![("nonce", nonce.into())]),
+            )?;
+            let ack = wire::recv_expect(&mut link.stream, "sync_ack")?;
+            if wire::field_u64(&ack, "nonce")? != nonce {
+                return Err(CoordinatorError::Protocol(format!(
+                    "host {} echoed the wrong sync nonce",
+                    link.host
+                )));
+            }
+            link.control_rtt_micros = sent_at.elapsed().as_micros() as u64;
+        }
+
+        // Distribute the scenario plus the UDP peer directory.
+        let peers: Value = Value::Array(
+            links
+                .iter()
+                .map(|l| {
+                    Value::Array(vec![
+                        Value::from(u64::from(l.host)),
+                        Value::from(u64::from(l.udp_port)),
+                    ])
+                })
+                .collect(),
+        );
+        for link in links.iter_mut() {
+            wire::send(
+                &mut link.stream,
+                &wire::msg(
+                    "spec",
+                    vec![
+                        ("spec", spec.clone()),
+                        ("peers", peers.clone()),
+                        ("loss", options.loss_probability.into()),
+                        (
+                            "barrier_timeout_ms",
+                            (options.barrier_timeout.as_millis() as u64).into(),
+                        ),
+                    ],
+                ),
+            )?;
+        }
+        for link in links.iter_mut() {
+            let up = wire::recv_expect(&mut link.stream, "manager_up")?;
+            if wire::field_u64(&up, "host")? as u32 != link.host {
+                return Err(CoordinatorError::Protocol(format!(
+                    "host {} answered manager_up for another host",
+                    link.host
+                )));
+            }
+        }
+        // Every manager is up: bootstrapper scheduled → manager launched.
+        let done = plan.advance_bootstrap();
+        bootstrap_trace.push(phase_snapshot(&plan, hosts));
+        if done {
+            return Err(CoordinatorError::Protocol(
+                "bootstrap completed before cores attached".to_string(),
+            ));
+        }
+
+        // Attach the per-container Emulation Cores.
+        let mut cores = vec![0u64; hosts as usize];
+        for link in links.iter_mut() {
+            wire::send(&mut link.stream, &wire::msg("attach", vec![]))?;
+        }
+        for link in links.iter_mut() {
+            let attached = wire::recv_expect(&mut link.stream, "cores_attached")?;
+            if wire::field_u64(&attached, "host")? as u32 != link.host {
+                return Err(CoordinatorError::Protocol(format!(
+                    "host {} answered cores_attached for another host",
+                    link.host
+                )));
+            }
+            let n = wire::field_u64(&attached, "cores")?;
+            // The plan places containers round-robin; explicit scenario
+            // placement overrides that on the agents, so only compare when
+            // the scenario does not pin anything.
+            if !explicit_placement && n != plan.cores_on_host(HostId(link.host)) as u64 {
+                return Err(CoordinatorError::Protocol(format!(
+                    "host {} attached {n} cores, deployment plan expected {}",
+                    link.host,
+                    plan.cores_on_host(HostId(link.host))
+                )));
+            }
+            cores[link.host as usize] = n;
+        }
+        if !plan.advance_bootstrap() {
+            return Err(CoordinatorError::Protocol(
+                "bootstrap did not complete after cores attached".to_string(),
+            ));
+        }
+        bootstrap_trace.push(phase_snapshot(&plan, hosts));
+
+        // Start barrier: release every agent, then collect reports.
+        for link in links.iter_mut() {
+            wire::send(&mut link.stream, &wire::msg("start", vec![]))?;
+        }
+        let mut partials: Vec<Value> = Vec::new();
+        let mut series: Vec<Vec<f64>> = Vec::new();
+        let mut agents: Vec<AgentStats> = Vec::new();
+        for link in links.iter_mut() {
+            // The emulation itself runs between start and report; give it
+            // far more slack than the control handshake.
+            link.stream
+                .set_read_timeout(Some(Duration::from_secs(300)))?;
+            let report = wire::recv_expect(&mut link.stream, "report")?;
+            if wire::field_u64(&report, "host")? as u32 != link.host {
+                return Err(CoordinatorError::Protocol(format!(
+                    "host {} reported for another host",
+                    link.host
+                )));
+            }
+            let gaps = report
+                .get("gaps")
+                .and_then(|v| v.as_array())
+                .map(|a| a.iter().filter_map(|v| v.as_f64()).collect::<Vec<f64>>())
+                .unwrap_or_default();
+            agents.push(AgentStats {
+                host: link.host,
+                sent_bytes: wire::field_u64(&report, "sent")?,
+                received_bytes: wire::field_u64(&report, "received")?,
+                barrier_wait_micros: wire::field_u64(&report, "barrier_wait_micros")?,
+                barriers: wire::field_u64(&report, "barriers")?,
+                lost_datagrams: wire::field_u64(&report, "lost_datagrams")?,
+                barrier_timeouts: wire::field_u64(&report, "barrier_timeouts")?,
+                control_rtt_micros: link.control_rtt_micros,
+                cores: cores[link.host as usize],
+            });
+            series.push(gaps);
+            partials.push(report.get("report").cloned().ok_or_else(|| {
+                CoordinatorError::Protocol(format!("host {} sent no report body", link.host))
+            })?);
+        }
+        for link in links.iter_mut() {
+            wire::send(&mut link.stream, &wire::msg("bye", vec![]))?;
+        }
+
+        // Merge: agent 0's replica report is the base (all replicas are
+        // deterministic copies); the metadata accounting and convergence
+        // block are replaced with the real distributed measurements.
+        let mut merged = partials
+            .first()
+            .cloned()
+            .ok_or_else(|| CoordinatorError::Protocol("no partial reports".to_string()))?;
+        set_field(&mut merged, "backend", Value::from("kollaps-distributed"));
+        let total_sent: u64 = agents.iter().map(|a| a.sent_bytes).sum();
+        set_field(&mut merged, "metadata_bytes", Value::from(total_sent));
+        let rows = Value::Array(
+            agents
+                .iter()
+                .map(|a| {
+                    wire::obj(vec![
+                        ("host", Value::from(u64::from(a.host))),
+                        ("sent_bytes", Value::from(a.sent_bytes)),
+                        ("received_bytes", Value::from(a.received_bytes)),
+                    ])
+                })
+                .collect(),
+        );
+        set_field(&mut merged, "metadata_per_host", rows);
+        if let Some((last, max, mean)) = merge_convergence(&series) {
+            set_field(
+                &mut merged,
+                "convergence",
+                wire::obj(vec![
+                    ("last_gap", Value::from(last)),
+                    ("max_gap", Value::from(max)),
+                    ("mean_gap", Value::from(mean)),
+                ]),
+            );
+        }
+
+        Ok(DistributedOutcome {
+            report: merged,
+            bootstrap_trace,
+            agents,
+        })
+    })();
+
+    match outcome {
+        Ok(outcome) => {
+            join_agents(handles)?;
+            Ok(outcome)
+        }
+        Err(e) => {
+            // Best effort: reap whatever is still running so a failed run
+            // does not leak processes; the original error wins.
+            for handle in handles {
+                match handle {
+                    AgentHandle::Thread(_) => {}
+                    AgentHandle::Process(mut child) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The staggered-join scenario the distributed smoke tests and benches
+/// run: four UDP flow pairs on a dumbbell joining 700 ms apart, pinned
+/// pairwise onto two hosts so every flow competes with flows managed by
+/// the *other* Emulation Manager. Mirrors the in-process staleness
+/// experiment's workload so distributed results are directly comparable.
+pub fn staggered_join_scenario(seconds: u64) -> Scenario {
+    let (topology, _, _) = kollaps_topology::generators::dumbbell(
+        4,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    );
+    let mut scenario = Scenario::from_topology(topology)
+        .named("distributed-staggered-join")
+        .distributed(2);
+    for i in 0..4u64 {
+        scenario = scenario
+            .workload(
+                Workload::iperf_udp(
+                    &format!("client-{i}"),
+                    &format!("server-{i}"),
+                    Bandwidth::from_mbps(30),
+                )
+                .start(SimDuration::from_millis(i * 700))
+                .duration(SimDuration::from_secs(seconds)),
+            )
+            .place(&format!("client-{i}"), (i % 2) as u32)
+            .place(&format!("server-{i}"), (i % 2) as u32);
+    }
+    scenario
+}

@@ -1,0 +1,169 @@
+//! Control-plane framing: every message between the coordinator and its
+//! agents is a 4-byte big-endian length prefix followed by that many bytes
+//! of UTF-8 JSON, over the TCP stream opened by the agent at startup.
+//!
+//! Messages are JSON objects with a `"t"` discriminator. The handshake
+//! sequence is documented on [`crate::coordinator`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use serde_json::{self, Value};
+
+/// Upper bound on a control frame. Reports with long per-host gap series
+/// are the largest messages; 64 MiB leaves orders of magnitude of slack
+/// while still rejecting garbage prefixes from a confused peer.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Everything that can go wrong on the control plane.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes read timeouts).
+    Io(std::io::Error),
+    /// The peer sent something that is not a framed JSON object, or a
+    /// message of an unexpected type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "control socket: {e}"),
+            WireError::Protocol(reason) => write!(f, "control protocol: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Builds a JSON object message from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds a message of type `t` with the given extra fields.
+pub fn msg(t: &str, mut fields: Vec<(&str, Value)>) -> Value {
+    let mut all = vec![("t", Value::from(t))];
+    all.append(&mut fields);
+    obj(all)
+}
+
+/// Writes one framed message.
+pub fn send(stream: &mut TcpStream, message: &Value) -> Result<(), WireError> {
+    let text = serde_json::to_string(message);
+    let bytes = text.as_bytes();
+    stream.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message (blocking, honouring the stream's read
+/// timeout).
+pub fn recv(stream: &mut TcpStream) -> Result<Value, WireError> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|_| WireError::Protocol("frame is not UTF-8".to_string()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| WireError::Protocol(format!("frame is not JSON: {e:?}")))
+}
+
+/// The message's `"t"` discriminator.
+pub fn msg_type(message: &Value) -> Option<&str> {
+    message.get("t").and_then(|v| v.as_str())
+}
+
+/// Reads one framed message and checks its type.
+pub fn recv_expect(stream: &mut TcpStream, expected: &str) -> Result<Value, WireError> {
+    let message = recv(stream)?;
+    match msg_type(&message) {
+        Some(t) if t == expected => Ok(message),
+        Some(t) => Err(WireError::Protocol(format!(
+            "expected `{expected}`, got `{t}`"
+        ))),
+        None => Err(WireError::Protocol(format!(
+            "expected `{expected}`, got a message without a type"
+        ))),
+    }
+}
+
+/// A required `u64` field of a control message.
+pub fn field_u64(message: &Value, key: &str) -> Result<u64, WireError> {
+    message
+        .get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| WireError::Protocol(format!("missing integer field `{key}`")))
+}
+
+/// A required string field of a control message.
+pub fn field_str<'a>(message: &'a Value, key: &str) -> Result<&'a str, WireError> {
+    message
+        .get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| WireError::Protocol(format!("missing string field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn control_frames_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut server, _) = listener.accept().unwrap();
+            let hello = recv_expect(&mut server, "hello").unwrap();
+            assert_eq!(field_u64(&hello, "host").unwrap(), 3);
+            send(&mut server, &msg("start", vec![])).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        send(&mut client, &msg("hello", vec![("host", 3u64.into())])).unwrap();
+        let start = recv(&mut client).unwrap();
+        assert_eq!(msg_type(&start), Some("start"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unexpected_types_and_oversized_frames_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut server, _) = listener.accept().unwrap();
+            send(&mut server, &msg("bye", vec![])).unwrap();
+            // A frame whose prefix claims more than MAX_FRAME.
+            use std::io::Write as _;
+            server
+                .write_all(&(u32::MAX).to_be_bytes())
+                .and_then(|_| server.flush())
+                .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let err = recv_expect(&mut client, "start").unwrap_err();
+        assert!(matches!(err, WireError::Protocol(_)), "{err}");
+        let err = recv(&mut client).unwrap_err();
+        assert!(matches!(err, WireError::Protocol(_)), "{err}");
+        handle.join().unwrap();
+    }
+}

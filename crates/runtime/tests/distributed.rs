@@ -1,0 +1,162 @@
+//! End-to-end tests for the distributed runtime: coordinator plus real
+//! agents on loopback sockets, compared against the in-process run.
+
+use std::time::Duration;
+
+use kollaps_orchestrator::BootstrapPhase;
+use kollaps_runtime::coordinator::{self, staggered_join_scenario, Launch, RunOptions};
+
+/// Seconds of emulated time for the staggered-join scenario. Long enough
+/// that all four flows join and the trunk re-shares several times.
+const SECONDS: u64 = 3;
+
+fn thread_options() -> RunOptions {
+    RunOptions {
+        launch: Launch::Threads,
+        loss_probability: 0.0,
+        barrier_timeout: Duration::from_secs(10),
+    }
+}
+
+fn convergence(report: &serde_json::Value, key: &str) -> f64 {
+    report
+        .get("convergence")
+        .and_then(|c| c.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN)
+}
+
+#[test]
+fn distributed_run_matches_the_in_process_run_at_zero_loss() {
+    let baseline = staggered_join_scenario(SECONDS)
+        .run()
+        .expect("in-process staggered join");
+    let expected = baseline.convergence.expect("kollaps convergence");
+
+    let outcome = coordinator::run(&staggered_join_scenario(SECONDS), &thread_options())
+        .expect("distributed staggered join");
+
+    // Replica lockstep at zero loss: the merged convergence block is
+    // bit-identical to the single-process run, not merely close.
+    assert_eq!(convergence(&outcome.report, "max_gap"), expected.max_gap);
+    assert_eq!(convergence(&outcome.report, "mean_gap"), expected.mean_gap);
+    assert_eq!(convergence(&outcome.report, "last_gap"), expected.last_gap);
+
+    // The merged report's metadata accounting comes from real sockets:
+    // every agent both sent and received actual UDP bytes, and no barrier
+    // ever timed out or lost a datagram.
+    assert_eq!(outcome.agents.len(), 2);
+    for agent in &outcome.agents {
+        assert!(agent.sent_bytes > 0, "host {} sent nothing", agent.host);
+        assert!(
+            agent.received_bytes > 0,
+            "host {} received nothing",
+            agent.host
+        );
+        assert!(agent.barriers > 0);
+        assert_eq!(agent.lost_datagrams, 0);
+        assert_eq!(agent.barrier_timeouts, 0);
+    }
+    let rows = outcome
+        .report
+        .get("metadata_per_host")
+        .and_then(|v| v.as_array())
+        .expect("per-host metadata rows");
+    assert_eq!(rows.len(), 2);
+    let total: u64 = rows
+        .iter()
+        .map(|r| r.get("sent_bytes").and_then(|v| v.as_u64()).unwrap())
+        .sum();
+    assert_eq!(
+        outcome
+            .report
+            .get("metadata_bytes")
+            .and_then(|v| v.as_u64()),
+        Some(total)
+    );
+    assert_eq!(
+        outcome.report.get("backend").and_then(|v| v.as_str()),
+        Some("kollaps-distributed")
+    );
+    assert_eq!(
+        outcome
+            .report
+            .get("schema_version")
+            .and_then(|v| v.as_u64()),
+        Some(3)
+    );
+}
+
+#[test]
+fn the_agent_handshake_drives_the_bootstrap_state_machine() {
+    let outcome = coordinator::run(&staggered_join_scenario(SECONDS), &thread_options())
+        .expect("distributed staggered join");
+    use BootstrapPhase::{BootstrapperScheduled, CoresAttached, ManagerLaunched};
+    assert_eq!(
+        outcome.bootstrap_trace,
+        vec![
+            vec![BootstrapperScheduled, BootstrapperScheduled],
+            vec![ManagerLaunched, ManagerLaunched],
+            vec![CoresAttached, CoresAttached],
+        ]
+    );
+    // The staggered-join placement pins two client/server pairs per host.
+    let cores: Vec<u64> = outcome.agents.iter().map(|a| a.cores).collect();
+    assert_eq!(cores, vec![4, 4]);
+}
+
+#[test]
+fn injected_datagram_loss_degrades_convergence_but_not_liveness() {
+    let clean = coordinator::run(&staggered_join_scenario(SECONDS), &thread_options())
+        .expect("clean distributed run");
+    let lossy_options = RunOptions {
+        loss_probability: 0.5,
+        ..thread_options()
+    };
+    let lossy = coordinator::run(&staggered_join_scenario(SECONDS), &lossy_options)
+        .expect("lossy distributed run");
+
+    let dropped: u64 = lossy.agents.iter().map(|a| a.lost_datagrams).sum();
+    assert!(dropped > 0, "the loss knob dropped nothing");
+    // Lost datagrams must not stall the per-tick barrier.
+    for agent in &lossy.agents {
+        assert_eq!(agent.barrier_timeouts, 0);
+    }
+    // Starving the authoritative managers of remote usage cannot improve
+    // the allocation: the worst-case gap only grows.
+    assert!(
+        convergence(&lossy.report, "max_gap") >= convergence(&clean.report, "max_gap"),
+        "lossy max_gap {} < clean max_gap {}",
+        convergence(&lossy.report, "max_gap"),
+        convergence(&clean.report, "max_gap")
+    );
+    // Received bytes shrink with half the datagrams gone.
+    let clean_received: u64 = clean.agents.iter().map(|a| a.received_bytes).sum();
+    let lossy_received: u64 = lossy.agents.iter().map(|a| a.received_bytes).sum();
+    assert!(lossy_received < clean_received);
+}
+
+#[test]
+fn agents_run_as_real_processes_over_loopback() {
+    let options = RunOptions {
+        launch: Launch::Processes(env!("CARGO_BIN_EXE_kollaps-agent").into()),
+        loss_probability: 0.0,
+        barrier_timeout: Duration::from_secs(10),
+    };
+    let outcome = coordinator::run(&staggered_join_scenario(2), &options)
+        .expect("process-mode distributed run");
+    assert_eq!(outcome.agents.len(), 2);
+    assert!(convergence(&outcome.report, "max_gap").is_finite());
+    for agent in &outcome.agents {
+        assert!(agent.sent_bytes > 0);
+        assert!(agent.received_bytes > 0);
+    }
+    // Process mode is the same deterministic replica: it must agree with
+    // the thread-mode run of the same scenario bit-for-bit.
+    let threads = coordinator::run(&staggered_join_scenario(2), &thread_options())
+        .expect("thread-mode distributed run");
+    assert_eq!(
+        convergence(&outcome.report, "max_gap"),
+        convergence(&threads.report, "max_gap")
+    );
+}

@@ -83,6 +83,12 @@ pub enum ScenarioError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A serialized scenario spec (the wire form the distributed runtime
+    /// ships to its agents) is malformed or has an unsupported version.
+    Spec {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -126,6 +132,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidWorkload { reason } => {
                 write!(f, "invalid workload: {reason}")
+            }
+            ScenarioError::Spec { reason } => {
+                write!(f, "invalid scenario spec: {reason}")
             }
         }
     }

@@ -76,6 +76,7 @@ mod error;
 mod report;
 mod runner;
 mod session;
+mod spec;
 mod telemetry;
 mod workload;
 
@@ -88,6 +89,7 @@ pub use report::{
     LinkReport, PercentileStats, Report, RttStats, SCHEMA_VERSION,
 };
 pub use session::{Session, SessionError};
+pub use spec::SPEC_VERSION;
 pub use telemetry::{Aggregator, FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent};
 pub use workload::{Workload, DEFAULT_DURATION};
 
@@ -130,6 +132,7 @@ pub struct Scenario {
     placement: Vec<(String, u32)>,
     step_interval: Option<SimDuration>,
     sample_interval: Option<SimDuration>,
+    distributed: bool,
 }
 
 impl Scenario {
@@ -147,6 +150,7 @@ impl Scenario {
             placement: Vec::new(),
             step_interval: None,
             sample_interval: None,
+            distributed: false,
         }
     }
 
@@ -222,6 +226,37 @@ impl Scenario {
     pub fn hosts(mut self, n: usize) -> Self {
         self.hosts = Some(n);
         self
+    }
+
+    /// Marks the scenario for **distributed execution** over `n_agents`
+    /// real agent processes — the entry point of the `kollaps_runtime`
+    /// crate's coordinator. Implies [`Scenario::hosts`]`(n_agents)`: each
+    /// agent hosts one Emulation Manager. Running the scenario in-process
+    /// (via [`Scenario::run`]) stays valid and produces the run the
+    /// distributed one must match at zero injected delay/loss.
+    pub fn distributed(mut self, n_agents: usize) -> Self {
+        self.distributed = true;
+        self.hosts = Some(n_agents.max(1));
+        self
+    }
+
+    /// `true` when [`Scenario::distributed`] marked this scenario for
+    /// execution by real agent processes.
+    pub fn is_distributed(&self) -> bool {
+        self.distributed
+    }
+
+    /// The fully expanded topology (source resolved, churn folded into the
+    /// schedule). The distributed runtime's coordinator feeds this to the
+    /// orchestrator's deployment generator.
+    pub fn topology(&self) -> Result<Topology, ScenarioError> {
+        Ok(self.expand()?.0)
+    }
+
+    /// Number of physical hosts (= distributed agents) the scenario
+    /// deploys onto.
+    pub fn host_count(&self) -> usize {
+        self.hosts.unwrap_or_else(|| self.backend.hosts()).max(1)
     }
 
     /// Pins a service's container to a physical host index (`0..hosts`);

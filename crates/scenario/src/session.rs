@@ -587,6 +587,67 @@ impl Session {
     }
 
     // ------------------------------------------------------------------
+    // Distributed execution hooks
+    // ------------------------------------------------------------------
+
+    /// Replaces the Kollaps dataplane's dissemination transport — the
+    /// distributed runtime injects its socket-backed bus here so metadata
+    /// rides real datagrams instead of the modeled delay queue. Only valid
+    /// on the Kollaps backend and before the clock has advanced (swapping
+    /// transports mid-run would lose in-flight metadata, reported as
+    /// [`SessionError::PastInjection`]).
+    pub fn install_metadata_bus(
+        &mut self,
+        bus: Box<dyn kollaps_metadata::bus::Bus>,
+    ) -> Result<(), SessionError> {
+        self.kollaps_or_unsupported("metadata bus replacement")?;
+        if self.cursor > SimTime::ZERO {
+            return Err(SessionError::PastInjection {
+                at_s: 0.0,
+                now_s: self.cursor.as_secs_f64(),
+            });
+        }
+        let dp = self.rt.dataplane.kollaps_mut().expect("checked above");
+        dp.set_bus(bus);
+        Ok(())
+    }
+
+    /// Enables per-host convergence recording (Kollaps backend only): every
+    /// scored loop iteration appends each host's own worst gap to a series
+    /// readable through [`Session::host_gap_series`]. Distributed agents
+    /// ship their host's series to the coordinator, which reconstructs the
+    /// global convergence metric as the per-iteration max across hosts.
+    pub fn record_host_gaps(&mut self) -> Result<(), SessionError> {
+        self.kollaps_or_unsupported("per-host convergence recording")?;
+        self.rt
+            .dataplane
+            .kollaps_mut()
+            .expect("checked above")
+            .record_host_gaps();
+        Ok(())
+    }
+
+    /// The recorded per-host convergence gap series, one per host in
+    /// host-id order. Empty unless [`Session::record_host_gaps`] enabled
+    /// recording (or on a non-Kollaps backend).
+    pub fn host_gap_series(&self) -> Vec<Vec<f64>> {
+        self.rt
+            .dataplane
+            .kollaps()
+            .map(|dp| dp.host_gap_series().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Number of containers placed on physical host `host` (Kollaps
+    /// backend only).
+    pub fn containers_on_host(&self, host: u32) -> Option<usize> {
+        let dp = self.rt.dataplane.kollaps()?;
+        dp.managers()
+            .get(host as usize)
+            .map(|m| m.container_count())
+    }
+
+    // ------------------------------------------------------------------
     // Live steering
     // ------------------------------------------------------------------
 

@@ -1,0 +1,677 @@
+//! The scenario **wire spec**: a self-contained JSON form of a scenario
+//! that the distributed runtime ships to its agent processes.
+//!
+//! Agents must rebuild a byte-identical deterministic session from the
+//! spec alone, so [`Scenario::to_spec`] serializes the *expanded*
+//! composition: the topology source is resolved, churn generators are
+//! folded into the sorted event schedule (their seeds already consumed),
+//! and the `hosts`/`metadata_delay` deployment overrides are applied onto
+//! the embedded [`EmulationConfig`]. Decoding replays the topology
+//! builders in node/link-id order — ids are dense and monotonic, so the
+//! rebuilt [`Topology`] is equal to the expanded one — and reconstructs a
+//! plain [`Scenario`] whose `run()` is indistinguishable from the
+//! original's. The snapshot timeline is *not* shipped: agents recompute it
+//! deterministically from the same topology and schedule.
+
+use serde_json::{self, Value};
+
+use kollaps_core::emulation::EmulationConfig;
+use kollaps_sim::time::SimDuration;
+use kollaps_sim::units::{Bandwidth, DataSize};
+use kollaps_topology::events::{DynamicAction, DynamicEvent, EventSchedule, LinkChange};
+use kollaps_topology::model::{LinkProperties, NodeId, NodeKind, Topology};
+use kollaps_transport::tcp::CongestionAlgorithm;
+
+use crate::workload::{Workload, WorkloadKind};
+use crate::{Backend, Scenario, ScenarioError, TopologySource};
+
+/// Version tag carried by every spec; decoding rejects anything else.
+pub const SPEC_VERSION: u64 = 1;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn spec_err(reason: impl Into<String>) -> ScenarioError {
+    ScenarioError::Spec {
+        reason: reason.into(),
+    }
+}
+
+fn field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, ScenarioError> {
+    value
+        .get(key)
+        .ok_or_else(|| spec_err(format!("missing field `{key}`")))
+}
+
+fn req_u64(value: &Value, key: &str) -> Result<u64, ScenarioError> {
+    field(value, key)?
+        .as_u64()
+        .ok_or_else(|| spec_err(format!("field `{key}` must be an unsigned integer")))
+}
+
+fn req_f64(value: &Value, key: &str) -> Result<f64, ScenarioError> {
+    field(value, key)?
+        .as_f64()
+        .ok_or_else(|| spec_err(format!("field `{key}` must be a number")))
+}
+
+fn req_str<'a>(value: &'a Value, key: &str) -> Result<&'a str, ScenarioError> {
+    field(value, key)?
+        .as_str()
+        .ok_or_else(|| spec_err(format!("field `{key}` must be a string")))
+}
+
+fn req_bool(value: &Value, key: &str) -> Result<bool, ScenarioError> {
+    match field(value, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(spec_err(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn req_array<'a>(value: &'a Value, key: &str) -> Result<&'a [Value], ScenarioError> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| spec_err(format!("field `{key}` must be an array")))
+}
+
+/// `null` (or a missing key) reads as `None`.
+fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, ScenarioError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("field `{key}` must be an unsigned integer or null"))),
+    }
+}
+
+fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, ScenarioError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("field `{key}` must be a number or null"))),
+    }
+}
+
+fn encode_change(change: &LinkChange) -> Value {
+    obj(vec![
+        ("latency_ns", change.latency.map(|d| d.as_nanos()).into()),
+        ("jitter_ns", change.jitter.map(|d| d.as_nanos()).into()),
+        ("up_bps", change.up.map(|b| b.as_bps()).into()),
+        ("down_bps", change.down.map(|b| b.as_bps()).into()),
+        ("loss", change.loss.into()),
+    ])
+}
+
+fn decode_change(value: &Value) -> Result<LinkChange, ScenarioError> {
+    Ok(LinkChange {
+        latency: opt_u64(value, "latency_ns")?.map(SimDuration::from_nanos),
+        jitter: opt_u64(value, "jitter_ns")?.map(SimDuration::from_nanos),
+        up: opt_u64(value, "up_bps")?.map(Bandwidth::from_bps),
+        down: opt_u64(value, "down_bps")?.map(Bandwidth::from_bps),
+        loss: opt_f64(value, "loss")?,
+    })
+}
+
+fn encode_event(event: &DynamicEvent) -> Value {
+    let mut fields: Vec<(&str, Value)> = vec![("at_ns", event.at.as_nanos().into())];
+    match &event.action {
+        DynamicAction::SetLinkProperties { orig, dest, change } => {
+            fields.push(("action", "set_link".into()));
+            fields.push(("orig", orig.as_str().into()));
+            fields.push(("dest", dest.as_str().into()));
+            fields.push(("change", encode_change(change)));
+        }
+        DynamicAction::LinkJoin { orig, dest, change } => {
+            fields.push(("action", "link_join".into()));
+            fields.push(("orig", orig.as_str().into()));
+            fields.push(("dest", dest.as_str().into()));
+            fields.push(("change", encode_change(change)));
+        }
+        DynamicAction::LinkLeave { orig, dest } => {
+            fields.push(("action", "link_leave".into()));
+            fields.push(("orig", orig.as_str().into()));
+            fields.push(("dest", dest.as_str().into()));
+        }
+        DynamicAction::NodeLeave { name } => {
+            fields.push(("action", "node_leave".into()));
+            fields.push(("name", name.as_str().into()));
+        }
+        DynamicAction::NodeJoin { name } => {
+            fields.push(("action", "node_join".into()));
+            fields.push(("name", name.as_str().into()));
+        }
+    }
+    obj(fields)
+}
+
+fn decode_event(value: &Value) -> Result<DynamicEvent, ScenarioError> {
+    let at = SimDuration::from_nanos(req_u64(value, "at_ns")?);
+    let action = match req_str(value, "action")? {
+        "set_link" => DynamicAction::SetLinkProperties {
+            orig: req_str(value, "orig")?.to_string(),
+            dest: req_str(value, "dest")?.to_string(),
+            change: decode_change(field(value, "change")?)?,
+        },
+        "link_join" => DynamicAction::LinkJoin {
+            orig: req_str(value, "orig")?.to_string(),
+            dest: req_str(value, "dest")?.to_string(),
+            change: decode_change(field(value, "change")?)?,
+        },
+        "link_leave" => DynamicAction::LinkLeave {
+            orig: req_str(value, "orig")?.to_string(),
+            dest: req_str(value, "dest")?.to_string(),
+        },
+        "node_leave" => DynamicAction::NodeLeave {
+            name: req_str(value, "name")?.to_string(),
+        },
+        "node_join" => DynamicAction::NodeJoin {
+            name: req_str(value, "name")?.to_string(),
+        },
+        other => return Err(spec_err(format!("unknown event action `{other}`"))),
+    };
+    Ok(DynamicEvent { at, action })
+}
+
+fn algorithm_name(algorithm: CongestionAlgorithm) -> &'static str {
+    match algorithm {
+        CongestionAlgorithm::Reno => "reno",
+        CongestionAlgorithm::Cubic => "cubic",
+    }
+}
+
+fn encode_workload(workload: &Workload) -> Value {
+    let mut fields: Vec<(&str, Value)> = Vec::new();
+    match &workload.kind {
+        WorkloadKind::IperfTcp {
+            client,
+            server,
+            algorithm,
+        } => {
+            fields.push(("kind", "iperf_tcp".into()));
+            fields.push(("client", client.as_str().into()));
+            fields.push(("server", server.as_str().into()));
+            fields.push(("algorithm", algorithm_name(*algorithm).into()));
+        }
+        WorkloadKind::IperfUdp {
+            client,
+            server,
+            rate,
+        } => {
+            fields.push(("kind", "iperf_udp".into()));
+            fields.push(("client", client.as_str().into()));
+            fields.push(("server", server.as_str().into()));
+            fields.push(("rate_bps", rate.as_bps().into()));
+        }
+        WorkloadKind::Ping {
+            src,
+            dst,
+            count,
+            interval,
+        } => {
+            fields.push(("kind", "ping".into()));
+            fields.push(("src", src.as_str().into()));
+            fields.push(("dst", dst.as_str().into()));
+            fields.push(("count", (*count).into()));
+            fields.push(("interval_ns", interval.as_nanos().into()));
+        }
+        WorkloadKind::Wrk2 {
+            server,
+            client,
+            connections,
+            request,
+        } => {
+            fields.push(("kind", "wrk2".into()));
+            fields.push(("server", server.as_str().into()));
+            fields.push(("client", client.as_str().into()));
+            fields.push(("connections", (*connections).into()));
+            fields.push(("request_bytes", request.as_bytes().into()));
+        }
+        WorkloadKind::Curl {
+            server,
+            clients,
+            request,
+        } => {
+            fields.push(("kind", "curl".into()));
+            fields.push(("server", server.as_str().into()));
+            fields.push((
+                "clients",
+                Value::Array(clients.iter().map(|c| c.as_str().into()).collect()),
+            ));
+            fields.push(("request_bytes", request.as_bytes().into()));
+        }
+        WorkloadKind::Memcached {
+            server,
+            clients,
+            connections,
+        } => {
+            fields.push(("kind", "memcached".into()));
+            fields.push(("server", server.as_str().into()));
+            fields.push((
+                "clients",
+                Value::Array(clients.iter().map(|c| c.as_str().into()).collect()),
+            ));
+            fields.push(("connections", (*connections).into()));
+        }
+    }
+    fields.push(("start_ns", workload.start.as_nanos().into()));
+    fields.push((
+        "duration_ns",
+        workload.duration.map(|d| d.as_nanos()).into(),
+    ));
+    obj(fields)
+}
+
+fn decode_workload(value: &Value) -> Result<Workload, ScenarioError> {
+    let string_list = |key: &str| -> Result<Vec<String>, ScenarioError> {
+        req_array(value, key)?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| spec_err(format!("field `{key}` must hold strings")))
+            })
+            .collect()
+    };
+    let kind = match req_str(value, "kind")? {
+        "iperf_tcp" => WorkloadKind::IperfTcp {
+            client: req_str(value, "client")?.to_string(),
+            server: req_str(value, "server")?.to_string(),
+            algorithm: match req_str(value, "algorithm")? {
+                "reno" => CongestionAlgorithm::Reno,
+                "cubic" => CongestionAlgorithm::Cubic,
+                other => return Err(spec_err(format!("unknown congestion algorithm `{other}`"))),
+            },
+        },
+        "iperf_udp" => WorkloadKind::IperfUdp {
+            client: req_str(value, "client")?.to_string(),
+            server: req_str(value, "server")?.to_string(),
+            rate: Bandwidth::from_bps(req_u64(value, "rate_bps")?),
+        },
+        "ping" => WorkloadKind::Ping {
+            src: req_str(value, "src")?.to_string(),
+            dst: req_str(value, "dst")?.to_string(),
+            count: req_u64(value, "count")?,
+            interval: SimDuration::from_nanos(req_u64(value, "interval_ns")?),
+        },
+        "wrk2" => WorkloadKind::Wrk2 {
+            server: req_str(value, "server")?.to_string(),
+            client: req_str(value, "client")?.to_string(),
+            connections: req_u64(value, "connections")? as usize,
+            request: DataSize::from_bytes(req_u64(value, "request_bytes")?),
+        },
+        "curl" => WorkloadKind::Curl {
+            server: req_str(value, "server")?.to_string(),
+            clients: string_list("clients")?,
+            request: DataSize::from_bytes(req_u64(value, "request_bytes")?),
+        },
+        "memcached" => WorkloadKind::Memcached {
+            server: req_str(value, "server")?.to_string(),
+            clients: string_list("clients")?,
+            connections: req_u64(value, "connections")? as usize,
+        },
+        other => return Err(spec_err(format!("unknown workload kind `{other}`"))),
+    };
+    Ok(Workload {
+        kind,
+        start: SimDuration::from_nanos(req_u64(value, "start_ns")?),
+        duration: opt_u64(value, "duration_ns")?.map(SimDuration::from_nanos),
+    })
+}
+
+fn decode_topology(spec: &Value) -> Result<Topology, ScenarioError> {
+    let mut topology = Topology::new();
+    let mut names = std::collections::HashSet::new();
+    for node in req_array(spec, "nodes")? {
+        match req_str(node, "kind")? {
+            "service" => {
+                let service = req_str(node, "service")?;
+                let replica = req_u64(node, "replica")? as u32;
+                if !names.insert(format!("{service}.{replica}")) {
+                    return Err(spec_err(format!("duplicate node `{service}.{replica}`")));
+                }
+                topology.add_service(service, replica, req_str(node, "image")?);
+            }
+            "bridge" => {
+                let name = req_str(node, "name")?;
+                if !names.insert(name.to_string()) {
+                    return Err(spec_err(format!("duplicate node `{name}`")));
+                }
+                topology.add_bridge(name);
+            }
+            other => return Err(spec_err(format!("unknown node kind `{other}`"))),
+        }
+    }
+    let n_nodes = topology.nodes().len() as u64;
+    for link in req_array(spec, "links")? {
+        let from = req_u64(link, "from")?;
+        let to = req_u64(link, "to")?;
+        if from >= n_nodes || to >= n_nodes {
+            return Err(spec_err(format!("link endpoint {from}->{to} out of range")));
+        }
+        let properties = LinkProperties {
+            latency: SimDuration::from_nanos(req_u64(link, "latency_ns")?),
+            jitter: SimDuration::from_nanos(req_u64(link, "jitter_ns")?),
+            bandwidth: Bandwidth::from_bps(req_u64(link, "bandwidth_bps")?),
+            loss: req_f64(link, "loss")?,
+        };
+        topology.add_link(
+            NodeId(from as u32),
+            NodeId(to as u32),
+            properties,
+            req_str(link, "network")?,
+        );
+    }
+    Ok(topology)
+}
+
+impl Scenario {
+    /// Serializes the scenario into its versioned wire spec. Only the
+    /// Kollaps backend is serializable — the spec exists so distributed
+    /// agents can rebuild emulation managers, which the baseline backends
+    /// do not run.
+    pub fn to_spec(&self) -> Result<Value, ScenarioError> {
+        let (topology, schedule) = self.expand()?;
+        let (hosts, config) = match &self.backend {
+            Backend::Kollaps { hosts, config } => {
+                let hosts = self.hosts.unwrap_or(*hosts).max(1);
+                let mut config = *config;
+                if let Some(delay) = self.metadata_delay {
+                    config.metadata_delay = delay;
+                }
+                (hosts, config)
+            }
+            other => {
+                return Err(ScenarioError::UnsupportedBackend {
+                    backend: other.name().to_string(),
+                    reason: "only the Kollaps backend can be serialized for \
+                             distributed execution"
+                        .to_string(),
+                })
+            }
+        };
+        let nodes: Vec<Value> = topology
+            .nodes()
+            .iter()
+            .map(|node| match &node.kind {
+                NodeKind::Service {
+                    service,
+                    replica,
+                    image,
+                } => obj(vec![
+                    ("kind", "service".into()),
+                    ("service", service.as_str().into()),
+                    ("replica", (*replica).into()),
+                    ("image", image.as_str().into()),
+                ]),
+                NodeKind::Bridge { name } => obj(vec![
+                    ("kind", "bridge".into()),
+                    ("name", name.as_str().into()),
+                ]),
+            })
+            .collect();
+        let links: Vec<Value> = topology
+            .links()
+            .iter()
+            .map(|link| {
+                obj(vec![
+                    ("from", link.from.0.into()),
+                    ("to", link.to.0.into()),
+                    ("latency_ns", link.properties.latency.as_nanos().into()),
+                    ("jitter_ns", link.properties.jitter.as_nanos().into()),
+                    ("bandwidth_bps", link.properties.bandwidth.as_bps().into()),
+                    ("loss", link.properties.loss.into()),
+                    ("network", link.network.as_str().into()),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("spec_version", SPEC_VERSION.into()),
+            ("name", self.name.as_str().into()),
+            ("distributed", self.distributed.into()),
+            ("hosts", hosts.into()),
+            (
+                "config",
+                obj(vec![
+                    ("loop_interval_ns", config.loop_interval.as_nanos().into()),
+                    (
+                        "cross_host_delay_ns",
+                        config.cross_host_delay.as_nanos().into(),
+                    ),
+                    (
+                        "container_overhead_ns",
+                        config.container_overhead.as_nanos().into(),
+                    ),
+                    ("metadata_delay_ns", config.metadata_delay.as_nanos().into()),
+                    ("bandwidth_sharing", config.bandwidth_sharing.into()),
+                    ("congestion_loss", config.congestion_loss.into()),
+                    ("seed", config.seed.into()),
+                ]),
+            ),
+            ("nodes", Value::Array(nodes)),
+            ("links", Value::Array(links)),
+            (
+                "schedule",
+                Value::Array(schedule.events().iter().map(encode_event).collect()),
+            ),
+            (
+                "placement",
+                Value::Array(
+                    self.placement
+                        .iter()
+                        .map(|(name, host)| {
+                            Value::Array(vec![name.as_str().into(), (*host).into()])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "workloads",
+                Value::Array(self.workloads.iter().map(encode_workload).collect()),
+            ),
+            ("duration_ns", self.duration.map(|d| d.as_nanos()).into()),
+            (
+                "step_interval_ns",
+                self.step_interval.map(|d| d.as_nanos()).into(),
+            ),
+            (
+                "sample_interval_ns",
+                self.sample_interval.map(|d| d.as_nanos()).into(),
+            ),
+        ]))
+    }
+
+    /// [`Scenario::to_spec`] rendered to a JSON string.
+    pub fn to_spec_string(&self) -> Result<String, ScenarioError> {
+        Ok(serde_json::to_string(&self.to_spec()?))
+    }
+
+    /// Rebuilds a scenario from its wire spec. The result runs exactly
+    /// like the scenario that produced the spec: same topology (node and
+    /// link ids replay densely), same sorted schedule, same emulation
+    /// config, workloads, placement and pacing knobs.
+    pub fn from_spec(spec: &Value) -> Result<Scenario, ScenarioError> {
+        let version = req_u64(spec, "spec_version")?;
+        if version != SPEC_VERSION {
+            return Err(spec_err(format!(
+                "unsupported spec_version {version} (expected {SPEC_VERSION})"
+            )));
+        }
+        let topology = decode_topology(spec)?;
+        let config_value = field(spec, "config")?;
+        let config = EmulationConfig {
+            loop_interval: SimDuration::from_nanos(req_u64(config_value, "loop_interval_ns")?),
+            cross_host_delay: SimDuration::from_nanos(req_u64(
+                config_value,
+                "cross_host_delay_ns",
+            )?),
+            container_overhead: SimDuration::from_nanos(req_u64(
+                config_value,
+                "container_overhead_ns",
+            )?),
+            metadata_delay: SimDuration::from_nanos(req_u64(config_value, "metadata_delay_ns")?),
+            bandwidth_sharing: req_bool(config_value, "bandwidth_sharing")?,
+            congestion_loss: req_bool(config_value, "congestion_loss")?,
+            seed: req_u64(config_value, "seed")?,
+        };
+        let events = req_array(spec, "schedule")?
+            .iter()
+            .map(decode_event)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut scenario = Scenario::new(TopologySource::Topology(Box::new(topology)))
+            .named(req_str(spec, "name")?)
+            .backend(Backend::kollaps_with(
+                req_u64(spec, "hosts")? as usize,
+                config,
+            ))
+            .schedule(EventSchedule::from_events(events));
+        scenario.distributed = req_bool(spec, "distributed")?;
+        for pin in req_array(spec, "placement")? {
+            let pair = pin
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| spec_err("placement entries must be [name, host] pairs"))?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| spec_err("placement name must be a string"))?;
+            let host = pair[1]
+                .as_u64()
+                .ok_or_else(|| spec_err("placement host must be an unsigned integer"))?;
+            scenario = scenario.place(name, host as u32);
+        }
+        for workload in req_array(spec, "workloads")? {
+            scenario = scenario.workload(decode_workload(workload)?);
+        }
+        if let Some(nanos) = opt_u64(spec, "duration_ns")? {
+            scenario = scenario.duration(SimDuration::from_nanos(nanos));
+        }
+        if let Some(nanos) = opt_u64(spec, "step_interval_ns")? {
+            scenario = scenario.step_interval(SimDuration::from_nanos(nanos));
+        }
+        if let Some(nanos) = opt_u64(spec, "sample_interval_ns")? {
+            scenario = scenario.sample_interval(SimDuration::from_nanos(nanos));
+        }
+        Ok(scenario)
+    }
+
+    /// [`Scenario::from_spec`] over a JSON string.
+    pub fn from_spec_str(text: &str) -> Result<Scenario, ScenarioError> {
+        let value =
+            serde_json::from_str(text).map_err(|e| spec_err(format!("malformed JSON: {e:?}")))?;
+        Scenario::from_spec(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Churn;
+    use kollaps_topology::generators;
+
+    fn sample_scenario() -> Scenario {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        Scenario::from_topology(topo)
+            .named("spec-round-trip")
+            .distributed(2)
+            .place("client-0", 0)
+            .place("server-0", 1)
+            .place("client-1", 1)
+            .place("server-1", 0)
+            .metadata_delay(SimDuration::from_micros(200))
+            .churn(
+                Churn::poisson_flaps(&[("client-1", "bridge-left")])
+                    .mean_uptime(SimDuration::from_secs(2))
+                    .mean_downtime(SimDuration::from_millis(300))
+                    .horizon(SimDuration::from_secs(5))
+                    .seed(11),
+            )
+            .workload(
+                Workload::iperf_udp("client-0", "server-0", Bandwidth::from_mbps(30))
+                    .duration(SimDuration::from_secs(5)),
+            )
+            .workload(
+                Workload::ping("client-1", "server-1")
+                    .count(8)
+                    .interval(SimDuration::from_millis(250))
+                    .start(SimDuration::from_millis(700))
+                    .duration(SimDuration::from_secs(4)),
+            )
+    }
+
+    #[test]
+    fn spec_round_trip_is_stable() {
+        let scenario = sample_scenario();
+        let text = scenario.to_spec_string().expect("serializable");
+        let decoded = Scenario::from_spec_str(&text).expect("decodable");
+        assert!(decoded.is_distributed());
+        assert_eq!(decoded.host_count(), 2);
+        // A second encode of the decoded scenario is byte-identical: the
+        // spec is a fixed point (churn already folded, ids already dense).
+        let text2 = decoded.to_spec_string().expect("re-serializable");
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn decoded_scenario_runs_identically() {
+        // Neutralize the only wall-clock field the report carries.
+        fn scrub(mut report: Value) -> String {
+            if let Value::Object(fields) = &mut report {
+                for (key, value) in fields.iter_mut() {
+                    if key == "dynamics" {
+                        if let Value::Object(dynamics) = value {
+                            dynamics.retain(|(k, _)| k != "precompute_micros");
+                        }
+                    }
+                }
+            }
+            serde_json::to_string(&report)
+        }
+        let original = sample_scenario().run().expect("original runs");
+        let decoded = Scenario::from_spec_str(&sample_scenario().to_spec_string().unwrap())
+            .expect("decodable")
+            .run()
+            .expect("decoded runs");
+        assert_eq!(scrub(original.to_json()), scrub(decoded.to_json()));
+    }
+
+    fn expect_err(result: Result<Scenario, ScenarioError>) -> ScenarioError {
+        match result {
+            Err(e) => e,
+            Ok(_) => panic!("expected a spec error"),
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        let err = expect_err(Scenario::from_spec_str("{"));
+        assert!(matches!(err, ScenarioError::Spec { .. }), "{err}");
+        let err = expect_err(Scenario::from_spec_str("{\"spec_version\":99}"));
+        assert!(
+            matches!(&err, ScenarioError::Spec { reason } if reason.contains("spec_version")),
+            "{err}"
+        );
+        // Non-Kollaps backends have no spec form.
+        let err = sample_scenario()
+            .backend(Backend::ground_truth())
+            .to_spec()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnsupportedBackend { .. }),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Distributed quickstart: the staggered-join scenario run by a
+//! coordinator and two agents exchanging metadata over real loopback UDP
+//! sockets — the same topology, workload and placement as the in-process
+//! staleness study, so the two reports are directly comparable.
+//!
+//! The agents here run on threads (`Launch::Threads`); the sockets are
+//! exactly the ones real processes would use. For separate processes,
+//! build the binaries and run `kollaps-coordinator` — see "Distributed
+//! runs" in the README.
+//!
+//! Run with `cargo run --example distributed`.
+
+use std::time::Duration;
+
+use kollaps::runtime::coordinator::{self, staggered_join_scenario, Launch, RunOptions};
+
+fn main() {
+    let scenario = staggered_join_scenario(3);
+    let options = RunOptions {
+        launch: Launch::Threads,
+        loss_probability: 0.0,
+        barrier_timeout: Duration::from_secs(5),
+    };
+    let outcome = coordinator::run(&scenario, &options).expect("distributed run");
+
+    println!(
+        "staggered join over {} distributed agents:\n",
+        outcome.agents.len()
+    );
+    for agent in &outcome.agents {
+        println!(
+            "  host {}: {} emulation cores, {} B sent / {} B received over UDP, \
+             {} lockstep barriers ({} µs waiting), control RTT {} µs",
+            agent.host,
+            agent.cores,
+            agent.sent_bytes,
+            agent.received_bytes,
+            agent.barriers,
+            agent.barrier_wait_micros,
+            agent.control_rtt_micros,
+        );
+    }
+    let phases: Vec<String> = outcome
+        .bootstrap_trace
+        .iter()
+        .map(|step| format!("{step:?}"))
+        .collect();
+    println!("\nbootstrap state machine: {}", phases.join(" -> "));
+    if let Some(convergence) = outcome.report.get("convergence") {
+        println!(
+            "merged allocation convergence: {}",
+            serde_json::to_string(convergence)
+        );
+    }
+}

@@ -9,6 +9,7 @@ pub use kollaps_dynamics as dynamics;
 pub use kollaps_metadata as metadata;
 pub use kollaps_netmodel as netmodel;
 pub use kollaps_orchestrator as orchestrator;
+pub use kollaps_runtime as runtime;
 pub use kollaps_scenario as scenario;
 pub use kollaps_sim as sim;
 pub use kollaps_topology as topology;

@@ -59,6 +59,43 @@ proptest! {
         prop_assert_eq!(decoded, msg);
     }
 
+    /// Framed metadata datagrams — the length-prefixed wire form the
+    /// distributed runtime puts on UDP sockets — round-trip exactly,
+    /// every strict prefix is rejected as truncated, and trailing garbage
+    /// is rejected as a frame mismatch. No cut point ever decodes to a
+    /// different message.
+    #[test]
+    fn framed_metadata_round_trips_and_rejects_bad_frames(
+        sender in 0u32..64,
+        published_ms in 0u64..1_000_000,
+        flows in proptest::collection::vec((0u32..5_000_000, proptest::collection::vec(0u16..4_096, 0..12)), 0..40),
+        cut in 0usize..10_000,
+    ) {
+        use kollaps::metadata::bus::HostId;
+        use kollaps::metadata::codec::DecodeError;
+
+        let mut msg = MetadataMessage::new();
+        msg.sender = HostId(sender);
+        msg.published = SimTime::from_millis(published_ms);
+        for (kbps, links) in &flows {
+            msg.flows.push(FlowUsage { used_kbps: *kbps, link_ids: links.clone() });
+        }
+        let frame = msg.encode_framed();
+        let decoded = MetadataMessage::decode_framed(&frame).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+
+        let cut = cut % frame.len();
+        let err = MetadataMessage::decode_framed(&frame[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, DecodeError::Truncated | DecodeError::FrameMismatch),
+            "prefix of {cut} bytes produced {err:?}"
+        );
+
+        let mut padded = frame.to_vec();
+        padded.push(0);
+        prop_assert!(MetadataMessage::decode_framed(&padded).is_err());
+    }
+
     /// Bandwidth strings parse for every supported unit and magnitude.
     #[test]
     fn bandwidth_parsing_round_trips(value in 1u64..100_000, unit in 0usize..3) {
