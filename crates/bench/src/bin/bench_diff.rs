@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run --release -p kollaps_bench --bin distributed
 //! cargo run --release -p kollaps_bench --bin dynamics
+//! cargo run --release -p kollaps_bench --bin scaling
 //! cargo run --release -p kollaps_bench --bin session
 //! cargo run --release -p kollaps_bench --bin staleness
 //! cargo run --release -p kollaps_bench --bin bench_diff            # gate
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 
 use kollaps_bench::{diff, has_regressions, markdown_table, BenchReport};
 
-const BENCHES: [&str; 4] = ["distributed", "dynamics", "session", "staleness"];
+const BENCHES: [&str; 5] = ["distributed", "dynamics", "scaling", "session", "staleness"];
 
 /// The committed baselines live next to `Cargo.toml` at the workspace root;
 /// resolve it from the crate dir so the bin works from any cwd.

@@ -1,0 +1,41 @@
+//! The scaling sweep: emulation rounds per second over topology size ×
+//! flow count (sequential vs parallel manager stepping), allocation µs per
+//! round, timeline precompute cost, and the incremental-allocator
+//! microbench. Writes `target/scaling-bench.json` (the raw cells) and
+//! `target/BENCH_scaling.json` (the unified perf-trajectory records the
+//! `bench_diff` gate compares against the committed baseline). `--full`
+//! adds a 2002-node / 20 000-flow cell.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cells: &[(usize, usize)] = if full {
+        &kollaps_bench::FULL_CELLS
+    } else {
+        &kollaps_bench::DEFAULT_CELLS
+    };
+    let stepping = kollaps_bench::run_scaling(cells);
+    let alloc = kollaps_bench::run_alloc_scaling(&kollaps_bench::DEFAULT_LINK_COUNTS, 200);
+    let rows = kollaps_bench::scaling_rows(&stepping, &alloc);
+    kollaps_bench::print_rows(
+        "Scaling: emulation throughput, allocation cost and precompute over size",
+        &rows,
+    );
+    let json = serde_json::to_string(&kollaps_bench::scaling_json(&stepping, &alloc));
+    let path = std::path::Path::new("target").join("scaling-bench.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("\nsweep written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+    // The gate only tracks the default sweep: `--full` cells would show up
+    // as new/missing metrics against the committed baseline.
+    if full {
+        println!("(--full sweep: skipping BENCH_scaling.json)");
+        return;
+    }
+    let records = kollaps_bench::scaling_records(&stepping, &alloc);
+    let path = std::path::Path::new("target").join("BENCH_scaling.json");
+    match records.write(&path) {
+        Ok(()) => println!("records written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

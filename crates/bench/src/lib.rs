@@ -19,6 +19,7 @@ pub mod distributed;
 pub mod dynamics;
 pub mod experiments;
 pub mod record;
+pub mod scaling;
 pub mod session;
 
 pub use distributed::{
@@ -29,5 +30,9 @@ pub use experiments::*;
 pub use record::{
     diff, has_regressions, markdown_table, BenchRecord, BenchReport, Delta, DeltaKind, Direction,
     BENCH_SCHEMA_VERSION, TOLERANCE_DETERMINISTIC, TOLERANCE_WALL_CLOCK,
+};
+pub use scaling::{
+    run_alloc_scaling, run_scaling, scaling_json, scaling_records, scaling_rows, AllocScalingCell,
+    ScalingCell, DEFAULT_CELLS, DEFAULT_LINK_COUNTS, FULL_CELLS, PARALLEL_THREADS,
 };
 pub use session::{run_session_bench, session_records, SessionBenchResult, SteppedRun};

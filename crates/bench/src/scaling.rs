@@ -1,0 +1,522 @@
+//! The scaling bench: emulation-core throughput over topology size × flow
+//! count, plus the incremental-allocator microbench.
+//!
+//! Two sweeps share the `BENCH_scaling.json` report:
+//!
+//! * **Stepping sweep** — dumbbell cells up to 1002 nodes / 10 000 flows.
+//!   Each cell runs the same scenario twice, `.threads(1)` vs
+//!   `.threads(4)`, asserts the reports agree flow-for-flow (threads move
+//!   wall clock, never results) and records emulation rounds per wall
+//!   second, allocation µs per round, the incremental allocator's cache
+//!   counters and the (sequential vs parallel) timeline precompute cost.
+//! * **Allocator microbench** — `links` disjoint bottleneck components, two
+//!   flows each, one flow's demand toggling per call. The incremental
+//!   allocator re-shares only the touched component, so its per-call cost
+//!   stays flat while the full `allocate()` pass grows with the link count
+//!   — the sub-linearity the gate tracks via the deterministic
+//!   `components_recomputed` counter.
+//!
+//! Wall-clock metrics gate with [`TOLERANCE_WALL_CLOCK`]; the cache and
+//! recompute counters come from the deterministic simulation and gate
+//! tightly.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use kollaps_core::{allocate, AllocatorStats, FlowDemand, SnapshotTimeline};
+use kollaps_scenario::{Churn, Scenario, Workload};
+use kollaps_sim::prelude::*;
+use kollaps_topology::generators;
+use kollaps_topology::model::LinkId;
+
+use crate::record::{BenchRecord, BenchReport, TOLERANCE_DETERMINISTIC, TOLERANCE_WALL_CLOCK};
+use crate::Row;
+
+/// Worker threads the parallel leg of every cell uses. Fixed (not read
+/// from `KOLLAPS_THREADS`) so record identities are stable across runners.
+pub const PARALLEL_THREADS: usize = 4;
+
+/// Physical hosts each cell deploys on — the parallel loop steps one
+/// manager per host, so this is the available manager-level parallelism.
+const HOSTS: usize = 4;
+
+/// One cell of the stepping sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingCell {
+    /// Total topology nodes (services + the two bridges).
+    pub nodes: usize,
+    /// Concurrent UDP flows.
+    pub flows: usize,
+    /// Emulation rounds the session stepped through.
+    pub rounds: u64,
+    /// Offline timeline precompute, sequential, microseconds.
+    pub precompute_seq_micros: u64,
+    /// Offline timeline precompute on [`PARALLEL_THREADS`] workers.
+    pub precompute_par_micros: u64,
+    /// Emulation rounds per wall-clock second, `.threads(1)`.
+    pub rounds_per_sec_seq: f64,
+    /// Emulation rounds per wall-clock second, `.threads(4)`.
+    pub rounds_per_sec_par: f64,
+    /// Microseconds inside the min-max allocator per round (all managers).
+    pub alloc_micros_per_round: f64,
+    /// Incremental-allocator counters for the sequential run.
+    pub alloc_stats: AllocatorStats,
+}
+
+impl ScalingCell {
+    /// Parallel-over-sequential throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.rounds_per_sec_par / self.rounds_per_sec_seq
+    }
+
+    /// Percentage of allocator calls answered from the fast path
+    /// (unchanged flow set).
+    pub fn fast_hit_percent(&self) -> f64 {
+        100.0 * self.alloc_stats.fast_hits as f64 / self.alloc_stats.calls.max(1) as f64
+    }
+}
+
+/// The scenario of one cell: a `pairs`-pair dumbbell whose trunk is
+/// oversubscribed by `pairs × flows_per_client` constant-rate UDP flows
+/// (client *i* targets servers *i*, *i+1*, ... mod `pairs`), with one
+/// access link flapping so the dynamic path (timeline deltas + allocator
+/// invalidation) stays exercised.
+fn cell_scenario(pairs: usize, flows_per_client: usize, threads: usize) -> Scenario {
+    let (topo, _, _) = dumbbell_topology(pairs);
+    Scenario::from_topology(topo)
+        .named("scaling-bench")
+        .hosts(HOSTS)
+        .threads(threads)
+        .churn(flap_churn())
+        .workloads((0..pairs).flat_map(move |i| {
+            (0..flows_per_client).map(move |k| {
+                Workload::iperf_udp(
+                    &format!("client-{i}"),
+                    &format!("server-{}", (i + k) % pairs),
+                    Bandwidth::from_kbps(240),
+                )
+                .duration(HORIZON)
+            })
+        }))
+        .duration(HORIZON)
+}
+
+/// Simulated horizon of every cell (20 emulation rounds at the default
+/// 50 ms loop interval).
+const HORIZON: SimDuration = SimDuration::from_secs(1);
+
+fn dumbbell_topology(
+    pairs: usize,
+) -> (
+    kollaps_topology::model::Topology,
+    Vec<kollaps_topology::model::NodeId>,
+    Vec<kollaps_topology::model::NodeId>,
+) {
+    generators::dumbbell(
+        pairs,
+        Bandwidth::from_mbps(100),
+        Bandwidth::from_mbps(1000),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    )
+}
+
+fn flap_churn() -> Churn {
+    Churn::poisson_flaps(&[("client-0", "bridge-left")])
+        .mean_uptime(SimDuration::from_millis(400))
+        .mean_downtime(SimDuration::from_millis(100))
+        .horizon(HORIZON)
+        .seed(0x5ca1e)
+}
+
+/// Runs one cell: timed sequential and parallel sessions (asserted to
+/// agree), plus the standalone precompute timings.
+fn run_cell(pairs: usize, flows_per_client: usize) -> ScalingCell {
+    // Precompute cost, measured outside the sessions on the same inputs.
+    let (topo, _, _) = dumbbell_topology(pairs);
+    let schedule = flap_churn().generate(&topo).expect("churn is valid");
+    let t = Instant::now();
+    let seq_timeline = SnapshotTimeline::precompute_with(&topo, &schedule, 1);
+    let precompute_seq_micros = t.elapsed().as_micros() as u64;
+    let t = Instant::now();
+    let par_timeline = SnapshotTimeline::precompute_with(&topo, &schedule, PARALLEL_THREADS);
+    let precompute_par_micros = t.elapsed().as_micros() as u64;
+    assert_eq!(
+        seq_timeline.len(),
+        par_timeline.len(),
+        "precompute threads must not change the timeline"
+    );
+
+    let timed_run = |threads: usize| {
+        let t = Instant::now();
+        let mut session = cell_scenario(pairs, flows_per_client, threads)
+            .session()
+            .expect("valid scenario");
+        while session.clock() < session.end() {
+            session.step(SimDuration::from_millis(250)).expect("steps");
+        }
+        let telemetry = session
+            .allocation_telemetry()
+            .expect("kollaps backend exposes allocation telemetry");
+        let report = session.finish();
+        (t.elapsed().as_secs_f64(), telemetry, report)
+    };
+    let (seq_secs, (alloc_micros, alloc_stats), seq_report) = timed_run(1);
+    let (par_secs, _, par_report) = timed_run(PARALLEL_THREADS);
+
+    // Threads are a wall-clock knob only: every flow must have moved the
+    // exact same number of bytes in both runs.
+    assert_eq!(seq_report.flows.len(), par_report.flows.len());
+    for (a, b) in seq_report.flows.iter().zip(par_report.flows.iter()) {
+        assert_eq!(
+            a.goodput_mbps, b.goodput_mbps,
+            "parallel stepping changed flow results"
+        );
+        assert_eq!(
+            a.per_second_mbps, b.per_second_mbps,
+            "parallel stepping changed flow results"
+        );
+    }
+
+    // One allocator call per manager per round.
+    let rounds = alloc_stats.calls / HOSTS as u64;
+    ScalingCell {
+        nodes: topo.node_count(),
+        flows: pairs * flows_per_client,
+        rounds,
+        precompute_seq_micros,
+        precompute_par_micros,
+        rounds_per_sec_seq: rounds as f64 / seq_secs,
+        rounds_per_sec_par: rounds as f64 / par_secs,
+        alloc_micros_per_round: alloc_micros as f64 / rounds.max(1) as f64,
+        alloc_stats,
+    }
+}
+
+/// Runs the stepping sweep over `(pairs, flows_per_client)` cells.
+pub fn run_scaling(cells: &[(usize, usize)]) -> Vec<ScalingCell> {
+    cells
+        .iter()
+        .map(|&(pairs, flows)| run_cell(pairs, flows))
+        .collect()
+}
+
+/// The default sweep: 102 → 1002 nodes, 200 → 10 000 flows.
+pub const DEFAULT_CELLS: [(usize, usize); 3] = [(50, 4), (150, 8), (500, 20)];
+
+/// The `--full` sweep adds a 2002-node / 20 000-flow cell.
+pub const FULL_CELLS: [(usize, usize); 4] = [(50, 4), (150, 8), (500, 20), (1000, 20)];
+
+/// One cell of the allocator microbench.
+#[derive(Debug, Clone)]
+pub struct AllocScalingCell {
+    /// Constrained (bottleneck) links, each its own contention component.
+    pub links: usize,
+    /// Flows (two per component).
+    pub flows: usize,
+    /// Mean microseconds per incremental `allocate` call in steady state
+    /// (one flow's demand toggles per call).
+    pub incremental_micros: f64,
+    /// Mean microseconds per full `allocate()` pass on the same inputs.
+    pub full_micros: f64,
+    /// Components re-shared per incremental call (deterministically 1:
+    /// only the component of the toggled flow).
+    pub components_recomputed_per_call: f64,
+}
+
+/// Builds the microbench inputs: `links` disjoint single-link components
+/// with two flows each, every component oversubscribed so it stays
+/// constrained.
+fn micro_inputs(links: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
+    let mut flows = Vec::with_capacity(links * 2);
+    let mut capacities = HashMap::new();
+    for i in 0..links as u32 {
+        capacities.insert(LinkId(i), Bandwidth::from_mbps(10));
+        for j in 0..2u64 {
+            flows.push(FlowDemand {
+                id: i as u64 * 2 + j,
+                links: vec![LinkId(i)],
+                rtt: SimDuration::from_millis(10 + j * 10),
+                demand: Bandwidth::from_mbps(8),
+            });
+        }
+    }
+    (flows, capacities)
+}
+
+/// Runs the microbench for one link count: `iterations` steady-state calls
+/// with a single toggled demand each, incremental vs full.
+fn run_alloc_cell(links: usize, iterations: usize) -> AllocScalingCell {
+    let (mut flows, capacities) = micro_inputs(links);
+    let mut incremental = kollaps_core::IncrementalAllocator::new();
+    incremental.allocate(&flows, &capacities); // warm the component cache
+    let base = incremental.stats();
+
+    let t = Instant::now();
+    for call in 0..iterations {
+        // Toggle one flow's demand every call: exactly one component
+        // changes shape, everything else is served from the cache.
+        flows[0].demand = if call % 2 == 0 {
+            Bandwidth::from_mbps(9)
+        } else {
+            Bandwidth::from_mbps(8)
+        };
+        incremental.allocate(&flows, &capacities);
+    }
+    let incremental_micros = t.elapsed().as_micros() as f64 / iterations as f64;
+    let recomputed = incremental.stats().components_recomputed - base.components_recomputed;
+
+    let t = Instant::now();
+    for _ in 0..iterations {
+        let full = allocate(&flows, &capacities);
+        std::hint::black_box(&full);
+    }
+    let full_micros = t.elapsed().as_micros() as f64 / iterations as f64;
+
+    AllocScalingCell {
+        links,
+        flows: flows.len(),
+        incremental_micros,
+        full_micros,
+        components_recomputed_per_call: recomputed as f64 / iterations as f64,
+    }
+}
+
+/// Runs the allocator microbench over the given link counts.
+pub fn run_alloc_scaling(link_counts: &[usize], iterations: usize) -> Vec<AllocScalingCell> {
+    link_counts
+        .iter()
+        .map(|&links| run_alloc_cell(links, iterations))
+        .collect()
+}
+
+/// Default microbench link counts (flows are 2× these).
+pub const DEFAULT_LINK_COUNTS: [usize; 3] = [64, 256, 1024];
+
+/// The printable view of both sweeps.
+pub fn scaling_rows(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> Vec<Row> {
+    let mut rows: Vec<Row> = cells
+        .iter()
+        .map(|c| Row {
+            label: format!("{} nodes / {} flows", c.nodes, c.flows),
+            values: vec![
+                ("rounds/s seq".into(), f64::NAN, c.rounds_per_sec_seq),
+                ("rounds/s par".into(), f64::NAN, c.rounds_per_sec_par),
+                ("speedup".into(), f64::NAN, c.speedup()),
+                ("alloc µs/round".into(), f64::NAN, c.alloc_micros_per_round),
+                ("fast-hit %".into(), f64::NAN, c.fast_hit_percent()),
+                (
+                    "precompute ms".into(),
+                    f64::NAN,
+                    c.precompute_seq_micros as f64 / 1000.0,
+                ),
+            ],
+        })
+        .collect();
+    rows.extend(alloc.iter().map(|c| Row {
+        label: format!("{} links / {} flows", c.links, c.flows),
+        values: vec![
+            ("incr µs/call".into(), f64::NAN, c.incremental_micros),
+            ("full µs/call".into(), f64::NAN, c.full_micros),
+            (
+                "full/incr".into(),
+                f64::NAN,
+                c.full_micros / c.incremental_micros.max(1e-9),
+            ),
+            (
+                "components/call".into(),
+                f64::NAN,
+                c.components_recomputed_per_call,
+            ),
+        ],
+    }));
+    rows
+}
+
+/// The machine-readable view, uploaded as a CI artifact by the
+/// `--bin scaling` driver.
+pub fn scaling_json(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> serde_json::Value {
+    use serde_json::Value;
+    let stepping: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            Value::Object(vec![
+                ("nodes".to_string(), c.nodes.into()),
+                ("flows".to_string(), c.flows.into()),
+                ("rounds".to_string(), c.rounds.into()),
+                (
+                    "precompute_seq_micros".to_string(),
+                    c.precompute_seq_micros.into(),
+                ),
+                (
+                    "precompute_par_micros".to_string(),
+                    c.precompute_par_micros.into(),
+                ),
+                (
+                    "rounds_per_sec_seq".to_string(),
+                    c.rounds_per_sec_seq.into(),
+                ),
+                (
+                    "rounds_per_sec_par".to_string(),
+                    c.rounds_per_sec_par.into(),
+                ),
+                ("speedup".to_string(), c.speedup().into()),
+                (
+                    "alloc_micros_per_round".to_string(),
+                    c.alloc_micros_per_round.into(),
+                ),
+                ("fast_hit_percent".to_string(), c.fast_hit_percent().into()),
+                (
+                    "components_reused".to_string(),
+                    c.alloc_stats.components_reused.into(),
+                ),
+                (
+                    "components_recomputed".to_string(),
+                    c.alloc_stats.components_recomputed.into(),
+                ),
+            ])
+        })
+        .collect();
+    let micro: Vec<Value> = alloc
+        .iter()
+        .map(|c| {
+            Value::Object(vec![
+                ("links".to_string(), c.links.into()),
+                ("flows".to_string(), c.flows.into()),
+                (
+                    "incremental_micros".to_string(),
+                    c.incremental_micros.into(),
+                ),
+                ("full_micros".to_string(), c.full_micros.into()),
+                (
+                    "components_recomputed_per_call".to_string(),
+                    c.components_recomputed_per_call.into(),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("bench".to_string(), "scaling".into()),
+        ("stepping".to_string(), Value::Array(stepping)),
+        ("allocator".to_string(), Value::Array(micro)),
+    ])
+}
+
+/// The perf-trajectory records for `BENCH_scaling.json`. Wall-clock
+/// throughputs gate loosely (`higher_is_better`, runners differ); the
+/// allocator cache counters are deterministic and gate tightly — they are
+/// the tripwire that catches someone breaking the incremental path (every
+/// call falling back to a full recompute shows up as `fast_hit_percent`
+/// collapsing and `components_recomputed` exploding long before wall clock
+/// does on a small runner).
+pub fn scaling_records(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> BenchReport {
+    let mut report = BenchReport::new("scaling");
+    for c in cells {
+        let cell = |name: &str, value: f64, unit: &str| {
+            BenchRecord::new(name, value, unit)
+                .axis("nodes", c.nodes)
+                .axis("flows", c.flows)
+        };
+        report.push(
+            cell("rounds_per_sec_seq", c.rounds_per_sec_seq, "rounds/s")
+                .higher_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(
+            cell("rounds_per_sec_par", c.rounds_per_sec_par, "rounds/s")
+                .higher_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(cell("speedup", c.speedup(), "ratio").higher_is_better(TOLERANCE_WALL_CLOCK));
+        report.push(
+            cell("alloc_micros_per_round", c.alloc_micros_per_round, "micros")
+                .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(
+            cell(
+                "precompute_seq_micros",
+                c.precompute_seq_micros as f64,
+                "micros",
+            )
+            .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(
+            cell(
+                "precompute_par_micros",
+                c.precompute_par_micros as f64,
+                "micros",
+            )
+            .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(
+            cell("fast_hit_percent", c.fast_hit_percent(), "percent")
+                .higher_is_better(TOLERANCE_DETERMINISTIC),
+        );
+        report.push(
+            cell(
+                "components_recomputed",
+                c.alloc_stats.components_recomputed as f64,
+                "count",
+            )
+            .lower_is_better(TOLERANCE_DETERMINISTIC),
+        );
+        report.push(cell("rounds", c.rounds as f64, "count"));
+    }
+    for c in alloc {
+        let cell = |name: &str, value: f64, unit: &str| {
+            BenchRecord::new(name, value, unit).axis("links", c.links)
+        };
+        report.push(
+            cell("incremental_micros", c.incremental_micros, "micros")
+                .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(cell("full_micros", c.full_micros, "micros"));
+        report.push(
+            cell(
+                "micro_components_per_call",
+                c.components_recomputed_per_call,
+                "count",
+            )
+            .lower_is_better(TOLERANCE_DETERMINISTIC),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion of the incremental allocator, asserted on
+    /// the bench's own microbench: when one flow changes, exactly one
+    /// component is re-shared regardless of how many links exist, so the
+    /// incremental cost cannot scale with total links the way the full
+    /// pass does.
+    #[test]
+    fn incremental_recomputes_one_component_per_call() {
+        let cells = run_alloc_scaling(&[16, 64], 40);
+        for cell in &cells {
+            assert!(
+                (cell.components_recomputed_per_call - 1.0).abs() < 1e-9,
+                "expected exactly one component per call, got {}",
+                cell.components_recomputed_per_call
+            );
+        }
+    }
+
+    /// A small end-to-end stepping cell: sequential and parallel runs must
+    /// agree (asserted inside `run_cell`) and the steady-state fast path
+    /// must carry most allocator calls despite the churn-driven
+    /// invalidations.
+    #[test]
+    fn small_cell_hits_the_fast_path() {
+        let cells = run_scaling(&[(8, 2)]);
+        let cell = &cells[0];
+        assert_eq!(cell.nodes, 18);
+        assert_eq!(cell.flows, 16);
+        assert!(cell.rounds > 0);
+        assert!(
+            cell.fast_hit_percent() > 50.0,
+            "steady-state UDP demands should hit the fast path: {:?}",
+            cell.alloc_stats
+        );
+    }
+}

@@ -90,15 +90,29 @@ pub(crate) fn collapse_path(
     })
 }
 
-fn all_pairs(topology: &Topology) -> HashMap<(NodeId, NodeId), Arc<CollapsedPath>> {
+/// All-pairs collapse, parallelized across source services: each worker runs
+/// the single-source shortest-path and path composition for a disjoint chunk
+/// of sources. Per-source work is independent and deterministic, so the
+/// merged map is identical for any thread count.
+fn all_pairs(topology: &Topology, threads: usize) -> HashMap<(NodeId, NodeId), Arc<CollapsedPath>> {
     let graph = TopologyGraph::new(topology);
-    let mut paths = HashMap::new();
-    for ((src, dst), path) in graph.all_pairs_service_paths() {
-        if let Some(collapsed) = collapse_path(topology, src, dst, &path) {
-            paths.insert((src, dst), Arc::new(collapsed));
+    let services = topology.service_ids();
+    let per_source = crate::parallel::map_parallel(&services, threads, |&src| {
+        let from_src = graph.shortest_paths_from(src);
+        let mut rows: Vec<((NodeId, NodeId), Arc<CollapsedPath>)> = Vec::new();
+        for &dst in &services {
+            if dst == src {
+                continue;
+            }
+            if let Some(path) = from_src.get(&dst) {
+                if let Some(collapsed) = collapse_path(topology, src, dst, path) {
+                    rows.push(((src, dst), Arc::new(collapsed)));
+                }
+            }
         }
-    }
-    paths
+        rows
+    });
+    per_source.into_iter().flatten().collect()
 }
 
 pub(crate) fn link_tables(
@@ -119,8 +133,18 @@ pub(crate) fn link_tables(
 
 impl CollapsedTopology {
     /// Collapses `topology`, assigning container addresses in service-id
-    /// order (`10.1.0.0/16`, matching the deployment generator).
+    /// order (`10.1.0.0/16`, matching the deployment generator). Uses the
+    /// `KOLLAPS_THREADS` worker count for the all-pairs computation; see
+    /// [`CollapsedTopology::build_with_threads`].
     pub fn build(topology: &Topology) -> Self {
+        CollapsedTopology::build_with_threads(topology, crate::parallel::threads_from_env())
+    }
+
+    /// [`CollapsedTopology::build`] with an explicit worker count for the
+    /// all-pairs shortest-path computation. The result is identical for any
+    /// thread count — sources are derived independently and merged
+    /// deterministically.
+    pub fn build_with_threads(topology: &Topology, threads: usize) -> Self {
         let mut addresses = HashMap::new();
         let mut nodes_by_addr = HashMap::new();
         for (i, service) in topology.service_ids().into_iter().enumerate() {
@@ -130,7 +154,7 @@ impl CollapsedTopology {
         }
         let (link_capacity, link_latency) = link_tables(topology);
         CollapsedTopology {
-            paths: all_pairs(topology),
+            paths: all_pairs(topology, threads),
             addresses,
             nodes_by_addr,
             link_capacity,
@@ -149,7 +173,7 @@ impl CollapsedTopology {
     pub fn rebuild_with_addresses(&self, topology: &Topology) -> Self {
         let (link_capacity, link_latency) = link_tables(topology);
         CollapsedTopology {
-            paths: all_pairs(topology),
+            paths: all_pairs(topology, crate::parallel::threads_from_env()),
             addresses: self.addresses.clone(),
             nodes_by_addr: self.nodes_by_addr.clone(),
             link_capacity,

@@ -39,8 +39,9 @@ use kollaps_topology::model::{NodeId, Topology};
 
 use crate::collapse::{Addressable, CollapsedTopology};
 use crate::manager::EmulationManager;
+use crate::parallel::for_each_parallel;
 use crate::runtime::{Dataplane, SendOutcome};
-use crate::sharing::{allocate, FlowDemand};
+use crate::sharing::{AllocatorStats, FlowDemand, IncrementalAllocator};
 use crate::timeline::SnapshotTimeline;
 
 /// Tuning knobs of the emulation.
@@ -65,6 +66,12 @@ pub struct EmulationConfig {
     pub congestion_loss: bool,
     /// Seed for the per-destination netem jitter streams.
     pub seed: u64,
+    /// Worker threads for the parallel phases of the emulation loop (manager
+    /// collect/enforce stepping). Only wall-clock changes with this knob —
+    /// each manager's work is self-contained, so any thread count produces
+    /// byte-identical results. Defaults to the `KOLLAPS_THREADS` environment
+    /// variable, else 1 (sequential).
+    pub threads: usize,
 }
 
 impl Default for EmulationConfig {
@@ -77,6 +84,7 @@ impl Default for EmulationConfig {
             bandwidth_sharing: true,
             congestion_loss: true,
             seed: 42,
+            threads: crate::parallel::threads_from_env(),
         }
     }
 }
@@ -207,6 +215,10 @@ pub struct KollapsDataplane {
     pending: BinaryHeap<Reverse<PendingDelivery>>,
     next_delivery_seq: u64,
     convergence: ConvergenceStats,
+    /// Component-caching solver for the omniscient reference allocation the
+    /// convergence metric recomputes every loop; invalidated on snapshot
+    /// swaps like the managers' own solvers.
+    omniscient: IncrementalAllocator,
     /// Per-host, per-iteration convergence gaps, recorded only when
     /// [`KollapsDataplane::record_host_gaps`] was enabled (indexed by host,
     /// aligned with `convergence.samples`).
@@ -303,6 +315,7 @@ impl KollapsDataplane {
             pending: BinaryHeap::new(),
             next_delivery_seq: 0,
             convergence: ConvergenceStats::default(),
+            omniscient: IncrementalAllocator::new(),
             host_gap_series: None,
             next_tick: SimTime::ZERO,
             started: false,
@@ -388,6 +401,26 @@ impl KollapsDataplane {
         self.convergence
     }
 
+    /// Total wall-clock microseconds all managers spent inside the
+    /// bandwidth-sharing solver (diagnostic only; the scaling bench divides
+    /// this by loop iterations).
+    pub fn allocation_micros(&self) -> u64 {
+        self.managers.iter().map(|m| m.allocation_micros()).sum()
+    }
+
+    /// Work-avoidance counters of the incremental min-max solvers, summed
+    /// across all managers.
+    pub fn allocator_stats(&self) -> AllocatorStats {
+        let mut total = AllocatorStats::default();
+        for stats in self.managers.iter().map(|m| m.allocator_stats()) {
+            total.calls += stats.calls;
+            total.fast_hits += stats.fast_hits;
+            total.components_reused += stats.components_reused;
+            total.components_recomputed += stats.components_recomputed;
+        }
+        total
+    }
+
     /// The precomputed snapshot timeline of this experiment.
     pub fn timeline(&self) -> &SnapshotTimeline {
         &self.timeline
@@ -440,7 +473,7 @@ impl KollapsDataplane {
     pub fn link_usage(&self) -> Vec<(kollaps_topology::model::LinkId, Bandwidth)> {
         let mut load: HashMap<kollaps_topology::model::LinkId, u64> = HashMap::new();
         for manager in &self.managers {
-            for (&(src, dst), &used) in manager.local_usages() {
+            for &((src, dst), used) in manager.local_usages() {
                 let Some(path) = self.collapsed.path_by_addr(src, dst) else {
                     continue;
                 };
@@ -486,15 +519,19 @@ impl KollapsDataplane {
     /// measures locally, publishes, absorbs what the network delivered, and
     /// enforces from its own (possibly stale) view.
     fn emulation_loop(&mut self, now: SimTime) {
+        let threads = self.config.threads;
         // Steps 1-2: each manager reads and clears its local TCAL usage.
-        for manager in &mut self.managers {
+        // Purely per-manager work — parallel stepping is byte-identical to
+        // sequential because each worker owns a disjoint manager slice.
+        for_each_parallel(&mut self.managers, threads, |manager| {
             manager.collect_usage();
-        }
+        });
         // Step 3: publish local usage, then drain. With a zero metadata
         // delay this iteration's publications arrive immediately (shared
         // memory semantics); with a nonzero delay managers enforce on last
         // iteration's news — the staleness the paper trades for
-        // decentralization.
+        // decentralization. The bus is shared, so this phase stays
+        // sequential in host-id order.
         for manager in &self.managers {
             manager.publish(now, self.bus.as_mut());
         }
@@ -506,10 +543,12 @@ impl KollapsDataplane {
             let deliveries = self.bus.drain(now, manager.host());
             manager.absorb(deliveries);
         }
-        // Steps 4-5: each manager recomputes and enforces from what it has.
-        for manager in &mut self.managers {
+        // Steps 4-5: each manager recomputes and enforces from what it has —
+        // the hottest phase (min-max solve + qdisc writes), again split over
+        // disjoint manager slices.
+        for_each_parallel(&mut self.managers, threads, |manager| {
             manager.enforce(now);
-        }
+        });
         self.update_convergence();
     }
 
@@ -524,9 +563,8 @@ impl KollapsDataplane {
         let mut flows: Vec<FlowDemand> = Vec::new();
         let mut keys: Vec<(usize, Addr, Addr)> = Vec::new();
         for (mi, manager) in self.managers.iter().enumerate() {
-            let mut local: Vec<(Addr, Addr)> = manager.local_usages().keys().copied().collect();
-            local.sort();
-            for (src, dst) in local {
+            // The usage table is already sorted by pair.
+            for &((src, dst), _) in manager.local_usages() {
                 let Some(demand) = self.collapsed.flow_demand(keys.len() as u64, src, dst) else {
                     continue;
                 };
@@ -538,7 +576,9 @@ impl KollapsDataplane {
             self.convergence.last_gap = 0.0;
             return;
         }
-        let omniscient = allocate(&flows, self.collapsed.link_capacities());
+        let omniscient = self
+            .omniscient
+            .allocate(&flows, self.collapsed.link_capacities());
         let mut gap = 0.0f64;
         let mut host_gaps = vec![0.0f64; self.managers.len()];
         for (i, &(mi, src, dst)) in keys.iter().enumerate() {
@@ -575,6 +615,9 @@ impl KollapsDataplane {
                 break;
             }
             self.collapsed = Arc::clone(&delta.snapshot);
+            // Capacities changed — the omniscient solver's component cache
+            // keys on flow shapes only (managers invalidate their own).
+            self.omniscient.invalidate();
             let mut touched = 0;
             for manager in &mut self.managers {
                 touched += manager.apply_delta(delta);

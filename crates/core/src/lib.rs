@@ -30,6 +30,7 @@
 pub mod collapse;
 pub mod emulation;
 pub mod manager;
+pub mod parallel;
 pub mod runtime;
 pub mod sharing;
 pub mod timeline;
@@ -38,5 +39,7 @@ pub use collapse::{Addressable, CollapsedPath, CollapsedTopology};
 pub use emulation::{ConvergenceStats, DynamicsStats, EmulationConfig, KollapsDataplane};
 pub use manager::EmulationManager;
 pub use runtime::{Dataplane, Runtime, RuntimeEvent, SendOutcome};
-pub use sharing::{allocate, oversubscription, Allocation, FlowDemand};
+pub use sharing::{
+    allocate, oversubscription, Allocation, AllocatorStats, FlowDemand, IncrementalAllocator,
+};
 pub use timeline::{SnapshotDelta, SnapshotTimeline, TimelineStats};

@@ -35,7 +35,9 @@ use kollaps_topology::model::LinkId;
 
 use crate::collapse::CollapsedTopology;
 use crate::emulation::EmulationConfig;
-use crate::sharing::{allocate, oversubscription, FlowDemand};
+use crate::sharing::{
+    oversubscription, Allocation, AllocatorStats, FlowDemand, IncrementalAllocator,
+};
 
 /// Congestion loss is injected only once a link has stayed oversubscribed
 /// for this many consecutive loop iterations. A one-iteration spike is the
@@ -59,6 +61,13 @@ pub struct RemoteUsage {
 
 /// One host's Emulation Manager: local TCALs, the received remote view and
 /// the enforcement state derived from them.
+///
+/// The per-loop hot state (`usages`, `last_allocation`, `oversub_streak`) is
+/// kept in **sorted contiguous vectors** rather than hash maps: the loop
+/// walks these tables in key order anyway (publishing and enforcement are
+/// order-sensitive for determinism), so sorted vectors drop both the
+/// per-loop re-sorts and the hashing churn that dominated profiles at
+/// 10k-flow scale. Point lookups are binary searches.
 pub struct EmulationManager {
     host: HostId,
     config: EmulationConfig,
@@ -72,12 +81,35 @@ pub struct EmulationManager {
     egress: HashMap<Addr, EgressTree>,
     /// Latest received usage per remote host.
     remote: HashMap<HostId, RemoteUsage>,
-    /// Local usage measured in the current loop iteration.
-    usages: HashMap<(Addr, Addr), Bandwidth>,
-    /// Rates enforced on local pairs in the last iteration.
-    last_allocation: HashMap<(Addr, Addr), Bandwidth>,
-    /// Consecutive loop iterations each link has been oversubscribed.
-    oversub_streak: HashMap<LinkId, u32>,
+    /// Local usage measured in the current loop iteration, sorted by pair.
+    usages: Vec<((Addr, Addr), Bandwidth)>,
+    /// Rates enforced on local pairs in the last iteration, sorted by pair.
+    /// Doubles as the set of chains currently holding a non-default rate —
+    /// enforcement only rewrites chains entering or leaving this set plus
+    /// the active ones, never the full O(pairs²) sweep.
+    last_allocation: Vec<((Addr, Addr), Bandwidth)>,
+    /// Consecutive loop iterations each link has been oversubscribed,
+    /// sorted by link.
+    oversub_streak: Vec<(LinkId, u32)>,
+    /// Component-caching min-max solver; invalidated on snapshot swaps.
+    allocator: IncrementalAllocator,
+    /// Wall-clock microseconds spent in the solver (diagnostic only).
+    alloc_micros: u64,
+}
+
+/// Binary-search lookup in a sorted `(key, value)` table.
+fn table_get<K: Ord + Copy, V: Copy>(table: &[(K, V)], key: K) -> Option<V> {
+    table
+        .binary_search_by(|probe| probe.0.cmp(&key))
+        .ok()
+        .map(|i| table[i].1)
+}
+
+/// Removes `key` from a sorted `(key, value)` table if present.
+fn table_remove<K: Ord + Copy, V>(table: &mut Vec<(K, V)>, key: K) {
+    if let Ok(i) = table.binary_search_by(|probe| probe.0.cmp(&key)) {
+        table.remove(i);
+    }
 }
 
 impl EmulationManager {
@@ -102,9 +134,11 @@ impl EmulationManager {
             collapsed,
             egress,
             remote: HashMap::new(),
-            usages: HashMap::new(),
-            last_allocation: HashMap::new(),
-            oversub_streak: HashMap::new(),
+            usages: Vec::new(),
+            last_allocation: Vec::new(),
+            oversub_streak: Vec::new(),
+            allocator: IncrementalAllocator::new(),
+            alloc_micros: 0,
         };
         manager.install_local_paths();
         manager
@@ -133,17 +167,29 @@ impl EmulationManager {
     /// The rate this manager enforced for a local (src, dst) pair in the
     /// last loop iteration, if the pair was active.
     pub fn allocation(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
-        self.last_allocation.get(&(src, dst)).copied()
+        table_get(&self.last_allocation, (src, dst))
     }
 
     /// The local usage measured in the last loop iteration.
     pub fn measured_usage(&self, src: Addr, dst: Addr) -> Option<Bandwidth> {
-        self.usages.get(&(src, dst)).copied()
+        table_get(&self.usages, (src, dst))
     }
 
-    /// The local usage table of the last loop iteration.
-    pub fn local_usages(&self) -> &HashMap<(Addr, Addr), Bandwidth> {
+    /// The local usage table of the last loop iteration, sorted by pair.
+    pub fn local_usages(&self) -> &[((Addr, Addr), Bandwidth)] {
         &self.usages
+    }
+
+    /// Wall-clock microseconds spent inside the bandwidth-sharing solver
+    /// since construction (diagnostic only — never feeds back into the
+    /// simulation).
+    pub fn allocation_micros(&self) -> u64 {
+        self.alloc_micros
+    }
+
+    /// Work-avoidance counters of the incremental min-max solver.
+    pub fn allocator_stats(&self) -> AllocatorStats {
+        self.allocator.stats()
     }
 
     /// Number of remote flows currently in this manager's received view.
@@ -155,7 +201,7 @@ impl EmulationManager {
     /// iteration (streak ≥ 1 — before the congestion grace period elapses,
     /// so onset is visible even when no loss is injected yet).
     pub fn oversubscribed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
-        self.oversub_streak.keys().copied()
+        self.oversub_streak.iter().map(|&(link, _)| link)
     }
 
     /// Worst staleness of the received remote view: the age of the oldest
@@ -219,11 +265,14 @@ impl EmulationManager {
                     rate = rate.min(shaped);
                 }
                 if rate.as_bps() > 0 {
-                    self.usages.insert((src, dst), rate);
+                    self.usages.push(((src, dst), rate));
                 }
             }
             tree.clear_usage();
         }
+        // One sort here replaces the per-loop re-sorts `publish` and
+        // `enforce` used to do (the egress map iterates in arbitrary order).
+        self.usages.sort_unstable_by_key(|&(key, _)| key);
     }
 
     /// Loop step 3a: publishes this host's local usage on the bus. Idle
@@ -233,9 +282,7 @@ impl EmulationManager {
         // The bus stamps the sender/publish-time header fields; the manager
         // only supplies the payload.
         let mut message = MetadataMessage::new();
-        let mut entries: Vec<(&(Addr, Addr), &Bandwidth)> = self.usages.iter().collect();
-        entries.sort_by_key(|(&key, _)| key);
-        for (&(src, dst), &used) in entries {
+        for &((src, dst), used) in &self.usages {
             let Some(path) = self.collapsed.path_by_addr(src, dst) else {
                 continue;
             };
@@ -275,9 +322,7 @@ impl EmulationManager {
         let mut usage_by_id: HashMap<u64, Bandwidth> = HashMap::new();
         let mut local_keys: Vec<(u64, Addr, Addr)> = Vec::new();
 
-        let mut local: Vec<(&(Addr, Addr), &Bandwidth)> = self.usages.iter().collect();
-        local.sort_by_key(|(&key, _)| key);
-        for (&(src, dst), &used) in local {
+        for &((src, dst), used) in &self.usages {
             let id = flows.len() as u64;
             let Some(demand) = self.collapsed.flow_demand(id, src, dst) else {
                 continue;
@@ -329,22 +374,28 @@ impl EmulationManager {
             }
         }
 
-        let allocation = if self.config.bandwidth_sharing {
-            allocate(&flows, self.collapsed.link_capacities())
+        let fallback = Allocation::default();
+        let allocation: &Allocation = if self.config.bandwidth_sharing {
+            let start = std::time::Instant::now();
+            let a = self
+                .allocator
+                .allocate(&flows, self.collapsed.link_capacities());
+            self.alloc_micros += start.elapsed().as_micros() as u64;
+            a
         } else {
-            Default::default()
+            &fallback
         };
         let over = if self.config.congestion_loss {
             let raw = oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities());
-            let mut streaks = HashMap::new();
-            for &link in raw.keys() {
-                let run = self.oversub_streak.get(&link).copied().unwrap_or(0) + 1;
-                streaks.insert(link, run);
-            }
+            let mut streaks: Vec<(LinkId, u32)> = raw
+                .keys()
+                .map(|&link| (link, table_get(&self.oversub_streak, link).unwrap_or(0) + 1))
+                .collect();
+            streaks.sort_unstable_by_key(|&(link, _)| link);
             self.oversub_streak = streaks;
             raw.into_iter()
                 .filter(|(link, _)| {
-                    self.oversub_streak.get(link).copied().unwrap_or(0) >= CONGESTION_GRACE_LOOPS
+                    table_get(&self.oversub_streak, *link).unwrap_or(0) >= CONGESTION_GRACE_LOOPS
                 })
                 .collect()
         } else {
@@ -353,11 +404,14 @@ impl EmulationManager {
         };
 
         // Enforcement: active local pairs get their computed share (or keep
-        // the path maximum when sharing is disabled); inactive pairs fall
-        // back to the path maximum so new flows are not throttled by stale
-        // limits.
+        // the path maximum when sharing is disabled); pairs enforced last
+        // loop that went idle are restored to the path maximum **once** so
+        // new flows are not throttled by stale limits. Chains that were at
+        // their defaults and stay idle are not touched at all — the old
+        // all-pairs sweep was O(containers²) per loop and capped scaling.
+        let previously: Vec<(Addr, Addr)> =
+            self.last_allocation.iter().map(|&(key, _)| key).collect();
         self.last_allocation.clear();
-        let mut enforced: HashMap<(Addr, Addr), (Bandwidth, f64)> = HashMap::new();
         for &(id, src, dst) in &local_keys {
             let Some(path) = self.collapsed.path_by_addr(src, dst) else {
                 continue;
@@ -376,31 +430,25 @@ impl EmulationManager {
                 }
             }
             let loss = 1.0 - (1.0 - path.loss) * (1.0 - congestion);
-            enforced.insert((src, dst), (rate, loss));
-            self.last_allocation.insert((src, dst), rate);
+            if let Some(tree) = self.egress.get_mut(&src) {
+                tree.set_bandwidth(now, dst, rate);
+                tree.set_loss(dst, loss);
+            }
+            // `local_keys` is sorted by pair, so pushes keep the table sorted.
+            self.last_allocation.push(((src, dst), rate));
         }
-        let addressed: Vec<_> = self.collapsed.addresses().collect();
-        for &(src_node, src_addr) in &addressed {
-            let Some(tree) = self.egress.get_mut(&src_addr) else {
+        for &(src, dst) in &previously {
+            if table_get(&self.last_allocation, (src, dst)).is_some() {
+                continue;
+            }
+            let Some(tree) = self.egress.get_mut(&src) else {
                 continue;
             };
-            for &(dst_node, dst_addr) in &addressed {
-                if src_addr == dst_addr {
-                    continue;
-                }
-                let Some(path) = self.collapsed.path(src_node, dst_node) else {
-                    continue;
-                };
-                match enforced.get(&(src_addr, dst_addr)) {
-                    Some(&(rate, loss)) => {
-                        tree.set_bandwidth(now, dst_addr, rate);
-                        tree.set_loss(dst_addr, loss);
-                    }
-                    None => {
-                        tree.set_bandwidth(now, dst_addr, path.max_bandwidth);
-                        tree.set_loss(dst_addr, path.loss);
-                    }
-                }
+            // A pair whose path disappeared had its chain removed by the
+            // delta application; nothing to restore then.
+            if let Some(path) = self.collapsed.path_by_addr(src, dst) {
+                tree.set_bandwidth(now, dst, path.max_bandwidth);
+                tree.set_loss(dst, path.loss);
             }
         }
     }
@@ -416,6 +464,8 @@ impl EmulationManager {
     /// snapshot outside a precomputed timeline.
     pub fn apply_snapshot(&mut self, collapsed: Arc<CollapsedTopology>) {
         self.collapsed = collapsed;
+        // Capacities changed: the component cache keys on flow shapes only.
+        self.allocator.invalidate();
         self.install_local_paths();
     }
 
@@ -427,6 +477,8 @@ impl EmulationManager {
     /// offline).
     pub fn apply_delta(&mut self, delta: &crate::timeline::SnapshotDelta) -> usize {
         self.collapsed = Arc::clone(&delta.snapshot);
+        // Capacities changed: the component cache keys on flow shapes only.
+        self.allocator.invalidate();
         let collapsed = Arc::clone(&self.collapsed);
         let mut touched = 0;
         for &(src, dst) in &delta.removed_paths {
@@ -439,7 +491,7 @@ impl EmulationManager {
                 if tree.remove_path(dst_addr) {
                     touched += 1;
                 }
-                self.last_allocation.remove(&(src_addr, dst_addr));
+                table_remove(&mut self.last_allocation, (src_addr, dst_addr));
             }
         }
         for &(src, dst) in &delta.changed_paths {
@@ -460,10 +512,7 @@ impl EmulationManager {
                 loss: path.loss,
                 ..NetemConfig::default()
             };
-            let rate = self
-                .last_allocation
-                .get(&(src_addr, dst_addr))
-                .copied()
+            let rate = table_get(&self.last_allocation, (src_addr, dst_addr))
                 .unwrap_or(path.max_bandwidth)
                 .min(path.max_bandwidth);
             tree.install_path(dst_addr, netem, rate);
@@ -481,7 +530,7 @@ impl EmulationManager {
                 continue;
             };
             // Remove chains towards destinations that disappeared.
-            let valid: Vec<Addr> = collapsed
+            let valid: std::collections::HashSet<Addr> = collapsed
                 .addresses()
                 .filter(|&(dst_node, _)| collapsed.path(src_node, dst_node).is_some())
                 .map(|(_, a)| a)
@@ -507,10 +556,7 @@ impl EmulationManager {
                 // the emulation loop tightens it as soon as competing flows
                 // appear. A kept allocation is clamped in case the path
                 // maximum shrank under it.
-                let rate = self
-                    .last_allocation
-                    .get(&(src_addr, dst_addr))
-                    .copied()
+                let rate = table_get(&self.last_allocation, (src_addr, dst_addr))
                     .unwrap_or(path.max_bandwidth)
                     .min(path.max_bandwidth);
                 tree.install_path(dst_addr, netem, rate);

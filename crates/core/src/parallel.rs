@@ -1,0 +1,118 @@
+//! Scoped worker-pool helpers for the per-tick hot loops.
+//!
+//! The emulation steps its per-host managers on a `std::thread::scope` pool
+//! (the same no-new-crates pattern as the `Campaign` sweep pool in the
+//! scenario layer). Work is split into **disjoint `chunks_mut` slices**, one
+//! per worker, so no locking is involved and — because each manager's
+//! collect/enforce work reads and writes only its own state — the outcome is
+//! byte-identical to the sequential loop regardless of scheduling.
+
+/// Worker threads the emulation should use, read from the `KOLLAPS_THREADS`
+/// environment variable. Defaults to 1 (fully sequential) so single-core
+/// runs pay no scope/spawn overhead; CI exercises the parallel path by
+/// exporting `KOLLAPS_THREADS=2` for a tier-1 pass.
+pub fn threads_from_env() -> usize {
+    std::env::var("KOLLAPS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, splitting the slice across up to `threads`
+/// scoped workers (sequential when `threads <= 1` or the slice is short).
+///
+/// Each worker owns a disjoint chunk, so for any `f` that only touches its
+/// item the result is identical to the sequential loop — this is what keeps
+/// parallel manager stepping bit-for-bit equal to `KOLLAPS_THREADS=1`.
+pub fn for_each_parallel<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers == 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for slice in items.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for item in slice {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over the items on up to `threads` scoped workers and returns the
+/// results **in input order** (chunks are joined in sequence), so callers can
+/// merge deterministically. Sequential when `threads <= 1`.
+pub fn map_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("scoped worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_default_is_one_thread() {
+        // The variable is unset in the test environment unless CI sets it;
+        // either way the parse path must yield at least 1.
+        assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut a: Vec<u64> = (0..103).collect();
+        let mut b = a.clone();
+        for_each_parallel(&mut a, 1, |x| *x = x.wrapping_mul(31) ^ 7);
+        for_each_parallel(&mut b, 8, |x| *x = x.wrapping_mul(31) ^ 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u32> = (0..57).collect();
+        let seq = map_parallel(&items, 1, |&x| x * 2 + 1);
+        let par = map_parallel(&items, 8, |&x| x * 2 + 1);
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 21);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_slices() {
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_parallel(&mut empty, 4, |_| unreachable!());
+        let mut one = vec![5u32];
+        for_each_parallel(&mut one, 4, |x| *x += 1);
+        assert_eq!(one, vec![6]);
+    }
+}

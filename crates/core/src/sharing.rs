@@ -132,12 +132,19 @@ pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -
         }
 
         // 2. Otherwise saturate the most contended link: the one offering the
-        //    smallest capacity per unit of weight.
+        //    smallest capacity per unit of weight. Ties break on the lower
+        //    link id so the result never depends on HashMap iteration order
+        //    (the distributed runtime replays this computation on every host
+        //    and requires bit-identical outcomes across processes).
         let bottleneck = weight_on_link
             .iter()
             .filter(|(_, &w)| w > 0.0)
             .map(|(&l, &w)| (l, remaining.get(&l).copied().unwrap_or(f64::INFINITY) / w))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
 
         match bottleneck {
             Some((link, per_weight)) => {
@@ -183,6 +190,221 @@ fn fix_flow(
     allocation
         .per_flow
         .insert(flow.id, Bandwidth::from_bps(granted.round() as u64));
+}
+
+/// Counters describing how much work [`IncrementalAllocator`] avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocatorStats {
+    /// Calls answered entirely from the previous result (identical input).
+    pub fast_hits: u64,
+    /// Contention components whose cached grants were reused.
+    pub components_reused: u64,
+    /// Contention components re-solved with [`allocate`].
+    pub components_recomputed: u64,
+    /// Total [`IncrementalAllocator::allocate`] calls.
+    pub calls: u64,
+}
+
+/// One cached contention component: the flows that interact through a set of
+/// constrained links, plus the grants the solver produced for them.
+#[derive(Debug, Clone)]
+struct CachedComponent {
+    /// Sorted constrained links of the component — its identity across loops.
+    links: Vec<LinkId>,
+    /// Member flows in input order. Ids are *not* part of the cache key:
+    /// [`allocate`] only uses them to key its output, so grants transfer
+    /// positionally to whatever ids the same shapes carry this loop.
+    flows: Vec<FlowDemand>,
+    /// Grant per member flow, aligned with `flows`.
+    grants: Vec<Bandwidth>,
+}
+
+/// `true` when two demands describe the same flow irrespective of the
+/// caller-chosen id (ids are positional in the emulation loop and shift
+/// whenever a flow joins or leaves).
+fn same_shape(a: &FlowDemand, b: &FlowDemand) -> bool {
+    a.rtt == b.rtt && a.demand == b.demand && a.links == b.links
+}
+
+/// Incremental wrapper around [`allocate`]: caches the min-max solution per
+/// *contention component* and re-solves only components whose flow set or
+/// demands changed since the previous call.
+///
+/// Two flows interact only when their paths share a constrained link (the
+/// solver couples flows exclusively through per-link remaining capacity), so
+/// the flow set partitions into independent components and solving each in
+/// isolation is **bit-identical** to one global [`allocate`] run: restricted
+/// to a component, the global round sequence performs the same fixes on the
+/// same operands in the same order.
+///
+/// Contract: link capacities are immutable within a collapsed snapshot, so
+/// the cache only compares flow shapes. Callers **must** call
+/// [`IncrementalAllocator::invalidate`] whenever the snapshot (and thus any
+/// capacity) changes — the emulation manager does this on every delta or
+/// snapshot swap.
+#[derive(Debug, Default)]
+pub struct IncrementalAllocator {
+    valid: bool,
+    last_flows: Vec<FlowDemand>,
+    last_allocation: Allocation,
+    components: Vec<CachedComponent>,
+    stats: AllocatorStats,
+}
+
+impl IncrementalAllocator {
+    /// A fresh allocator with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cached state. Must be called when link capacities change
+    /// (topology delta or snapshot swap); the next call falls back to a full
+    /// recompute.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.last_flows.clear();
+        self.components.clear();
+    }
+
+    /// Work-avoidance counters since construction.
+    pub fn stats(&self) -> AllocatorStats {
+        self.stats
+    }
+
+    /// Computes the same allocation as `allocate(flows, capacities)`, reusing
+    /// cached per-component solutions where the inputs did not change.
+    pub fn allocate(
+        &mut self,
+        flows: &[FlowDemand],
+        capacities: &HashMap<LinkId, Bandwidth>,
+    ) -> &Allocation {
+        self.stats.calls += 1;
+        // Fast path: the exact same input as last loop (the steady state of
+        // an emulation at scale) — ids included, so the cached map keys are
+        // still right.
+        if self.valid && self.last_flows.as_slice() == flows {
+            self.stats.fast_hits += 1;
+            return &self.last_allocation;
+        }
+
+        // Partition flows into contention components with a union-find over
+        // their constrained links.
+        let mut link_index: HashMap<LinkId, usize> = HashMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let constrained = |l: &LinkId| capacities.get(l).is_some_and(|&c| c != Bandwidth::MAX);
+        for flow in flows {
+            let mut first: Option<usize> = None;
+            for link in flow.links.iter().filter(|l| constrained(l)) {
+                let next = parent.len();
+                let idx = *link_index.entry(*link).or_insert_with(|| {
+                    parent.push(next);
+                    next
+                });
+                match first {
+                    None => first = Some(idx),
+                    Some(f) => {
+                        let (a, b) = (find(&mut parent, f), find(&mut parent, idx));
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+
+        // Group member flow indices per component root; flows touching no
+        // constrained link are unconstrained and get their demand directly
+        // (same arithmetic as `fix_flow` on an infinite share).
+        let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut allocation = Allocation::default();
+        for (i, flow) in flows.iter().enumerate() {
+            let root = flow
+                .links
+                .iter()
+                .find(|l| constrained(l))
+                .map(|l| find(&mut parent, link_index[l]));
+            match root {
+                Some(root) => members.entry(root).or_default().push(i),
+                None => {
+                    let granted = (flow.demand.as_bps() as f64).max(0.0);
+                    allocation
+                        .per_flow
+                        .insert(flow.id, Bandwidth::from_bps(granted.round() as u64));
+                }
+            }
+        }
+
+        // Stable component order (by first member index) keeps the cache and
+        // any diagnostics deterministic.
+        let mut groups: Vec<Vec<usize>> = members.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+
+        // Components partition the constrained links, so a component's
+        // smallest link id identifies it uniquely — an O(1) cache probe.
+        let cache_by_min: HashMap<LinkId, &CachedComponent> = if self.valid {
+            self.components.iter().map(|c| (c.links[0], c)).collect()
+        } else {
+            HashMap::new()
+        };
+
+        let mut next_components: Vec<CachedComponent> = Vec::with_capacity(groups.len());
+        let mut reused = 0u64;
+        let mut recomputed = 0u64;
+        for group in groups {
+            let mut links: Vec<LinkId> = group
+                .iter()
+                .flat_map(|&i| flows[i].links.iter().copied())
+                .filter(|l| constrained(l))
+                .collect();
+            links.sort_unstable();
+            links.dedup();
+
+            let cached = cache_by_min.get(&links[0]).copied().filter(|c| {
+                c.links == links
+                    && c.flows.len() == group.len()
+                    && c.flows
+                        .iter()
+                        .zip(group.iter())
+                        .all(|(cf, &i)| same_shape(cf, &flows[i]))
+            });
+            let grants: Vec<Bandwidth> = match cached {
+                Some(hit) => {
+                    reused += 1;
+                    hit.grants.clone()
+                }
+                None => {
+                    recomputed += 1;
+                    let subset: Vec<FlowDemand> = group.iter().map(|&i| flows[i].clone()).collect();
+                    let caps: HashMap<LinkId, Bandwidth> =
+                        links.iter().map(|&l| (l, capacities[&l])).collect();
+                    let solved = allocate(&subset, &caps);
+                    subset.iter().map(|f| solved.of(f.id)).collect()
+                }
+            };
+            for (&i, &grant) in group.iter().zip(grants.iter()) {
+                allocation.per_flow.insert(flows[i].id, grant);
+            }
+            next_components.push(CachedComponent {
+                links,
+                flows: group.iter().map(|&i| flows[i].clone()).collect(),
+                grants,
+            });
+        }
+        drop(cache_by_min);
+        self.stats.components_reused += reused;
+        self.stats.components_recomputed += recomputed;
+
+        self.components = next_components;
+        self.last_flows = flows.to_vec();
+        self.last_allocation = allocation;
+        self.valid = true;
+        &self.last_allocation
+    }
 }
 
 /// Per-link oversubscription ratios given the *demanded* (not allocated)
@@ -453,5 +675,134 @@ mod tests {
         }
         let total: f64 = (0..4).map(|i| a.of(i).as_mbps()).sum();
         assert!((total - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn incremental_matches_full_allocate_exactly() {
+        let (flows, caps) = figure8(6);
+        let mut inc = IncrementalAllocator::new();
+        // Grow the flow set one client at a time; every call must equal the
+        // full recompute bit for bit.
+        for n in 1..=6 {
+            let prefix = &flows[..n];
+            assert_eq!(*inc.allocate(prefix, &caps), allocate(prefix, &caps));
+        }
+        // Shrink again (flows leaving shifts positional ids down).
+        for n in (1..=6).rev() {
+            let prefix = &flows[..n];
+            assert_eq!(*inc.allocate(prefix, &caps), allocate(prefix, &caps));
+        }
+    }
+
+    #[test]
+    fn steady_state_hits_the_fast_path() {
+        let (flows, caps) = figure8(4);
+        let mut inc = IncrementalAllocator::new();
+        let first = inc.allocate(&flows, &caps).clone();
+        for _ in 0..3 {
+            assert_eq!(*inc.allocate(&flows, &caps), first);
+        }
+        let stats = inc.stats();
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.fast_hits, 3);
+    }
+
+    #[test]
+    fn disjoint_components_are_cached_independently() {
+        // Two independent bottlenecks: flows 0-1 share link 0, flows 2-3
+        // share link 1. Changing one pair must not recompute the other.
+        let caps: HashMap<LinkId, Bandwidth> = [
+            (LinkId(0), Bandwidth::from_mbps(100)),
+            (LinkId(1), Bandwidth::from_mbps(60)),
+        ]
+        .into_iter()
+        .collect();
+        let flow = |id: u64, link: u32, rtt_ms: u64| FlowDemand {
+            id,
+            links: vec![LinkId(link)],
+            rtt: ms(rtt_ms),
+            demand: Bandwidth::MAX,
+        };
+        let flows = vec![
+            flow(0, 0, 20),
+            flow(1, 0, 40),
+            flow(2, 1, 20),
+            flow(3, 1, 20),
+        ];
+        let mut inc = IncrementalAllocator::new();
+        assert_eq!(*inc.allocate(&flows, &caps), allocate(&flows, &caps));
+
+        // A third flow joins link 1: component {link 0} is untouched and must
+        // be served from cache, component {link 1} recomputes.
+        let mut joined = flows.clone();
+        joined.push(flow(4, 1, 10));
+        assert_eq!(*inc.allocate(&joined, &caps), allocate(&joined, &caps));
+        let stats = inc.stats();
+        assert_eq!(stats.components_reused, 1, "{stats:?}");
+        assert_eq!(stats.components_recomputed, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn grants_remap_when_positional_ids_shift() {
+        // Flow ids in the emulation loop are positions; a flow leaving shifts
+        // every later id down by one. The unchanged component's grants must
+        // transfer to the new ids.
+        let caps: HashMap<LinkId, Bandwidth> = [
+            (LinkId(0), Bandwidth::from_mbps(80)),
+            (LinkId(1), Bandwidth::from_mbps(40)),
+        ]
+        .into_iter()
+        .collect();
+        let shape = |id: u64, link: u32| FlowDemand {
+            id,
+            links: vec![LinkId(link)],
+            rtt: ms(30),
+            demand: Bandwidth::MAX,
+        };
+        let before = vec![shape(0, 0), shape(1, 1), shape(2, 1)];
+        let mut inc = IncrementalAllocator::new();
+        inc.allocate(&before, &caps);
+        // Flow 0 (link 0) leaves; the link-1 pair keeps its shapes but is now
+        // ids 0 and 1.
+        let after = vec![shape(0, 1), shape(1, 1)];
+        assert_eq!(*inc.allocate(&after, &caps), allocate(&after, &caps));
+        let stats = inc.stats();
+        assert_eq!(stats.components_reused, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn invalidate_forces_a_full_recompute() {
+        let (flows, mut caps) = figure8(3);
+        let mut inc = IncrementalAllocator::new();
+        inc.allocate(&flows, &caps);
+        // The trunk link shrinks: same flow shapes, different capacities. The
+        // caller invalidates (capacities are outside the cache key).
+        caps.insert(LinkId(6), Bandwidth::from_mbps(20));
+        inc.invalidate();
+        assert_eq!(*inc.allocate(&flows, &caps), allocate(&flows, &caps));
+        assert_eq!(inc.stats().fast_hits, 0);
+    }
+
+    #[test]
+    fn unconstrained_flows_match_full_allocate() {
+        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(50))]
+            .into_iter()
+            .collect();
+        let flows = vec![
+            FlowDemand {
+                id: 0,
+                links: vec![LinkId(9)], // no capacity entry: unconstrained
+                rtt: ms(10),
+                demand: mbps(75.0),
+            },
+            FlowDemand {
+                id: 1,
+                links: vec![LinkId(0)],
+                rtt: ms(10),
+                demand: Bandwidth::MAX,
+            },
+        ];
+        let mut inc = IncrementalAllocator::new();
+        assert_eq!(*inc.allocate(&flows, &caps), allocate(&flows, &caps));
     }
 }

@@ -35,7 +35,7 @@ use kollaps_topology::events::{apply_action, DynamicEvent, EventSchedule};
 use kollaps_topology::graph::TopologyGraph;
 use kollaps_topology::model::{LinkId, LinkProperties, NodeId, Topology};
 
-use crate::collapse::{collapse_path, link_tables, CollapsedTopology};
+use crate::collapse::{collapse_path, link_tables, CollapsedPath, CollapsedTopology};
 
 /// One precomputed topology change: the new snapshot plus the exact set of
 /// service pairs the change affected.
@@ -113,15 +113,29 @@ pub struct SnapshotTimeline {
     initial: Arc<CollapsedTopology>,
     deltas: Vec<SnapshotDelta>,
     stats: TimelineStats,
+    /// Worker threads for source re-derivation (precompute and extensions).
+    threads: usize,
 }
 
 impl SnapshotTimeline {
     /// Precomputes the snapshot at every change time of `schedule` applied
     /// to `topology`. Runs offline (before the experiment starts); the
-    /// runtime then only swaps `Arc`s and touches the delta'd chains.
+    /// runtime then only swaps `Arc`s and touches the delta'd chains. Uses
+    /// the `KOLLAPS_THREADS` worker count; see
+    /// [`SnapshotTimeline::precompute_with`].
     pub fn precompute(topology: &Topology, schedule: &EventSchedule) -> Self {
+        SnapshotTimeline::precompute_with(topology, schedule, crate::parallel::threads_from_env())
+    }
+
+    /// [`SnapshotTimeline::precompute`] with an explicit worker count: the
+    /// initial all-pairs collapse and every snapshot's source re-derivation
+    /// split their sources across a scoped thread pool. Per-source work is
+    /// independent and results are merged in source order, so the timeline
+    /// is identical for any thread count.
+    pub fn precompute_with(topology: &Topology, schedule: &EventSchedule, threads: usize) -> Self {
         let started = std::time::Instant::now();
-        let initial = Arc::new(CollapsedTopology::build(topology));
+        let threads = threads.max(1);
+        let initial = Arc::new(CollapsedTopology::build_with_threads(topology, threads));
         let mut stats = TimelineStats {
             initial_pairs: initial.pair_count(),
             ..TimelineStats::default()
@@ -135,6 +149,7 @@ impl SnapshotTimeline {
             schedule.events(),
             &mut deltas,
             &mut stats,
+            threads,
         );
         stats.change_times = deltas.len();
         stats.events = schedule.len();
@@ -145,6 +160,7 @@ impl SnapshotTimeline {
             initial,
             deltas,
             stats,
+            threads,
         }
     }
 
@@ -188,6 +204,7 @@ impl SnapshotTimeline {
             &events[resume..],
             &mut self.deltas,
             &mut self.stats,
+            self.threads,
         );
         let derived = self.deltas.len() - keep;
         self.stats.change_times = self.deltas.len();
@@ -259,6 +276,7 @@ fn fold_events(
     events: &[DynamicEvent],
     deltas: &mut Vec<SnapshotDelta>,
     stats: &mut TimelineStats,
+    threads: usize,
 ) {
     let mut i = 0;
     while i < events.len() {
@@ -275,7 +293,7 @@ fn fold_events(
         for event in &events[i..j] {
             apply_action(working, &event.action);
         }
-        let delta = derive_snapshot(working, &prev, &before, at, j - i, stats);
+        let delta = derive_snapshot(working, &prev, &before, at, j - i, stats, threads);
         prev = Arc::clone(&delta.snapshot);
         deltas.push(delta);
         i = j;
@@ -291,6 +309,7 @@ fn derive_snapshot(
     at: SimDuration,
     events: usize,
     stats: &mut TimelineStats,
+    threads: usize,
 ) -> SnapshotDelta {
     // Diff the link tables to find what this group touched.
     let after: HashMap<LinkId, LinkProperties> = working
@@ -365,8 +384,14 @@ fn derive_snapshot(
     let mut changed_paths: Vec<(NodeId, NodeId)> = Vec::new();
     if !sources.is_empty() {
         let graph = TopologyGraph::new(working);
-        for &src in &sources {
+        // Re-derive the affected sources on the worker pool: rows of the
+        // all-pairs table are independent, and `map_parallel` returns them
+        // in source order, so the sequential merge below sees exactly what
+        // the old sequential loop produced.
+        let derived = crate::parallel::map_parallel(&sources, threads, |&src| {
             let from_src = graph.shortest_paths_from(src);
+            let mut rows: Vec<((NodeId, NodeId), Option<CollapsedPath>)> =
+                Vec::with_capacity(services.len().saturating_sub(1));
             for &dst in &services {
                 if dst == src {
                     continue;
@@ -374,22 +399,26 @@ fn derive_snapshot(
                 let fresh = from_src
                     .get(&dst)
                     .and_then(|p| collapse_path(working, src, dst, p));
-                match fresh {
-                    Some(fresh) => {
-                        stats.recomputed_paths += 1;
-                        let unchanged = prev
-                            .paths
-                            .get(&(src, dst))
-                            .is_some_and(|old| **old == fresh);
-                        if !unchanged {
-                            paths.insert((src, dst), Arc::new(fresh));
-                            changed_paths.push((src, dst));
-                        }
+                rows.push(((src, dst), fresh));
+            }
+            rows
+        });
+        for ((src, dst), fresh) in derived.into_iter().flatten() {
+            match fresh {
+                Some(fresh) => {
+                    stats.recomputed_paths += 1;
+                    let unchanged = prev
+                        .paths
+                        .get(&(src, dst))
+                        .is_some_and(|old| **old == fresh);
+                    if !unchanged {
+                        paths.insert((src, dst), Arc::new(fresh));
+                        changed_paths.push((src, dst));
                     }
-                    None => {
-                        if paths.remove(&(src, dst)).is_some() {
-                            removed_paths.push((src, dst));
-                        }
+                }
+                None => {
+                    if paths.remove(&(src, dst)).is_some() {
+                        removed_paths.push((src, dst));
                     }
                 }
             }

@@ -157,7 +157,7 @@ impl Backend {
             Backend::Kollaps { hosts, config } => {
                 let timeline = match prepared {
                     Some(timeline) => timeline.clone(),
-                    None => SnapshotTimeline::precompute(&topology, &schedule),
+                    None => SnapshotTimeline::precompute_with(&topology, &schedule, config.threads),
                 };
                 AnyDataplane::Kollaps(Box::new(KollapsDataplane::with_prepared(
                     timeline,

@@ -129,6 +129,7 @@ pub struct Scenario {
     duration: Option<SimDuration>,
     hosts: Option<usize>,
     metadata_delay: Option<SimDuration>,
+    threads: Option<usize>,
     placement: Vec<(String, u32)>,
     step_interval: Option<SimDuration>,
     sample_interval: Option<SimDuration>,
@@ -147,6 +148,7 @@ impl Scenario {
             duration: None,
             hosts: None,
             metadata_delay: None,
+            threads: None,
             placement: Vec::new(),
             step_interval: None,
             sample_interval: None,
@@ -275,6 +277,16 @@ impl Scenario {
     /// remote flows.
     pub fn metadata_delay(mut self, delay: SimDuration) -> Self {
         self.metadata_delay = Some(delay);
+        self
+    }
+
+    /// Sets how many worker threads the emulation core uses to step its
+    /// per-host managers and precompute snapshot timelines (Kollaps backend
+    /// only). Threads change wall-clock time, never results: reports are
+    /// byte-identical across any thread count. Defaults to the
+    /// `KOLLAPS_THREADS` environment variable, else 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -451,8 +463,10 @@ impl Scenario {
         // They configure the per-host Emulation Managers, so they only mean
         // something on the Kollaps backend.
         let mut backend = self.backend;
-        let knobs_used =
-            self.hosts.is_some() || self.metadata_delay.is_some() || !self.placement.is_empty();
+        let knobs_used = self.hosts.is_some()
+            || self.metadata_delay.is_some()
+            || self.threads.is_some()
+            || !self.placement.is_empty();
         match &mut backend {
             Backend::Kollaps { hosts, config } => {
                 if let Some(n) = self.hosts {
@@ -461,12 +475,15 @@ impl Scenario {
                 if let Some(delay) = self.metadata_delay {
                     config.metadata_delay = delay;
                 }
+                if let Some(threads) = self.threads {
+                    config.threads = threads;
+                }
             }
             other => {
                 if knobs_used {
                     return Err(ScenarioError::UnsupportedBackend {
                         backend: other.name().to_string(),
-                        reason: "hosts/placement/metadata_delay configure per-host \
+                        reason: "hosts/placement/metadata_delay/threads configure per-host \
                                  emulation managers, which only the Kollaps backend runs"
                             .to_string(),
                     });

@@ -576,6 +576,18 @@ impl Session {
         self.aggregator.flow_classes()
     }
 
+    /// Cumulative bandwidth-allocation telemetry across every emulation
+    /// manager so far: wall-clock microseconds spent inside the min-max
+    /// allocator and the incremental allocator's cache counters (fast-path
+    /// hits, components reused vs recomputed). Kollaps backend only — the
+    /// scaling bench reads this to report allocation µs per loop.
+    pub fn allocation_telemetry(&self) -> Option<(u64, kollaps_core::AllocatorStats)> {
+        self.rt
+            .dataplane
+            .kollaps()
+            .map(|dp| (dp.allocation_micros(), dp.allocator_stats()))
+    }
+
     /// How close the decentralized enforcement has tracked the omniscient
     /// allocation so far (Kollaps backend only).
     pub fn convergence(&self) -> Option<ConvergenceReport> {

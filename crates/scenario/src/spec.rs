@@ -454,6 +454,7 @@ impl Scenario {
                     ("bandwidth_sharing", config.bandwidth_sharing.into()),
                     ("congestion_loss", config.congestion_loss.into()),
                     ("seed", config.seed.into()),
+                    ("threads", (config.threads as u64).into()),
                 ]),
             ),
             ("nodes", Value::Array(nodes)),
@@ -521,6 +522,11 @@ impl Scenario {
             bandwidth_sharing: req_bool(config_value, "bandwidth_sharing")?,
             congestion_loss: req_bool(config_value, "congestion_loss")?,
             seed: req_u64(config_value, "seed")?,
+            // Additive field: older specs omit it, and `threads` only affects
+            // wall clock (results are byte-identical), so no version bump.
+            threads: opt_u64(config_value, "threads")?
+                .map(|n| (n as usize).max(1))
+                .unwrap_or_else(|| EmulationConfig::default().threads),
         };
         let events = req_array(spec, "schedule")?
             .iter()

@@ -21,9 +21,15 @@ fn main() {
     let base = Scenario::from_topology(topo)
         .named("staleness-base")
         .hosts(2)
-        // Each client/server pair on its own physical host, so the two
-        // competing flows are enforced by two managers that only know each
-        // other through (delayed) metadata.
+        // Explicit placement matters here. The default round-robin walks
+        // containers in address order — on a dumbbell that interleaves
+        // client-0, server-0, client-1, server-1 across the two hosts,
+        // landing *both flow sources* (the clients) on host 0. One manager
+        // would then see both flows locally and the metadata delay being
+        // swept would barely matter. Pinning each client/server pair to its
+        // own host makes the two competing flows meet only through
+        // (delayed) metadata, which is what the sweep measures — the
+        // nonzero-gap assertion below keeps this honest.
         .place("client-0", 0)
         .place("server-0", 0)
         .place("client-1", 1)
@@ -93,6 +99,23 @@ fn main() {
         "smoke: a pure staleness sweep must share one precomputed timeline"
     );
     assert_eq!(report.variants.len(), 3);
+
+    // The placement contract: with each flow pair pinned to its own host,
+    // delayed metadata must produce a visible convergence gap. If a future
+    // change reverts to interleaved round-robin placement, both sources
+    // collapse onto one manager and this gap vanishes.
+    let delayed = report
+        .variants
+        .last()
+        .expect("sweep has variants")
+        .report
+        .convergence
+        .expect("kollaps variant");
+    assert!(
+        delayed.max_gap > 0.0,
+        "smoke: cross-host staleness must show up as a convergence gap, got {}",
+        delayed.max_gap
+    );
 
     let path = std::path::Path::new("target").join("campaign-report.json");
     match std::fs::create_dir_all("target")

@@ -530,3 +530,126 @@ fn single_host_decentralized_allocation_matches_centralized() {
         );
     }
 }
+
+proptest! {
+    /// The parallel-stepping acceptance property: running the same churned
+    /// scenario with 1, 2 and 8 worker threads produces **byte-identical**
+    /// JSON reports. Threads split the per-host managers into disjoint
+    /// chunks, so they may only move wall-clock time, never results.
+    #[test]
+    fn parallel_stepping_is_byte_identical_across_thread_counts(
+        seed in 0u64..1_000_000,
+        step_ms in 50u64..500,
+    ) {
+        use kollaps::dynamics::Churn;
+        let run = |threads: usize| {
+            let (topo, _, _) = generators::dumbbell(
+                3,
+                Bandwidth::from_mbps(100),
+                Bandwidth::from_mbps(50),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(10),
+            );
+            let scenario = Scenario::from_topology(topo)
+                .named("thread-equivalence")
+                .hosts(4)
+                .threads(threads)
+                .metadata_delay(SimDuration::from_millis(2))
+                .churn(
+                    Churn::poisson_flaps(&[("client-2", "bridge-left")])
+                        .mean_uptime(SimDuration::from_millis(800))
+                        .mean_downtime(SimDuration::from_millis(200))
+                        .horizon(SimDuration::from_millis(900))
+                        .seed(seed),
+                )
+                .workloads((0..3).map(|i| {
+                    Workload::iperf_udp(
+                        &format!("client-{i}"),
+                        &format!("server-{}", (i + 1) % 3),
+                        Bandwidth::from_mbps(40),
+                    )
+                    .duration(SimDuration::from_millis(900))
+                }));
+            let mut session = scenario.session().expect("valid scenario");
+            while session.clock() < session.end() {
+                session.step(SimDuration::from_millis(step_ms)).expect("stepping");
+            }
+            normalized_json(session.finish())
+        };
+        let sequential = run(1);
+        prop_assert_eq!(&sequential, &run(2));
+        prop_assert_eq!(&sequential, &run(8));
+    }
+}
+
+proptest! {
+    /// The incremental allocator is an exact drop-in for the full min-max
+    /// solver: across seeded scale-free topologies with flows joining and
+    /// leaving every step (so the positional flow ids shift and cached
+    /// grants must remap) and demands mutating in place, every grant equals
+    /// the full `allocate()` on the same inputs.
+    #[test]
+    fn incremental_allocation_equals_full_solver_under_churn(
+        seed in 0u64..100_000,
+        steps in 4usize..24,
+    ) {
+        use kollaps::core::{CollapsedTopology, IncrementalAllocator};
+        use kollaps::topology::generators::ScaleFreeParams;
+
+        let mut rng = SimRng::new(seed);
+        let params = ScaleFreeParams {
+            total_elements: 30,
+            ..ScaleFreeParams::default()
+        };
+        let (topo, nodes, _) = generators::barabasi_albert(&params, &mut rng);
+        let collapsed = CollapsedTopology::build(&topo);
+        let mut candidates = Vec::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            let b = nodes[(i * 7 + 3) % nodes.len()];
+            if a != b && collapsed.path(a, b).is_some() {
+                if let (Some(src), Some(dst)) =
+                    (collapsed.address_of(a), collapsed.address_of(b))
+                {
+                    candidates.push((src, dst));
+                }
+            }
+        }
+        prop_assert!(candidates.len() >= 4);
+
+        let mut active = Vec::new();
+        let mut incremental = IncrementalAllocator::new();
+        for _ in 0..steps {
+            // Membership churn: usually a join, sometimes a leave.
+            if active.len() < 2
+                || (rng.gen_index(3) != 0 && active.len() < candidates.len())
+            {
+                let next = candidates[rng.gen_index(candidates.len())];
+                if !active.contains(&next) {
+                    active.push(next);
+                }
+            } else {
+                let gone = rng.gen_index(active.len());
+                active.remove(gone);
+            }
+            let mut flows: Vec<FlowDemand> = active
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &(src, dst))| collapsed.flow_demand(i as u64, src, dst))
+                .collect();
+            if flows.is_empty() {
+                continue;
+            }
+            // Occasionally mutate one demand in place: same membership,
+            // different shape — the cached component must notice.
+            if rng.gen_index(2) == 0 {
+                let victim = rng.gen_index(flows.len());
+                flows[victim].demand = Bandwidth::from_mbps(rng.gen_range(1, 200));
+            }
+            let full = allocate(&flows, collapsed.link_capacities());
+            let fast = incremental.allocate(&flows, collapsed.link_capacities());
+            for flow in &flows {
+                prop_assert_eq!(fast.of(flow.id), full.of(flow.id));
+            }
+        }
+    }
+}
