@@ -618,6 +618,25 @@ mod tests {
         assert!(err.contains("schema version 99"), "{err}");
     }
 
+    /// Pins the delta-table layout: the unit column sits between the
+    /// metric and the value columns, so downstream tooling that scrapes
+    /// the CI summary can rely on it.
+    #[test]
+    fn markdown_table_has_a_unit_column() {
+        let baseline = report(vec![
+            BenchRecord::new("lat", 2.0, "micros").lower_is_better(0.25)
+        ]);
+        let fresh = report(vec![
+            BenchRecord::new("lat", 2.5, "micros").lower_is_better(0.25)
+        ]);
+        let table = markdown_table("test", &diff(&baseline, &fresh));
+        assert!(
+            table.contains("| metric | unit | baseline | fresh | Δ% | status |"),
+            "{table}"
+        );
+        assert!(table.contains("| `lat` | micros | 2 |"), "{table}");
+    }
+
     #[test]
     fn markdown_table_leads_with_regressions() {
         let baseline = report(vec![

@@ -4,11 +4,13 @@
 //! Two sweeps share the `BENCH_scaling.json` report:
 //!
 //! * **Stepping sweep** — dumbbell cells up to 1002 nodes / 10 000 flows.
-//!   Each cell runs the same scenario twice, `.threads(1)` vs
-//!   `.threads(4)`, asserts the reports agree flow-for-flow (threads move
-//!   wall clock, never results) and records emulation rounds per wall
-//!   second, allocation µs per round, the incremental allocator's cache
-//!   counters and the (sequential vs parallel) timeline precompute cost.
+//!   Each cell runs the same scenario three times: `.threads(1)`,
+//!   `.threads(4)` and `.threads(1).trace(true)`. All reports are asserted
+//!   to agree flow-for-flow (threads and tracing move wall clock, never
+//!   results); the sweep records emulation rounds per wall second,
+//!   allocation µs per round, the flight recorder's throughput overhead
+//!   ratio, the incremental allocator's cache counters and the (sequential
+//!   vs parallel) timeline precompute cost.
 //! * **Allocator microbench** — `links` disjoint bottleneck components, two
 //!   flows each, one flow's demand toggling per call. The incremental
 //!   allocator re-shares only the touched component, so its per-call cost
@@ -57,6 +59,9 @@ pub struct ScalingCell {
     pub rounds_per_sec_seq: f64,
     /// Emulation rounds per wall-clock second, `.threads(4)`.
     pub rounds_per_sec_par: f64,
+    /// Emulation rounds per wall-clock second, `.threads(1).trace(true)` —
+    /// the flight recorder running with phase, worker and allocation spans.
+    pub rounds_per_sec_traced: f64,
     /// Microseconds inside the min-max allocator per round (all managers).
     pub alloc_micros_per_round: f64,
     /// Incremental-allocator counters for the sequential run.
@@ -67,6 +72,12 @@ impl ScalingCell {
     /// Parallel-over-sequential throughput ratio.
     pub fn speedup(&self) -> f64 {
         self.rounds_per_sec_par / self.rounds_per_sec_seq
+    }
+
+    /// Untraced-over-traced throughput ratio: 1.0 means the flight
+    /// recorder is free, 2.0 means tracing halves throughput.
+    pub fn traced_overhead_ratio(&self) -> f64 {
+        self.rounds_per_sec_seq / self.rounds_per_sec_traced.max(1e-9)
     }
 
     /// Percentage of allocator calls answered from the fast path
@@ -81,12 +92,13 @@ impl ScalingCell {
 /// (client *i* targets servers *i*, *i+1*, ... mod `pairs`), with one
 /// access link flapping so the dynamic path (timeline deltas + allocator
 /// invalidation) stays exercised.
-fn cell_scenario(pairs: usize, flows_per_client: usize, threads: usize) -> Scenario {
+fn cell_scenario(pairs: usize, flows_per_client: usize, threads: usize, trace: bool) -> Scenario {
     let (topo, _, _) = dumbbell_topology(pairs);
     Scenario::from_topology(topo)
         .named("scaling-bench")
         .hosts(HOSTS)
         .threads(threads)
+        .trace(trace)
         .churn(flap_churn())
         .workloads((0..pairs).flat_map(move |i| {
             (0..flows_per_client).map(move |k| {
@@ -147,9 +159,9 @@ fn run_cell(pairs: usize, flows_per_client: usize) -> ScalingCell {
         "precompute threads must not change the timeline"
     );
 
-    let timed_run = |threads: usize| {
+    let timed_run = |threads: usize, trace: bool| {
         let t = Instant::now();
-        let mut session = cell_scenario(pairs, flows_per_client, threads)
+        let mut session = cell_scenario(pairs, flows_per_client, threads, trace)
             .session()
             .expect("valid scenario");
         while session.clock() < session.end() {
@@ -161,13 +173,20 @@ fn run_cell(pairs: usize, flows_per_client: usize) -> ScalingCell {
         let report = session.finish();
         (t.elapsed().as_secs_f64(), telemetry, report)
     };
-    let (seq_secs, (alloc_micros, alloc_stats), seq_report) = timed_run(1);
-    let (par_secs, _, par_report) = timed_run(PARALLEL_THREADS);
+    let (seq_secs, (alloc_micros, alloc_stats), seq_report) = timed_run(1, false);
+    let (par_secs, _, par_report) = timed_run(PARALLEL_THREADS, false);
+    let (traced_secs, _, traced_report) = timed_run(1, true);
 
-    // Threads are a wall-clock knob only: every flow must have moved the
-    // exact same number of bytes in both runs.
+    // Threads and tracing are wall-clock knobs only: every flow must have
+    // moved the exact same number of bytes in all three runs.
     assert_eq!(seq_report.flows.len(), par_report.flows.len());
-    for (a, b) in seq_report.flows.iter().zip(par_report.flows.iter()) {
+    assert_eq!(seq_report.flows.len(), traced_report.flows.len());
+    for ((a, b), c) in seq_report
+        .flows
+        .iter()
+        .zip(par_report.flows.iter())
+        .zip(traced_report.flows.iter())
+    {
         assert_eq!(
             a.goodput_mbps, b.goodput_mbps,
             "parallel stepping changed flow results"
@@ -176,7 +195,19 @@ fn run_cell(pairs: usize, flows_per_client: usize) -> ScalingCell {
             a.per_second_mbps, b.per_second_mbps,
             "parallel stepping changed flow results"
         );
+        assert_eq!(
+            a.goodput_mbps, c.goodput_mbps,
+            "tracing changed flow results"
+        );
+        assert_eq!(
+            a.per_second_mbps, c.per_second_mbps,
+            "tracing changed flow results"
+        );
     }
+    assert!(
+        traced_report.phase_timing.is_some(),
+        "the traced leg must actually record phase timings"
+    );
 
     // One allocator call per manager per round.
     let rounds = alloc_stats.calls / HOSTS as u64;
@@ -188,6 +219,7 @@ fn run_cell(pairs: usize, flows_per_client: usize) -> ScalingCell {
         precompute_par_micros,
         rounds_per_sec_seq: rounds as f64 / seq_secs,
         rounds_per_sec_par: rounds as f64 / par_secs,
+        rounds_per_sec_traced: rounds as f64 / traced_secs,
         alloc_micros_per_round: alloc_micros as f64 / rounds.max(1) as f64,
         alloc_stats,
     }
@@ -303,6 +335,7 @@ pub fn scaling_rows(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> Vec<Ro
                 ("rounds/s seq".into(), f64::NAN, c.rounds_per_sec_seq),
                 ("rounds/s par".into(), f64::NAN, c.rounds_per_sec_par),
                 ("speedup".into(), f64::NAN, c.speedup()),
+                ("trace ovh".into(), f64::NAN, c.traced_overhead_ratio()),
                 ("alloc µs/round".into(), f64::NAN, c.alloc_micros_per_round),
                 ("fast-hit %".into(), f64::NAN, c.fast_hit_percent()),
                 (
@@ -361,6 +394,14 @@ pub fn scaling_json(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> serde_
                     c.rounds_per_sec_par.into(),
                 ),
                 ("speedup".to_string(), c.speedup().into()),
+                (
+                    "rounds_per_sec_traced".to_string(),
+                    c.rounds_per_sec_traced.into(),
+                ),
+                (
+                    "traced_overhead_ratio".to_string(),
+                    c.traced_overhead_ratio().into(),
+                ),
                 (
                     "alloc_micros_per_round".to_string(),
                     c.alloc_micros_per_round.into(),
@@ -426,6 +467,14 @@ pub fn scaling_records(cells: &[ScalingCell], alloc: &[AllocScalingCell]) -> Ben
                 .higher_is_better(TOLERANCE_WALL_CLOCK),
         );
         report.push(cell("speedup", c.speedup(), "ratio").higher_is_better(TOLERANCE_WALL_CLOCK));
+        report.push(
+            cell("rounds_per_sec_traced", c.rounds_per_sec_traced, "rounds/s")
+                .higher_is_better(TOLERANCE_WALL_CLOCK),
+        );
+        report.push(
+            cell("traced_overhead_ratio", c.traced_overhead_ratio(), "ratio")
+                .lower_is_better(TOLERANCE_WALL_CLOCK),
+        );
         report.push(
             cell("alloc_micros_per_round", c.alloc_micros_per_round, "micros")
                 .lower_is_better(TOLERANCE_WALL_CLOCK),

@@ -36,6 +36,7 @@ use kollaps_netmodel::packet::{Addr, Packet};
 use kollaps_sim::prelude::*;
 use kollaps_topology::events::EventSchedule;
 use kollaps_topology::model::{NodeId, Topology};
+use kollaps_trace::{PhaseStats, Recorder};
 
 use crate::collapse::{Addressable, CollapsedTopology};
 use crate::manager::EmulationManager;
@@ -161,6 +162,11 @@ impl DynamicsStats {
     }
 }
 
+/// The phases of one emulation-loop iteration, in execution order. Phase
+/// spans and the [`KollapsDataplane::phase_timing`] breakdown both use
+/// these names.
+pub const LOOP_PHASES: [&str; 5] = ["collect", "publish", "synchronize", "drain", "enforce"];
+
 #[derive(Debug, Clone)]
 struct PendingDelivery {
     arrival: SimTime,
@@ -223,6 +229,13 @@ pub struct KollapsDataplane {
     /// [`KollapsDataplane::record_host_gaps`] was enabled (indexed by host,
     /// aligned with `convergence.samples`).
     host_gap_series: Option<Vec<Vec<f64>>>,
+    /// Flight recorder for phase spans and counters. Disabled by default —
+    /// the disabled handle takes no timestamps, so emulation results are
+    /// byte-identical with tracing off or on (tracing is wall-clock-only).
+    recorder: Recorder,
+    /// Per-phase wall-clock accumulators, indexed like [`LOOP_PHASES`].
+    /// Meaningful only while the recorder is enabled.
+    phase_stats: [PhaseStats; LOOP_PHASES.len()],
     next_tick: SimTime,
     started: bool,
 }
@@ -317,6 +330,8 @@ impl KollapsDataplane {
             convergence: ConvergenceStats::default(),
             omniscient: IncrementalAllocator::new(),
             host_gap_series: None,
+            recorder: Recorder::disabled(),
+            phase_stats: [PhaseStats::default(); LOOP_PHASES.len()],
             next_tick: SimTime::ZERO,
             started: false,
         }
@@ -361,6 +376,45 @@ impl KollapsDataplane {
             "the replacement bus must connect the same hosts"
         );
         self.bus = bus;
+    }
+
+    /// Attaches a flight recorder: lane 0 carries the dataplane's phase
+    /// spans, lane `1 + host` carries each manager's worker spans (lanes are
+    /// keyed by host id, not by thread — the scoped pool respawns workers
+    /// every tick). Recording is wall-clock-only and never feeds back into
+    /// the simulation, so results are byte-identical with or without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emulation loop has already run (spans would start
+    /// mid-stream with unbalanced nesting).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        assert!(
+            !self.started,
+            "the flight recorder can only be attached before the emulation starts"
+        );
+        for manager in &mut self.managers {
+            let lane = 1 + manager.host().0 as usize;
+            manager.set_recorder(recorder.clone(), lane);
+        }
+        self.recorder = recorder;
+    }
+
+    /// The attached flight recorder (the disabled no-op handle by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Per-phase wall-clock breakdown of the emulation loop, in
+    /// [`LOOP_PHASES`] order. `None` unless a recorder is enabled — the
+    /// breakdown is wall-clock data and must not appear in reports of
+    /// untraced runs (reports are pinned byte-identical across thread
+    /// counts *and* across tracing on/off).
+    pub fn phase_timing(&self) -> Option<Vec<(&'static str, PhaseStats)>> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        Some(LOOP_PHASES.iter().copied().zip(self.phase_stats).collect())
     }
 
     /// Enables per-host convergence recording: from the next loop iteration
@@ -445,7 +499,10 @@ impl KollapsDataplane {
             "injected events must be in the future"
         );
         let _ = now;
+        let mut span = self.recorder.span(0, "timeline_extend");
         let derived = self.timeline.extend(extra);
+        span.arg("events", extra.events().len() as f64);
+        span.arg("deltas_derived", derived as f64);
         self.dynamics.snapshots_precomputed = self.timeline.len();
         self.dynamics.precompute_micros = self.timeline.stats().precompute_micros;
         derived
@@ -520,36 +577,66 @@ impl KollapsDataplane {
     /// enforces from its own (possibly stale) view.
     fn emulation_loop(&mut self, now: SimTime) {
         let threads = self.config.threads;
+        let traced = self.recorder.is_enabled();
         // Steps 1-2: each manager reads and clears its local TCAL usage.
         // Purely per-manager work — parallel stepping is byte-identical to
         // sequential because each worker owns a disjoint manager slice.
+        let span = self.recorder.span(0, "collect");
         for_each_parallel(&mut self.managers, threads, |manager| {
             manager.collect_usage();
         });
+        if traced {
+            self.phase_stats[0].record(span.elapsed_micros());
+        }
+        drop(span);
         // Step 3: publish local usage, then drain. With a zero metadata
         // delay this iteration's publications arrive immediately (shared
         // memory semantics); with a nonzero delay managers enforce on last
         // iteration's news — the staleness the paper trades for
         // decentralization. The bus is shared, so this phase stays
         // sequential in host-id order.
+        let span = self.recorder.span(0, "publish");
         for manager in &self.managers {
             manager.publish(now, self.bus.as_mut());
         }
+        if traced {
+            self.phase_stats[1].record(span.elapsed_micros());
+        }
+        drop(span);
         // Between publish and drain the bus synchronizes: the modeled bus
         // moves due messages, a socket bus blocks until every peer's
         // datagram of this iteration has arrived (the lockstep barrier).
+        let span = self.recorder.span(0, "synchronize");
         self.bus.synchronize(now);
+        if traced {
+            self.phase_stats[2].record(span.elapsed_micros());
+        }
+        drop(span);
+        let span = self.recorder.span(0, "drain");
         for manager in &mut self.managers {
             let deliveries = self.bus.drain(now, manager.host());
             manager.absorb(deliveries);
         }
+        if traced {
+            self.phase_stats[3].record(span.elapsed_micros());
+        }
+        drop(span);
         // Steps 4-5: each manager recomputes and enforces from what it has —
         // the hottest phase (min-max solve + qdisc writes), again split over
         // disjoint manager slices.
+        let span = self.recorder.span(0, "enforce");
         for_each_parallel(&mut self.managers, threads, |manager| {
             manager.enforce(now);
         });
+        if traced {
+            self.phase_stats[4].record(span.elapsed_micros());
+        }
+        drop(span);
         self.update_convergence();
+        if traced {
+            self.recorder
+                .counter(0, "convergence_gap", self.convergence.last_gap);
+        }
     }
 
     /// Scores the decentralized decisions against the omniscient allocation
@@ -614,6 +701,7 @@ impl KollapsDataplane {
             if SimTime::ZERO + delta.at > now {
                 break;
             }
+            let mut span = self.recorder.span(0, "timeline_swap");
             self.collapsed = Arc::clone(&delta.snapshot);
             // Capacities changed — the omniscient solver's component cache
             // keys on flow shapes only (managers invalidate their own).
@@ -623,6 +711,8 @@ impl KollapsDataplane {
                 touched += manager.apply_delta(delta);
             }
             let cost = delta.swap_cost();
+            span.arg("swap_cost", cost as f64);
+            span.arg("chains_touched", touched as f64);
             self.dynamics.snapshots_applied += 1;
             self.dynamics.events_applied += delta.events;
             self.dynamics.changed_paths_last = cost;
@@ -716,8 +806,11 @@ impl Dataplane for KollapsDataplane {
             self.next_tick = now + self.config.loop_interval;
             return Some(self.next_tick);
         }
+        let mut span = self.recorder.span(0, "tick");
+        span.arg("sim_ms", now.as_millis() as f64);
         self.apply_dynamic_events(now);
         self.emulation_loop(now);
+        drop(span);
         self.next_tick = now + self.config.loop_interval;
         Some(self.next_tick)
     }

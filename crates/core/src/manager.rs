@@ -32,12 +32,11 @@ use kollaps_netmodel::netem::NetemConfig;
 use kollaps_netmodel::packet::{Addr, Packet};
 use kollaps_sim::prelude::*;
 use kollaps_topology::model::LinkId;
+use kollaps_trace::Recorder;
 
 use crate::collapse::CollapsedTopology;
 use crate::emulation::EmulationConfig;
-use crate::sharing::{
-    oversubscription, Allocation, AllocatorStats, FlowDemand, IncrementalAllocator,
-};
+use crate::sharing::{oversubscription, AllocatorStats, FlowDemand, IncrementalAllocator};
 
 /// Congestion loss is injected only once a link has stayed oversubscribed
 /// for this many consecutive loop iterations. A one-iteration spike is the
@@ -95,6 +94,12 @@ pub struct EmulationManager {
     allocator: IncrementalAllocator,
     /// Wall-clock microseconds spent in the solver (diagnostic only).
     alloc_micros: u64,
+    /// Flight recorder (disabled by default) and this manager's lane in it.
+    /// Lanes are per-manager, not per-thread: the scoped worker pool
+    /// respawns threads every tick, but a manager's spans always land in
+    /// the same lane regardless of which worker stepped it.
+    recorder: Recorder,
+    lane: usize,
 }
 
 /// Binary-search lookup in a sorted `(key, value)` table.
@@ -139,9 +144,19 @@ impl EmulationManager {
             oversub_streak: Vec::new(),
             allocator: IncrementalAllocator::new(),
             alloc_micros: 0,
+            recorder: Recorder::disabled(),
+            lane: 0,
         };
         manager.install_local_paths();
         manager
+    }
+
+    /// Attaches a flight recorder: this manager's worker and allocation
+    /// spans will land in `lane`. Recording never feeds back into the
+    /// emulation (wall-clock-only).
+    pub fn set_recorder(&mut self, recorder: Recorder, lane: usize) {
+        self.recorder = recorder;
+        self.lane = lane;
     }
 
     /// The physical host this manager runs on.
@@ -251,6 +266,7 @@ impl EmulationManager {
     /// Loop steps 1–2: reads and clears the per-destination usage of every
     /// local TCAL.
     pub fn collect_usage(&mut self) {
+        let mut span = self.recorder.span(self.lane, "worker:collect");
         let interval = self.config.loop_interval;
         self.usages.clear();
         for (&src, tree) in &mut self.egress {
@@ -273,6 +289,7 @@ impl EmulationManager {
         // One sort here replaces the per-loop re-sorts `publish` and
         // `enforce` used to do (the egress map iterates in arbitrary order).
         self.usages.sort_unstable_by_key(|&(key, _)| key);
+        span.arg("local_flows", self.usages.len() as f64);
     }
 
     /// Loop step 3a: publishes this host's local usage on the bus. Idle
@@ -317,6 +334,7 @@ impl EmulationManager {
     /// usage plus the received (possibly stale) remote view, and enforces
     /// the resulting rates and congestion loss on the local TCALs.
     pub fn enforce(&mut self, now: SimTime) {
+        let mut worker_span = self.recorder.span(self.lane, "worker:enforce");
         // The competing flow set, as *this* manager can know it.
         let mut flows: Vec<FlowDemand> = Vec::new();
         let mut usage_by_id: HashMap<u64, Bandwidth> = HashMap::new();
@@ -374,16 +392,31 @@ impl EmulationManager {
             }
         }
 
-        let fallback = Allocation::default();
-        let allocation: &Allocation = if self.config.bandwidth_sharing {
+        // Rates computed for the local pairs, aligned with `local_keys`.
+        // Reading the allocator's result out here ends its borrow before the
+        // qdisc writes below and bounds the allocation span to the solve.
+        let local_rates: Vec<Bandwidth> = if self.config.bandwidth_sharing {
+            let mut alloc_span = self.recorder.span(self.lane, "allocate");
+            let before = self.allocator.stats();
             let start = std::time::Instant::now();
-            let a = self
+            let allocation = self
                 .allocator
                 .allocate(&flows, self.collapsed.link_capacities());
-            self.alloc_micros += start.elapsed().as_micros() as u64;
-            a
+            let micros = start.elapsed().as_micros() as u64;
+            let rates = local_keys
+                .iter()
+                .map(|&(id, _, _)| allocation.of(id))
+                .collect();
+            self.alloc_micros += micros;
+            let delta = self.allocator.stats().since(before);
+            alloc_span.arg("flows", flows.len() as f64);
+            alloc_span.arg("micros", micros as f64);
+            alloc_span.arg("fast_hits", delta.fast_hits as f64);
+            alloc_span.arg("components_reused", delta.components_reused as f64);
+            alloc_span.arg("components_recomputed", delta.components_recomputed as f64);
+            rates
         } else {
-            &fallback
+            Vec::new()
         };
         let over = if self.config.congestion_loss {
             let raw = oversubscription(&flows, &usage_by_id, self.collapsed.link_capacities());
@@ -412,12 +445,12 @@ impl EmulationManager {
         let previously: Vec<(Addr, Addr)> =
             self.last_allocation.iter().map(|&(key, _)| key).collect();
         self.last_allocation.clear();
-        for &(id, src, dst) in &local_keys {
+        for (i, &(_, src, dst)) in local_keys.iter().enumerate() {
             let Some(path) = self.collapsed.path_by_addr(src, dst) else {
                 continue;
             };
             let rate = if self.config.bandwidth_sharing {
-                allocation.of(id)
+                local_rates[i]
             } else {
                 path.max_bandwidth
             };
@@ -451,6 +484,7 @@ impl EmulationManager {
                 tree.set_loss(dst, path.loss);
             }
         }
+        worker_span.arg("enforced_pairs", self.last_allocation.len() as f64);
     }
 
     /// Swaps in a new collapsed snapshot (dynamic events — which are part of

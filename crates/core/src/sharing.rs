@@ -205,6 +205,29 @@ pub struct AllocatorStats {
     pub calls: u64,
 }
 
+impl AllocatorStats {
+    /// Counters accumulated since `earlier` was captured — the per-call (or
+    /// per-span) delta the flight recorder attaches to allocation spans.
+    pub fn since(&self, earlier: AllocatorStats) -> AllocatorStats {
+        AllocatorStats {
+            fast_hits: self.fast_hits - earlier.fast_hits,
+            components_reused: self.components_reused - earlier.components_reused,
+            components_recomputed: self.components_recomputed - earlier.components_recomputed,
+            calls: self.calls - earlier.calls,
+        }
+    }
+
+    /// Fraction of calls answered entirely from the previous result
+    /// (0.0 before the first call).
+    pub fn fast_hit_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.fast_hits as f64 / self.calls as f64
+        }
+    }
+}
+
 /// One cached contention component: the flows that interact through a set of
 /// constrained links, plus the grants the solver produced for them.
 #[derive(Debug, Clone)]

@@ -4,9 +4,15 @@
 //! scenario spec, rebuilds the deterministic session replica locally, swaps
 //! the modeled metadata bus for a [`SocketBus`] bound to a real loopback
 //! UDP socket, and drives the emulation to completion in lockstep with its
-//! peers. At the end it ships its partial report — including the real
-//! socket byte counts and its host's convergence-gap series — back to the
-//! coordinator.
+//! peers. While running it steps the session in bounded virtual-time
+//! chunks and streams a `health` frame after each — cumulative barrier
+//! wait/round/timeout counters, injected-loss drops, real UDP byte counts
+//! and the chunk's wall-clock lag — so the coordinator observes agent
+//! liveness live instead of waiting silently for the final report. At the
+//! end it ships its partial report — including the real socket byte
+//! counts, its host's convergence-gap series and (when the scenario
+//! enabled tracing) its flight recorder as Chrome trace events — back to
+//! the coordinator.
 //!
 //! The control-plane message sequence is documented on [`crate::coordinator`].
 
@@ -153,11 +159,76 @@ fn prepare(message: &Value, me: u32, udp: UdpSocket) -> Result<Prepared, AgentEr
     Ok(Prepared { session, stats })
 }
 
-/// Runs the session to its end and builds the `report` control message.
-fn execute(prepared: Prepared, me: u32) -> Result<Value, AgentError> {
+/// Virtual time between the health frames an agent streams while running.
+fn health_interval() -> SimDuration {
+    SimDuration::from_millis(250)
+}
+
+/// One cumulative `health` control frame at virtual time `at`.
+fn health_frame(
+    me: u32,
+    at_ms: u64,
+    step_wall_micros: u64,
+    stats: &SocketBusStats,
+    sent: u64,
+    received: u64,
+) -> Value {
+    wire::msg(
+        "health",
+        vec![
+            ("host", me.into()),
+            ("at_ms", at_ms.into()),
+            ("step_wall_micros", step_wall_micros.into()),
+            (
+                "barrier_wait_micros",
+                stats.barrier_wait_micros.load(Ordering::Relaxed).into(),
+            ),
+            ("barriers", stats.barriers.load(Ordering::Relaxed).into()),
+            (
+                "barrier_timeouts",
+                stats.barrier_timeouts.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "lost_datagrams",
+                stats.lost_datagrams.load(Ordering::Relaxed).into(),
+            ),
+            ("sent", sent.into()),
+            ("received", received.into()),
+        ],
+    )
+}
+
+/// Runs the session to its end — in bounded chunks, streaming a `health`
+/// frame over the control socket after each — and builds the `report`
+/// control message.
+fn execute(prepared: Prepared, me: u32, control: &mut TcpStream) -> Result<Value, AgentError> {
     let Prepared { mut session, stats } = prepared;
     let end = session.end();
-    session.run_until(end)?;
+    let tracer = session.tracer().clone();
+    let chunk = health_interval();
+    while session.clock() < end {
+        let target = (session.clock() + chunk).min(end);
+        let wall = std::time::Instant::now();
+        session.run_until(target)?;
+        let step_wall_micros = wall.elapsed().as_micros() as u64;
+        let (sent, received) = session
+            .metadata_per_host()
+            .into_iter()
+            .find(|row| row.host == me)
+            .map(|row| (row.sent_bytes, row.received_bytes))
+            .unwrap_or((0, 0));
+        wire::send(
+            control,
+            &health_frame(
+                me,
+                target.as_millis(),
+                step_wall_micros,
+                &stats,
+                sent,
+                received,
+            ),
+        )?;
+    }
     let gaps = session
         .host_gap_series()
         .into_iter()
@@ -170,32 +241,39 @@ fn execute(prepared: Prepared, me: u32) -> Result<Value, AgentError> {
         .find(|row| row.host == me)
         .map(|row| (row.sent_bytes, row.received_bytes))
         .unwrap_or((0, 0));
-    Ok(wire::msg(
-        "report",
-        vec![
-            ("host", me.into()),
-            ("report", report.to_json()),
-            (
-                "gaps",
-                Value::Array(gaps.into_iter().map(Value::from).collect()),
-            ),
-            ("sent", sent.into()),
-            ("received", received.into()),
-            (
-                "barrier_wait_micros",
-                stats.barrier_wait_micros.load(Ordering::Relaxed).into(),
-            ),
-            ("barriers", stats.barriers.load(Ordering::Relaxed).into()),
-            (
-                "lost_datagrams",
-                stats.lost_datagrams.load(Ordering::Relaxed).into(),
-            ),
-            (
-                "barrier_timeouts",
-                stats.barrier_timeouts.load(Ordering::Relaxed).into(),
-            ),
-        ],
-    ))
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("host", me.into()),
+        ("report", report.to_json()),
+        (
+            "gaps",
+            Value::Array(gaps.into_iter().map(Value::from).collect()),
+        ),
+        ("sent", sent.into()),
+        ("received", received.into()),
+        (
+            "barrier_wait_micros",
+            stats.barrier_wait_micros.load(Ordering::Relaxed).into(),
+        ),
+        ("barriers", stats.barriers.load(Ordering::Relaxed).into()),
+        (
+            "lost_datagrams",
+            stats.lost_datagrams.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "barrier_timeouts",
+            stats.barrier_timeouts.load(Ordering::Relaxed).into(),
+        ),
+    ];
+    // With tracing enabled the agent's whole flight recorder rides along,
+    // pre-exported as Chrome trace events tagged with this host's id (the
+    // coordinator re-tags pids when merging).
+    if tracer.is_enabled() {
+        fields.push((
+            "trace",
+            kollaps_trace::chrome_trace(&tracer.events(), u64::from(me)),
+        ));
+    }
+    Ok(wire::msg("report", fields))
 }
 
 /// Runs one agent to completion: connect to `coordinator`, emulate host
@@ -256,7 +334,7 @@ pub fn run(coordinator: &str, me: u32) -> Result<(), AgentError> {
                 let ready = prepared
                     .take()
                     .ok_or_else(|| AgentError::Protocol("start before spec".to_string()))?;
-                let report = execute(ready, me)?;
+                let report = execute(ready, me, &mut control)?;
                 wire::send(&mut control, &report)?;
             }
             Some("bye") => return Ok(()),

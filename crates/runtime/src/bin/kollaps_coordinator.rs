@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! kollaps-coordinator [--seconds N] [--agent-bin PATH] [--out PATH] [--threads]
+//!                     [--trace] [--trace-out PATH]
 //! ```
 //!
 //! By default the agent binary is discovered next to the coordinator
 //! executable and the merged report is written to
 //! `target/distributed-report.json` (falling back to the current
-//! directory when no `target/` exists).
+//! directory when no `target/` exists). With `--trace` every agent runs
+//! its flight recorder and the merged multi-process Chrome trace is
+//! written to `target/distributed-trace.trace.json` (override with
+//! `--trace-out`); open it in Perfetto or `chrome://tracing`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,11 +35,22 @@ fn default_out() -> PathBuf {
     }
 }
 
+fn default_trace_out() -> PathBuf {
+    let target = PathBuf::from("target");
+    if target.is_dir() {
+        target.join("distributed-trace.trace.json")
+    } else {
+        PathBuf::from("distributed-trace.trace.json")
+    }
+}
+
 fn main() -> ExitCode {
     let mut seconds = 5u64;
     let mut agent_bin: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut threads = false;
+    let mut trace = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,6 +67,14 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a path"),
             },
             "--threads" => threads = true,
+            "--trace" => trace = true,
+            "--trace-out" => match args.next() {
+                Some(v) => {
+                    trace = true;
+                    trace_out = Some(PathBuf::from(v));
+                }
+                None => return usage("--trace-out needs a path"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -71,7 +94,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let scenario = coordinator::staggered_join_scenario(seconds);
+    let scenario = coordinator::staggered_join_scenario(seconds).trace(trace);
     let options = RunOptions {
         launch,
         loss_probability: 0.0,
@@ -120,13 +143,26 @@ fn main() -> ExitCode {
         println!("  convergence: {}", serde_json::to_string(convergence));
     }
     println!("  report: {}", out.display());
+    if let Some(merged_trace) = &outcome.trace {
+        let trace_path = trace_out.unwrap_or_else(default_trace_out);
+        let text = serde_json::to_string(merged_trace);
+        if let Err(e) = std::fs::write(&trace_path, &text) {
+            eprintln!(
+                "kollaps-coordinator: cannot write {}: {e}",
+                trace_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("  trace: {}", trace_path.display());
+    }
     ExitCode::SUCCESS
 }
 
 fn usage(reason: &str) -> ExitCode {
     eprintln!("kollaps-coordinator: {reason}");
     eprintln!(
-        "usage: kollaps-coordinator [--seconds N] [--agent-bin PATH] [--out PATH] [--threads]"
+        "usage: kollaps-coordinator [--seconds N] [--agent-bin PATH] [--out PATH] [--threads] \
+         [--trace] [--trace-out PATH]"
     );
     ExitCode::FAILURE
 }

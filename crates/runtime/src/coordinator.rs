@@ -21,9 +21,14 @@
 //!    `cores_attached { host, cores }` and the second `advance_bootstrap`
 //!    completes the bootstrap (manager launched → cores attached).
 //! 5. `start` releases the barrier: every agent runs its session to the
-//!    end in UDP lockstep and ships `report { host, report, gaps, ... }`.
-//! 6. The coordinator merges the partial reports, sends `bye`, and joins
-//!    the agents.
+//!    end in UDP lockstep, streaming periodic `health { host, at_ms, ... }`
+//!    frames (cumulative barrier/loss/UDP counters plus per-chunk
+//!    wall-clock lag), and finally ships
+//!    `report { host, report, gaps, ... }` — carrying its Chrome-trace
+//!    flight-recorder dump when the scenario enabled tracing.
+//! 6. The coordinator merges the partial reports — per-host health series
+//!    and socket-bus counters included — merges any per-agent traces into
+//!    one multi-process Chrome trace, sends `bye`, and joins the agents.
 
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
@@ -150,10 +155,11 @@ pub struct AgentStats {
 /// The result of a distributed run.
 #[derive(Debug)]
 pub struct DistributedOutcome {
-    /// The merged schema-version-3 report: agent 0's partial report with
+    /// The merged schema-version-4 report: agent 0's partial report with
     /// the metadata accounting replaced by real per-agent socket byte
-    /// counts and the convergence block recomputed from the per-host gap
-    /// series.
+    /// counts, the convergence block recomputed from the per-host gap
+    /// series, per-host `health` series streamed while the run was live,
+    /// and a `socket_bus` block of per-agent barrier/loss counters.
     pub report: Value,
     /// The bootstrap phase of every host after each
     /// [`DeploymentPlan::advance_bootstrap`] step, starting with the
@@ -161,6 +167,10 @@ pub struct DistributedOutcome {
     pub bootstrap_trace: Vec<Vec<BootstrapPhase>>,
     /// Per-agent control-plane and socket statistics, ordered by host.
     pub agents: Vec<AgentStats>,
+    /// Every agent's flight recorder merged into one multi-process Chrome
+    /// trace ([`kollaps_trace::merge_chrome_traces`]) — `Some` only when
+    /// the scenario enabled [`Scenario::trace`].
+    pub trace: Option<Value>,
 }
 
 /// One connected agent from the coordinator's point of view.
@@ -452,12 +462,59 @@ pub fn run(
         let mut partials: Vec<Value> = Vec::new();
         let mut series: Vec<Vec<f64>> = Vec::new();
         let mut agents: Vec<AgentStats> = Vec::new();
+        let mut health: Vec<Vec<Value>> = (0..hosts).map(|_| Vec::new()).collect();
+        let mut traces: Vec<(String, Value)> = Vec::new();
         for link in links.iter_mut() {
             // The emulation itself runs between start and report; give it
             // far more slack than the control handshake.
             link.stream
                 .set_read_timeout(Some(Duration::from_secs(300)))?;
-            let report = wire::recv_expect(&mut link.stream, "report")?;
+            // Agents stream `health` frames while running; drain them into
+            // the per-host series until the final `report` arrives. Frames
+            // from agents read later just queue in their TCP buffers.
+            let report = loop {
+                let message = wire::recv(&mut link.stream)?;
+                match wire::msg_type(&message) {
+                    Some("health") => {
+                        let host = wire::field_u64(&message, "host")? as usize;
+                        if host >= health.len() {
+                            return Err(CoordinatorError::Protocol(format!(
+                                "health frame from unknown host {host}"
+                            )));
+                        }
+                        let row = wire::obj(
+                            [
+                                "at_ms",
+                                "step_wall_micros",
+                                "barrier_wait_micros",
+                                "barriers",
+                                "barrier_timeouts",
+                                "lost_datagrams",
+                                "sent",
+                                "received",
+                            ]
+                            .into_iter()
+                            .map(|key| {
+                                wire::field_u64(&message, key).map(|v| (key, Value::from(v)))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                        );
+                        health[host].push(row);
+                    }
+                    Some("report") => break message,
+                    Some(t) => {
+                        return Err(CoordinatorError::Protocol(format!(
+                            "host {} sent `{t}` while a report was expected",
+                            link.host
+                        )))
+                    }
+                    None => {
+                        return Err(CoordinatorError::Protocol(
+                            "control message without a type".to_string(),
+                        ))
+                    }
+                }
+            };
             if wire::field_u64(&report, "host")? as u32 != link.host {
                 return Err(CoordinatorError::Protocol(format!(
                     "host {} reported for another host",
@@ -481,6 +538,9 @@ pub fn run(
                 cores: cores[link.host as usize],
             });
             series.push(gaps);
+            if let Some(trace) = report.get("trace") {
+                traces.push((format!("agent-{}", link.host), trace.clone()));
+            }
             partials.push(report.get("report").cloned().ok_or_else(|| {
                 CoordinatorError::Protocol(format!("host {} sent no report body", link.host))
             })?);
@@ -523,11 +583,50 @@ pub fn run(
                 ]),
             );
         }
+        // Live telemetry only the distributed runtime can produce: the
+        // per-host health series streamed while the run was in flight and
+        // the final per-agent socket-bus counters.
+        set_field(
+            &mut merged,
+            "health",
+            Value::Array(
+                health
+                    .into_iter()
+                    .enumerate()
+                    .map(|(host, rows)| {
+                        wire::obj(vec![
+                            ("host", Value::from(host as u64)),
+                            ("samples", Value::Array(rows)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        set_field(
+            &mut merged,
+            "socket_bus",
+            Value::Array(
+                agents
+                    .iter()
+                    .map(|a| {
+                        wire::obj(vec![
+                            ("host", Value::from(u64::from(a.host))),
+                            ("barrier_wait_micros", Value::from(a.barrier_wait_micros)),
+                            ("barriers", Value::from(a.barriers)),
+                            ("barrier_timeouts", Value::from(a.barrier_timeouts)),
+                            ("lost_datagrams", Value::from(a.lost_datagrams)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let trace = (!traces.is_empty()).then(|| kollaps_trace::merge_chrome_traces(&traces));
 
         Ok(DistributedOutcome {
             report: merged,
             bootstrap_trace,
             agents,
+            trace,
         })
     })();
 

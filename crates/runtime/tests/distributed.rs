@@ -83,8 +83,143 @@ fn distributed_run_matches_the_in_process_run_at_zero_loss() {
             .report
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(3)
+        Some(4)
     );
+}
+
+#[test]
+fn the_merged_report_carries_live_health_series_and_socket_bus_counters() {
+    let outcome = coordinator::run(&staggered_join_scenario(SECONDS), &thread_options())
+        .expect("distributed staggered join");
+
+    // Agents stream a health frame every 250 ms of virtual time; a 3 s run
+    // yields a dozen samples per host, merged as one series per host.
+    let health = outcome
+        .report
+        .get("health")
+        .and_then(|v| v.as_array())
+        .expect("per-host health series");
+    assert_eq!(health.len(), 2);
+    for (host, series) in health.iter().enumerate() {
+        assert_eq!(
+            series.get("host").and_then(|v| v.as_u64()),
+            Some(host as u64)
+        );
+        let samples = series
+            .get("samples")
+            .and_then(|v| v.as_array())
+            .expect("health samples");
+        assert!(
+            samples.len() >= 2,
+            "host {host} streamed only {} health frames",
+            samples.len()
+        );
+        // Cumulative counters are monotone, and virtual time advances in
+        // health-interval steps up to the scenario end.
+        let mut last_at = 0;
+        let mut last_barriers = 0;
+        for sample in samples {
+            let at = sample.get("at_ms").and_then(|v| v.as_u64()).unwrap();
+            let barriers = sample.get("barriers").and_then(|v| v.as_u64()).unwrap();
+            assert!(at > last_at || last_at == 0);
+            assert!(barriers >= last_barriers);
+            last_at = at;
+            last_barriers = barriers;
+            for key in ["step_wall_micros", "sent", "received", "lost_datagrams"] {
+                assert!(sample.get(key).and_then(|v| v.as_u64()).is_some());
+            }
+        }
+        // The last frame lands exactly on the session end, which covers
+        // the full staggered schedule (last join at 2100 ms + duration).
+        assert!(
+            last_at >= SECONDS * 1000,
+            "series ended early at {last_at} ms"
+        );
+        assert!(last_barriers > 0);
+    }
+
+    // Satellite: the final socket-bus counters surface in the merged
+    // report itself, matching the per-agent stats.
+    let bus = outcome
+        .report
+        .get("socket_bus")
+        .and_then(|v| v.as_array())
+        .expect("socket_bus rows");
+    assert_eq!(bus.len(), outcome.agents.len());
+    for (row, agent) in bus.iter().zip(&outcome.agents) {
+        assert_eq!(
+            row.get("host").and_then(|v| v.as_u64()),
+            Some(u64::from(agent.host))
+        );
+        assert_eq!(
+            row.get("barriers").and_then(|v| v.as_u64()),
+            Some(agent.barriers)
+        );
+        assert_eq!(
+            row.get("barrier_wait_micros").and_then(|v| v.as_u64()),
+            Some(agent.barrier_wait_micros)
+        );
+        assert_eq!(
+            row.get("barrier_timeouts").and_then(|v| v.as_u64()),
+            Some(agent.barrier_timeouts)
+        );
+        assert_eq!(
+            row.get("lost_datagrams").and_then(|v| v.as_u64()),
+            Some(agent.lost_datagrams)
+        );
+    }
+}
+
+#[test]
+fn tracing_produces_a_merged_multi_agent_chrome_trace() {
+    let untraced = coordinator::run(&staggered_join_scenario(SECONDS), &thread_options())
+        .expect("untraced distributed run");
+    assert!(untraced.trace.is_none(), "trace present without --trace");
+
+    let scenario = staggered_join_scenario(SECONDS).trace(true);
+    let outcome = coordinator::run(&scenario, &thread_options()).expect("traced distributed run");
+    let trace = outcome.trace.expect("merged chrome trace");
+    let events = trace.as_array().expect("chrome trace is an event array");
+
+    // One process_name metadata event per agent, re-tagged to distinct
+    // pids, plus real span/instant events from every agent's recorder.
+    let mut names = Vec::new();
+    let mut pids = std::collections::BTreeSet::new();
+    let mut spans = 0usize;
+    for event in events {
+        let ph = event.get("ph").and_then(|v| v.as_str()).unwrap();
+        pids.insert(event.get("pid").and_then(|v| v.as_u64()).unwrap());
+        match ph {
+            "M" => names.push(
+                event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string(),
+            ),
+            "B" => spans += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(names, vec!["agent-0", "agent-1"]);
+    assert_eq!(pids.len(), 2);
+    assert!(spans > 0, "no span events in the merged trace");
+
+    // Tracing is wall-clock-only: the traced run's merged results are
+    // byte-identical to the untraced run's once every wall-clock block is
+    // scrubbed (phase_timing exists only when traced; health, socket_bus
+    // and dynamics carry real elapsed-time measurements in both runs).
+    let scrub = |report: &serde_json::Value| {
+        let mut text = serde_json::to_string(report);
+        for key in ["phase_timing", "health", "socket_bus", "dynamics"] {
+            if let Some(value) = report.get(key) {
+                text = text.replace(&serde_json::to_string(value), "null");
+            }
+        }
+        text
+    };
+    assert_eq!(scrub(&outcome.report), scrub(&untraced.report));
 }
 
 #[test]

@@ -189,9 +189,14 @@ impl Campaign {
                             }
                             None
                         };
-                        Ok(scenario
-                            .into_session(topology, schedule, prepared)?
-                            .finish())
+                        let session = scenario.into_session(topology, schedule, prepared)?;
+                        // A campaign-level span around the variant's whole
+                        // run (no-op unless the base scenario enabled
+                        // tracing; the handle outlives the session).
+                        let tracer = session.tracer().clone();
+                        let mut span = tracer.span(0, "campaign_variant");
+                        span.arg("variant", i as f64);
+                        Ok(session.finish())
                     })();
                     *slots[i].lock().expect("variant slot poisoned") = Some(result);
                 });
@@ -447,7 +452,10 @@ mod tests {
         assert!(report.aggregates.goodput_mean_mbps.unwrap() > 5.0);
         assert!(report.variant("metadata_delay=5.0ms").is_some());
         let json = report.to_json();
-        assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(
+            json.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
         assert_eq!(
             json.get("timeline_precomputes").and_then(|v| v.as_u64()),
             Some(1)

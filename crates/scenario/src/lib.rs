@@ -84,9 +84,10 @@ pub use backend::{AnyDataplane, Backend};
 pub use campaign::{Campaign, CampaignAggregates, CampaignReport, VariantReport};
 pub use error::ScenarioError;
 pub use kollaps_dynamics::Churn;
+pub use kollaps_trace::Recorder;
 pub use report::{
     ConvergenceReport, DynamicsReport, FlowClassReport, FlowReport, HostMetadata, HttpStats,
-    LinkReport, PercentileStats, Report, RttStats, SCHEMA_VERSION,
+    LinkReport, PercentileStats, PhaseTimingReport, Report, RttStats, SCHEMA_VERSION,
 };
 pub use session::{Session, SessionError};
 pub use spec::SPEC_VERSION;
@@ -134,6 +135,7 @@ pub struct Scenario {
     step_interval: Option<SimDuration>,
     sample_interval: Option<SimDuration>,
     distributed: bool,
+    trace: bool,
 }
 
 impl Scenario {
@@ -153,6 +155,7 @@ impl Scenario {
             step_interval: None,
             sample_interval: None,
             distributed: false,
+            trace: false,
         }
     }
 
@@ -383,6 +386,24 @@ impl Scenario {
         self
     }
 
+    /// Enables the flight recorder (Kollaps backend only): the emulation
+    /// core records per-tick phase spans, per-worker spans, allocation
+    /// spans and counters into bounded in-memory ring buffers, readable
+    /// through [`Session::tracer`] and exportable as Chrome trace-event
+    /// JSON (`kollaps_trace::chrome_trace_string`). Tracing is wall-clock
+    /// observability only: the emulated results are byte-identical with it
+    /// on or off (pinned by a property test), and the report additionally
+    /// carries a [`Report::phase_timing`] breakdown. Off by default.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// `true` when [`Scenario::trace`] enabled the flight recorder.
+    pub fn is_traced(&self) -> bool {
+        self.trace
+    }
+
     /// Expands the topology source and folds the declared schedule and
     /// churn generators into one sorted event schedule — the first phase
     /// of building a session, shared with [`Campaign`] (which compares
@@ -466,6 +487,7 @@ impl Scenario {
         let knobs_used = self.hosts.is_some()
             || self.metadata_delay.is_some()
             || self.threads.is_some()
+            || self.trace
             || !self.placement.is_empty();
         match &mut backend {
             Backend::Kollaps { hosts, config } => {
@@ -483,8 +505,9 @@ impl Scenario {
                 if knobs_used {
                     return Err(ScenarioError::UnsupportedBackend {
                         backend: other.name().to_string(),
-                        reason: "hosts/placement/metadata_delay/threads configure per-host \
-                                 emulation managers, which only the Kollaps backend runs"
+                        reason: "hosts/placement/metadata_delay/threads/trace configure \
+                                 per-host emulation managers, which only the Kollaps backend \
+                                 runs"
                             .to_string(),
                     });
                 }
@@ -528,7 +551,19 @@ impl Scenario {
 
         let backend_name = backend.name().to_string();
         let hosts = backend.hosts();
-        let dataplane = backend.build(topology.clone(), schedule, &placement, prepared);
+        let mut dataplane = backend.build(topology.clone(), schedule, &placement, prepared);
+        // The flight recorder: lane 0 for the dataplane/session control
+        // path, one lane per host's emulation manager workers.
+        let recorder = if self.trace {
+            kollaps_trace::Recorder::new(1 + hosts)
+        } else {
+            kollaps_trace::Recorder::disabled()
+        };
+        if recorder.is_enabled() {
+            if let Some(dp) = dataplane.kollaps_mut() {
+                dp.set_recorder(recorder.clone());
+            }
+        }
         let resolved = self
             .workloads
             .into_iter()
@@ -546,6 +581,7 @@ impl Scenario {
             duration_capped: self.duration.is_some(),
             step,
             sample_interval: self.sample_interval,
+            recorder,
         }))
     }
 }

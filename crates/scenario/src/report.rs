@@ -18,7 +18,12 @@ use serde_json::Value;
 /// * **3** — adds `flow_classes` (per-flow-class latency/goodput
 ///   p50/p90/p99 from the aggregating telemetry sink) and grows `http`
 ///   with `latency_p99_ms` + raw `samples_ms`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// * **4** — adds `phase_timing` (per-emulation-phase wall-clock breakdown
+///   from the flight recorder; `null` unless the run was traced — tracing
+///   is wall-clock-only, so untraced reports stay byte-identical to v3
+///   modulo the stamp) and, in distributed merged reports, the per-host
+///   `health` series and `socket_bus` counters.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// RTT statistics of a ping workload (milliseconds).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -191,6 +196,23 @@ pub struct DynamicsReport {
     pub pair_count: usize,
 }
 
+/// Wall-clock cost of one emulation-loop phase over the whole run, from
+/// the flight recorder's per-phase accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTimingReport {
+    /// Phase name (`collect`, `publish`, `synchronize`, `drain`,
+    /// `enforce`).
+    pub phase: String,
+    /// Total wall-clock microseconds across all loop iterations.
+    pub total_micros: u64,
+    /// Mean microseconds per iteration.
+    pub mean_micros: f64,
+    /// Worst single iteration, microseconds.
+    pub max_micros: u64,
+    /// Loop iterations measured.
+    pub count: u64,
+}
+
 /// The structured result of [`crate::Scenario::run`].
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -221,6 +243,11 @@ pub struct Report {
     /// Per-flow-class percentile telemetry from the aggregating sink,
     /// sorted by class label (empty when no flow was finalized).
     pub flow_classes: Vec<FlowClassReport>,
+    /// Per-phase wall-clock breakdown of the emulation loop, in loop
+    /// order. `None` unless the run was traced (the breakdown is
+    /// wall-clock data; untraced reports must stay byte-identical across
+    /// thread counts and tracing modes).
+    pub phase_timing: Option<Vec<PhaseTimingReport>>,
 }
 
 pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -368,6 +395,18 @@ impl DynamicsReport {
     }
 }
 
+impl PhaseTimingReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("phase", self.phase.as_str().into()),
+            ("total_micros", self.total_micros.into()),
+            ("mean_micros", self.mean_micros.into()),
+            ("max_micros", self.max_micros.into()),
+            ("count", self.count.into()),
+        ])
+    }
+}
+
 impl Report {
     /// The flows produced by workloads with the given label, in order.
     pub fn flows_of<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a FlowReport> {
@@ -420,6 +459,15 @@ impl Report {
                         .map(FlowClassReport::to_json)
                         .collect(),
                 ),
+            ),
+            (
+                "phase_timing",
+                self.phase_timing
+                    .as_ref()
+                    .map(|phases| {
+                        Value::Array(phases.iter().map(PhaseTimingReport::to_json).collect())
+                    })
+                    .unwrap_or(Value::Null),
             ),
         ])
     }

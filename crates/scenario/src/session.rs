@@ -30,7 +30,9 @@ use kollaps_topology::events::{DynamicAction, DynamicEvent, EventSchedule};
 use kollaps_topology::model::Topology;
 
 use crate::backend::AnyDataplane;
-use crate::report::{ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, Report};
+use crate::report::{
+    ConvergenceReport, DynamicsReport, FlowReport, HostMetadata, PhaseTimingReport, Report,
+};
 use crate::runner::{self, LinkDemand, ResolvedWorkload, State};
 use crate::telemetry::{
     Aggregator, FlowProgress, FlowStatus, LinkLoad, Sample, Sink, TelemetryEvent,
@@ -95,6 +97,7 @@ pub(crate) struct SessionInit {
     pub duration_capped: bool,
     pub step: SimDuration,
     pub sample_interval: Option<SimDuration>,
+    pub recorder: kollaps_trace::Recorder,
 }
 
 /// A live experiment: the resumable state the one-shot runner used to keep
@@ -142,6 +145,9 @@ pub struct Session {
     seen_snapshots: usize,
     seen_metadata_bytes: u64,
     oversubscribed: HashSet<u32>,
+    /// The flight recorder (disabled unless the scenario enabled tracing);
+    /// the same handle the Kollaps dataplane and its managers write to.
+    recorder: kollaps_trace::Recorder,
 }
 
 impl Session {
@@ -157,7 +163,13 @@ impl Session {
             duration_capped,
             step,
             sample_interval,
+            recorder,
         } = init;
+        recorder.instant(
+            0,
+            "session_created",
+            &[("workloads", workloads.len() as f64)],
+        );
         let mut rt = Runtime::new(dataplane);
         let mut owner = HashMap::new();
         let mut states = Vec::with_capacity(workloads.len());
@@ -202,6 +214,7 @@ impl Session {
             seen_snapshots: 0,
             seen_metadata_bytes: 0,
             oversubscribed: HashSet::new(),
+            recorder,
         }
     }
 
@@ -258,8 +271,10 @@ impl Session {
     /// *is* the resume).
     pub fn finish(mut self) -> Report {
         self.paused = false;
+        let span = self.recorder.span(0, "session_finish");
         self.advance(self.total_end)
             .expect("an unpaused session always advances");
+        drop(span);
         // Safety net: windows clipped exactly to the end are finalized by
         // the last dispatch; anything left (zero-length timeline) ends
         // here.
@@ -464,11 +479,14 @@ impl Session {
         if self.sinks.is_empty() {
             return;
         }
+        let allocation = self.allocation_telemetry();
         let sample = Sample {
             at_s: now.as_secs_f64(),
             flows: self.flow_progress(),
             links: self.link_loads(),
             convergence_gap: self.rt.dataplane.convergence().map(|c| c.last_gap),
+            allocation_micros: allocation.map(|(micros, _)| micros),
+            allocator_fast_hit_rate: allocation.map(|(_, stats)| stats.fast_hit_rate()),
         };
         for sink in &mut self.sinks {
             sink.on_sample(&sample);
@@ -569,6 +587,16 @@ impl Session {
             .collect()
     }
 
+    /// The session's flight recorder — disabled (a no-op handle) unless
+    /// the scenario enabled [`crate::Scenario::trace`]. The handle is
+    /// reference-counted and shared with the emulation core: clone it
+    /// before [`Session::finish`] to read the recorded events afterwards,
+    /// and export them with [`kollaps_trace::chrome_trace_string`] or
+    /// [`kollaps_trace::structured_json`].
+    pub fn tracer(&self) -> &kollaps_trace::Recorder {
+        &self.recorder
+    }
+
     /// Per-flow-class percentile telemetry aggregated over the flows
     /// finalized *so far* (live view of what [`Session::finish`] exports
     /// as [`Report::flow_classes`]).
@@ -586,6 +614,23 @@ impl Session {
             .dataplane
             .kollaps()
             .map(|dp| (dp.allocation_micros(), dp.allocator_stats()))
+    }
+
+    /// Metadata bytes put on the physical network so far, per host — the
+    /// live view of what the final report exports as
+    /// [`Report`]`::metadata_per_host`. Distributed agents read this
+    /// mid-run to stream health frames to the coordinator.
+    pub fn metadata_per_host(&self) -> Vec<HostMetadata> {
+        self.rt
+            .dataplane
+            .metadata_per_host()
+            .into_iter()
+            .map(|(host, sent_bytes, received_bytes)| HostMetadata {
+                host,
+                sent_bytes,
+                received_bytes,
+            })
+            .collect()
     }
 
     /// How close the decentralized enforcement has tracked the omniscient
@@ -704,6 +749,11 @@ impl Session {
         let state = runner::register_workload(&mut self.rt, &mut self.owner, idx, &resolved);
         self.add_boundary(resolved.start);
         self.add_boundary(resolved.end);
+        self.recorder.instant(
+            0,
+            "inject_workload",
+            &[("start_s", resolved.start.as_secs_f64())],
+        );
         if !self.sinks.is_empty() {
             let event = TelemetryEvent::WorkloadInjected {
                 at_s: self.cursor.as_secs_f64(),
@@ -786,6 +836,14 @@ impl Session {
         let now = self.cursor;
         let dp = self.rt.dataplane.kollaps_mut().expect("checked above");
         let derived = dp.extend_timeline(now, &schedule);
+        self.recorder.instant(
+            0,
+            "inject_events",
+            &[
+                ("events", schedule.len() as f64),
+                ("deltas_derived", derived as f64),
+            ],
+        );
         if !self.sinks.is_empty() {
             let event = TelemetryEvent::EventsInjected {
                 at_s: now.as_secs_f64(),
@@ -820,22 +878,29 @@ impl Session {
     fn build_report(&mut self) -> Report {
         let links = runner::link_reports(&self.rt, &self.demands);
         let metadata_bytes = self.rt.dataplane.metadata_network_bytes();
-        let metadata_per_host = self
-            .rt
-            .dataplane
-            .metadata_per_host()
-            .into_iter()
-            .map(|(host, sent_bytes, received_bytes)| HostMetadata {
-                host,
-                sent_bytes,
-                received_bytes,
-            })
-            .collect();
+        let metadata_per_host = self.metadata_per_host();
         let convergence = self.rt.dataplane.convergence().map(|c| ConvergenceReport {
             last_gap: c.last_gap,
             max_gap: c.max_gap,
             mean_gap: c.mean_gap(),
         });
+        let phase_timing = self
+            .rt
+            .dataplane
+            .kollaps()
+            .and_then(|dp| dp.phase_timing())
+            .map(|phases| {
+                phases
+                    .into_iter()
+                    .map(|(phase, stats)| PhaseTimingReport {
+                        phase: phase.to_string(),
+                        total_micros: stats.total_micros,
+                        mean_micros: stats.mean_micros(),
+                        max_micros: stats.max_micros,
+                        count: stats.count,
+                    })
+                    .collect()
+            });
         let dynamics = self.rt.dataplane.dynamics().map(|d| DynamicsReport {
             precompute_micros: d.precompute_micros,
             snapshots_precomputed: d.snapshots_precomputed,
@@ -861,6 +926,7 @@ impl Session {
             convergence,
             dynamics,
             flow_classes: self.aggregator.flow_classes(),
+            phase_timing,
         }
     }
 }

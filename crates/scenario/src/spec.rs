@@ -91,6 +91,14 @@ fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, ScenarioError> {
     }
 }
 
+fn opt_bool(value: &Value, key: &str) -> Result<Option<bool>, ScenarioError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(spec_err(format!("field `{key}` must be a boolean or null"))),
+    }
+}
+
 fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, ScenarioError> {
     match value.get(key) {
         None | Some(Value::Null) => Ok(None),
@@ -437,6 +445,10 @@ impl Scenario {
             ("spec_version", SPEC_VERSION.into()),
             ("name", self.name.as_str().into()),
             ("distributed", self.distributed.into()),
+            // Additive field: older decoders ignore it, older specs omit it
+            // (tracing defaults off), and tracing only affects wall clock —
+            // results are byte-identical — so no version bump.
+            ("trace", self.trace.into()),
             ("hosts", hosts.into()),
             (
                 "config",
@@ -540,6 +552,7 @@ impl Scenario {
             ))
             .schedule(EventSchedule::from_events(events));
         scenario.distributed = req_bool(spec, "distributed")?;
+        scenario.trace = opt_bool(spec, "trace")?.unwrap_or(false);
         for pin in req_array(spec, "placement")? {
             let pair = pin
                 .as_array()

@@ -83,6 +83,13 @@ pub struct Sample {
     /// The decentralized enforcement's most recent convergence gap
     /// (Kollaps backend only).
     pub convergence_gap: Option<f64>,
+    /// Cumulative wall-clock microseconds the emulation managers have
+    /// spent inside the bandwidth-sharing solver so far (Kollaps backend
+    /// only; diagnostic — never fed back into the simulation).
+    pub allocation_micros: Option<u64>,
+    /// Fraction of allocator calls answered entirely from the cached
+    /// previous result so far (Kollaps backend only).
+    pub allocator_fast_hit_rate: Option<f64>,
 }
 
 /// A discrete, typed occurrence inside a running session.

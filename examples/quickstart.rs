@@ -1,6 +1,8 @@
 //! Quickstart: describe a topology in the Kollaps DSL, emulate it, and
 //! measure what an application sees — all through the unified `Scenario`
-//! builder: one declarative description in, one machine-readable report out.
+//! builder: one declarative description in, one machine-readable report out
+//! (plus, with `.trace(true)`, a Chrome trace of where the emulation spent
+//! its time — open it in Perfetto or `chrome://tracing`).
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -31,15 +33,19 @@ experiment:
 
 fn main() {
     // One builder: topology source (paper Listing 1 syntax), backend
-    // selection, and the workloads by service name. `run()` parses,
-    // validates, collapses, emulates and measures.
-    let report = Scenario::from_dsl(EXPERIMENT)
+    // selection, the workloads by service name, and the flight recorder.
+    // `session()` parses, validates and collapses; `finish()` emulates to
+    // the end and measures — `run()` is the same thing in one call.
+    let session = Scenario::from_dsl(EXPERIMENT)
         .named("quickstart")
         .backend(Backend::kollaps_on(2))
+        .trace(true)
         .workload(Workload::ping("client", "server").count(50))
         .workload(Workload::iperf_tcp("client", "server").duration(SimDuration::from_secs(10)))
-        .run()
+        .session()
         .expect("valid scenario");
+    let tracer = session.tracer().clone();
+    let report = session.finish();
 
     let ping = report.flows_of("ping").next().expect("ping flow");
     let rtt = ping.rtt.as_ref().expect("rtt stats");
@@ -68,8 +74,18 @@ fn main() {
         );
     }
 
+    // The flight recorder saw every emulation phase; the report carries
+    // the per-phase roll-up and the full event stream exports as a Chrome
+    // trace for Perfetto.
+    for phase in report.phase_timing.as_deref().unwrap_or_default() {
+        println!(
+            "phase {}: {} µs total over {} ticks (max {} µs)",
+            phase.phase, phase.total_micros, phase.count, phase.max_micros
+        );
+    }
+
     // The whole report is machine-readable JSON for downstream tooling; CI
-    // uploads the written file as a workflow artifact.
+    // uploads the written files as workflow artifacts.
     println!("\n{}", report.to_json_string());
     let path = std::path::Path::new("target").join("quickstart-report.json");
     match std::fs::create_dir_all("target")
@@ -77,5 +93,16 @@ fn main() {
     {
         Ok(()) => println!("\nreport written to {}", path.display()),
         Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+    let trace_path = std::path::Path::new("target").join("quickstart.trace.json");
+    match std::fs::write(
+        &trace_path,
+        kollaps::trace::chrome_trace_string(&tracer.events(), 0),
+    ) {
+        Ok(()) => println!(
+            "trace written to {} (open in Perfetto)",
+            trace_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
     }
 }

@@ -13,6 +13,7 @@ pub use kollaps_runtime as runtime;
 pub use kollaps_scenario as scenario;
 pub use kollaps_sim as sim;
 pub use kollaps_topology as topology;
+pub use kollaps_trace as trace;
 pub use kollaps_transport as transport;
 pub use kollaps_workloads as workloads;
 

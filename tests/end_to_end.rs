@@ -430,9 +430,9 @@ fn report_carries_flow_class_percentiles() {
     );
     assert!(latency.p50 > 0.0);
 
-    // The JSON document carries the same block under schema version 3.
+    // The JSON document carries the same block under schema version 4.
     let json = report.to_json();
-    assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(json.get("schema_version").and_then(|v| v.as_u64()), Some(4));
     let classes = json
         .get("flow_classes")
         .and_then(|v| v.as_array())

@@ -313,13 +313,15 @@ proptest! {
     }
 }
 
-/// Strips the one nondeterministic report field (the wall-clock stamp of
-/// the offline timeline precompute) so two otherwise identical runs
+/// Strips the nondeterministic report fields — the wall-clock stamp of the
+/// offline timeline precompute and the wall-clock-only phase-timing block
+/// the flight recorder fills in — so two otherwise identical runs
 /// serialize to identical bytes.
 fn normalized_json(mut report: kollaps::scenario::Report) -> String {
     if let Some(dynamics) = report.dynamics.as_mut() {
         dynamics.precompute_micros = 0;
     }
+    report.phase_timing = None;
     report.to_json_string()
 }
 
@@ -580,6 +582,141 @@ proptest! {
         prop_assert_eq!(&sequential, &run(2));
         prop_assert_eq!(&sequential, &run(8));
     }
+}
+
+proptest! {
+    /// The flight-recorder acceptance property: tracing may only move
+    /// wall-clock time, never results. The same churned scenario with
+    /// tracing off and on — across 1, 2 and 8 worker threads — produces
+    /// **byte-identical** reports once the wall-clock-only phase-timing
+    /// block is stripped.
+    #[test]
+    fn tracing_is_byte_identical_to_untraced_across_thread_counts(
+        seed in 0u64..1_000_000,
+        step_ms in 50u64..500,
+    ) {
+        use kollaps::dynamics::Churn;
+        let run = |threads: usize, trace: bool| {
+            let (topo, _, _) = generators::dumbbell(
+                3,
+                Bandwidth::from_mbps(100),
+                Bandwidth::from_mbps(50),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(10),
+            );
+            let scenario = Scenario::from_topology(topo)
+                .named("trace-equivalence")
+                .hosts(4)
+                .threads(threads)
+                .trace(trace)
+                .metadata_delay(SimDuration::from_millis(2))
+                .churn(
+                    Churn::poisson_flaps(&[("client-2", "bridge-left")])
+                        .mean_uptime(SimDuration::from_millis(800))
+                        .mean_downtime(SimDuration::from_millis(200))
+                        .horizon(SimDuration::from_millis(900))
+                        .seed(seed),
+                )
+                .workloads((0..3).map(|i| {
+                    Workload::iperf_udp(
+                        &format!("client-{i}"),
+                        &format!("server-{}", (i + 1) % 3),
+                        Bandwidth::from_mbps(40),
+                    )
+                    .duration(SimDuration::from_millis(900))
+                }));
+            let mut session = scenario.session().expect("valid scenario");
+            while session.clock() < session.end() {
+                session.step(SimDuration::from_millis(step_ms)).expect("stepping");
+            }
+            let tracer = session.tracer().clone();
+            let report = session.finish();
+            // The traced runs must actually have recorded something, or
+            // this property would pass vacuously.
+            prop_assert_eq!(tracer.is_enabled(), trace);
+            if trace {
+                prop_assert!(!tracer.events().is_empty());
+                prop_assert!(report.phase_timing.is_some());
+            } else {
+                prop_assert!(report.phase_timing.is_none());
+            }
+            Ok(normalized_json(report))
+        };
+        let untraced = run(1, false)?;
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(&untraced, &run(threads, true)?);
+        }
+    }
+}
+
+/// The trace itself is stable: two identical seeded single-threaded runs
+/// record the same event sequence — same kinds, lanes, names and args —
+/// differing only in wall-clock timestamps. This is what makes traces
+/// diffable across runs when hunting a regression.
+#[test]
+fn seeded_runs_record_identical_trace_event_sequences() {
+    use kollaps::dynamics::Churn;
+    let run = || {
+        let (topo, _, _) = generators::dumbbell(
+            2,
+            Bandwidth::from_mbps(100),
+            Bandwidth::from_mbps(50),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        let scenario = Scenario::from_topology(topo)
+            .named("trace-stability")
+            .hosts(2)
+            // Pin one worker regardless of `KOLLAPS_THREADS`: with parallel
+            // workers the recorder's per-event wall-clock timestamps decide
+            // the merged ordering, which varies run to run by design.
+            .threads(1)
+            .trace(true)
+            .metadata_delay(SimDuration::from_millis(2))
+            .churn(
+                Churn::poisson_flaps(&[("client-1", "bridge-left")])
+                    .mean_uptime(SimDuration::from_millis(600))
+                    .mean_downtime(SimDuration::from_millis(200))
+                    .horizon(SimDuration::from_millis(1200))
+                    .seed(42),
+            )
+            .workloads((0..2).map(|i| {
+                Workload::iperf_udp(
+                    &format!("client-{i}"),
+                    &format!("server-{i}"),
+                    Bandwidth::from_mbps(40),
+                )
+                .duration(SimDuration::from_millis(1200))
+            }));
+        let mut session = scenario.session().expect("valid scenario");
+        while session.clock() < session.end() {
+            session
+                .step(SimDuration::from_millis(100))
+                .expect("stepping");
+        }
+        let tracer = session.tracer().clone();
+        session.finish();
+        tracer
+            .events()
+            .into_iter()
+            .map(|e| {
+                let args: Vec<(String, Option<f64>)> = e
+                    .args
+                    .into_iter()
+                    // Allocation spans carry their own wall-clock cost as
+                    // a `micros` arg; keep the key, ignore the value.
+                    .map(|(k, v)| {
+                        let value = (k != "micros").then_some(v);
+                        (k, value)
+                    })
+                    .collect();
+                (e.kind, e.lane, e.name, args)
+            })
+            .collect::<Vec<_>>()
+    };
+    let first = run();
+    assert!(!first.is_empty(), "traced run recorded no events");
+    assert_eq!(first, run());
 }
 
 proptest! {
