@@ -1,0 +1,122 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p kollaps-analyze -- --workspace [--deny-warnings] [--json] [--out FILE]
+//! cargo run -p kollaps-analyze -- path/to/file.rs ...
+//! ```
+//!
+//! Exit codes: 0 clean (or warnings without `--deny-warnings`), 1 when
+//! violations fail the run, 2 on usage errors.
+
+use kollaps_analyze::{analyze_files, analyze_workspace, to_json, Severity, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage("--out needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--rules" => {
+                for rule in RULES {
+                    println!("{:<20} {:<14} {}", rule.name, rule.family, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+
+    // `cargo run -p kollaps-analyze` sets CARGO_MANIFEST_DIR to
+    // crates/analyze; the workspace root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let diags = if workspace {
+        analyze_workspace(&root)
+    } else {
+        analyze_files(&root, &files)
+    };
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+
+    let rendered = if json {
+        serde_json::to_string(&to_json(&diags))
+    } else {
+        let mut text = String::new();
+        for d in &diags {
+            text.push_str(&d.to_string());
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            "kollaps-analyze: {} error(s), {} warning(s) across {} rule(s)\n",
+            errors,
+            warnings,
+            RULES.len()
+        ));
+        text
+    };
+    print!("{rendered}");
+    if let Some(path) = out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("kollaps-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("kollaps-analyze: {problem}");
+    }
+    eprintln!(
+        "usage: kollaps-analyze [--workspace] [--deny-warnings] [--json] \
+         [--out FILE] [--root DIR] [--rules] [files...]"
+    );
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,532 @@
+//! A small Rust token scanner: masks comments, string/char literals and
+//! tracks `#[cfg(test)]` / `#[test]` regions so the rule passes can match
+//! source patterns without a full parser (the offline build bars external
+//! parser crates). The masked text is byte-for-byte the same length as the
+//! input — every byte inside a comment or literal body is replaced with a
+//! space — so offsets found in the masked text map directly onto the
+//! original for line reporting.
+
+/// One parsed `// kollaps-analyze: allow(<rule>) -- <reason>` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// Rule names listed inside `allow(..)` (comma-separated).
+    pub rules: Vec<String>,
+    /// Justification after ` -- `; empty when the author gave none.
+    pub reason: String,
+    /// Set when the directive could not be parsed at all.
+    pub malformed: bool,
+}
+
+/// A scanned source file ready for rule matching.
+pub struct ScannedFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// The original source text.
+    pub raw: String,
+    /// Same length as `raw`; comment and literal bodies are spaces.
+    pub masked: String,
+    /// Byte offset of the start of each line in `masked`/`raw`.
+    pub line_starts: Vec<usize>,
+    /// `is_test[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` item or a `#[test]` function body.
+    pub is_test: Vec<bool>,
+    /// All suppression directives found in comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl ScannedFile {
+    pub fn scan(rel_path: &str, source: &str) -> ScannedFile {
+        let (masked, comments) = mask(source);
+        let line_starts = line_starts(source);
+        let is_test = test_lines(&masked, &line_starts);
+        let suppressions = parse_suppressions(source, &comments, &line_starts);
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            raw: source.to_string(),
+            masked,
+            line_starts,
+            is_test,
+            suppressions,
+        }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// True when `offset` falls on a line inside test-only code.
+    pub fn offset_in_test(&self, offset: usize) -> bool {
+        let line = self.line_of(offset);
+        self.is_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+fn line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Replaces the body of every comment, string literal and char literal with
+/// spaces. Handles nested block comments, escape sequences, raw strings
+/// (`r"..."`, `r#"..."#`, any hash count), byte strings and distinguishes
+/// lifetimes (`'a`) from char literals (`'x'`, `'\n'`). Returns the masked
+/// text plus every *plain* `//` comment (doc comments excluded) as
+/// `(byte_offset, text)` — the only place suppression directives may live,
+/// so a directive-looking string literal or doc example never parses.
+fn mask(source: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let doc = matches!(bytes.get(i + 2), Some(b'/') | Some(b'!'));
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                if !doc {
+                    comments.push((start, source[start..i].to_string()));
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_string(bytes, &mut out, i),
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                if let Some(next) = raw_or_byte_string(bytes, i) {
+                    i = next_masked(bytes, &mut out, i, next);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A literal is 'x', '\..' or a
+                // multi-byte char; a lifetime is '<ident> with no closing '.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: mask to the closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    for cell in out.iter_mut().take(bytes.len().min(j + 1)).skip(i + 1) {
+                        if *cell != b'\n' {
+                            *cell = b' ';
+                        }
+                    }
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    // Find a closing quote within the next few bytes (chars
+                    // can be multi-byte UTF-8). `'a>` or `'a,` is a lifetime.
+                    let mut close = None;
+                    let mut j = i + 1;
+                    let limit = (i + 6).min(bytes.len());
+                    while j < limit {
+                        if bytes[j] == b'\'' {
+                            close = Some(j);
+                            break;
+                        }
+                        j += 1;
+                    }
+                    match close {
+                        Some(j) if j > i + 1 => {
+                            for cell in out.iter_mut().take(j).skip(i + 1) {
+                                *cell = b' ';
+                            }
+                            i = j + 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// If a raw/byte string starts at `i`, returns the offset of its first
+/// quote-body byte search start (i.e. the index just past the opening
+/// delimiter) encoded as `(body_start, hashes)` via a packed option.
+fn raw_or_byte_string(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < bytes.len() && bytes[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'"' && (raw || bytes[i] == b'b') {
+        Some((j, if raw { hashes } else { usize::MAX }))
+    } else {
+        None
+    }
+}
+
+/// Masks a raw or byte string whose opening quote is at `info.0`.
+/// `info.1 == usize::MAX` marks a plain (escaped) byte string.
+fn next_masked(bytes: &[u8], out: &mut [u8], _start: usize, info: (usize, usize)) -> usize {
+    let (quote, hashes) = info;
+    if hashes == usize::MAX {
+        return mask_string(bytes, out, quote);
+    }
+    let mut j = quote + 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && k < bytes.len() && bytes[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                for cell in out.iter_mut().take(j).skip(quote + 1) {
+                    if *cell != b'\n' {
+                        *cell = b' ';
+                    }
+                }
+                return k;
+            }
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// Masks a plain `"..."` string starting at the opening quote `i`;
+/// returns the offset just past the closing quote.
+fn mask_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                if bytes[j] != b'\n' {
+                    out[j] = b' ';
+                }
+                if j + 1 < bytes.len() && bytes[j + 1] != b'\n' {
+                    out[j + 1] = b' ';
+                }
+                j += 2;
+            }
+            b'"' => {
+                return j + 1;
+            }
+            b'\n' => j += 1,
+            _ => {
+                out[j] = b' ';
+                j += 1;
+            }
+        }
+    }
+    bytes.len()
+}
+
+/// Computes, per line, whether the line is inside `#[cfg(test)]` or
+/// `#[test]` gated code by walking the masked text and tracking brace
+/// depth. An attribute arms at its brace depth; the next `{` at that depth
+/// opens a test region, a `;` at that depth before any `{` disarms (e.g.
+/// `#[cfg(test)] use ...;`).
+fn test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let bytes = masked.as_bytes();
+    let mut is_test = vec![false; line_starts.len()];
+    let mut depth = 0i32;
+    let mut armed_at: Option<i32> = None;
+    // Stack of depths at which a test region opened.
+    let mut regions: Vec<i32> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+            }
+            b'#' if i + 1 < bytes.len() && bytes[i + 1] == b'[' => {
+                // Capture the attribute body up to the matching ']'.
+                let mut j = i + 2;
+                let mut bracket = 1i32;
+                while j < bytes.len() && bracket > 0 {
+                    match bytes[j] {
+                        b'[' => bracket += 1,
+                        b']' => bracket -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body = &masked[i + 2..j.saturating_sub(1).max(i + 2)];
+                if attr_is_test(body) {
+                    armed_at = Some(depth);
+                    // The attribute's own lines count as test code.
+                    let start_line = line;
+                    let covered = masked[i..j].matches('\n').count();
+                    for l in start_line..=start_line + covered {
+                        if l < is_test.len() {
+                            is_test[l] = true;
+                        }
+                    }
+                }
+                line += masked[i..j].matches('\n').count();
+                i = j;
+                continue;
+            }
+            b'{' => {
+                if armed_at == Some(depth) {
+                    regions.push(depth);
+                    armed_at = None;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                    // The closing-brace line is still test code.
+                    if line < is_test.len() {
+                        is_test[line] = true;
+                    }
+                }
+            }
+            b';' if armed_at == Some(depth) => {
+                armed_at = None;
+            }
+            _ => {}
+        }
+        if (!regions.is_empty() || armed_at.is_some()) && line < is_test.len() {
+            is_test[line] = true;
+        }
+        i += 1;
+    }
+    is_test
+}
+
+/// True when an attribute body gates on test compilation: `test`,
+/// `cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))`.
+fn attr_is_test(body: &str) -> bool {
+    let cleaned = body.replace("not(test)", "").replace("not (test)", "");
+    contains_word(&cleaned, "test")
+}
+
+/// Word-bounded substring search.
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    find_word(haystack, word, 0).is_some()
+}
+
+/// Finds the next word-bounded occurrence of `word` at or after `from`.
+pub fn find_word(haystack: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut start = from;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+        if start >= haystack.len() {
+            break;
+        }
+    }
+    None
+}
+
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parses every `kollaps-analyze:` directive found in the real (non-doc)
+/// `//` comments captured during masking.
+fn parse_suppressions(
+    _source: &str,
+    comments: &[(usize, String)],
+    line_starts: &[usize],
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (offset, comment) in comments {
+        let Some(tag_at) = comment.find("kollaps-analyze:") else {
+            continue;
+        };
+        let rest = comment[tag_at + "kollaps-analyze:".len()..].trim_start();
+        let lineno = match line_starts.binary_search(offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            out.push(Suppression {
+                line: lineno,
+                rules: Vec::new(),
+                reason: String::new(),
+                malformed: true,
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            out.push(Suppression {
+                line: lineno,
+                rules: Vec::new(),
+                reason: String::new(),
+                malformed: true,
+            });
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = args[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        let malformed = rules.is_empty();
+        out.push(Suppression {
+            line: lineno,
+            rules,
+            reason,
+            malformed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_nested_block_comments() {
+        let src = "let a = 1; // HashMap here\n/* outer /* HashMap */ still */ let b = 2;\n";
+        let (masked, _) = mask(src);
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("let a = 1;"));
+        assert!(masked.contains("let b = 2;"));
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings_but_keeps_code() {
+        let src = r####"let s = "HashMap.iter()"; let r = r#"panic!("x")"#; s.len();"####;
+        let (masked, _) = mask(src);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("s.len()"));
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn keeps_lifetimes_masks_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'y' }";
+        let (masked, _) = mask(src);
+        assert!(masked.contains("<'a>"));
+        assert!(masked.contains("&'a str"));
+        assert!(!masked.contains("'y'"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a\"HashMap\"b"; t.iter();"#;
+        let (masked, _) = mask(src);
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("t.iter()"));
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}\n";
+        let f = ScannedFile::scan("x.rs", src);
+        assert!(!f.is_test[0]);
+        assert!(f.is_test[1]); // the attribute line
+        assert!(f.is_test[2]);
+        assert!(f.is_test[3]);
+        assert!(f.is_test[4]);
+        assert!(!f.is_test[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nmod live {\n    fn f() {}\n}\n";
+        let f = ScannedFile::scan("x.rs", src);
+        assert!(!f.is_test[2]);
+    }
+
+    #[test]
+    fn test_fn_body_is_test_but_siblings_are_not() {
+        let src = "#[test]\nfn t() {\n    let x = 1;\n}\nfn live() {\n    let y = 2;\n}\n";
+        let f = ScannedFile::scan("x.rs", src);
+        assert!(f.is_test[2]);
+        assert!(!f.is_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_does_not_poison_rest_of_file() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {\n    let z = 3;\n}\n";
+        let f = ScannedFile::scan("x.rs", src);
+        assert!(f.is_test[1]);
+        assert!(!f.is_test[3]);
+    }
+
+    #[test]
+    fn parses_suppression_directives() {
+        let src = "\
+let a = 1; // kollaps-analyze: allow(wall-clock) -- measures diagnostics only
+// kollaps-analyze: allow(hash-iteration, hash-drain) -- order-insensitive sum
+// kollaps-analyze: allow(hot-path-panic)
+// kollaps-analyze: deny(everything)
+";
+        let s = ScannedFile::scan("x.rs", src).suppressions;
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].rules, vec!["wall-clock"]);
+        assert_eq!(s[0].reason, "measures diagnostics only");
+        assert_eq!(s[1].rules.len(), 2);
+        assert!(s[2].reason.is_empty());
+        assert!(!s[2].malformed);
+        assert!(s[3].malformed);
+    }
+}

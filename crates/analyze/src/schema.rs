@@ -1,0 +1,236 @@
+//! Cross-file schema-drift checks: the report schema version, the scenario
+//! spec-codec version and the bench record schema version each live in one
+//! Rust constant, are documented in the README, and (for benches) are
+//! stamped into the committed `BENCH_*.json` baselines. A version bump that
+//! misses any of those sites ships silently-broken tooling — this pass
+//! makes the agreement a blocking check.
+
+use crate::{Diagnostic, Severity};
+use std::fs;
+use std::path::Path;
+
+/// One versioned artifact: a constant in a source file plus the README
+/// token that must document the same value.
+struct VersionedConst {
+    file: &'static str,
+    const_name: &'static str,
+    readme_token: &'static str,
+}
+
+const VERSIONED: &[VersionedConst] = &[
+    VersionedConst {
+        file: "crates/scenario/src/report.rs",
+        const_name: "SCHEMA_VERSION",
+        readme_token: "`schema_version`",
+    },
+    VersionedConst {
+        file: "crates/scenario/src/spec.rs",
+        const_name: "SPEC_VERSION",
+        readme_token: "`spec_version`",
+    },
+    VersionedConst {
+        file: "crates/bench/src/record.rs",
+        const_name: "BENCH_SCHEMA_VERSION",
+        readme_token: "`BENCH_SCHEMA_VERSION`",
+    },
+];
+
+/// Runs every schema-drift check against the workspace rooted at `root`.
+pub fn schema_drift(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    if readme.is_empty() {
+        diags.push(drift(
+            "README.md",
+            1,
+            "README.md is missing or unreadable".into(),
+        ));
+        return diags;
+    }
+
+    let mut bench_version = None;
+    for vc in VERSIONED {
+        let path = root.join(vc.file);
+        let Some((line, value)) = extract_const(&path, vc.const_name) else {
+            diags.push(drift(
+                vc.file,
+                1,
+                format!(
+                    "expected `pub const {}: u64 = ..;` not found",
+                    vc.const_name
+                ),
+            ));
+            continue;
+        };
+        if vc.const_name == "BENCH_SCHEMA_VERSION" {
+            bench_version = Some(value);
+        }
+        // Every `<token> (currently **N**)` mention in the README must agree.
+        let mut documented = 0usize;
+        for (ln, text) in readme.lines().enumerate() {
+            let Some(tok_at) = text.find(vc.readme_token) else {
+                continue;
+            };
+            let rest = &text[tok_at..];
+            let Some(cur) = rest.find("(currently **") else {
+                continue;
+            };
+            documented += 1;
+            let num = &rest[cur + "(currently **".len()..];
+            let parsed: Option<u64> = num.split("**").next().and_then(|n| n.trim().parse().ok());
+            if parsed != Some(value) {
+                diags.push(drift(
+                    "README.md",
+                    ln + 1,
+                    format!(
+                        "README documents {} as {} but {}:{} defines {}",
+                        vc.const_name,
+                        parsed.map_or("<unparsable>".into(), |p| p.to_string()),
+                        vc.file,
+                        line,
+                        value
+                    ),
+                ));
+            }
+        }
+        if documented == 0 {
+            diags.push(drift(
+                vc.file,
+                line,
+                format!(
+                    "{} = {} is not documented in README.md (expected a \
+                     `{} (currently **{}**)` mention)",
+                    vc.const_name, value, vc.readme_token, value
+                ),
+            ));
+        }
+    }
+
+    check_bench_baselines(root, bench_version, &mut diags);
+    diags
+}
+
+/// The committed `BENCH_*.json` baselines must carry the schema version the
+/// bench binaries speak, and every metric they pin must still be produced
+/// by some emitter in `crates/bench/src` — a renamed metric with a stale
+/// baseline would make the trajectory gate vacuous.
+fn check_bench_baselines(root: &Path, bench_version: Option<u64>, diags: &mut Vec<Diagnostic>) {
+    let mut bench_sources = String::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates/bench/src")) {
+        let mut files: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        for f in files {
+            bench_sources.push_str(&fs::read_to_string(&f).unwrap_or_default());
+        }
+    }
+
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    let mut baselines: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    for path in baselines {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.push(drift(&name, 1, format!("unreadable baseline: {e}")));
+                continue;
+            }
+        };
+        let value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                diags.push(drift(
+                    &name,
+                    1,
+                    format!("baseline is not valid JSON: {e:?}"),
+                ));
+                continue;
+            }
+        };
+        let got = value.get("schema_version").and_then(|v| v.as_u64());
+        if bench_version.is_some() && got != bench_version {
+            diags.push(drift(
+                &name,
+                1,
+                format!(
+                    "baseline schema_version {:?} != BENCH_SCHEMA_VERSION {}",
+                    got,
+                    bench_version.unwrap_or(0)
+                ),
+            ));
+        }
+        let Some(records) = value.get("records").and_then(|v| v.as_array()) else {
+            diags.push(drift(&name, 1, "baseline has no `records` array".into()));
+            continue;
+        };
+        let mut missing: Vec<String> = Vec::new();
+        for record in records {
+            let Some(metric) = record.get("metric").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let quoted = format!("\"{metric}\"");
+            if !bench_sources.contains(&quoted) && !missing.iter().any(|m| m == metric) {
+                missing.push(metric.to_string());
+            }
+        }
+        for metric in missing {
+            diags.push(drift(
+                &name,
+                1,
+                format!(
+                    "baseline pins metric \"{metric}\" but no emitter in crates/bench/src \
+                     mentions it — renamed without re-blessing?"
+                ),
+            ));
+        }
+    }
+}
+
+/// Extracts `const <name>: u64 = <value>;` from a source file, returning
+/// the 1-based line and the value.
+fn extract_const(path: &Path, name: &str) -> Option<(usize, u64)> {
+    let text = fs::read_to_string(path).ok()?;
+    for (idx, line) in text.lines().enumerate() {
+        let Some(at) = line.find(&format!("const {name}:")) else {
+            continue;
+        };
+        let rest = &line[at..];
+        let eq = rest.find('=')?;
+        let value: u64 = rest[eq + 1..]
+            .trim()
+            .trim_end_matches(';')
+            .trim()
+            .parse()
+            .ok()?;
+        return Some((idx + 1, value));
+    }
+    None
+}
+
+fn drift(path: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        rule: "schema-drift",
+        severity: Severity::Error,
+        message,
+    }
+}

@@ -1,6 +1,6 @@
 //! Micro-benchmark: the RTT-aware Min-Max allocation (Figure 8 scenario and
 //! larger synthetic instances).
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kollaps_core::sharing::{allocate, FlowDemand};
@@ -8,8 +8,8 @@ use kollaps_sim::time::SimDuration;
 use kollaps_sim::units::Bandwidth;
 use kollaps_topology::model::LinkId;
 
-fn synthetic(flows: usize, links: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
-    let caps: HashMap<LinkId, Bandwidth> = (0..links)
+fn synthetic(flows: usize, links: usize) -> (Vec<FlowDemand>, BTreeMap<LinkId, Bandwidth>) {
+    let caps: BTreeMap<LinkId, Bandwidth> = (0..links)
         .map(|i| {
             (
                 LinkId(i as u32),

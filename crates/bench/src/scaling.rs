@@ -22,7 +22,7 @@
 //! recompute counters come from the deterministic simulation and gate
 //! tightly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use kollaps_core::{allocate, AllocatorStats, FlowDemand, SnapshotTimeline};
@@ -259,9 +259,9 @@ pub struct AllocScalingCell {
 /// Builds the microbench inputs: `links` disjoint single-link components
 /// with two flows each, every component oversubscribed so it stays
 /// constrained.
-fn micro_inputs(links: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
+fn micro_inputs(links: usize) -> (Vec<FlowDemand>, BTreeMap<LinkId, Bandwidth>) {
     let mut flows = Vec::with_capacity(links * 2);
-    let mut capacities = HashMap::new();
+    let mut capacities = BTreeMap::new();
     for i in 0..links as u32 {
         capacities.insert(LinkId(i), Bandwidth::from_mbps(10));
         for j in 0..2u64 {

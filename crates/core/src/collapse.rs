@@ -10,7 +10,7 @@
 //! so that the runtime bandwidth-sharing model can detect flows competing
 //! for the same physical link.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -67,8 +67,8 @@ pub struct CollapsedTopology {
     pub(crate) paths: HashMap<(NodeId, NodeId), Arc<CollapsedPath>>,
     pub(crate) addresses: HashMap<NodeId, Addr>,
     pub(crate) nodes_by_addr: HashMap<Addr, NodeId>,
-    pub(crate) link_capacity: HashMap<LinkId, Bandwidth>,
-    pub(crate) link_latency: HashMap<LinkId, SimDuration>,
+    pub(crate) link_capacity: BTreeMap<LinkId, Bandwidth>,
+    pub(crate) link_latency: BTreeMap<LinkId, SimDuration>,
 }
 
 /// Collapses one shortest path into its end-to-end `CollapsedPath`.
@@ -117,7 +117,7 @@ fn all_pairs(topology: &Topology, threads: usize) -> HashMap<(NodeId, NodeId), A
 
 pub(crate) fn link_tables(
     topology: &Topology,
-) -> (HashMap<LinkId, Bandwidth>, HashMap<LinkId, SimDuration>) {
+) -> (BTreeMap<LinkId, Bandwidth>, BTreeMap<LinkId, SimDuration>) {
     let capacity = topology
         .links()
         .iter()
@@ -209,14 +209,21 @@ impl CollapsedTopology {
         Some(fwd.rtt(rev))
     }
 
-    /// All collapsed paths.
+    /// All collapsed paths, in (src, dst) order. The pair map itself is a
+    /// `HashMap` (hot per-packet lookups); iteration sorts so that no
+    /// hash-bucket order can reach reports or logs.
     pub fn paths(&self) -> impl Iterator<Item = &CollapsedPath> {
-        self.paths.values().map(Arc::as_ref)
+        let mut rows: Vec<(&(NodeId, NodeId), &Arc<CollapsedPath>)> = self.paths.iter().collect();
+        rows.sort_unstable_by_key(|(pair, _)| **pair);
+        rows.into_iter().map(|(_, p)| p.as_ref())
     }
 
-    /// All collapsed pairs with their shared path handles.
+    /// All collapsed pairs with their shared path handles, in (src, dst)
+    /// order.
     pub fn path_handles(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Arc<CollapsedPath>)> {
-        self.paths.iter()
+        let mut rows: Vec<(&(NodeId, NodeId), &Arc<CollapsedPath>)> = self.paths.iter().collect();
+        rows.sort_unstable_by_key(|(pair, _)| **pair);
+        rows.into_iter()
     }
 
     /// Number of collapsed (ordered) pairs.
@@ -234,9 +241,11 @@ impl CollapsedTopology {
         self.nodes_by_addr.get(&addr).copied()
     }
 
-    /// Every (service, address) assignment.
+    /// Every (service, address) assignment, in service-id order.
     pub fn addresses(&self) -> impl Iterator<Item = (NodeId, Addr)> + '_ {
-        self.addresses.iter().map(|(&n, &a)| (n, a))
+        let mut rows: Vec<(NodeId, Addr)> = self.addresses.iter().map(|(&n, &a)| (n, a)).collect();
+        rows.sort_unstable();
+        rows.into_iter()
     }
 
     /// Capacity of an original link.
@@ -244,8 +253,8 @@ impl CollapsedTopology {
         self.link_capacity.get(&link).copied()
     }
 
-    /// The full link-capacity table.
-    pub fn link_capacities(&self) -> &HashMap<LinkId, Bandwidth> {
+    /// The full link-capacity table (ordered by link id).
+    pub fn link_capacities(&self) -> &BTreeMap<LinkId, Bandwidth> {
         &self.link_capacity
     }
 

@@ -165,7 +165,12 @@ impl DynamicsStats {
 /// The phases of one emulation-loop iteration, in execution order. Phase
 /// spans and the [`KollapsDataplane::phase_timing`] breakdown both use
 /// these names.
-pub const LOOP_PHASES: [&str; 5] = ["collect", "publish", "synchronize", "drain", "enforce"];
+pub const LOOP_PHASES: [&str; LOOP_PHASE_COUNT] =
+    ["collect", "publish", "synchronize", "drain", "enforce"];
+
+/// Number of loop phases. A literal (rather than `LOOP_PHASES.len()`) so the
+/// static analyzer can bound-check the `phase_stats` subscripts against it.
+pub const LOOP_PHASE_COUNT: usize = 5;
 
 #[derive(Debug, Clone)]
 struct PendingDelivery {
@@ -235,7 +240,7 @@ pub struct KollapsDataplane {
     recorder: Recorder,
     /// Per-phase wall-clock accumulators, indexed like [`LOOP_PHASES`].
     /// Meaningful only while the recorder is enabled.
-    phase_stats: [PhaseStats; LOOP_PHASES.len()],
+    phase_stats: [PhaseStats; LOOP_PHASE_COUNT],
     next_tick: SimTime,
     started: bool,
 }
@@ -331,7 +336,7 @@ impl KollapsDataplane {
             omniscient: IncrementalAllocator::new(),
             host_gap_series: None,
             recorder: Recorder::disabled(),
-            phase_stats: [PhaseStats::default(); LOOP_PHASES.len()],
+            phase_stats: [PhaseStats::default(); LOOP_PHASE_COUNT],
             next_tick: SimTime::ZERO,
             started: false,
         }
@@ -794,7 +799,9 @@ impl Dataplane for KollapsDataplane {
             if head.arrival > now {
                 break;
             }
-            let Reverse(p) = self.pending.pop().expect("peeked");
+            let Some(Reverse(p)) = self.pending.pop() else {
+                break;
+            };
             out.push(p.packet);
         }
         out

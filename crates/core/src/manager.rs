@@ -22,7 +22,7 @@
 //! disagree about the allocation — the convergence of those local decisions
 //! is exactly what the accuracy-vs-staleness experiment measures.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use kollaps_metadata::bus::{Bus, Delivery, HostId};
@@ -164,9 +164,11 @@ impl EmulationManager {
         self.host
     }
 
-    /// Addresses of the containers placed on this host.
+    /// Addresses of the containers placed on this host, in address order.
     pub fn container_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.egress.keys().copied()
+        let mut addrs: Vec<Addr> = self.egress.keys().copied().collect();
+        addrs.sort_unstable();
+        addrs.into_iter()
     }
 
     /// `true` if the container with address `addr` is placed on this host.
@@ -244,23 +246,21 @@ impl EmulationManager {
         addrs.sort();
         let mut out = Vec::new();
         for addr in addrs {
-            let tree = self.egress.get_mut(&addr).expect("own tree");
-            out.extend(tree.dequeue_ready(now));
+            if let Some(tree) = self.egress.get_mut(&addr) {
+                out.extend(tree.dequeue_ready(now));
+            }
         }
         out
     }
 
-    /// Earliest time any local TCAL needs service.
+    /// Earliest time any local TCAL needs service. `min` over the egress
+    /// map is order-insensitive, so the map's iteration order cannot leak.
     pub fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
-        let mut earliest: Option<SimTime> = None;
-        for tree in self.egress.values_mut() {
-            if let Some(t) = tree.next_wakeup(now) {
-                if t < SimTime::MAX {
-                    earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
-                }
-            }
-        }
-        earliest
+        self.egress
+            .values_mut()
+            .filter_map(|tree| tree.next_wakeup(now))
+            .filter(|&t| t < SimTime::MAX)
+            .min()
     }
 
     /// Loop steps 1–2: reads and clears the per-destination usage of every
@@ -350,9 +350,9 @@ impl EmulationManager {
             local_keys.push((id, src, dst));
         }
 
-        let mut remote: Vec<(&HostId, &RemoteUsage)> = self.remote.iter().collect();
-        remote.sort_by_key(|(&host, _)| host);
-        for (_, view) in remote {
+        let mut remote_views: Vec<(&HostId, &RemoteUsage)> = self.remote.iter().collect();
+        remote_views.sort_by_key(|(&host, _)| host);
+        for (_, view) in remote_views {
             for flow in &view.flows {
                 let links: Vec<LinkId> = flow
                     .link_ids
@@ -398,6 +398,7 @@ impl EmulationManager {
         let local_rates: Vec<Bandwidth> = if self.config.bandwidth_sharing {
             let mut alloc_span = self.recorder.span(self.lane, "allocate");
             let before = self.allocator.stats();
+            // kollaps-analyze: allow(wall-clock) -- solver-time diagnostic only; never feeds back into the emulation (pinned by the traced-vs-untraced identity test)
             let start = std::time::Instant::now();
             let allocation = self
                 .allocator
@@ -433,7 +434,7 @@ impl EmulationManager {
                 .collect()
         } else {
             self.oversub_streak.clear();
-            HashMap::new()
+            BTreeMap::new()
         };
 
         // Enforcement: active local pairs get their computed share (or keep

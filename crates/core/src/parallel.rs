@@ -72,7 +72,12 @@ where
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for handle in handles {
-            out.extend(handle.join().expect("scoped worker panicked"));
+            // A worker can only fail by panicking in `f`; propagate the
+            // original payload instead of masking it behind a new panic.
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     })

@@ -18,7 +18,7 @@
 //! saturate the most contended link, until every flow is fixed. Kollaps
 //! enforces the result per destination rather than per flow.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -70,14 +70,16 @@ impl Allocation {
 /// Links missing from `capacities` are treated as unconstrained. The
 /// algorithm terminates after at most `flows.len()` rounds because every
 /// round fixes at least one flow.
-pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -> Allocation {
+pub fn allocate(flows: &[FlowDemand], capacities: &BTreeMap<LinkId, Bandwidth>) -> Allocation {
     let mut allocation = Allocation::default();
     if flows.is_empty() {
         return allocation;
     }
 
-    // Remaining capacity per constrained link.
-    let mut remaining: HashMap<LinkId, f64> = capacities
+    // Remaining capacity per constrained link. Ordered map: the solver
+    // iterates it (bottleneck search) and the distributed runtime replays
+    // this computation on every host, so iteration order must be stable.
+    let mut remaining: BTreeMap<LinkId, f64> = capacities
         .iter()
         .filter(|(_, c)| **c != Bandwidth::MAX)
         .map(|(&l, &c)| (l, c.as_bps() as f64))
@@ -87,7 +89,7 @@ pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -
 
     while !unfixed.is_empty() {
         // Sum of weights of unfixed flows per link.
-        let mut weight_on_link: HashMap<LinkId, f64> = HashMap::new();
+        let mut weight_on_link: BTreeMap<LinkId, f64> = BTreeMap::new();
         for &i in &unfixed {
             for link in &flows[i].links {
                 if remaining.contains_key(link) {
@@ -178,7 +180,7 @@ pub fn allocate(flows: &[FlowDemand], capacities: &HashMap<LinkId, Bandwidth>) -
 fn fix_flow(
     flow: &FlowDemand,
     granted_bps: f64,
-    remaining: &mut HashMap<LinkId, f64>,
+    remaining: &mut BTreeMap<LinkId, f64>,
     allocation: &mut Allocation,
 ) {
     let granted = granted_bps.max(0.0);
@@ -299,7 +301,7 @@ impl IncrementalAllocator {
     pub fn allocate(
         &mut self,
         flows: &[FlowDemand],
-        capacities: &HashMap<LinkId, Bandwidth>,
+        capacities: &BTreeMap<LinkId, Bandwidth>,
     ) -> &Allocation {
         self.stats.calls += 1;
         // Fast path: the exact same input as last loop (the steady state of
@@ -365,12 +367,15 @@ impl IncrementalAllocator {
         // Stable component order (by first member index) keeps the cache and
         // any diagnostics deterministic.
         let mut groups: Vec<Vec<usize>> = members.into_values().collect();
-        groups.sort_by_key(|g| g[0]);
+        groups.sort_by_key(|g| g.first().copied());
 
         // Components partition the constrained links, so a component's
         // smallest link id identifies it uniquely — an O(1) cache probe.
         let cache_by_min: HashMap<LinkId, &CachedComponent> = if self.valid {
-            self.components.iter().map(|c| (c.links[0], c)).collect()
+            self.components
+                .iter()
+                .filter_map(|c| c.links.first().map(|&l| (l, c)))
+                .collect()
         } else {
             HashMap::new()
         };
@@ -387,14 +392,18 @@ impl IncrementalAllocator {
             links.sort_unstable();
             links.dedup();
 
-            let cached = cache_by_min.get(&links[0]).copied().filter(|c| {
-                c.links == links
-                    && c.flows.len() == group.len()
-                    && c.flows
-                        .iter()
-                        .zip(group.iter())
-                        .all(|(cf, &i)| same_shape(cf, &flows[i]))
-            });
+            let cached = links
+                .first()
+                .and_then(|l0| cache_by_min.get(l0))
+                .copied()
+                .filter(|c| {
+                    c.links == links
+                        && c.flows.len() == group.len()
+                        && c.flows
+                            .iter()
+                            .zip(group.iter())
+                            .all(|(cf, &i)| same_shape(cf, &flows[i]))
+                });
             let grants: Vec<Bandwidth> = match cached {
                 Some(hit) => {
                     reused += 1;
@@ -403,8 +412,10 @@ impl IncrementalAllocator {
                 None => {
                     recomputed += 1;
                     let subset: Vec<FlowDemand> = group.iter().map(|&i| flows[i].clone()).collect();
-                    let caps: HashMap<LinkId, Bandwidth> =
-                        links.iter().map(|&l| (l, capacities[&l])).collect();
+                    let caps: BTreeMap<LinkId, Bandwidth> = links
+                        .iter()
+                        .filter_map(|&l| capacities.get(&l).map(|&c| (l, c)))
+                        .collect();
                     let solved = allocate(&subset, &caps);
                     subset.iter().map(|f| solved.of(f.id)).collect()
                 }
@@ -440,16 +451,16 @@ impl IncrementalAllocator {
 pub fn oversubscription(
     flows: &[FlowDemand],
     usages: &HashMap<u64, Bandwidth>,
-    capacities: &HashMap<LinkId, Bandwidth>,
-) -> HashMap<LinkId, f64> {
-    let mut demanded: HashMap<LinkId, f64> = HashMap::new();
+    capacities: &BTreeMap<LinkId, Bandwidth>,
+) -> BTreeMap<LinkId, f64> {
+    let mut demanded: BTreeMap<LinkId, f64> = BTreeMap::new();
     for flow in flows {
         let used = usages.get(&flow.id).copied().unwrap_or(Bandwidth::ZERO);
         for link in &flow.links {
             *demanded.entry(*link).or_default() += used.as_bps() as f64;
         }
     }
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
     for (link, demand) in demanded {
         let Some(&cap) = capacities.get(&link) else {
             continue;
@@ -482,8 +493,8 @@ mod tests {
     /// Link ids: 0 = C1-B1 (50), 1 = C2-B1 (50), 2 = C3-B1 (10),
     /// 3 = C4-B2 (50), 4 = C5-B2 (50), 5 = C6-B2 (10), 6 = B1-B2 (50),
     /// 7 = B2-B3 (100), 10+i = Si-B3 (50).
-    fn figure8(n_clients: usize) -> (Vec<FlowDemand>, HashMap<LinkId, Bandwidth>) {
-        let mut caps = HashMap::new();
+    fn figure8(n_clients: usize) -> (Vec<FlowDemand>, BTreeMap<LinkId, Bandwidth>) {
+        let mut caps = BTreeMap::new();
         for (i, c) in [50u64, 50, 10, 50, 50, 10].iter().enumerate() {
             caps.insert(LinkId(i as u32), Bandwidth::from_mbps(*c));
         }
@@ -588,7 +599,7 @@ mod tests {
 
     #[test]
     fn equal_rtts_split_evenly() {
-        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(90))]
+        let caps: BTreeMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(90))]
             .into_iter()
             .collect();
         let flows: Vec<FlowDemand> = (0..3)
@@ -636,7 +647,7 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_allocation() {
-        let a = allocate(&[], &HashMap::new());
+        let a = allocate(&[], &BTreeMap::new());
         assert!(a.per_flow.is_empty());
         assert_eq!(a.of(42), Bandwidth::ZERO);
     }
@@ -650,7 +661,7 @@ mod tests {
             demand: mbps(123.0),
         }];
         // No capacities at all: the flow gets its demand.
-        let a = allocate(&flows, &HashMap::new());
+        let a = allocate(&flows, &BTreeMap::new());
         assert_close(a.of(7), 123.0, 0.01);
     }
 
@@ -675,7 +686,7 @@ mod tests {
     #[test]
     fn rtt_ordering_is_respected() {
         // Lower RTT ⇒ larger share, monotonically.
-        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(100))]
+        let caps: BTreeMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(100))]
             .into_iter()
             .collect();
         let flows: Vec<FlowDemand> = [10u64, 20, 40, 80]
@@ -734,7 +745,7 @@ mod tests {
     fn disjoint_components_are_cached_independently() {
         // Two independent bottlenecks: flows 0-1 share link 0, flows 2-3
         // share link 1. Changing one pair must not recompute the other.
-        let caps: HashMap<LinkId, Bandwidth> = [
+        let caps: BTreeMap<LinkId, Bandwidth> = [
             (LinkId(0), Bandwidth::from_mbps(100)),
             (LinkId(1), Bandwidth::from_mbps(60)),
         ]
@@ -770,7 +781,7 @@ mod tests {
         // Flow ids in the emulation loop are positions; a flow leaving shifts
         // every later id down by one. The unchanged component's grants must
         // transfer to the new ids.
-        let caps: HashMap<LinkId, Bandwidth> = [
+        let caps: BTreeMap<LinkId, Bandwidth> = [
             (LinkId(0), Bandwidth::from_mbps(80)),
             (LinkId(1), Bandwidth::from_mbps(40)),
         ]
@@ -808,7 +819,7 @@ mod tests {
 
     #[test]
     fn unconstrained_flows_match_full_allocate() {
-        let caps: HashMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(50))]
+        let caps: BTreeMap<LinkId, Bandwidth> = [(LinkId(0), Bandwidth::from_mbps(50))]
             .into_iter()
             .collect();
         let flows = vec![

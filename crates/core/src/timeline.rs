@@ -27,7 +27,7 @@
 //! timeline snapshots with a full online re-collapse is pinned by property
 //! tests over generated topologies and random schedules.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use kollaps_sim::time::SimDuration;
@@ -133,6 +133,7 @@ impl SnapshotTimeline {
     /// independent and results are merged in source order, so the timeline
     /// is identical for any thread count.
     pub fn precompute_with(topology: &Topology, schedule: &EventSchedule, threads: usize) -> Self {
+        // kollaps-analyze: allow(wall-clock) -- precompute-time diagnostic (stats.precompute_micros); never read by the emulation
         let started = std::time::Instant::now();
         let threads = threads.max(1);
         let initial = Arc::new(CollapsedTopology::build_with_threads(topology, threads));
@@ -180,8 +181,11 @@ impl SnapshotTimeline {
         if extra.is_empty() {
             return 0;
         }
+        // kollaps-analyze: allow(wall-clock) -- precompute-time diagnostic (stats.precompute_micros); never read by the emulation
         let started = std::time::Instant::now();
-        let cut = extra.events()[0].at;
+        let Some(cut) = extra.events().first().map(|e| e.at) else {
+            return 0;
+        };
         // Deltas strictly before the cut survive untouched.
         let keep = self.deltas.partition_point(|d| d.at < cut);
         self.deltas.truncate(keep);
@@ -285,7 +289,7 @@ fn fold_events(
         while j < events.len() && events[j].at == at {
             j += 1;
         }
-        let before: HashMap<LinkId, LinkProperties> = working
+        let before: BTreeMap<LinkId, LinkProperties> = working
             .links()
             .iter()
             .map(|l| (l.id, l.properties))
@@ -305,14 +309,14 @@ fn fold_events(
 fn derive_snapshot(
     working: &Topology,
     prev: &CollapsedTopology,
-    before: &HashMap<LinkId, LinkProperties>,
+    before: &BTreeMap<LinkId, LinkProperties>,
     at: SimDuration,
     events: usize,
     stats: &mut TimelineStats,
     threads: usize,
 ) -> SnapshotDelta {
     // Diff the link tables to find what this group touched.
-    let after: HashMap<LinkId, LinkProperties> = working
+    let after: BTreeMap<LinkId, LinkProperties> = working
         .links()
         .iter()
         .map(|l| (l.id, l.properties))

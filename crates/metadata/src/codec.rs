@@ -205,11 +205,10 @@ impl MetadataMessage {
     /// Short buffers are [`DecodeError::Truncated`]; a prefix that
     /// disagrees with the payload size is [`DecodeError::FrameMismatch`].
     pub fn decode_framed(frame: &[u8]) -> Result<Self, DecodeError> {
-        if frame.len() < FRAME_PREFIX_LEN {
+        let Some((prefix, body)) = frame.split_first_chunk::<FRAME_PREFIX_LEN>() else {
             return Err(DecodeError::Truncated);
-        }
-        let declared = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
-        let body = &frame[FRAME_PREFIX_LEN..];
+        };
+        let declared = u32::from_be_bytes(*prefix) as usize;
         if body.len() < declared {
             return Err(DecodeError::Truncated);
         }

@@ -513,7 +513,7 @@ impl Scenario {
                 }
             }
         }
-        let mut placement: std::collections::HashMap<NodeId, u32> =
+        let mut placement_by_node: std::collections::HashMap<NodeId, u32> =
             std::collections::HashMap::new();
         for (name, host) in &self.placement {
             let node = service_node(&topology, name)?;
@@ -526,7 +526,7 @@ impl Scenario {
                     ),
                 });
             }
-            if let Some(previous) = placement.insert(node, *host) {
+            if let Some(previous) = placement_by_node.insert(node, *host) {
                 if previous != *host {
                     return Err(ScenarioError::InvalidPlacement {
                         name: name.clone(),
@@ -551,7 +551,7 @@ impl Scenario {
 
         let backend_name = backend.name().to_string();
         let hosts = backend.hosts();
-        let mut dataplane = backend.build(topology.clone(), schedule, &placement, prepared);
+        let mut dataplane = backend.build(topology.clone(), schedule, &placement_by_node, prepared);
         // The flight recorder: lane 0 for the dataplane/session control
         // path, one lane per host's emulation manager workers.
         let recorder = if self.trace {

@@ -10,7 +10,7 @@
 //! finalization; the resumable clock-driving loop lives in
 //! [`crate::session`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use kollaps_core::collapse::Addressable;
 use kollaps_core::runtime::Runtime;
@@ -102,7 +102,7 @@ pub(crate) enum State {
         server: Addr,
         clients: Vec<Addr>,
         request: DataSize,
-        owner_client: HashMap<FlowId, usize>,
+        owner_client: BTreeMap<FlowId, usize>,
         started_at: HashMap<FlowId, SimTime>,
         requests: u64,
         bytes_per_client: Vec<u64>,
@@ -200,7 +200,7 @@ pub(crate) fn register_workload(
             clients,
             request,
         } => {
-            let mut owner_client = HashMap::new();
+            let mut owner_client = BTreeMap::new();
             let mut started_at = HashMap::new();
             for (ci, client) in clients.iter().enumerate() {
                 let flow = rt.add_tcp_flow(
@@ -522,7 +522,7 @@ pub(crate) fn endpoint_names(workload: &Workload) -> (String, String) {
 
 pub(crate) fn link_reports(rt: &Runtime<AnyDataplane>, demands: &[LinkDemand]) -> Vec<LinkReport> {
     let collapsed = rt.dataplane.collapsed();
-    let mut offered: HashMap<u32, f64> = HashMap::new();
+    let mut offered: BTreeMap<u32, f64> = BTreeMap::new();
     for demand in demands {
         if demand.mbps <= 0.0 {
             continue;

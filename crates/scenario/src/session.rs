@@ -20,7 +20,7 @@
 //! and handled at the next dispatch point, so a stepped session is
 //! **byte-identical** to the one-shot path (pinned by a property test).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use kollaps_core::runtime::{Runtime, RuntimeEvent};
@@ -144,7 +144,7 @@ pub struct Session {
     /// Telemetry watermarks (what has already been reported to sinks).
     seen_snapshots: usize,
     seen_metadata_bytes: u64,
-    oversubscribed: HashSet<u32>,
+    oversubscribed: BTreeSet<u32>,
     /// The flight recorder (disabled unless the scenario enabled tracing);
     /// the same handle the Kollaps dataplane and its managers write to.
     recorder: kollaps_trace::Recorder,
@@ -213,7 +213,7 @@ impl Session {
             pending: Vec::new(),
             seen_snapshots: 0,
             seen_metadata_bytes: 0,
-            oversubscribed: HashSet::new(),
+            oversubscribed: BTreeSet::new(),
             recorder,
         }
     }
@@ -439,15 +439,14 @@ impl Session {
                 self.seen_snapshots = applied;
             }
             let at_s = self.cursor.as_secs_f64();
-            let current: HashSet<u32> = dp.oversubscribed_links().iter().map(|l| l.0).collect();
+            let current: BTreeSet<u32> = dp.oversubscribed_links().iter().map(|l| l.0).collect();
             if current != self.oversubscribed {
                 if want {
-                    let mut onset: Vec<u32> =
+                    // BTreeSet differences iterate in ascending link order.
+                    let onset: Vec<u32> =
                         current.difference(&self.oversubscribed).copied().collect();
-                    onset.sort_unstable();
-                    let mut cleared: Vec<u32> =
+                    let cleared: Vec<u32> =
                         self.oversubscribed.difference(&current).copied().collect();
-                    cleared.sort_unstable();
                     for link in onset {
                         events.push(TelemetryEvent::OversubscriptionOnset { at_s, link });
                     }

@@ -25,6 +25,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-freedom backstop for the hot paths: kollaps-analyze's
+// `hot-path-panic` rule is the enforced gate; clippy flags what the
+// heuristic scanner structurally cannot see (unwraps behind macros etc.).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod queue;
 pub mod rng;

@@ -1,6 +1,6 @@
 //! Property-based tests over the core invariants of the reproduction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
@@ -23,7 +23,7 @@ proptest! {
         caps in proptest::collection::vec(1u64..1_000, 1..8),
         rtts in proptest::collection::vec(1u64..400, 1..12),
     ) {
-        let capacities: HashMap<LinkId, Bandwidth> = (0..n_links)
+        let capacities: BTreeMap<LinkId, Bandwidth> = (0..n_links)
             .map(|i| (LinkId(i as u32), Bandwidth::from_mbps(caps[i % caps.len()])))
             .collect();
         let flows: Vec<FlowDemand> = (0..n_flows)
